@@ -1,0 +1,78 @@
+// Command espresso-bench regenerates the paper's tables and figures (see
+// DESIGN.md §4 for the experiment index):
+//
+//	espresso-bench -exp fig4     JPA commit breakdown
+//	espresso-bench -exp fig6     PCJ create breakdown
+//	espresso-bench -exp fig15    PJH vs PCJ microbenchmarks
+//	espresso-bench -exp fig16    JPAB throughput, H2-JPA vs H2-PJO
+//	espresso-bench -exp fig17    BasicTest time breakdown
+//	espresso-bench -exp fig18    heap loading time (UG vs zeroing)
+//	espresso-bench -exp gcflush  recoverable-GC flush overhead (§6.4)
+//	espresso-bench -exp all      everything
+//
+// -scale N divides workload sizes by N for quick runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"espresso/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: fig4|fig6|fig15|fig16|fig17|fig18|gcflush|all")
+	scale := flag.Int("scale", 1, "divide workload sizes by this factor")
+	gcMB := flag.Int("gcmb", 256, "live megabytes for the gcflush experiment")
+	flag.Parse()
+
+	s := experiments.Scale(*scale)
+	w := os.Stdout
+	run := func(name string, fn func() error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		fmt.Fprintf(w, "\n=== %s ===\n", name)
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+
+	run("fig4", func() error { return experiments.Fig4(w, s) })
+	run("fig6", func() error { return experiments.Fig6(w, s) })
+	run("fig15", func() error {
+		rows, err := experiments.Fig15(s)
+		if err != nil {
+			return err
+		}
+		experiments.PrintFig15(w, rows)
+		return nil
+	})
+	run("fig16", func() error {
+		rows, err := experiments.Fig16(s)
+		if err != nil {
+			return err
+		}
+		experiments.PrintFig16(w, rows)
+		return nil
+	})
+	run("fig17", func() error { return experiments.Fig17(w, s) })
+	run("fig18", func() error {
+		points, err := experiments.Fig18(s)
+		if err != nil {
+			return err
+		}
+		experiments.PrintFig18(w, points)
+		return nil
+	})
+	run("gcflush", func() error {
+		r, err := experiments.GCFlushCost(*gcMB << 20)
+		if err != nil {
+			return err
+		}
+		experiments.PrintGCFlush(w, r)
+		return nil
+	})
+}

@@ -1,0 +1,63 @@
+// Command h2shell is a minimal interactive SQL shell for the embedded
+// database — handy for poking at the JPA provider's schema:
+//
+//	go run ./cmd/h2shell
+//	sql> CREATE TABLE person (id BIGINT PRIMARY KEY, name VARCHAR)
+//	sql> INSERT INTO person (id, name) VALUES (1, 'Jimmy')
+//	sql> SELECT * FROM person
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"espresso/internal/h2"
+	"espresso/internal/nvm"
+)
+
+func main() {
+	db, err := h2.New(64<<20, nvm.Direct)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("embedded H2-style database; end with \\q")
+	sc := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("sql> ")
+		if !sc.Scan() {
+			return
+		}
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+			continue
+		case line == "\\q" || strings.EqualFold(line, "exit"):
+			return
+		case strings.HasPrefix(strings.ToUpper(line), "SELECT"):
+			rows, err := db.Query(line)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Println(strings.Join(rows.Columns, " | "))
+			for rows.Next() {
+				cells := make([]string, len(rows.Row()))
+				for i, v := range rows.Row() {
+					cells[i] = v.String()
+				}
+				fmt.Println(strings.Join(cells, " | "))
+			}
+			fmt.Printf("(%d rows)\n", rows.Len())
+		default:
+			n, err := db.Exec(line)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Printf("ok (%d rows affected)\n", n)
+		}
+	}
+}

@@ -1,0 +1,87 @@
+// Command heaptool inspects and verifies persistent-heap images:
+//
+//	heaptool -heap /path/img.pjh info      geometry, klasses, roots
+//	heaptool -heap /path/img.pjh verify    parse the whole heap
+//	heaptool -heap /path/img.pjh gc        run (or resume) a collection
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"espresso/internal/klass"
+	"espresso/internal/nvm"
+	"espresso/internal/pgc"
+	"espresso/internal/pheap"
+)
+
+func main() {
+	path := flag.String("heap", "", "heap image file (.pjh)")
+	flag.Parse()
+	cmd := flag.Arg(0)
+	if *path == "" || cmd == "" {
+		fmt.Fprintln(os.Stderr, "usage: heaptool -heap <image.pjh> info|verify|gc")
+		os.Exit(2)
+	}
+	dev, err := nvm.LoadFile(*path, nvm.Config{Mode: nvm.Tracked})
+	if err != nil {
+		log.Fatal(err)
+	}
+	h, err := pheap.Load(dev, klass.NewRegistry())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	switch cmd {
+	case "info":
+		g := h.Geo()
+		fmt.Printf("base address   %#x\n", uint64(h.Base()))
+		fmt.Printf("device size    %d bytes\n", dev.Size())
+		fmt.Printf("data area      %d bytes in %d regions\n", g.DataSize, g.Regions())
+		fmt.Printf("used           %d bytes\n", h.UsedBytes())
+		fmt.Printf("global ts      %d\n", h.GlobalTS())
+		fmt.Printf("gc active      %v\n", h.GCActive())
+		fmt.Printf("klasses        %d\n", h.KlassCount())
+		for _, r := range h.Roots() {
+			fmt.Printf("root %-24s → %#x\n", r.Name, uint64(r.Ref))
+		}
+	case "verify":
+		objects, fillers, bytes := 0, 0, 0
+		err := h.ForEachObject(func(off int, k *klass.Klass, size int) bool {
+			if pheap.IsFiller(k) {
+				fillers++
+			} else {
+				objects++
+			}
+			bytes += size
+			return true
+		})
+		if err != nil {
+			log.Fatalf("heap does not parse: %v", err)
+		}
+		fmt.Printf("OK: %d objects, %d fillers, %d bytes parseable\n", objects, fillers, bytes)
+	case "gc":
+		if h.GCActive() {
+			res, err := pgc.Recover(h)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("recovered interrupted collection: %d live objects, %d moved\n",
+				res.LiveObjects, res.MovedObjects)
+		} else {
+			res, err := pgc.Collect(h, pgc.NoRoots{})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("collected: %d live objects (%d bytes), %d moved, pause %v\n",
+				res.LiveObjects, res.LiveBytes, res.MovedObjects, res.Pause)
+		}
+		if err := dev.Save(*path); err != nil {
+			log.Fatal(err)
+		}
+	default:
+		log.Fatalf("unknown command %q", cmd)
+	}
+}

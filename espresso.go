@@ -1,0 +1,181 @@
+// Package espresso is the public API of Espresso-Go, a reproduction of
+// "Espresso: Brewing Java For More Non-Volatility with Non-volatile
+// Memory" (ASPLOS 2018): a persistent Java heap (PJH) on simulated NVM
+// with crash-consistent allocation and garbage collection, the pnew
+// object model with alias-Klass type checks and three memory-safety
+// levels, and the PJO persistence layer that replaces JPA's SQL
+// transformation with direct persistent-object shipping.
+//
+// Quick start (the paper's Figure 11):
+//
+//	rt, _ := espresso.Open(espresso.Options{HeapDir: "/tmp/heaps"})
+//	person := espresso.MustClass("Person", nil,
+//		espresso.Long("id"), espresso.Str("name"))
+//	if !rt.ExistsHeap("Jimmy") {
+//		rt.CreateHeap("Jimmy", 16<<20)
+//		p, _ := rt.PNew(person)
+//		rt.SetLong(p, "id", 1)
+//		name, _ := rt.NewString("Jimmy", true)
+//		rt.SetRef(p, "name", name)
+//		rt.FlushObject(p)
+//		rt.SetRoot("Jimmy_info", p)
+//	} else {
+//		rt.LoadHeap("Jimmy")
+//		p, _ := rt.GetRoot("Jimmy_info")
+//		_ = p
+//	}
+//
+// The facade re-exports the runtime in internal/core with small
+// conveniences; the substrates (NVM device, heap, collectors, database,
+// providers) live under internal/.
+package espresso
+
+import (
+	"time"
+
+	"espresso/internal/core"
+	"espresso/internal/klass"
+	"espresso/internal/layout"
+	"espresso/internal/nvm"
+	"espresso/internal/pgc"
+	"espresso/internal/pheap"
+	"espresso/internal/vheap"
+)
+
+// Ref is an object reference (0 is null).
+type Ref = layout.Ref
+
+// Class describes an object layout (the Klass of the simulated JVM).
+type Class = klass.Klass
+
+// Field declares one instance field.
+type Field = klass.Field
+
+// Runtime is a simulated JVM instance with volatile and persistent heaps.
+type Runtime struct{ *core.Runtime }
+
+// SafetyLevel selects the §3.4 memory-safety contract.
+type SafetyLevel = core.SafetyLevel
+
+// The three safety levels of the paper.
+const (
+	UserGuaranteed = core.UserGuaranteed
+	Zeroing        = core.Zeroing
+	TypeBased      = core.TypeBased
+)
+
+// GCResult reports a persistent collection.
+type GCResult = pgc.Result
+
+// Options configures Open.
+type Options struct {
+	// HeapDir persists heap images as files; empty keeps them in memory.
+	HeapDir string
+	// Safety selects the memory-safety level (default UserGuaranteed).
+	Safety SafetyLevel
+	// DefaultHeapSize is used by CreateHeap when size is 0 (default 16 MB).
+	DefaultHeapSize int
+	// TrackedNVM enables crash-image support on heap devices (slower).
+	TrackedNVM bool
+	// NVMWriteLatency models media write cost per flushed line.
+	NVMWriteLatency time.Duration
+	// StrictCast disables alias Klasses, reproducing paper Figure 10.
+	StrictCast bool
+	// VolatileHeap sizes the DRAM young/old generations.
+	VolatileHeap vheap.Config
+}
+
+// Open boots a runtime.
+func Open(opts Options) (*Runtime, error) {
+	mode := nvm.Direct
+	if opts.TrackedNVM {
+		mode = nvm.Tracked
+	}
+	if opts.DefaultHeapSize == 0 {
+		opts.DefaultHeapSize = 16 << 20
+	}
+	rt, err := core.NewRuntime(core.Config{
+		HeapDir:         opts.HeapDir,
+		Safety:          opts.Safety,
+		Volatile:        opts.VolatileHeap,
+		NVMMode:         mode,
+		NVMWriteLatency: opts.NVMWriteLatency,
+		PJHDataSize:     opts.DefaultHeapSize,
+		StrictCast:      opts.StrictCast,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Runtime{rt}, nil
+}
+
+// NewClass declares a class. Use the Long/Str/RefTo field constructors.
+func NewClass(name string, super *Class, fields ...Field) (*Class, error) {
+	return klass.NewInstance(name, super, fields...)
+}
+
+// MustClass is NewClass for static declarations; panics on error.
+func MustClass(name string, super *Class, fields ...Field) *Class {
+	return klass.MustInstance(name, super, fields...)
+}
+
+// Long declares a 64-bit integer field.
+func Long(name string) Field { return Field{Name: name, Type: layout.FTLong} }
+
+// Double declares a float64 field (stored as its bit pattern).
+func Double(name string) Field { return Field{Name: name, Type: layout.FTDouble} }
+
+// Str declares a reference field typed as the built-in string class.
+func Str(name string) Field {
+	return Field{Name: name, Type: layout.FTRef, RefKlass: core.StringKlassName}
+}
+
+// RefTo declares a reference field with a declared class.
+func RefTo(name, className string) Field {
+	return Field{Name: name, Type: layout.FTRef, RefKlass: className}
+}
+
+// PNew allocates a persistent object (the pnew keyword).
+func (rt *Runtime) PNew(k *Class) (Ref, error) { return rt.Runtime.PNew(k, 0) }
+
+// PNewArray allocates a persistent object array (panewarray).
+func (rt *Runtime) PNewArray(elemClass string, n int) (Ref, error) {
+	return rt.Runtime.PNew(rt.Reg.ObjArray(elemClass), n)
+}
+
+// PNewLongArray allocates a persistent long[] (pnewarray).
+func (rt *Runtime) PNewLongArray(n int) (Ref, error) {
+	return rt.Runtime.PNew(rt.Reg.PrimArray(layout.FTLong), n)
+}
+
+// New allocates a volatile object (plain Java new).
+func (rt *Runtime) New(k *Class) (Ref, error) { return rt.Runtime.New(k, 0) }
+
+// CreateHeap creates a persistent heap (Table 1). size 0 uses the default.
+func (rt *Runtime) CreateHeap(name string, size int) error {
+	_, err := rt.Runtime.CreateHeap(name, size)
+	return err
+}
+
+// LoadHeap loads an existing heap, running crash recovery and the
+// configured safety scan (Table 1).
+func (rt *Runtime) LoadHeap(name string) error {
+	_, err := rt.Runtime.LoadHeap(name)
+	return err
+}
+
+// PersistentGC forces a crash-consistent collection of a heap
+// (System.gc() for the persistent space).
+func (rt *Runtime) PersistentGC(name string) (GCResult, error) {
+	return rt.Runtime.PersistentGC(name)
+}
+
+// Heap exposes a loaded heap by name (diagnostics, tooling).
+func (rt *Runtime) Heap(name string) (*pheap.Heap, bool) {
+	for _, h := range rt.Heaps() {
+		if h.Name() == name {
+			return h, true
+		}
+	}
+	return nil, false
+}

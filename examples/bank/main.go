@@ -1,0 +1,97 @@
+// Bank demonstrates the coarse-grained PJO programming model (paper §5):
+// account entities managed through the JPA-compatible EntityManager API,
+// with the backend database keeping data as persistent Java objects.
+// Transfers are ACID transactions; the invariant (total balance) holds
+// across commits.
+//
+//	go run ./examples/bank
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"espresso/internal/core"
+	"espresso/internal/h2"
+	"espresso/internal/jpa"
+	"espresso/internal/nvm"
+	"espresso/internal/pjo"
+)
+
+var account = jpa.MustEntityDef("Account", nil,
+	jpa.FieldDef{Name: "owner", Kind: jpa.FStr},
+	jpa.FieldDef{Name: "balance", Kind: jpa.FInt},
+)
+
+func main() {
+	db, err := h2.New(16<<20, nvm.Direct)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rt, err := core.NewRuntime(core.Config{PJHDataSize: 16 << 20})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := rt.CreateHeap("bank", 0); err != nil {
+		log.Fatal(err)
+	}
+	em := pjo.NewProvider(rt, db)
+	if err := em.EnsureSchema(account); err != nil {
+		log.Fatal(err)
+	}
+
+	// Open 10 accounts with 1000 each (em.persist inside a transaction,
+	// exactly the Figure 3 pattern).
+	em.Begin()
+	for i := int64(0); i < 10; i++ {
+		a := account.NewEntity(i)
+		a.SetStr("owner", fmt.Sprintf("customer-%d", i))
+		a.SetInt("balance", 1000)
+		if err := em.Persist(a); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := em.Commit(); err != nil {
+		log.Fatal(err)
+	}
+
+	transfer := func(from, to, amount int64) error {
+		src, err := em.Find(account, from)
+		if err != nil {
+			return err
+		}
+		dst, err := em.Find(account, to)
+		if err != nil {
+			return err
+		}
+		if src.GetInt("balance") < amount {
+			return fmt.Errorf("insufficient funds in %d", from)
+		}
+		em.Begin()
+		src.SetInt("balance", src.GetInt("balance")-amount)
+		dst.SetInt("balance", dst.GetInt("balance")+amount)
+		em.Persist(src)
+		em.Persist(dst)
+		return em.Commit()
+	}
+
+	for i := 0; i < 200; i++ {
+		if err := transfer(int64(i%10), int64((i*3+1)%10), int64(1+i%50)); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	total := int64(0)
+	for i := int64(0); i < 10; i++ {
+		a, err := em.Find(account, i)
+		if err != nil || a == nil {
+			log.Fatalf("account %d lost: %v", i, err)
+		}
+		fmt.Printf("account %d (%s): %d\n", i, a.GetStr("owner"), a.GetInt("balance"))
+		total += a.GetInt("balance")
+	}
+	fmt.Printf("total after 200 transfers: %d (invariant: 10000)\n", total)
+	if total != 10000 {
+		log.Fatal("conservation violated!")
+	}
+}

@@ -1,0 +1,100 @@
+// Socialgraph demonstrates mixed DRAM/NVM object graphs (paper §3.2/§3.4):
+// persistent user profiles whose "session" field points at volatile
+// objects — legal under the default safety level, kept consistent by the
+// NVM remembered set during volatile GCs, and nullified by the zeroing
+// scan after a reboot.
+//
+//	go run ./examples/socialgraph
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"espresso"
+)
+
+var (
+	user = espresso.MustClass("User", nil,
+		espresso.Long("id"),
+		espresso.Str("handle"),
+		espresso.RefTo("bestFriend", "User"),
+		espresso.RefTo("session", "Session"), // may point into DRAM!
+	)
+	session = espresso.MustClass("Session", nil,
+		espresso.Long("loginTime"),
+	)
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "espresso-social-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	rt, err := espresso.Open(espresso.Options{HeapDir: dir})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := rt.CreateHeap("social", 4<<20); err != nil {
+		log.Fatal(err)
+	}
+
+	// Two persistent users who are best friends.
+	alice, _ := rt.PNew(user)
+	bob, _ := rt.PNew(user)
+	aname, _ := rt.NewString("alice", true)
+	bname, _ := rt.NewString("bob", true)
+	rt.SetLong(alice, "id", 1)
+	rt.SetRef(alice, "handle", aname)
+	rt.SetRef(alice, "bestFriend", bob)
+	rt.SetLong(bob, "id", 2)
+	rt.SetRef(bob, "handle", bname)
+	rt.SetRef(bob, "bestFriend", alice)
+
+	// Alice has a live session — a VOLATILE object referenced from NVM.
+	sess, _ := rt.New(session)
+	rt.SetLong(sess, "loginTime", 1718000000)
+	rt.SetRef(alice, "session", sess)
+	fmt.Println("alice's session lives in DRAM, referenced from NVM")
+
+	// Churn the young generation until scavenges happen: the session must
+	// survive them via the NVM remembered set, and the NVM slot must
+	// follow the object as it moves.
+	for i := 0; i < 300000; i++ {
+		if _, err := rt.New(session); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("after %d scavenges: ", rt.Volatile().MinorGCs)
+	s, _ := rt.GetRef(alice, "session")
+	lt, _ := rt.GetLong(s, "loginTime")
+	fmt.Printf("session alive, loginTime=%d\n", lt)
+
+	rt.FlushTransitive(alice)
+	rt.SetRoot("alice", alice)
+	rt.SyncHeap("social")
+
+	// Reboot under zeroing safety: the stale DRAM pointer is nullified;
+	// the persistent graph is intact.
+	rt2, err := espresso.Open(espresso.Options{HeapDir: dir, Safety: espresso.Zeroing})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := rt2.LoadHeap("social"); err != nil {
+		log.Fatal(err)
+	}
+	a2, _ := rt2.GetRoot("alice")
+	s2, _ := rt2.GetRef(a2, "session")
+	if s2 != 0 {
+		log.Fatal("stale DRAM pointer survived the zeroing load!")
+	}
+	fmt.Println("after reboot (zeroing safety): session pointer is null, as it must be")
+	b2, _ := rt2.GetRef(a2, "bestFriend")
+	h2ref, _ := rt2.GetRef(b2, "handle")
+	h2s, _ := rt2.GetString(h2ref)
+	back, _ := rt2.GetRef(b2, "bestFriend")
+	fmt.Printf("persistent graph intact: alice ↔ %s (cycle closes: %v)\n", h2s, back == a2)
+}

@@ -1,0 +1,194 @@
+// Package bench provides the measurement plumbing shared by the
+// evaluation harness: phase-time breakdowns (Figures 4, 6, 17), series
+// and table printers, and simple workload helpers.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Breakdown accumulates wall time per named phase. It is how the harness
+// reproduces the paper's stacked-bar charts: instrument the real code
+// paths, run the real workload, report the split.
+type Breakdown struct {
+	phases map[string]time.Duration
+	order  []string
+	start  time.Time
+	// extra accumulates modelled (non-wall-clock) time charged via Add,
+	// e.g. NVM media latency for flushed lines; it extends the total so
+	// fractions stay coherent.
+	extra time.Duration
+}
+
+// NewBreakdown creates an empty breakdown and starts its total clock.
+func NewBreakdown() *Breakdown {
+	return &Breakdown{phases: make(map[string]time.Duration), start: time.Now()}
+}
+
+// Phase starts timing a phase; the returned func stops it. Usage:
+//
+//	stop := b.Phase("Transformation")
+//	... work ...
+//	stop()
+func (b *Breakdown) Phase(name string) func() {
+	if b == nil {
+		return func() {}
+	}
+	if _, ok := b.phases[name]; !ok {
+		b.order = append(b.order, name)
+	}
+	t0 := time.Now()
+	return func() { b.phases[name] += time.Since(t0) }
+}
+
+// Add charges modelled (non-wall-clock) time to a phase; it extends the
+// breakdown's total as well.
+func (b *Breakdown) Add(name string, d time.Duration) {
+	if b == nil {
+		return
+	}
+	if _, ok := b.phases[name]; !ok {
+		b.order = append(b.order, name)
+	}
+	b.phases[name] += d
+	b.extra += d
+}
+
+// Get reports a phase's accumulated time.
+func (b *Breakdown) Get(name string) time.Duration { return b.phases[name] }
+
+// Total reports wall time since the breakdown started plus any modelled
+// time charged through Add.
+func (b *Breakdown) Total() time.Duration { return time.Since(b.start) + b.extra }
+
+// Phases returns phase names in first-use order.
+func (b *Breakdown) Phases() []string { return b.order }
+
+// Other returns total minus the sum of recorded phases (the "Other" bar
+// segment of the paper's figures).
+func (b *Breakdown) Other() time.Duration {
+	sum := time.Duration(0)
+	for _, d := range b.phases {
+		sum += d
+	}
+	if t := b.Total(); t > sum {
+		return t - sum
+	}
+	return 0
+}
+
+// Fractions reports each phase (plus "Other") as a fraction of total.
+func (b *Breakdown) Fractions() map[string]float64 {
+	total := b.Total()
+	out := make(map[string]float64, len(b.phases)+1)
+	if total == 0 {
+		return out
+	}
+	for name, d := range b.phases {
+		out[name] = float64(d) / float64(total)
+	}
+	out["Other"] = float64(b.Other()) / float64(total)
+	return out
+}
+
+// PrintFractions writes a one-bar breakdown like the paper's Figure 4/6.
+func (b *Breakdown) PrintFractions(w io.Writer, title string) {
+	fmt.Fprintf(w, "%s (total %v)\n", title, b.Total().Round(time.Microsecond))
+	names := append([]string(nil), b.order...)
+	names = append(names, "Other")
+	fr := b.Fractions()
+	for _, n := range names {
+		fmt.Fprintf(w, "  %-16s %6.1f%%\n", n, fr[n]*100)
+	}
+}
+
+// Table prints aligned rows (the harness's generic figure/table printer).
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Print writes the table with aligned columns.
+func (t *Table) Print(w io.Writer) {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				fmt.Fprint(w, "  ")
+			}
+			fmt.Fprintf(w, "%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w)
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		for j := 0; j < widths[i]; j++ {
+			sep[i] += "-"
+		}
+	}
+	line(sep)
+	for _, r := range t.Rows {
+		line(r)
+	}
+}
+
+// Series is a named sequence of (x, y) points — a figure line.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Point is one measurement.
+type Point struct {
+	X float64
+	Y float64
+}
+
+// PrintSeries writes aligned multi-series data (Figure 18 style).
+func PrintSeries(w io.Writer, xLabel, yLabel string, series []*Series) {
+	fmt.Fprintf(w, "%-14s", xLabel)
+	for _, s := range series {
+		fmt.Fprintf(w, "  %14s", s.Name)
+	}
+	fmt.Fprintln(w, "    ("+yLabel+")")
+	if len(series) == 0 {
+		return
+	}
+	for i := range series[0].Points {
+		fmt.Fprintf(w, "%-14.3g", series[0].Points[i].X)
+		for _, s := range series {
+			fmt.Fprintf(w, "  %14.4g", s.Points[i].Y)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// Fmt rounds a ratio for table cells.
+func Fmt(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// SortedKeys returns map keys in sorted order (deterministic output).
+func SortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

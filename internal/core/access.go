@@ -1,0 +1,210 @@
+package core
+
+import (
+	"fmt"
+
+	"espresso/internal/klass"
+	"espresso/internal/layout"
+)
+
+// Field and array access with the write barrier that maintains the two
+// remembered sets:
+//
+//   - old-generation slot ← young ref  → recorded for the scavenger;
+//   - persistent slot ← volatile ref   → recorded in the NVM-to-DRAM
+//     remembered set (used as volatile-GC roots, policed by type-based
+//     safety, nullified by the zeroing scan).
+
+func (rt *Runtime) getWord(ref layout.Ref, boff int) uint64 {
+	if rt.vol.Contains(ref) {
+		return rt.vol.GetWord(ref, boff)
+	}
+	if h := rt.heapOf(ref); h != nil {
+		return h.GetWord(ref, boff)
+	}
+	panic(fmt.Sprintf("core: load from non-object address %#x", uint64(ref)))
+}
+
+func (rt *Runtime) setWord(ref layout.Ref, boff int, v uint64) {
+	if rt.vol.Contains(ref) {
+		rt.vol.SetWord(ref, boff, v)
+		return
+	}
+	if h := rt.heapOf(ref); h != nil {
+		h.SetWord(ref, boff, v)
+		return
+	}
+	panic(fmt.Sprintf("core: store to non-object address %#x", uint64(ref)))
+}
+
+func (rt *Runtime) getByte(ref layout.Ref, boff int) byte {
+	if rt.vol.Contains(ref) {
+		word := rt.vol.GetWord(ref, boff&^7)
+		return byte(word >> (8 * uint(boff&7)))
+	}
+	h := rt.heapOf(ref)
+	return h.Device().ReadByteAt(h.OffOf(ref) + boff)
+}
+
+func (rt *Runtime) setByte(ref layout.Ref, boff int, v byte) {
+	if rt.vol.Contains(ref) {
+		word := rt.vol.GetWord(ref, boff&^7)
+		shift := 8 * uint(boff&7)
+		word = word&^(0xff<<shift) | uint64(v)<<shift
+		rt.vol.SetWord(ref, boff&^7, word)
+		return
+	}
+	h := rt.heapOf(ref)
+	h.Device().WriteByteAt(h.OffOf(ref)+boff, v)
+}
+
+func (rt *Runtime) arrayLen(ref layout.Ref) int {
+	return int(rt.getWord(ref, layout.ArrayLenOff))
+}
+
+// ArrayLen reports the length of the array at ref.
+func (rt *Runtime) ArrayLen(ref layout.Ref) int { return rt.arrayLen(ref) }
+
+// fieldOff resolves a named field to its byte offset.
+func (rt *Runtime) fieldOff(ref layout.Ref, name string) (int, *klass.Klass, error) {
+	k, err := rt.KlassOf(ref)
+	if err != nil {
+		return 0, nil, err
+	}
+	i, ok := k.FieldIndex(name)
+	if !ok {
+		return 0, nil, fmt.Errorf("core: class %s has no field %q", k.Name, name)
+	}
+	return layout.FieldOff(i), k, nil
+}
+
+// GetLong reads a primitive field as a 64-bit integer.
+func (rt *Runtime) GetLong(ref layout.Ref, field string) (int64, error) {
+	boff, _, err := rt.fieldOff(ref, field)
+	if err != nil {
+		return 0, err
+	}
+	return int64(rt.getWord(ref, boff)), nil
+}
+
+// SetLong writes a primitive field as a 64-bit integer.
+func (rt *Runtime) SetLong(ref layout.Ref, field string, v int64) error {
+	boff, _, err := rt.fieldOff(ref, field)
+	if err != nil {
+		return err
+	}
+	rt.setWord(ref, boff, uint64(v))
+	return nil
+}
+
+// GetRef reads a reference field.
+func (rt *Runtime) GetRef(ref layout.Ref, field string) (layout.Ref, error) {
+	boff, k, err := rt.fieldOff(ref, field)
+	if err != nil {
+		return 0, err
+	}
+	if i, _ := k.FieldIndex(field); k.FieldAt(i).Type != layout.FTRef {
+		return 0, fmt.Errorf("core: field %s.%s is not a reference", k.Name, field)
+	}
+	return layout.Ref(rt.getWord(ref, boff)), nil
+}
+
+// SetRef writes a reference field through the write barrier.
+func (rt *Runtime) SetRef(ref layout.Ref, field string, val layout.Ref) error {
+	boff, k, err := rt.fieldOff(ref, field)
+	if err != nil {
+		return err
+	}
+	if i, _ := k.FieldIndex(field); k.FieldAt(i).Type != layout.FTRef {
+		return fmt.Errorf("core: field %s.%s is not a reference", k.Name, field)
+	}
+	return rt.storeRef(ref, boff, val)
+}
+
+// GetElem reads element i of a reference array.
+func (rt *Runtime) GetElem(arr layout.Ref, i int) (layout.Ref, error) {
+	if err := rt.boundsCheck(arr, i); err != nil {
+		return 0, err
+	}
+	return layout.Ref(rt.getWord(arr, layout.ElemOff(layout.FTRef, i))), nil
+}
+
+// SetElem stores element i of a reference array through the write barrier.
+func (rt *Runtime) SetElem(arr layout.Ref, i int, val layout.Ref) error {
+	if err := rt.boundsCheck(arr, i); err != nil {
+		return err
+	}
+	return rt.storeRef(arr, layout.ElemOff(layout.FTRef, i), val)
+}
+
+// GetLongElem reads element i of a long array.
+func (rt *Runtime) GetLongElem(arr layout.Ref, i int) (int64, error) {
+	if err := rt.boundsCheck(arr, i); err != nil {
+		return 0, err
+	}
+	return int64(rt.getWord(arr, layout.ElemOff(layout.FTLong, i))), nil
+}
+
+// SetLongElem stores element i of a long array.
+func (rt *Runtime) SetLongElem(arr layout.Ref, i int, v int64) error {
+	if err := rt.boundsCheck(arr, i); err != nil {
+		return err
+	}
+	rt.setWord(arr, layout.ElemOff(layout.FTLong, i), uint64(v))
+	return nil
+}
+
+func (rt *Runtime) boundsCheck(arr layout.Ref, i int) error {
+	k, err := rt.KlassOf(arr)
+	if err != nil {
+		return err
+	}
+	if !k.IsArray() {
+		return fmt.Errorf("core: %s is not an array class", k.Name)
+	}
+	if n := rt.arrayLen(arr); i < 0 || i >= n {
+		return fmt.Errorf("core: index %d out of bounds for length %d", i, n)
+	}
+	return nil
+}
+
+// storeRef performs the reference store plus barrier bookkeeping.
+func (rt *Runtime) storeRef(obj layout.Ref, boff int, val layout.Ref) error {
+	slot := obj + layout.Ref(boff)
+	if h := rt.heapOf(obj); h != nil {
+		// Persistent object. The paper permits NVM→DRAM references at the
+		// language level (§3.2); type-based safety forbids them (§3.4).
+		if val != layout.NullRef && rt.vol.Contains(val) {
+			if rt.cfg.Safety == TypeBased {
+				return fmt.Errorf("core: type-based safety forbids storing a volatile reference into NVM")
+			}
+			rt.mu.Lock()
+			rt.nvmToVol[slot] = struct{}{}
+			rt.mu.Unlock()
+		} else {
+			rt.mu.Lock()
+			delete(rt.nvmToVol, slot)
+			rt.mu.Unlock()
+		}
+		h.SetWord(obj, boff, uint64(val))
+		return nil
+	}
+	// Volatile object: old→young stores feed the scavenger's remset.
+	if rt.vol.InOld(obj) && val != layout.NullRef && rt.vol.InYoung(val) {
+		rt.vol.RecordOldToYoung(slot)
+	}
+	rt.vol.SetWord(obj, boff, uint64(val))
+	return nil
+}
+
+// NVMToVolSlots snapshots the persistent-to-volatile remembered set
+// (diagnostics and tests).
+func (rt *Runtime) NVMToVolSlots() []layout.Ref {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	out := make([]layout.Ref, 0, len(rt.nvmToVol))
+	for s := range rt.nvmToVol {
+		out = append(out, s)
+	}
+	return out
+}

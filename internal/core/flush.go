@@ -1,0 +1,111 @@
+package core
+
+import (
+	"fmt"
+
+	"espresso/internal/layout"
+)
+
+// Application-level persistence primitives (paper §3.5). The pnew keyword
+// only guarantees heap-*metadata* crash consistency; applications persist
+// their own data with these field/array/object flushes, each at most
+// 8 bytes for the fine-grained forms (atomicity) and each followed by an
+// sfence (ordering).
+
+// FlushField persists one named field of a persistent object — the
+// Field.flush(obj) reflection API of Figure 12.
+func (rt *Runtime) FlushField(obj layout.Ref, field string) error {
+	h := rt.heapOf(obj)
+	if h == nil {
+		return fmt.Errorf("core: flush of a non-persistent object")
+	}
+	boff, _, err := rt.fieldOff(obj, field)
+	if err != nil {
+		return err
+	}
+	h.FlushRange(obj, boff, layout.WordSize)
+	return nil
+}
+
+// FlushArrayElem persists element i of a persistent array — the
+// Array.flush(z, i) API of Figure 12.
+func (rt *Runtime) FlushArrayElem(arr layout.Ref, i int) error {
+	h := rt.heapOf(arr)
+	if h == nil {
+		return fmt.Errorf("core: flush of a non-persistent array")
+	}
+	k, err := rt.KlassOf(arr)
+	if err != nil {
+		return err
+	}
+	if !k.IsArray() {
+		return fmt.Errorf("core: %s is not an array class", k.Name)
+	}
+	if err := rt.boundsCheck(arr, i); err != nil {
+		return err
+	}
+	et := k.ElemType()
+	h.FlushRange(arr, layout.ElemOff(et, i), et.ElemSize())
+	return nil
+}
+
+// FlushObject persists every data field of a persistent object with a
+// single trailing sfence — the coarse-grained Object.flush for scenarios
+// where persist order among the fields does not matter.
+func (rt *Runtime) FlushObject(obj layout.Ref) error {
+	h := rt.heapOf(obj)
+	if h == nil {
+		return fmt.Errorf("core: flush of a non-persistent object")
+	}
+	k, err := rt.KlassOf(obj)
+	if err != nil {
+		return err
+	}
+	n := 0
+	if k.IsArray() {
+		n = rt.arrayLen(obj)
+	}
+	h.FlushRange(obj, 0, k.SizeOf(n))
+	return nil
+}
+
+// FlushTransitive persists obj and everything persistent reachable from
+// it — the "advanced feature ... easily implemented with those basic
+// methods" the paper mentions.
+func (rt *Runtime) FlushTransitive(obj layout.Ref) error {
+	seen := map[layout.Ref]bool{}
+	var walk func(ref layout.Ref) error
+	walk = func(ref layout.Ref) error {
+		if ref == layout.NullRef || seen[ref] || rt.heapOf(ref) == nil {
+			return nil
+		}
+		seen[ref] = true
+		if err := rt.FlushObject(ref); err != nil {
+			return err
+		}
+		k, err := rt.KlassOf(ref)
+		if err != nil {
+			return err
+		}
+		h := rt.heapOf(ref)
+		var refs []layout.Ref
+		off := h.OffOf(ref)
+		for i, f := range k.Fields() {
+			if f.Type == layout.FTRef {
+				refs = append(refs, layout.Ref(h.Device().ReadU64(off+layout.FieldOff(i))))
+			}
+		}
+		if k.IsArray() && k.ElemType() == layout.FTRef {
+			for i := 0; i < rt.arrayLen(ref); i++ {
+				refs = append(refs, layout.Ref(h.Device().ReadU64(off+layout.ElemOff(layout.FTRef, i))))
+			}
+		}
+		for _, r := range refs {
+			if err := walk(r); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return walk(obj)
+}

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"fmt"
+
+	"espresso/internal/klass"
+	"espresso/internal/layout"
+	"espresso/internal/pgc"
+	"espresso/internal/pheap"
+)
+
+// Stop-the-world GC orchestration. The runtime supplies each collector
+// with the cross-space roots it cannot see on its own:
+//
+//   - volatile collections treat runtime handles and the NVM→DRAM
+//     remembered set as roots (a persistent object may be the only thing
+//     keeping a DRAM object alive), and patch those slots when objects
+//     move;
+//   - persistent collections treat runtime handles plus every DRAM slot
+//     referencing the heap as roots (paper: root objects are only *known
+//     entry points after reboot* — while the process lives, DRAM
+//     references also keep persistent objects alive), and patch them
+//     after compaction.
+
+// volRoots adapts handles + the NVM remembered set to vheap.RootSet.
+type volRoots struct{ rt *Runtime }
+
+// UpdateSlots feeds every handle and NVM-resident slot through fn.
+func (r volRoots) UpdateSlots(fn func(layout.Ref) layout.Ref) {
+	rt := r.rt
+	for i, v := range rt.handles {
+		if v != layout.NullRef {
+			rt.handles[i] = fn(v)
+		}
+	}
+	rt.mu.Lock()
+	slots := make([]layout.Ref, 0, len(rt.nvmToVol))
+	for s := range rt.nvmToVol {
+		slots = append(slots, s)
+	}
+	rt.mu.Unlock()
+	for _, slot := range slots {
+		h := rt.heapOf(slot)
+		if h == nil {
+			continue
+		}
+		boff := int(slot) - int(h.Base())
+		v := layout.Ref(h.Device().ReadU64(boff))
+		nv := fn(v)
+		if nv != v {
+			h.Device().WriteU64(boff, uint64(nv))
+			// The slot now points elsewhere; membership is re-derived.
+			rt.mu.Lock()
+			if nv == layout.NullRef || !rt.vol.Contains(nv) {
+				delete(rt.nvmToVol, slot)
+			}
+			rt.mu.Unlock()
+		}
+	}
+}
+
+// MinorGC runs a young-generation scavenge.
+func (rt *Runtime) MinorGC() error { return rt.vol.MinorGC(volRoots{rt}) }
+
+// FullGC collects the whole volatile heap.
+func (rt *Runtime) FullGC() error { return rt.vol.FullGC(volRoots{rt}) }
+
+// persRoots adapts handles + a scan of the volatile heap to pgc.Rooter.
+type persRoots struct {
+	rt *Runtime
+	h  *pheap.Heap
+}
+
+// Roots visits every DRAM reference into the persistent heap: handles and
+// fields/elements of volatile objects.
+func (r persRoots) Roots(visit func(layout.Ref)) {
+	for _, v := range r.rt.handles {
+		visit(v)
+	}
+	err := r.rt.vol.ForEachObject(func(ref layout.Ref, k *klass.Klass, size int) bool {
+		r.rt.vol.RefSlotsOf(ref, k, func(_, val layout.Ref) {
+			if val != layout.NullRef && r.h.Contains(val) {
+				visit(val)
+			}
+		})
+		return true
+	})
+	if err != nil {
+		panic(fmt.Sprintf("core: volatile heap scan during persistent GC: %v", err))
+	}
+}
+
+// UpdateRoots patches every such slot through the forwarding function.
+func (r persRoots) UpdateRoots(fwd func(layout.Ref) layout.Ref) {
+	rt := r.rt
+	for i, v := range rt.handles {
+		if v != layout.NullRef && r.h.Contains(v) {
+			rt.handles[i] = fwd(v)
+		}
+	}
+	err := rt.vol.ForEachObject(func(ref layout.Ref, k *klass.Klass, size int) bool {
+		rt.vol.RefSlotsOf(ref, k, func(slotAddr, val layout.Ref) {
+			if val != layout.NullRef && r.h.Contains(val) {
+				if nv := fwd(val); nv != val {
+					boff := int(slotAddr - ref)
+					rt.vol.SetWord(ref, boff, uint64(nv))
+				}
+			}
+		})
+		return true
+	})
+	if err != nil {
+		panic(fmt.Sprintf("core: volatile heap patch during persistent GC: %v", err))
+	}
+}
+
+// PersistentGC runs the crash-consistent collection of paper §4 on the
+// named heap (System.gc() for the persistent space). After compaction the
+// NVM→DRAM remembered set is rebuilt, since remembered slots moved with
+// their objects.
+func (rt *Runtime) PersistentGC(name string) (pgc.Result, error) {
+	h, ok := rt.heapByName[name]
+	if !ok {
+		return pgc.Result{}, fmt.Errorf("core: heap %q is not loaded", name)
+	}
+	res, err := pgc.Collect(h, persRoots{rt, h})
+	if err != nil {
+		return res, err
+	}
+	rt.rebuildNVMRemset(h)
+	return res, nil
+}
+
+// rebuildNVMRemset rescans one heap's live objects for volatile
+// references. Called after compaction invalidates slot addresses.
+func (rt *Runtime) rebuildNVMRemset(h *pheap.Heap) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	for slot := range rt.nvmToVol {
+		if h.ContainsImage(slot) {
+			delete(rt.nvmToVol, slot)
+		}
+	}
+	_ = h.ForEachObject(func(off int, k *klass.Klass, size int) bool {
+		if pheap.IsFiller(k) {
+			return true
+		}
+		pheap.RefSlots(h.Device(), off, k, func(slotBoff int) {
+			v := layout.Ref(h.Device().ReadU64(off + slotBoff))
+			if v != layout.NullRef && rt.vol.Contains(v) {
+				rt.nvmToVol[h.AddrOf(off+slotBoff)] = struct{}{}
+			}
+		})
+		return true
+	})
+}

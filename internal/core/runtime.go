@@ -1,0 +1,314 @@
+// Package core implements the Espresso runtime: the piece of the modified
+// JVM that stitches the volatile ParallelScavenge heap, any number of
+// persistent Java heaps, and the klass metaspace into one object world.
+//
+// It is the landing point for everything the paper adds to the language
+// and runtime: the pnew allocation entry points (§3.2), the alias-Klass
+// type checks (§3.2), the heap-management APIs of Table 1 (§3.3), the
+// memory-safety levels (§3.4), the field/array/object flush primitives
+// (§3.5), and the stop-the-world orchestration of the crash-consistent
+// persistent GC (§4) with DRAM↔NVM cross-references handled by precise
+// remembered sets.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"espresso/internal/klass"
+	"espresso/internal/layout"
+	"espresso/internal/namemgr"
+	"espresso/internal/nvm"
+	"espresso/internal/pheap"
+	"espresso/internal/vheap"
+)
+
+// SafetyLevel selects the memory-safety contract for NVM→DRAM references
+// (paper §3.4).
+type SafetyLevel int
+
+const (
+	// UserGuaranteed: volatile pointers in persistent objects are the
+	// programmer's problem after a reload. Fastest loads.
+	UserGuaranteed SafetyLevel = iota
+	// Zeroing: loadHeap scans the whole heap and nullifies stale volatile
+	// pointers, so a careless access fails with a null dereference rather
+	// than undefined behaviour. Load time grows with heap size.
+	Zeroing
+	// TypeBased: only classes annotated persistent may be pnew'd, their
+	// ref fields must be persistent classes, and storing a volatile
+	// reference into NVM is rejected — no pointer can dangle.
+	TypeBased
+)
+
+func (s SafetyLevel) String() string {
+	switch s {
+	case UserGuaranteed:
+		return "user-guaranteed"
+	case Zeroing:
+		return "zeroing"
+	case TypeBased:
+		return "type-based"
+	default:
+		return fmt.Sprintf("SafetyLevel(%d)", int(s))
+	}
+}
+
+// Config assembles a runtime.
+type Config struct {
+	// HeapDir is where the external name manager stores heap images;
+	// empty keeps heaps in memory only.
+	HeapDir string
+	// Safety is the memory-safety level (default UserGuaranteed).
+	Safety SafetyLevel
+	// Young configures the volatile heap.
+	Volatile vheap.Config
+	// NVMMode and NVMWriteLatency configure persistent devices.
+	NVMMode         nvm.Mode
+	NVMWriteLatency time.Duration
+	// PJHDataSize is the default data size for CreateHeap when the caller
+	// passes size 0.
+	PJHDataSize int
+	// StrictCast disables the alias-Klass extension, reproducing the
+	// spurious ClassCastException of paper Figure 10. For tests and demos.
+	StrictCast bool
+}
+
+// Runtime is one simulated JVM instance.
+type Runtime struct {
+	mu  sync.Mutex
+	cfg Config
+
+	Reg *klass.Registry
+	vol *vheap.Heap
+	mgr *namemgr.Manager
+
+	heaps      []*pheap.Heap // sorted by base address
+	heapByName map[string]*pheap.Heap
+	active     *pheap.Heap // target of PNew
+	nextBase   layout.Ref
+
+	handles     []layout.Ref
+	freeHandles []int
+
+	// nvmToVol is the persistent-to-volatile remembered set: absolute
+	// addresses of NVM slots currently holding DRAM references. The
+	// volatile collectors treat these as roots and patch them; the
+	// zeroing scan and type-based safety police them.
+	nvmToVol map[layout.Ref]struct{}
+
+	cp *klass.ConstantPool
+
+	stringKlass *klass.Klass
+}
+
+// StringKlassName is the name of the built-in string class (a packed byte
+// array, standing in for java.lang.String).
+const StringKlassName = "java/lang/String"
+
+// NewRuntime boots a runtime.
+func NewRuntime(cfg Config) (*Runtime, error) {
+	reg := klass.NewRegistry()
+	rt := &Runtime{
+		cfg:        cfg,
+		Reg:        reg,
+		vol:        vheap.New(reg, cfg.Volatile),
+		mgr:        namemgr.New(cfg.HeapDir, cfg.NVMMode),
+		heapByName: make(map[string]*pheap.Heap),
+		nvmToVol:   make(map[layout.Ref]struct{}),
+		cp:         klass.NewConstantPool(),
+		nextBase:   layout.DefaultPJHBase,
+	}
+	sk := &klass.Klass{Name: StringKlassName, Kind: klass.KindPrimArray, Elem: layout.FTByte, Persistent: true}
+	var err error
+	if rt.stringKlass, err = reg.Define(sk); err != nil {
+		return nil, err
+	}
+	return rt, nil
+}
+
+// Volatile exposes the volatile heap (tests, diagnostics).
+func (rt *Runtime) Volatile() *vheap.Heap { return rt.vol }
+
+// NameManager exposes the external name manager.
+func (rt *Runtime) NameManager() *namemgr.Manager { return rt.mgr }
+
+// StringKlass returns the built-in string class.
+func (rt *Runtime) StringKlass() *klass.Klass { return rt.stringKlass }
+
+// heapOf locates the persistent heap containing ref, or nil.
+func (rt *Runtime) heapOf(ref layout.Ref) *pheap.Heap {
+	i := sort.Search(len(rt.heaps), func(i int) bool { return rt.heaps[i].Limit() > ref })
+	if i < len(rt.heaps) && ref >= rt.heaps[i].Base() {
+		return rt.heaps[i]
+	}
+	return nil
+}
+
+// InPersistent reports whether ref points into any loaded persistent heap.
+func (rt *Runtime) InPersistent(ref layout.Ref) bool {
+	h := rt.heapOf(ref)
+	return h != nil && h.Contains(ref)
+}
+
+// InVolatile reports whether ref points into the volatile heap.
+func (rt *Runtime) InVolatile(ref layout.Ref) bool { return rt.vol.Contains(ref) }
+
+// KlassOf resolves the class of any object, volatile or persistent.
+func (rt *Runtime) KlassOf(ref layout.Ref) (*klass.Klass, error) {
+	if rt.vol.Contains(ref) {
+		return rt.vol.KlassOf(ref)
+	}
+	if h := rt.heapOf(ref); h != nil {
+		return h.KlassOf(ref)
+	}
+	return nil, fmt.Errorf("core: %#x is not an object address", uint64(ref))
+}
+
+// New allocates a volatile object — the plain Java `new`. Allocation
+// failure triggers a scavenge, then a full collection, before giving up.
+func (rt *Runtime) New(k *klass.Klass, arrayLen int) (layout.Ref, error) {
+	if _, err := rt.Reg.Define(k); err != nil {
+		return 0, err
+	}
+	rt.cp.Resolve(k.Name, rt.Reg.MetaAddr(k))
+	ref, err := rt.vol.Alloc(k, arrayLen)
+	if err == vheap.ErrNeedGC {
+		if err = rt.MinorGC(); err != nil {
+			return 0, err
+		}
+		ref, err = rt.vol.Alloc(k, arrayLen)
+	}
+	if err == vheap.ErrNeedGC || err == vheap.ErrOldFull {
+		if err = rt.FullGC(); err != nil {
+			return 0, err
+		}
+		ref, err = rt.vol.Alloc(k, arrayLen)
+	}
+	if err != nil {
+		return 0, fmt.Errorf("core: new %s: %w", k.Name, err)
+	}
+	return ref, nil
+}
+
+// PNew allocates a persistent object in the active heap — the pnew
+// keyword (and, for arrays, the panewarray/pnewarray bytecodes). Under
+// type-based safety the class must be annotated persistent with a
+// persistent-closed field closure.
+func (rt *Runtime) PNew(k *klass.Klass, arrayLen int) (layout.Ref, error) {
+	h := rt.active
+	if h == nil {
+		return 0, fmt.Errorf("core: pnew %s: no persistent heap loaded", k.Name)
+	}
+	if _, err := rt.Reg.Define(k); err != nil {
+		return 0, err
+	}
+	if rt.cfg.Safety == TypeBased {
+		if err := rt.checkPersistentClosure(k); err != nil {
+			return 0, err
+		}
+	}
+	ref, err := h.Alloc(k, arrayLen)
+	if err != nil {
+		return 0, fmt.Errorf("core: pnew %s: %w", k.Name, err)
+	}
+	// Constant-pool resolution now caches the NVM Klass address — the
+	// overwrite that makes the strict (non-alias) check of Figure 10 fail.
+	if kaddr, ok := h.KlassAddr(k); ok {
+		rt.cp.Resolve(k.Name, kaddr)
+	}
+	return ref, nil
+}
+
+// PNewMultiArray allocates a persistent array of arrays (the
+// pmultianewarray bytecode): dims gives the length at each level.
+func (rt *Runtime) PNewMultiArray(elem *klass.Klass, dims []int) (layout.Ref, error) {
+	if len(dims) == 0 {
+		return 0, fmt.Errorf("core: pmultianewarray needs at least one dimension")
+	}
+	if len(dims) == 1 {
+		if elem.Kind == klass.KindPrimArray {
+			return rt.PNew(elem, dims[0])
+		}
+		return rt.PNew(rt.Reg.ObjArray(elem.Name), dims[0])
+	}
+	inner := elem
+	for i := 1; i < len(dims); i++ {
+		_ = i
+		inner = rt.Reg.ObjArray(inner.Name)
+	}
+	arr, err := rt.PNew(rt.Reg.ObjArray(inner.Name), dims[0])
+	if err != nil {
+		return 0, err
+	}
+	for i := 0; i < dims[0]; i++ {
+		sub, err := rt.PNewMultiArray(elem, dims[1:])
+		if err != nil {
+			return 0, err
+		}
+		if err := rt.SetElem(arr, i, sub); err != nil {
+			return 0, err
+		}
+	}
+	return arr, nil
+}
+
+func (rt *Runtime) checkPersistentClosure(k *klass.Klass) error {
+	if !k.Persistent {
+		return fmt.Errorf("core: type-based safety: %s is not annotated persistent", k.Name)
+	}
+	for _, f := range k.Fields() {
+		if f.Type != layout.FTRef || f.RefKlass == "" {
+			continue
+		}
+		fk, ok := rt.Reg.Lookup(f.RefKlass)
+		if ok && !fk.Persistent {
+			return fmt.Errorf("core: type-based safety: %s.%s references non-persistent class %s",
+				k.Name, f.Name, f.RefKlass)
+		}
+	}
+	return nil
+}
+
+// NewString allocates a string. persistent selects pnew vs new — the
+// `pnew String(name, true)` constructor of paper Figure 9.
+func (rt *Runtime) NewString(s string, persistent bool) (layout.Ref, error) {
+	var ref layout.Ref
+	var err error
+	if persistent {
+		ref, err = rt.PNew(rt.stringKlass, len(s))
+	} else {
+		ref, err = rt.New(rt.stringKlass, len(s))
+	}
+	if err != nil {
+		return 0, err
+	}
+	for i := 0; i < len(s); i++ {
+		rt.setByte(ref, layout.ElemOff(layout.FTByte, i), s[i])
+	}
+	if persistent {
+		// Strings are immutable: persist eagerly like the paper's string
+		// constructor does.
+		rt.heapOf(ref).FlushRange(ref, 0, rt.stringKlass.SizeOf(len(s)))
+	}
+	return ref, nil
+}
+
+// GetString reads a string object's contents.
+func (rt *Runtime) GetString(ref layout.Ref) (string, error) {
+	k, err := rt.KlassOf(ref)
+	if err != nil {
+		return "", err
+	}
+	if !klass.SameLogical(k, rt.stringKlass) {
+		return "", fmt.Errorf("core: %#x is a %s, not a string", uint64(ref), k.Name)
+	}
+	n := rt.arrayLen(ref)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = rt.getByte(ref, layout.ElemOff(layout.FTByte, i))
+	}
+	return string(b), nil
+}

@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+// The experiments are exercised end to end at tiny scale so the figure
+// harness itself is under test (shapes are asserted where they are
+// scale-invariant).
+
+const tiny = Scale(100)
+
+func TestFig4Runs(t *testing.T) {
+	var sb strings.Builder
+	if err := Fig4(&sb, tiny); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Transformation") {
+		t.Fatalf("output:\n%s", sb.String())
+	}
+}
+
+func TestFig6MetadataDominatesData(t *testing.T) {
+	if err := Fig6(io.Discard, tiny); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFig15EspressoWinsEverywhere(t *testing.T) {
+	rows, err := Fig15(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 15 { // 5 types × 3 ops
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Speedup <= 1 {
+			t.Errorf("%s/%s: PCJ beat Espresso (%.2fx)", r.Type, r.Op, r.Speedup)
+		}
+	}
+}
+
+func TestFig16PJOWinsEverywhere(t *testing.T) {
+	rows, err := Fig16(Scale(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 16 { // 4 tests × 4 ops
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.PJO <= r.JPA {
+			t.Errorf("%s/%s: JPA beat PJO (%.0f vs %.0f ops/s)", r.Test, r.Op, r.JPA, r.PJO)
+		}
+	}
+}
+
+func TestFig17Runs(t *testing.T) {
+	if err := Fig17(io.Discard, Scale(50)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFig18UGFlatZeroGrows(t *testing.T) {
+	points, err := Fig18(Scale(20)) // up to 100k objects
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) < 3 {
+		t.Fatalf("points = %d", len(points))
+	}
+	first, last := points[0], points[len(points)-1]
+	// Zeroing cost must grow with object count; UG must not grow with it
+	// (allow generous noise: 5x bound on a 10x object-count range).
+	if last.ZeroMs < first.ZeroMs {
+		t.Errorf("zeroing did not grow: %v → %v ms", first.ZeroMs, last.ZeroMs)
+	}
+	if last.UGMillis > first.UGMillis*5+1 {
+		t.Errorf("UG load grew with objects: %v → %v ms", first.UGMillis, last.UGMillis)
+	}
+}
+
+func TestGCFlushCostPositive(t *testing.T) {
+	r, err := GCFlushCost(4 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.LiveBytes == 0 || r.WithFlush == 0 || r.WithoutFlush == 0 {
+		t.Fatalf("degenerate result: %+v", r)
+	}
+}

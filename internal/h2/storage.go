@@ -1,0 +1,223 @@
+package h2
+
+import (
+	"fmt"
+
+	"espresso/internal/nvm"
+)
+
+// Device layout:
+//
+//	[0, 4K)       store header: magic, page count, undo-log geometry
+//	[4K, 4K+U)    undo log
+//	[4K+U, ...)   8 KB row pages
+//
+// Row data is written through (stored and flushed immediately); the undo
+// log makes multi-row transactions atomic: before-images are persisted
+// before the data store they cover, commit truncates the log, and open
+// rolls back any survivor — the standard write-ahead undo rule.
+const (
+	storeMagic  = 0x4832_4442 // "H2DB"
+	pageSize    = 8 << 10
+	hdrBytes    = 4 << 10
+	undoBytes   = 1 << 20
+	pagesOff    = hdrBytes + undoBytes
+	slotDirSize = 4 // u16 offset + u16 length per slot
+)
+
+// Page header: u16 slotCount, u16 freeOff (start of free space).
+const pageHdrBytes = 4
+
+type store struct {
+	dev       *nvm.Device
+	pageCount int
+	fillPage  int // page currently receiving inserts
+}
+
+// rowID locates a record: page<<16 | slot.
+type rowID uint64
+
+func (r rowID) page() int { return int(r >> 16) }
+func (r rowID) slot() int { return int(r & 0xffff) }
+
+func makeRowID(page, slot int) rowID { return rowID(page)<<16 | rowID(slot) }
+
+func newStore(dev *nvm.Device) *store {
+	s := &store{dev: dev}
+	s.pageCount = (dev.Size() - pagesOff) / pageSize
+	if dev.ReadU64(0) != storeMagic {
+		dev.WriteU64(0, storeMagic)
+		dev.Flush(0, 8)
+		dev.Fence()
+	}
+	return s
+}
+
+func (s *store) pageOff(p int) int { return pagesOff + p*pageSize }
+
+func (s *store) slotCount(p int) int {
+	return int(s.dev.ReadU16(s.pageOff(p)))
+}
+
+func (s *store) freeOff(p int) int {
+	off := int(s.dev.ReadU16(s.pageOff(p) + 2))
+	if off == 0 {
+		off = pageHdrBytes
+	}
+	return off
+}
+
+// slotEntry reads a slot directory entry (offset, length). Length 0 means
+// the slot is dead.
+func (s *store) slotEntry(p, slot int) (int, int) {
+	base := s.pageOff(p) + pageSize - (slot+1)*slotDirSize
+	return int(s.dev.ReadU16(base)), int(s.dev.ReadU16(base + 2))
+}
+
+func (s *store) setSlotEntry(p, slot, off, length int) {
+	base := s.pageOff(p) + pageSize - (slot+1)*slotDirSize
+	s.dev.WriteU16(base, uint16(off))
+	s.dev.WriteU16(base+2, uint16(length))
+	s.dev.Flush(base, slotDirSize)
+}
+
+// insert stores a record, returning its rowID. The record bytes and the
+// page header are flushed (write-through).
+func (s *store) insert(rec []byte) (rowID, error) {
+	if len(rec) > pageSize-pageHdrBytes-slotDirSize {
+		return 0, fmt.Errorf("h2: record of %d bytes exceeds page capacity", len(rec))
+	}
+	for p := s.fillPage; p < s.pageCount; p++ {
+		nslots := s.slotCount(p)
+		free := s.freeOff(p)
+		dirTop := pageSize - (nslots+1)*slotDirSize
+		if free+len(rec) <= dirTop {
+			off := s.pageOff(p)
+			s.dev.WriteBytes(off+free, rec)
+			s.dev.Flush(off+free, len(rec))
+			s.setSlotEntry(p, nslots, free, len(rec))
+			s.dev.WriteU16(off, uint16(nslots+1))
+			s.dev.WriteU16(off+2, uint16(free+len(rec)))
+			s.dev.Flush(off, pageHdrBytes)
+			s.dev.Fence()
+			s.fillPage = p
+			return makeRowID(p, nslots), nil
+		}
+		// Page full; move on (no reuse of dead space until compaction).
+	}
+	return 0, fmt.Errorf("h2: out of database pages")
+}
+
+// read fetches a record's bytes.
+func (s *store) read(id rowID) ([]byte, error) {
+	p, slot := id.page(), id.slot()
+	if p >= s.pageCount || slot >= s.slotCount(p) {
+		return nil, fmt.Errorf("h2: dangling row id %#x", uint64(id))
+	}
+	off, length := s.slotEntry(p, slot)
+	if length == 0 {
+		return nil, fmt.Errorf("h2: deleted row id %#x", uint64(id))
+	}
+	out := make([]byte, length)
+	s.dev.ReadBytes(s.pageOff(p)+off, out)
+	return out, nil
+}
+
+// delete kills a record's slot.
+func (s *store) delete(id rowID) {
+	p, slot := id.page(), id.slot()
+	off, _ := s.slotEntry(p, slot)
+	s.setSlotEntry(p, slot, off, 0)
+	s.dev.Fence()
+}
+
+// forEach visits every live record.
+func (s *store) forEach(fn func(id rowID, rec []byte) error) error {
+	for p := 0; p < s.pageCount; p++ {
+		n := s.slotCount(p)
+		for slot := 0; slot < n; slot++ {
+			off, length := s.slotEntry(p, slot)
+			if length == 0 {
+				continue
+			}
+			rec := make([]byte, length)
+			s.dev.ReadBytes(s.pageOff(p)+off, rec)
+			if err := fn(makeRowID(p, slot), rec); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// --- Undo log ---
+//
+// Record: u32 deviceOff, u32 length, bytes. Header word: active flag;
+// second word: used bytes.
+
+const (
+	undoStateOff = hdrBytes
+	undoCountOff = hdrBytes + 8
+	undoDataOff  = hdrBytes + 16
+)
+
+type undoLog struct{ dev *nvm.Device }
+
+func (u undoLog) begin() {
+	u.dev.WriteU64(undoCountOff, 0)
+	u.dev.WriteU64(undoStateOff, 1)
+	u.dev.Flush(undoStateOff, 16)
+	u.dev.Fence()
+}
+
+// record saves the before-image of [off, off+n) and persists it before
+// the caller overwrites the range.
+func (u undoLog) record(off, n int) error {
+	used := int(u.dev.ReadU64(undoCountOff))
+	if undoDataOff+used+8+n > hdrBytes+undoBytes {
+		return fmt.Errorf("h2: transaction too large for undo log")
+	}
+	at := undoDataOff + used
+	u.dev.WriteU32(at, uint32(off))
+	u.dev.WriteU32(at+4, uint32(n))
+	buf := make([]byte, n)
+	u.dev.ReadBytes(off, buf)
+	u.dev.WriteBytes(at+8, buf)
+	u.dev.Flush(at, 8+n)
+	u.dev.WriteU64(undoCountOff, uint64(used+8+n))
+	u.dev.Flush(undoCountOff, 8)
+	u.dev.Fence()
+	return nil
+}
+
+func (u undoLog) commit() {
+	u.dev.WriteU64(undoStateOff, 0)
+	u.dev.Flush(undoStateOff, 8)
+	u.dev.Fence()
+}
+
+// rollback re-applies before-images in reverse order.
+func (u undoLog) rollback() {
+	used := int(u.dev.ReadU64(undoCountOff))
+	// Collect record offsets first (they are variable length).
+	var recs []int
+	for at := undoDataOff; at < undoDataOff+used; {
+		n := int(u.dev.ReadU32(at + 4))
+		recs = append(recs, at)
+		at += 8 + n
+	}
+	for i := len(recs) - 1; i >= 0; i-- {
+		at := recs[i]
+		off := int(u.dev.ReadU32(at))
+		n := int(u.dev.ReadU32(at + 4))
+		buf := make([]byte, n)
+		u.dev.ReadBytes(at+8, buf)
+		u.dev.WriteBytes(off, buf)
+		u.dev.Flush(off, n)
+	}
+	u.dev.Fence()
+	u.commit()
+}
+
+// pending reports whether an uncommitted transaction's log survives.
+func (u undoLog) pending() bool { return u.dev.ReadU64(undoStateOff) == 1 }

@@ -1,0 +1,249 @@
+// Package jpa models the Java Persistence API layer of the paper's §2.1:
+// entity classes declared with @persistable annotations, the enhancer
+// that injects control fields and a StateManager into each instance, the
+// EntityManager with ACID transaction demarcation, and the DataNucleus-
+// style provider that transforms managed objects into SQL statements for
+// the backend database over a JDBC-shaped interface.
+//
+// The package defines the EntityManager contract both providers satisfy;
+// package pjo supplies the NVM-aware provider that replaces the SQL
+// transformation with DBPersistable shipping.
+package jpa
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"espresso/internal/h2"
+	"espresso/internal/sql"
+)
+
+// FieldKind enumerates entity field types.
+type FieldKind int
+
+const (
+	FInt FieldKind = iota
+	FStr
+	FFloat
+)
+
+// FieldDef is one declared entity field.
+type FieldDef struct {
+	Name string
+	Kind FieldKind
+}
+
+// EntityDef describes an @persistable class. The first flattened field is
+// always the implicit "id" BIGINT primary key.
+type EntityDef struct {
+	Name  string
+	Table string
+	Super *EntityDef
+	own   []FieldDef
+	all   []FieldDef
+	index map[string]int
+}
+
+// NewEntityDef declares an entity class. Subclasses (ExtTest) inherit the
+// superclass's fields, flattened super-first like the JVM field layout.
+func NewEntityDef(name string, super *EntityDef, fields ...FieldDef) (*EntityDef, error) {
+	d := &EntityDef{Name: name, Table: strings.ToLower(name), Super: super, own: fields}
+	if super != nil {
+		d.all = append(d.all, super.all...)
+	} else {
+		d.all = append(d.all, FieldDef{Name: "id", Kind: FInt})
+	}
+	d.all = append(d.all, fields...)
+	d.index = make(map[string]int, len(d.all))
+	for i, f := range d.all {
+		if _, dup := d.index[f.Name]; dup {
+			return nil, fmt.Errorf("jpa: %s: duplicate field %q", name, f.Name)
+		}
+		d.index[f.Name] = i
+	}
+	return d, nil
+}
+
+// MustEntityDef is NewEntityDef for static tables; panics on error.
+func MustEntityDef(name string, super *EntityDef, fields ...FieldDef) *EntityDef {
+	d, err := NewEntityDef(name, super, fields...)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// AllFields returns the flattened field list (id first).
+func (d *EntityDef) AllFields() []FieldDef { return d.all }
+
+// FieldIndex resolves a field name.
+func (d *EntityDef) FieldIndex(name string) (int, bool) {
+	i, ok := d.index[name]
+	return i, ok
+}
+
+// CreateTableSQL emits the DDL for this entity's table.
+func (d *EntityDef) CreateTableSQL() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "CREATE TABLE %s (", d.Table)
+	for i, f := range d.all {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(f.Name)
+		switch f.Kind {
+		case FInt:
+			sb.WriteString(" BIGINT")
+		case FStr:
+			sb.WriteString(" VARCHAR")
+		case FFloat:
+			sb.WriteString(" DOUBLE")
+		}
+		if i == 0 {
+			sb.WriteString(" PRIMARY KEY")
+		}
+	}
+	sb.WriteString(")")
+	return sb.String()
+}
+
+// EntityState tracks an instance's lifecycle in the persistence context.
+type EntityState int
+
+const (
+	StateTransient EntityState = iota
+	StateManaged
+	StateRemoved
+)
+
+// StateManager is the control structure the enhancer injects into every
+// Persistable object (paper §2.1/Figure 14): lifecycle state, the
+// field-level dirty bitmap, and — for the PJO provider — the reference to
+// the persisted copy after data deduplication.
+type StateManager struct {
+	State  EntityState
+	Dirty  uint64 // bit per flattened field
+	New    bool   // created this transaction (insert, not update)
+	PJORef uint64 // DBPersistable copy in PJH (0 = none)
+	Shadow map[int]h2.Value
+	// ReadThrough, when set, resolves non-shadowed field reads from the
+	// persisted copy (data deduplication redirected the fields there).
+	ReadThrough func(fieldIdx int) h2.Value
+}
+
+// Entity is one instance of an entity class. The enhancer attaches the
+// StateManager; application code uses the typed accessors, which maintain
+// the dirty bitmap exactly like enhanced bytecode would.
+type Entity struct {
+	Def  *EntityDef
+	vals []h2.Value
+	SM   StateManager
+}
+
+// NewEntity instantiates an entity with its primary key (the enhancer's
+// constructor path).
+func (d *EntityDef) NewEntity(id int64) *Entity {
+	e := &Entity{Def: d, vals: make([]h2.Value, len(d.all))}
+	for i := range e.vals {
+		e.vals[i] = h2.Null
+	}
+	e.vals[0] = h2.IntV(id)
+	e.SM.New = true
+	e.SM.Dirty = 1
+	return e
+}
+
+// ID returns the primary key.
+func (e *Entity) ID() int64 { return e.vals[0].I }
+
+func (e *Entity) fieldIdx(name string) int {
+	i, ok := e.Def.FieldIndex(name)
+	if !ok {
+		panic(fmt.Sprintf("jpa: %s has no field %q", e.Def.Name, name))
+	}
+	return i
+}
+
+// get reads a field value through the dedup indirection if active.
+func (e *Entity) get(i int) h2.Value {
+	if e.SM.Shadow != nil {
+		if v, ok := e.SM.Shadow[i]; ok {
+			return v
+		}
+	}
+	if e.SM.ReadThrough != nil {
+		return e.SM.ReadThrough(i)
+	}
+	return e.vals[i]
+}
+
+// set writes a field value, maintaining the dirty bitmap. After data
+// deduplication the write is copy-on-write: it lands in a shadow slot so
+// the persisted copy stays intact until commit (paper §5).
+func (e *Entity) set(i int, v h2.Value) {
+	if e.SM.ReadThrough != nil {
+		if e.SM.Shadow == nil {
+			e.SM.Shadow = make(map[int]h2.Value)
+		}
+		e.SM.Shadow[i] = v
+	} else {
+		e.vals[i] = v
+	}
+	e.SM.Dirty |= 1 << uint(i)
+}
+
+// SetInt stores an integer field.
+func (e *Entity) SetInt(name string, v int64) { e.set(e.fieldIdx(name), h2.IntV(v)) }
+
+// SetStr stores a string field.
+func (e *Entity) SetStr(name string, v string) { e.set(e.fieldIdx(name), h2.StrV(v)) }
+
+// SetFloat stores a float field.
+func (e *Entity) SetFloat(name string, v float64) { e.set(e.fieldIdx(name), h2.FloatV(v)) }
+
+// GetInt reads an integer field.
+func (e *Entity) GetInt(name string) int64 {
+	v := e.get(e.fieldIdx(name))
+	if v.Kind == h2.KFloat {
+		return int64(v.F)
+	}
+	return v.I
+}
+
+// GetStr reads a string field.
+func (e *Entity) GetStr(name string) string { return e.get(e.fieldIdx(name)).S }
+
+// GetFloat reads a float field.
+func (e *Entity) GetFloat(name string) float64 {
+	v := e.get(e.fieldIdx(name))
+	if v.Kind == h2.KInt {
+		return math.Float64frombits(uint64(v.I))
+	}
+	return v.F
+}
+
+// Value reads flattened field i as a database value.
+func (e *Entity) Value(i int) h2.Value { return e.get(i) }
+
+// EntityManager is the persistence contract of the paper's Figure 3:
+// transaction demarcation plus persist/find/remove. Both the JPA provider
+// (SQL transformation) and the PJO provider (DBPersistable shipping)
+// implement it, which is what lets JPAB drive either.
+type EntityManager interface {
+	// Begin starts a transaction (em.getTransaction().begin()).
+	Begin()
+	// Persist adds an entity to the persistence context (em.persist(p)).
+	Persist(e *Entity) error
+	// Find loads an entity by primary key.
+	Find(def *EntityDef, id int64) (*Entity, error)
+	// Remove deletes a managed entity.
+	Remove(e *Entity) error
+	// Commit flushes every dirty managed entity to the backend and ends
+	// the transaction (em.getTransaction().commit()).
+	Commit() error
+	// EnsureSchema prepares backing storage for an entity class.
+	EnsureSchema(def *EntityDef) error
+}
+
+var _ sql.Statement = (*sql.Insert)(nil) // package sql is part of this layer's contract

@@ -1,0 +1,131 @@
+package jpa
+
+import (
+	"strings"
+	"testing"
+
+	"espresso/internal/h2"
+	"espresso/internal/nvm"
+)
+
+func provider(t *testing.T) *Provider {
+	t.Helper()
+	db, err := h2.New(16<<20, nvm.Direct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewProvider(db)
+}
+
+func personDef(t *testing.T) *EntityDef {
+	t.Helper()
+	d, err := NewEntityDef("TPerson", nil,
+		FieldDef{Name: "name", Kind: FStr},
+		FieldDef{Name: "score", Kind: FFloat},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestEntityDefLayout(t *testing.T) {
+	p := personDef(t)
+	if i, ok := p.FieldIndex("id"); !ok || i != 0 {
+		t.Fatalf("implicit id at %d %v", i, ok)
+	}
+	e, err := NewEntityDef("TEmployee", p, FieldDef{Name: "salary", Kind: FInt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e.AllFields()) != 4 {
+		t.Fatalf("flattened fields = %d", len(e.AllFields()))
+	}
+	if i, _ := e.FieldIndex("name"); i != 1 {
+		t.Fatalf("inherited field index %d", i)
+	}
+	if _, err := NewEntityDef("Bad", p, FieldDef{Name: "name", Kind: FInt}); err == nil {
+		t.Fatal("duplicate field accepted")
+	}
+	ddl := e.CreateTableSQL()
+	if !strings.Contains(ddl, "id BIGINT PRIMARY KEY") || !strings.Contains(ddl, "salary BIGINT") {
+		t.Fatalf("DDL = %s", ddl)
+	}
+}
+
+func TestDirtyBitmapTracking(t *testing.T) {
+	p := personDef(t)
+	e := p.NewEntity(1)
+	if e.SM.Dirty != 1 { // id
+		t.Fatalf("fresh dirty = %b", e.SM.Dirty)
+	}
+	e.SetStr("name", "x")
+	if e.SM.Dirty&(1<<1) == 0 {
+		t.Fatal("name store did not mark dirty")
+	}
+	e.SetFloat("score", 5)
+	if e.SM.Dirty != 0b111 {
+		t.Fatalf("dirty = %b", e.SM.Dirty)
+	}
+}
+
+func TestProviderCRUDAndSQLGeneration(t *testing.T) {
+	pr := provider(t)
+	def := personDef(t)
+	if err := pr.EnsureSchema(def); err != nil {
+		t.Fatal(err)
+	}
+	pr.Begin()
+	e := def.NewEntity(5)
+	e.SetStr("name", "O'Brien") // exercises quoting
+	e.SetFloat("score", 1.5)
+	if err := pr.Persist(e); err != nil {
+		t.Fatal(err)
+	}
+	if err := pr.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := pr.Find(def, 5)
+	if err != nil || got == nil {
+		t.Fatalf("find: %v %v", got, err)
+	}
+	if got.GetStr("name") != "O'Brien" || got.GetFloat("score") != 1.5 {
+		t.Fatalf("row: %q %v", got.GetStr("name"), got.GetFloat("score"))
+	}
+	// Update only dirty fields.
+	pr.Begin()
+	got.SetFloat("score", 2.5)
+	pr.Persist(got)
+	if err := pr.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	again, _ := pr.Find(def, 5)
+	if again.GetFloat("score") != 2.5 || again.GetStr("name") != "O'Brien" {
+		t.Fatalf("update: %v %q", again.GetFloat("score"), again.GetStr("name"))
+	}
+	// Remove.
+	pr.Begin()
+	pr.Remove(again)
+	if err := pr.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if gone, _ := pr.Find(def, 5); gone != nil {
+		t.Fatal("remove failed")
+	}
+	// Missing entity resolves to nil, no error.
+	if none, err := pr.Find(def, 404); err != nil || none != nil {
+		t.Fatalf("missing: %v %v", none, err)
+	}
+}
+
+func TestPersistOutsideTransactionRejected(t *testing.T) {
+	pr := provider(t)
+	def := personDef(t)
+	pr.EnsureSchema(def)
+	if err := pr.Persist(def.NewEntity(1)); err == nil {
+		t.Fatal("persist outside tx accepted")
+	}
+	if err := pr.Commit(); err == nil {
+		t.Fatal("commit outside tx accepted")
+	}
+}

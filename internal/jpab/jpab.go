@@ -1,0 +1,351 @@
+// Package jpab reproduces the JPA Performance Benchmark (JPAB) workloads
+// of the paper's Table 2, driven against any jpa.EntityManager so the
+// same code paths measure H2-JPA and H2-PJO:
+//
+//	BasicTest       basic user-defined classes
+//	ExtTest         classes with inheritance relationships
+//	CollectionTest  classes containing collection members
+//	NodeTest        classes with foreign-key-like references
+//
+// Each test runs the four CRUD operations (retrieve, update, delete,
+// create) over a population of entities, reporting throughput.
+package jpab
+
+import (
+	"fmt"
+	"time"
+
+	"espresso/internal/jpa"
+)
+
+// Entity definitions shared by the tests.
+var (
+	// Person is the paper's running example, extended with enough fields
+	// to make row serialization meaningful.
+	Person = jpa.MustEntityDef("Person", nil,
+		jpa.FieldDef{Name: "firstName", Kind: jpa.FStr},
+		jpa.FieldDef{Name: "lastName", Kind: jpa.FStr},
+		jpa.FieldDef{Name: "email", Kind: jpa.FStr},
+		jpa.FieldDef{Name: "score", Kind: jpa.FFloat},
+	)
+	// Employee extends Person (ExtTest).
+	Employee = jpa.MustEntityDef("Employee", Person,
+		jpa.FieldDef{Name: "salary", Kind: jpa.FInt},
+		jpa.FieldDef{Name: "department", Kind: jpa.FStr},
+	)
+	// Album and Track model a collection member: an Album logically owns
+	// Tracks, each Track row carrying the foreign key (CollectionTest).
+	Album = jpa.MustEntityDef("Album", nil,
+		jpa.FieldDef{Name: "title", Kind: jpa.FStr},
+		jpa.FieldDef{Name: "trackCount", Kind: jpa.FInt},
+	)
+	Track = jpa.MustEntityDef("Track", nil,
+		jpa.FieldDef{Name: "albumId", Kind: jpa.FInt},
+		jpa.FieldDef{Name: "name", Kind: jpa.FStr},
+	)
+	// Node references another Node by id (NodeTest).
+	Node = jpa.MustEntityDef("GraphNode", nil,
+		jpa.FieldDef{Name: "nextId", Kind: jpa.FInt},
+		jpa.FieldDef{Name: "label", Kind: jpa.FStr},
+	)
+)
+
+// Result is one test's throughput per CRUD operation, in operations per
+// second (the y-axis of Figure 16).
+type Result struct {
+	Test     string
+	Entities int
+	Retrieve float64
+	Update   float64
+	Delete   float64
+	Create   float64
+}
+
+// Ops returns the four throughputs keyed like the figure.
+func (r Result) Ops() map[string]float64 {
+	return map[string]float64{
+		"Retrieve": r.Retrieve, "Update": r.Update, "Delete": r.Delete, "Create": r.Create,
+	}
+}
+
+// Test is one JPAB test case.
+type Test struct {
+	Name string
+	// Defs lists the entity classes involved (schema setup).
+	Defs []*jpa.EntityDef
+	// MakeBatch persists one batch of entities with base id.
+	MakeBatch func(em jpa.EntityManager, base int64, n int) error
+	// Touch mutates one entity (the update operation).
+	Touch func(em jpa.EntityManager, id int64) error
+	// Fetch retrieves and reads one entity.
+	Fetch func(em jpa.EntityManager, id int64) error
+	// Drop removes one entity.
+	Drop func(em jpa.EntityManager, id int64) error
+}
+
+func persistBatch(em jpa.EntityManager, mk func(id int64) *jpa.Entity, base int64, n int) error {
+	em.Begin()
+	for i := 0; i < n; i++ {
+		if err := em.Persist(mk(base + int64(i))); err != nil {
+			return err
+		}
+	}
+	return em.Commit()
+}
+
+func fetchOne(em jpa.EntityManager, def *jpa.EntityDef, id int64, read func(e *jpa.Entity)) error {
+	e, err := em.Find(def, id)
+	if err != nil {
+		return err
+	}
+	if e == nil {
+		return fmt.Errorf("jpab: %s %d not found", def.Name, id)
+	}
+	read(e)
+	return nil
+}
+
+func touchOne(em jpa.EntityManager, def *jpa.EntityDef, id int64, mutate func(e *jpa.Entity)) error {
+	e, err := em.Find(def, id)
+	if err != nil {
+		return err
+	}
+	if e == nil {
+		return fmt.Errorf("jpab: %s %d not found", def.Name, id)
+	}
+	em.Begin()
+	mutate(e)
+	if err := em.Persist(e); err != nil {
+		return err
+	}
+	return em.Commit()
+}
+
+func dropOne(em jpa.EntityManager, def *jpa.EntityDef, id int64) error {
+	e, err := em.Find(def, id)
+	if err != nil {
+		return err
+	}
+	if e == nil {
+		return fmt.Errorf("jpab: %s %d not found", def.Name, id)
+	}
+	em.Begin()
+	if err := em.Remove(e); err != nil {
+		return err
+	}
+	return em.Commit()
+}
+
+// BasicTest exercises plain entities.
+func BasicTest() *Test {
+	return &Test{
+		Name: "BasicTest",
+		Defs: []*jpa.EntityDef{Person},
+		MakeBatch: func(em jpa.EntityManager, base int64, n int) error {
+			return persistBatch(em, func(id int64) *jpa.Entity {
+				e := Person.NewEntity(id)
+				e.SetStr("firstName", fmt.Sprintf("First%d", id))
+				e.SetStr("lastName", fmt.Sprintf("Last%d", id))
+				e.SetStr("email", fmt.Sprintf("p%d@example.com", id))
+				e.SetFloat("score", float64(id)*0.5)
+				return e
+			}, base, n)
+		},
+		Fetch: func(em jpa.EntityManager, id int64) error {
+			return fetchOne(em, Person, id, func(e *jpa.Entity) {
+				_ = e.GetStr("firstName")
+				_ = e.GetFloat("score")
+			})
+		},
+		Touch: func(em jpa.EntityManager, id int64) error {
+			return touchOne(em, Person, id, func(e *jpa.Entity) {
+				e.SetFloat("score", float64(id)+1.25)
+			})
+		},
+		Drop: func(em jpa.EntityManager, id int64) error { return dropOne(em, Person, id) },
+	}
+}
+
+// ExtTest exercises inheritance.
+func ExtTest() *Test {
+	return &Test{
+		Name: "ExtTest",
+		Defs: []*jpa.EntityDef{Employee},
+		MakeBatch: func(em jpa.EntityManager, base int64, n int) error {
+			return persistBatch(em, func(id int64) *jpa.Entity {
+				e := Employee.NewEntity(id)
+				e.SetStr("firstName", fmt.Sprintf("First%d", id))
+				e.SetStr("lastName", fmt.Sprintf("Last%d", id))
+				e.SetStr("email", fmt.Sprintf("e%d@example.com", id))
+				e.SetFloat("score", float64(id))
+				e.SetInt("salary", 40000+id)
+				e.SetStr("department", "Systems")
+				return e
+			}, base, n)
+		},
+		Fetch: func(em jpa.EntityManager, id int64) error {
+			return fetchOne(em, Employee, id, func(e *jpa.Entity) {
+				_ = e.GetStr("firstName") // inherited
+				_ = e.GetInt("salary")    // own
+			})
+		},
+		Touch: func(em jpa.EntityManager, id int64) error {
+			return touchOne(em, Employee, id, func(e *jpa.Entity) {
+				e.SetInt("salary", 50000+id)
+			})
+		},
+		Drop: func(em jpa.EntityManager, id int64) error { return dropOne(em, Employee, id) },
+	}
+}
+
+// tracksPerAlbum is the collection fan-out of CollectionTest.
+const tracksPerAlbum = 4
+
+// CollectionTest exercises collection members: each Album entity owns
+// tracksPerAlbum Track entities.
+func CollectionTest() *Test {
+	trackID := func(album int64, i int) int64 { return album*tracksPerAlbum + int64(i) }
+	return &Test{
+		Name: "CollectionTest",
+		Defs: []*jpa.EntityDef{Album, Track},
+		MakeBatch: func(em jpa.EntityManager, base int64, n int) error {
+			em.Begin()
+			for i := 0; i < n; i++ {
+				id := base + int64(i)
+				a := Album.NewEntity(id)
+				a.SetStr("title", fmt.Sprintf("Album %d", id))
+				a.SetInt("trackCount", tracksPerAlbum)
+				if err := em.Persist(a); err != nil {
+					return err
+				}
+				for tk := 0; tk < tracksPerAlbum; tk++ {
+					t := Track.NewEntity(trackID(id, tk))
+					t.SetInt("albumId", id)
+					t.SetStr("name", fmt.Sprintf("Track %d-%d", id, tk))
+					if err := em.Persist(t); err != nil {
+						return err
+					}
+				}
+			}
+			return em.Commit()
+		},
+		Fetch: func(em jpa.EntityManager, id int64) error {
+			if err := fetchOne(em, Album, id, func(e *jpa.Entity) { _ = e.GetStr("title") }); err != nil {
+				return err
+			}
+			for tk := 0; tk < tracksPerAlbum; tk++ {
+				if err := fetchOne(em, Track, trackID(id, tk), func(e *jpa.Entity) { _ = e.GetStr("name") }); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		Touch: func(em jpa.EntityManager, id int64) error {
+			return touchOne(em, Track, trackID(id, 0), func(e *jpa.Entity) {
+				e.SetStr("name", fmt.Sprintf("Track %d-0 (remastered)", id))
+			})
+		},
+		Drop: func(em jpa.EntityManager, id int64) error {
+			for tk := 0; tk < tracksPerAlbum; tk++ {
+				if err := dropOne(em, Track, trackID(id, tk)); err != nil {
+					return err
+				}
+			}
+			return dropOne(em, Album, id)
+		},
+	}
+}
+
+// NodeTest exercises foreign-key-like references: each node points at the
+// next, and retrieval follows the reference.
+func NodeTest() *Test {
+	return &Test{
+		Name: "NodeTest",
+		Defs: []*jpa.EntityDef{Node},
+		MakeBatch: func(em jpa.EntityManager, base int64, n int) error {
+			return persistBatch(em, func(id int64) *jpa.Entity {
+				e := Node.NewEntity(id)
+				e.SetInt("nextId", id+1) // chain
+				e.SetStr("label", fmt.Sprintf("node-%d", id))
+				return e
+			}, base, n)
+		},
+		Fetch: func(em jpa.EntityManager, id int64) error {
+			return fetchOne(em, Node, id, func(e *jpa.Entity) {
+				next := e.GetInt("nextId")
+				// Follow the reference if the target exists (chain tail
+				// points past the population).
+				if tgt, err := em.Find(Node, next); err == nil && tgt != nil {
+					_ = tgt.GetStr("label")
+				}
+			})
+		},
+		Touch: func(em jpa.EntityManager, id int64) error {
+			return touchOne(em, Node, id, func(e *jpa.Entity) {
+				e.SetStr("label", fmt.Sprintf("node-%d'", id))
+			})
+		},
+		Drop: func(em jpa.EntityManager, id int64) error { return dropOne(em, Node, id) },
+	}
+}
+
+// AllTests returns the Table 2 test matrix.
+func AllTests() []*Test {
+	return []*Test{BasicTest(), ExtTest(), CollectionTest(), NodeTest()}
+}
+
+// Run executes a test against an EntityManager: create n entities in
+// batches, retrieve each, update each, then delete each, reporting
+// operation throughputs.
+func Run(t *Test, em jpa.EntityManager, n, batch int) (Result, error) {
+	for _, def := range t.Defs {
+		if err := em.EnsureSchema(def); err != nil {
+			return Result{}, err
+		}
+	}
+	res := Result{Test: t.Name, Entities: n}
+
+	start := time.Now()
+	for base := 0; base < n; base += batch {
+		sz := batch
+		if base+sz > n {
+			sz = n - base
+		}
+		if err := t.MakeBatch(em, int64(base), sz); err != nil {
+			return res, fmt.Errorf("%s create: %w", t.Name, err)
+		}
+	}
+	res.Create = rate(n, time.Since(start))
+
+	start = time.Now()
+	for id := 0; id < n; id++ {
+		if err := t.Fetch(em, int64(id)); err != nil {
+			return res, fmt.Errorf("%s retrieve: %w", t.Name, err)
+		}
+	}
+	res.Retrieve = rate(n, time.Since(start))
+
+	start = time.Now()
+	for id := 0; id < n; id++ {
+		if err := t.Touch(em, int64(id)); err != nil {
+			return res, fmt.Errorf("%s update: %w", t.Name, err)
+		}
+	}
+	res.Update = rate(n, time.Since(start))
+
+	start = time.Now()
+	for id := 0; id < n; id++ {
+		if err := t.Drop(em, int64(id)); err != nil {
+			return res, fmt.Errorf("%s delete: %w", t.Name, err)
+		}
+	}
+	res.Delete = rate(n, time.Since(start))
+	return res, nil
+}
+
+func rate(ops int, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(ops) / d.Seconds()
+}

@@ -1,0 +1,35 @@
+package klass
+
+import "espresso/internal/layout"
+
+// ConstantPool models the per-class symbol table of the JVM class file
+// format, reduced to the part Espresso touches: class symbols that resolve
+// to a Klass *address*.
+//
+// The stock JVM keeps one slot per class symbol. When the same logical
+// class acquires a second Klass in the persistent heap, resolving the
+// symbol for a `pnew` overwrites the slot with the NVM Klass address,
+// after which a checkcast against a DRAM instance compares two different
+// addresses and throws — the bug of paper Figure 10. The alias-aware type
+// check (core.CheckCast) repairs this by comparing logical classes.
+type ConstantPool struct {
+	slots map[string]layout.Ref
+}
+
+// NewConstantPool creates an empty pool.
+func NewConstantPool() *ConstantPool {
+	return &ConstantPool{slots: make(map[string]layout.Ref)}
+}
+
+// Resolve records the resolved Klass address for a class symbol,
+// overwriting any previous resolution — exactly the single-slot behaviour
+// that makes the strict check fail.
+func (cp *ConstantPool) Resolve(symbol string, addr layout.Ref) {
+	cp.slots[symbol] = addr
+}
+
+// Get returns the currently resolved address of a class symbol.
+func (cp *ConstantPool) Get(symbol string) (layout.Ref, bool) {
+	addr, ok := cp.slots[symbol]
+	return addr, ok
+}

@@ -1,0 +1,196 @@
+// Package klass implements the class-metadata side of the simulated JVM:
+// Klass descriptors with field tables and layouts, the volatile registry
+// (the Meta Space), constant-pool slots, and the serialized Klass records
+// stored in a persistent heap's Klass segment.
+//
+// A Klass is what makes raw object bytes interpretable: the klass word in
+// every object header points at one. The same logical class may have two
+// Klass incarnations — one in DRAM metaspace for `new` objects and one in
+// a persistent heap's Klass segment for `pnew` objects. Those incarnations
+// are *aliases* of each other; type checks must treat them as equal, which
+// is the paper's alias-Klass extension (§3.2).
+package klass
+
+import (
+	"fmt"
+
+	"espresso/internal/layout"
+)
+
+// Kind distinguishes the three object shapes.
+type Kind uint8
+
+const (
+	KindInstance Kind = iota
+	KindObjArray
+	KindPrimArray
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindInstance:
+		return "instance"
+	case KindObjArray:
+		return "objarray"
+	case KindPrimArray:
+		return "primarray"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Field describes one declared instance field.
+type Field struct {
+	Name string
+	Type layout.FieldType
+	// RefKlass names the declared class of an FTRef field. It may be empty
+	// ("java/lang/Object"-like), and is consulted by type-based safety.
+	RefKlass string
+}
+
+// Klass is the runtime class descriptor. Instances are immutable after
+// construction; the registry hands out canonical pointers.
+type Klass struct {
+	Name string
+	Kind Kind
+	// Elem is the element type of a primitive array klass.
+	Elem layout.FieldType
+	// ElemKlass names the element class of an object array klass.
+	ElemKlass string
+	// Super is the superclass, or nil. Arrays and roots have none.
+	Super *Klass
+	// Persistent marks the class as annotated for type-based safety: its
+	// instances may live in PJH and its ref fields must themselves be
+	// Persistent classes.
+	Persistent bool
+
+	own      []Field // declared fields, in declaration order
+	all      []Field // flattened super-first field table
+	fieldIdx map[string]int
+	id       int // registry slot; -1 until defined
+}
+
+// NewInstance builds an instance Klass with the given superclass and
+// declared fields. Field names must be unique within the flattened table.
+func NewInstance(name string, super *Klass, fields ...Field) (*Klass, error) {
+	if name == "" {
+		return nil, fmt.Errorf("klass: empty class name")
+	}
+	k := &Klass{Name: name, Kind: KindInstance, Super: super, own: fields, id: -1}
+	if super != nil {
+		if super.Kind != KindInstance {
+			return nil, fmt.Errorf("klass: %s: superclass %s is not an instance class", name, super.Name)
+		}
+		k.all = append(k.all, super.all...)
+	}
+	k.all = append(k.all, fields...)
+	k.fieldIdx = make(map[string]int, len(k.all))
+	for i, f := range k.all {
+		if !f.Type.Valid() {
+			return nil, fmt.Errorf("klass: %s.%s: invalid field type", name, f.Name)
+		}
+		if _, dup := k.fieldIdx[f.Name]; dup {
+			return nil, fmt.Errorf("klass: %s: duplicate field %q", name, f.Name)
+		}
+		k.fieldIdx[f.Name] = i
+	}
+	return k, nil
+}
+
+// MustInstance is NewInstance for static class tables; it panics on error.
+func MustInstance(name string, super *Klass, fields ...Field) *Klass {
+	k, err := NewInstance(name, super, fields...)
+	if err != nil {
+		panic(err)
+	}
+	return k
+}
+
+// NewObjArray builds the object-array klass for elements named elem
+// (JVM-style name "[L<elem>;").
+func NewObjArray(elem string) *Klass {
+	return &Klass{Name: "[L" + elem + ";", Kind: KindObjArray, ElemKlass: elem, id: -1}
+}
+
+// NewPrimArray builds the primitive-array klass for element type t.
+func NewPrimArray(t layout.FieldType) *Klass {
+	return &Klass{Name: "[" + t.String(), Kind: KindPrimArray, Elem: t, id: -1}
+}
+
+// Well-known filler classes. The persistent allocator plugs them into
+// allocation gaps so the heap below `top` always parses (a 2-word filler
+// covers 16-byte gaps, a byte-array filler covers larger ones). Every
+// klass segment contains both from creation.
+const (
+	FillerName      = "espresso/Filler"
+	FillerArrayName = "espresso/FillerArray"
+)
+
+// NumFields reports the flattened field count (inherited first).
+func (k *Klass) NumFields() int { return len(k.all) }
+
+// FieldAt returns the i-th flattened field.
+func (k *Klass) FieldAt(i int) Field { return k.all[i] }
+
+// Fields returns the flattened field table. Callers must not mutate it.
+func (k *Klass) Fields() []Field { return k.all }
+
+// OwnFields returns the declared (non-inherited) fields.
+func (k *Klass) OwnFields() []Field { return k.own }
+
+// FieldIndex resolves a field name to its flattened slot.
+func (k *Klass) FieldIndex(name string) (int, bool) {
+	i, ok := k.fieldIdx[name]
+	return i, ok
+}
+
+// IsArray reports whether k describes an array shape.
+func (k *Klass) IsArray() bool { return k.Kind != KindInstance }
+
+// ElemType reports the packed element type of an array klass (FTRef for
+// object arrays).
+func (k *Klass) ElemType() layout.FieldType {
+	if k.Kind == KindObjArray {
+		return layout.FTRef
+	}
+	return k.Elem
+}
+
+// SizeOf computes the aligned object size in bytes. arrayLen is ignored
+// for instance klasses.
+func (k *Klass) SizeOf(arrayLen int) int {
+	if k.Kind == KindInstance {
+		return layout.InstanceBytes(len(k.all))
+	}
+	return layout.ArrayBytes(k.ElemType(), arrayLen)
+}
+
+// ID reports the registry slot, or -1 if the klass is not defined yet.
+func (k *Klass) ID() int { return k.id }
+
+// SameLogical reports whether two Klass incarnations denote the same
+// logical class — the alias-Klass equality of the paper. DRAM and NVM
+// incarnations of a class compare equal here even though their addresses
+// (and descriptor pointers) differ.
+func SameLogical(a, b *Klass) bool {
+	if a == b {
+		return true
+	}
+	if a == nil || b == nil {
+		return false
+	}
+	return a.Name == b.Name && a.Kind == b.Kind
+}
+
+// IsSubclassOf reports whether k is other or a subclass of it, comparing
+// logically so aliases on either side still match.
+func (k *Klass) IsSubclassOf(other *Klass) bool {
+	for c := k; c != nil; c = c.Super {
+		if SameLogical(c, other) {
+			return true
+		}
+	}
+	return false
+}
+
+func (k *Klass) String() string { return k.Name }

@@ -1,0 +1,249 @@
+package klass
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"espresso/internal/layout"
+)
+
+func person(t *testing.T) *Klass {
+	t.Helper()
+	k, err := NewInstance("Person", nil,
+		Field{Name: "id", Type: layout.FTRef, RefKlass: "java/lang/Integer"},
+		Field{Name: "name", Type: layout.FTRef, RefKlass: "java/lang/String"},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func TestInstanceLayout(t *testing.T) {
+	p := person(t)
+	if p.NumFields() != 2 {
+		t.Fatalf("NumFields = %d", p.NumFields())
+	}
+	if got := p.SizeOf(0); got != 32 { // 16 hdr + 16 fields
+		t.Fatalf("SizeOf = %d, want 32", got)
+	}
+	if i, ok := p.FieldIndex("name"); !ok || i != 1 {
+		t.Fatalf("FieldIndex(name) = %d %v", i, ok)
+	}
+	if _, ok := p.FieldIndex("missing"); ok {
+		t.Fatal("FieldIndex found missing field")
+	}
+}
+
+func TestInheritedFieldsFlattenSuperFirst(t *testing.T) {
+	p := person(t)
+	e, err := NewInstance("Employee", p, Field{Name: "salary", Type: layout.FTLong})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.NumFields() != 3 {
+		t.Fatalf("NumFields = %d", e.NumFields())
+	}
+	if i, _ := e.FieldIndex("id"); i != 0 {
+		t.Fatalf("inherited id at %d", i)
+	}
+	if i, _ := e.FieldIndex("salary"); i != 2 {
+		t.Fatalf("salary at %d", i)
+	}
+	if !e.IsSubclassOf(p) || p.IsSubclassOf(e) {
+		t.Fatal("subclass relation wrong")
+	}
+}
+
+func TestDuplicateFieldRejected(t *testing.T) {
+	p := person(t)
+	if _, err := NewInstance("Bad", p, Field{Name: "id", Type: layout.FTInt}); err == nil {
+		t.Fatal("expected duplicate-field error")
+	}
+}
+
+func TestArraySizes(t *testing.T) {
+	ba := NewPrimArray(layout.FTByte)
+	if got := ba.SizeOf(5); got != 32 { // 24 + 5 → 32
+		t.Fatalf("byte[5] = %d", got)
+	}
+	la := NewPrimArray(layout.FTLong)
+	if got := la.SizeOf(4); got != 56+8 { // 24 + 32 = 56 → 64
+		t.Fatalf("long[4] = %d", got)
+	}
+	oa := NewObjArray("Person")
+	if oa.Name != "[LPerson;" || oa.ElemType() != layout.FTRef {
+		t.Fatalf("obj array = %s %s", oa.Name, oa.ElemType())
+	}
+}
+
+func TestRegistryDefineIdempotent(t *testing.T) {
+	r := NewRegistry()
+	p1, err := r.Define(person(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := r.Define(person(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Fatal("re-define returned a different canonical klass")
+	}
+	// A conflicting layout must be rejected.
+	bad, _ := NewInstance("Person", nil, Field{Name: "other", Type: layout.FTInt})
+	if _, err := r.Define(bad); err == nil {
+		t.Fatal("expected layout-conflict error")
+	}
+}
+
+func TestRegistryMetaAddrRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	p, _ := r.Define(person(t))
+	addr := r.MetaAddr(p)
+	if !IsMetaAddr(addr) {
+		t.Fatalf("MetaAddr %#x not in metaspace", addr)
+	}
+	got, ok := r.ByMetaAddr(addr)
+	if !ok || got != p {
+		t.Fatalf("ByMetaAddr = %v %v", got, ok)
+	}
+	if _, ok := r.ByMetaAddr(addr + 1); ok {
+		t.Fatal("misaligned metaspace address resolved")
+	}
+}
+
+func TestRegistryWellKnown(t *testing.T) {
+	r := NewRegistry()
+	if r.Filler().SizeOf(0) != 16 {
+		t.Fatalf("filler size = %d", r.Filler().SizeOf(0))
+	}
+	if r.FillerArray().Elem != layout.FTByte {
+		t.Fatal("filler array should be byte-typed")
+	}
+	if r.PrimArray(layout.FTLong).Name != "[long" {
+		t.Fatalf("prim array name = %s", r.PrimArray(layout.FTLong).Name)
+	}
+	a1 := r.ObjArray("Person")
+	a2 := r.ObjArray("Person")
+	if a1 != a2 {
+		t.Fatal("ObjArray not canonicalized")
+	}
+}
+
+func TestSameLogicalAlias(t *testing.T) {
+	a := person(t)
+	b := person(t) // different descriptor, same logical class
+	if !SameLogical(a, b) {
+		t.Fatal("aliases should compare equal")
+	}
+	c, _ := NewInstance("Other", nil)
+	if SameLogical(a, c) {
+		t.Fatal("distinct classes compared equal")
+	}
+	if SameLogical(a, nil) || SameLogical(nil, a) {
+		t.Fatal("nil comparison")
+	}
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	p := person(t)
+	e, _ := NewInstance("Employee", p, Field{Name: "salary", Type: layout.FTLong})
+	e.Persistent = true
+	enc := EncodeRecord(e)
+	if len(enc)%8 != 0 {
+		t.Fatalf("record size %d not 8-aligned", len(enc))
+	}
+	ri, size, err := DecodeRecord(enc)
+	if err != nil || size != len(enc) {
+		t.Fatalf("decode: %v size=%d", err, size)
+	}
+	if ri.Name != "Employee" || ri.SuperName != "Person" || !ri.Persistent {
+		t.Fatalf("decoded %+v", ri)
+	}
+	if len(ri.OwnFields) != 1 || ri.OwnFields[0].Name != "salary" {
+		t.Fatalf("own fields %+v", ri.OwnFields)
+	}
+	back, err := ri.ToKlass(func(name string) (*Klass, error) { return p, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumFields() != 3 || !back.Persistent {
+		t.Fatalf("materialized %+v", back)
+	}
+}
+
+func TestRecordZeroMagicMeansEnd(t *testing.T) {
+	_, size, err := DecodeRecord(make([]byte, 64))
+	if err != nil || size != 0 {
+		t.Fatalf("zero record: size=%d err=%v", size, err)
+	}
+}
+
+func TestRecordRejectsCorruption(t *testing.T) {
+	enc := EncodeRecord(person(t))
+	enc[0] ^= 0xff // break magic
+	if _, _, err := DecodeRecord(enc); err == nil {
+		t.Fatal("expected bad-magic error")
+	}
+}
+
+// Property: encode/decode round-trips arbitrary field tables.
+func TestQuickRecordRoundTrip(t *testing.T) {
+	f := func(seed int64, nFields uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nFields) % 12
+		fields := make([]Field, n)
+		for i := range fields {
+			fields[i] = Field{
+				Name:     randName(rng, i),
+				Type:     layout.FieldType(rng.Intn(int(layout.FTBool) + 1)),
+				RefKlass: randName(rng, i+100),
+			}
+		}
+		k, err := NewInstance("Q"+randName(rng, 0), nil, fields...)
+		if err != nil {
+			return true // duplicate random names: not this property's concern
+		}
+		ri, size, err := DecodeRecord(EncodeRecord(k))
+		if err != nil || size == 0 {
+			return false
+		}
+		if ri.Name != k.Name || len(ri.OwnFields) != n {
+			return false
+		}
+		for i, f := range ri.OwnFields {
+			if f != fields[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func randName(rng *rand.Rand, i int) string {
+	letters := "abcdefghijklmnopqrstuvwxyz"
+	n := 1 + rng.Intn(10)
+	b := make([]byte, n)
+	for j := range b {
+		b[j] = letters[rng.Intn(len(letters))]
+	}
+	return string(b) + string(rune('A'+i%26))
+}
+
+func TestConstantPoolOverwrite(t *testing.T) {
+	cp := NewConstantPool()
+	cp.Resolve("Person", 0x1000)
+	cp.Resolve("Person", 0x2000)
+	addr, ok := cp.Get("Person")
+	if !ok || addr != 0x2000 {
+		t.Fatalf("Get = %#x %v", addr, ok)
+	}
+	if _, ok := cp.Get("Missing"); ok {
+		t.Fatal("unresolved symbol returned")
+	}
+}

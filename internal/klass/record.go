@@ -1,0 +1,176 @@
+package klass
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"espresso/internal/layout"
+)
+
+// A Klass record is the serialized, NVM-resident incarnation of a Klass,
+// stored in a persistent heap's Klass segment. Records are self-describing
+// so that loadHeap can *re-initialize them in place*: the record keeps its
+// address across reboots (class pointers in objects stay valid) and is
+// re-bound to a runtime Klass descriptor by name, defining the descriptor
+// from the record if the application has not done so yet.
+//
+// Record wire format (little-endian, 8-byte aligned total size):
+//
+//	u32 magic  u32 size
+//	u8 kind    u8 elem   u8 flags  u8 pad
+//	u16 nameLen  u16 superLen
+//	u16 elemKlassLen  u16 fieldCount
+//	name bytes, super bytes, elemKlass bytes
+//	fieldCount × { u8 type, u8 pad, u16 nameLen, u16 refKlassLen,
+//	               name bytes, refKlass bytes }
+//	zero padding to 8 bytes
+const recordMagic = 0x4b4c5331 // "KLS1"
+
+const flagPersistent = 1
+
+// RecordInfo is the decoded form of a Klass record.
+type RecordInfo struct {
+	Name       string
+	Kind       Kind
+	Elem       layout.FieldType
+	ElemKlass  string
+	SuperName  string
+	OwnFields  []Field
+	Persistent bool
+}
+
+// EncodeRecord serializes k as a Klass record.
+func EncodeRecord(k *Klass) []byte {
+	var super string
+	if k.Super != nil {
+		super = k.Super.Name
+	}
+	n := 20 + len(k.Name) + len(super) + len(k.ElemKlass)
+	for _, f := range k.own {
+		n += 6 + len(f.Name) + len(f.RefKlass)
+	}
+	n = (n + 7) &^ 7
+	buf := make([]byte, n)
+	binary.LittleEndian.PutUint32(buf[0:], recordMagic)
+	binary.LittleEndian.PutUint32(buf[4:], uint32(n))
+	buf[8] = byte(k.Kind)
+	buf[9] = byte(k.Elem)
+	if k.Persistent {
+		buf[10] = flagPersistent
+	}
+	binary.LittleEndian.PutUint16(buf[12:], uint16(len(k.Name)))
+	binary.LittleEndian.PutUint16(buf[14:], uint16(len(super)))
+	binary.LittleEndian.PutUint16(buf[16:], uint16(len(k.ElemKlass)))
+	binary.LittleEndian.PutUint16(buf[18:], uint16(len(k.own)))
+	p := 20
+	p += copy(buf[p:], k.Name)
+	p += copy(buf[p:], super)
+	p += copy(buf[p:], k.ElemKlass)
+	for _, f := range k.own {
+		buf[p] = byte(f.Type)
+		binary.LittleEndian.PutUint16(buf[p+2:], uint16(len(f.Name)))
+		binary.LittleEndian.PutUint16(buf[p+4:], uint16(len(f.RefKlass)))
+		p += 6
+		p += copy(buf[p:], f.Name)
+		p += copy(buf[p:], f.RefKlass)
+	}
+	return buf
+}
+
+// DecodeRecord parses the record at the start of b, returning its info and
+// total encoded size. A zero magic means "no record here" (end of the
+// segment's used area) and is reported as size 0 with no error.
+func DecodeRecord(b []byte) (RecordInfo, int, error) {
+	var ri RecordInfo
+	if len(b) < 20 {
+		return ri, 0, fmt.Errorf("klass: record truncated (%d bytes)", len(b))
+	}
+	magic := binary.LittleEndian.Uint32(b[0:])
+	if magic == 0 {
+		return ri, 0, nil
+	}
+	if magic != recordMagic {
+		return ri, 0, fmt.Errorf("klass: bad record magic %#x", magic)
+	}
+	size := int(binary.LittleEndian.Uint32(b[4:]))
+	if size < 20 || size > len(b) || size%8 != 0 {
+		return ri, 0, fmt.Errorf("klass: bad record size %d", size)
+	}
+	ri.Kind = Kind(b[8])
+	ri.Elem = layout.FieldType(b[9])
+	ri.Persistent = b[10]&flagPersistent != 0
+	nameLen := int(binary.LittleEndian.Uint16(b[12:]))
+	superLen := int(binary.LittleEndian.Uint16(b[14:]))
+	elemLen := int(binary.LittleEndian.Uint16(b[16:]))
+	fieldCount := int(binary.LittleEndian.Uint16(b[18:]))
+	p := 20
+	take := func(n int) (string, error) {
+		if p+n > size {
+			return "", fmt.Errorf("klass: record overruns its size")
+		}
+		s := string(b[p : p+n])
+		p += n
+		return s, nil
+	}
+	var err error
+	if ri.Name, err = take(nameLen); err != nil {
+		return ri, 0, err
+	}
+	if ri.SuperName, err = take(superLen); err != nil {
+		return ri, 0, err
+	}
+	if ri.ElemKlass, err = take(elemLen); err != nil {
+		return ri, 0, err
+	}
+	ri.OwnFields = make([]Field, 0, fieldCount)
+	for i := 0; i < fieldCount; i++ {
+		if p+6 > size {
+			return ri, 0, fmt.Errorf("klass: field %d overruns record", i)
+		}
+		var f Field
+		f.Type = layout.FieldType(b[p])
+		fn := int(binary.LittleEndian.Uint16(b[p+2:]))
+		rn := int(binary.LittleEndian.Uint16(b[p+4:]))
+		p += 6
+		if f.Name, err = take(fn); err != nil {
+			return ri, 0, err
+		}
+		if f.RefKlass, err = take(rn); err != nil {
+			return ri, 0, err
+		}
+		ri.OwnFields = append(ri.OwnFields, f)
+	}
+	return ri, size, nil
+}
+
+// ToKlass materializes a runtime Klass from a decoded record. resolveSuper
+// maps a superclass name to its (already materialized) descriptor.
+func (ri RecordInfo) ToKlass(resolveSuper func(name string) (*Klass, error)) (*Klass, error) {
+	switch ri.Kind {
+	case KindPrimArray:
+		k := NewPrimArray(ri.Elem)
+		k.Name = ri.Name // filler array keeps its special name
+		k.Persistent = ri.Persistent
+		return k, nil
+	case KindObjArray:
+		k := NewObjArray(ri.ElemKlass)
+		k.Persistent = ri.Persistent
+		return k, nil
+	case KindInstance:
+		var super *Klass
+		if ri.SuperName != "" {
+			var err error
+			if super, err = resolveSuper(ri.SuperName); err != nil {
+				return nil, err
+			}
+		}
+		k, err := NewInstance(ri.Name, super, ri.OwnFields...)
+		if err != nil {
+			return nil, err
+		}
+		k.Persistent = ri.Persistent
+		return k, nil
+	default:
+		return nil, fmt.Errorf("klass: record %q has unknown kind %d", ri.Name, ri.Kind)
+	}
+}

@@ -1,0 +1,169 @@
+package klass
+
+import (
+	"fmt"
+	"sync"
+
+	"espresso/internal/layout"
+)
+
+// Registry is the volatile Meta Space: the set of Klass descriptors known
+// to one runtime, addressable by name and by metaspace address.
+type Registry struct {
+	mu     sync.RWMutex
+	byName map[string]*Klass
+	byID   []*Klass
+}
+
+// NewRegistry creates an empty registry pre-populated with the filler
+// classes and the primitive array classes.
+func NewRegistry() *Registry {
+	r := &Registry{byName: make(map[string]*Klass)}
+	filler := MustInstance(FillerName, nil)
+	r.mustDefine(filler)
+	fillerArr := &Klass{Name: FillerArrayName, Kind: KindPrimArray, Elem: layout.FTByte, id: -1}
+	r.mustDefine(fillerArr)
+	for t := layout.FTRef; t <= layout.FTBool; t++ {
+		if t == layout.FTRef {
+			continue
+		}
+		r.mustDefine(NewPrimArray(t))
+	}
+	return r
+}
+
+func (r *Registry) mustDefine(k *Klass) {
+	if _, err := r.Define(k); err != nil {
+		panic(err)
+	}
+}
+
+// Define registers k and returns the canonical descriptor for its name.
+// Defining the same name twice returns the existing descriptor if the
+// layouts agree and an error otherwise (the JVM's LinkageError analog).
+func (r *Registry) Define(k *Klass) (*Klass, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if existing, ok := r.byName[k.Name]; ok {
+		if err := sameLayout(existing, k); err != nil {
+			return nil, fmt.Errorf("klass: redefinition of %s: %w", k.Name, err)
+		}
+		return existing, nil
+	}
+	if k.Super != nil {
+		canon, ok := r.byName[k.Super.Name]
+		if !ok {
+			return nil, fmt.Errorf("klass: %s: superclass %s not defined", k.Name, k.Super.Name)
+		}
+		k.Super = canon
+	}
+	k.id = len(r.byID)
+	r.byID = append(r.byID, k)
+	r.byName[k.Name] = k
+	return k, nil
+}
+
+func sameLayout(a, b *Klass) error {
+	if a.Kind != b.Kind {
+		return fmt.Errorf("kind %s vs %s", a.Kind, b.Kind)
+	}
+	if a.Kind == KindPrimArray && a.Elem != b.Elem {
+		return fmt.Errorf("element type %s vs %s", a.Elem, b.Elem)
+	}
+	if a.Kind == KindObjArray && a.ElemKlass != b.ElemKlass {
+		return fmt.Errorf("element class %s vs %s", a.ElemKlass, b.ElemKlass)
+	}
+	if len(a.all) != len(b.all) {
+		return fmt.Errorf("field count %d vs %d", len(a.all), len(b.all))
+	}
+	for i := range a.all {
+		if a.all[i].Name != b.all[i].Name || a.all[i].Type != b.all[i].Type {
+			return fmt.Errorf("field %d: %s %s vs %s %s",
+				i, a.all[i].Name, a.all[i].Type, b.all[i].Name, b.all[i].Type)
+		}
+	}
+	return nil
+}
+
+// Lookup resolves a class name.
+func (r *Registry) Lookup(name string) (*Klass, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	k, ok := r.byName[name]
+	return k, ok
+}
+
+// MustLookup resolves a class name or panics; for well-known classes.
+func (r *Registry) MustLookup(name string) *Klass {
+	k, ok := r.Lookup(name)
+	if !ok {
+		panic("klass: not defined: " + name)
+	}
+	return k
+}
+
+// PrimArray returns the canonical primitive array klass for t.
+func (r *Registry) PrimArray(t layout.FieldType) *Klass {
+	return r.MustLookup("[" + t.String())
+}
+
+// ObjArray returns (defining on demand) the object-array klass for the
+// element class name.
+func (r *Registry) ObjArray(elem string) *Klass {
+	name := "[L" + elem + ";"
+	if k, ok := r.Lookup(name); ok {
+		return k
+	}
+	k, err := r.Define(NewObjArray(elem))
+	if err != nil {
+		panic(err)
+	}
+	return k
+}
+
+// Filler returns the 2-word filler klass.
+func (r *Registry) Filler() *Klass { return r.MustLookup(FillerName) }
+
+// FillerArray returns the variable-size filler klass.
+func (r *Registry) FillerArray() *Klass { return r.MustLookup(FillerArrayName) }
+
+// MetaAddr is the metaspace virtual address of a defined klass: the klass
+// word value of DRAM objects of this class.
+func (r *Registry) MetaAddr(k *Klass) layout.Ref {
+	if k.id < 0 {
+		panic("klass: MetaAddr of undefined klass " + k.Name)
+	}
+	return layout.MetaspaceBase + layout.Ref(k.id)*layout.MetaKlassStride
+}
+
+// ByMetaAddr resolves a metaspace address back to its klass.
+func (r *Registry) ByMetaAddr(addr layout.Ref) (*Klass, bool) {
+	if addr < layout.MetaspaceBase {
+		return nil, false
+	}
+	off := uint64(addr - layout.MetaspaceBase)
+	if off%layout.MetaKlassStride != 0 {
+		return nil, false
+	}
+	id := int(off / layout.MetaKlassStride)
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if id >= len(r.byID) {
+		return nil, false
+	}
+	return r.byID[id], true
+}
+
+// IsMetaAddr reports whether addr falls in the metaspace range.
+func IsMetaAddr(addr layout.Ref) bool { return addr >= layout.MetaspaceBase }
+
+// Names returns all defined class names (unsorted).
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.byName))
+	for n := range r.byName {
+		names = append(names, n)
+	}
+	return names
+}

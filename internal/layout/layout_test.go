@@ -1,0 +1,80 @@
+package layout
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMarkWordRoundTrip(t *testing.T) {
+	f := func(ts uint64, flags uint8) bool {
+		ts &= (1 << 56) - 1 // timestamp field width
+		m := MarkWord(ts, flags)
+		return MarkTimestamp(m) == ts && MarkFlags(m) == flags
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWithTimestampPreservesFlags(t *testing.T) {
+	m := MarkWord(7, 0xab)
+	m2 := WithTimestamp(m, 99)
+	if MarkTimestamp(m2) != 99 || MarkFlags(m2) != 0xab {
+		t.Fatalf("WithTimestamp = ts %d flags %#x", MarkTimestamp(m2), MarkFlags(m2))
+	}
+}
+
+func TestElemSizes(t *testing.T) {
+	cases := map[FieldType]int{
+		FTRef: 8, FTLong: 8, FTDouble: 8,
+		FTInt: 4, FTFloat: 4,
+		FTChar: 2, FTShort: 2,
+		FTByte: 1, FTBool: 1,
+	}
+	for ft, want := range cases {
+		if got := ft.ElemSize(); got != want {
+			t.Errorf("%s.ElemSize = %d, want %d", ft, got, want)
+		}
+	}
+}
+
+func TestSizesAreAligned(t *testing.T) {
+	f := func(nFields uint8, arrLen uint16) bool {
+		if InstanceBytes(int(nFields))%ObjAlign != 0 {
+			return false
+		}
+		for ft := FTRef; ft <= FTBool; ft++ {
+			if ArrayBytes(ft, int(arrLen))%ObjAlign != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinimumSizes(t *testing.T) {
+	if InstanceBytes(0) != 16 {
+		t.Fatalf("empty instance = %d", InstanceBytes(0))
+	}
+	if ArrayBytes(FTByte, 0) != 32 { // 24 header → aligned 32
+		t.Fatalf("empty byte array = %d", ArrayBytes(FTByte, 0))
+	}
+}
+
+func TestOffsets(t *testing.T) {
+	if FieldOff(0) != 16 || FieldOff(3) != 40 {
+		t.Fatalf("field offsets %d %d", FieldOff(0), FieldOff(3))
+	}
+	if ElemOff(FTLong, 2) != 40 || ElemOff(FTByte, 5) != 29 {
+		t.Fatalf("elem offsets %d %d", ElemOff(FTLong, 2), ElemOff(FTByte, 5))
+	}
+}
+
+func TestAddressSpacesDisjoint(t *testing.T) {
+	if !(DefaultPJHBase < YoungBase && YoungBase < OldBase && OldBase < MetaspaceBase) {
+		t.Fatal("address map out of order")
+	}
+}

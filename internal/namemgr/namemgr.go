@@ -1,0 +1,152 @@
+// Package namemgr implements the external name manager of paper §3.3:
+// the mapping between persistent-heap names and the device images backing
+// them. createHeap registers a name; loadHeap asks the manager for the
+// image; existsHeap queries it.
+//
+// Two tiers exist. The in-memory tier tracks heaps created during this
+// process (the common benchmark case). The directory tier persists images
+// as files so heaps survive process restarts — the "system reboot" of the
+// paper's programming model.
+package namemgr
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sync"
+
+	"espresso/internal/nvm"
+)
+
+var nameRe = regexp.MustCompile(`^[A-Za-z0-9._-]{1,128}$`)
+
+// Manager maps heap names to images.
+type Manager struct {
+	mu   sync.Mutex
+	dir  string // "" = memory-only
+	mem  map[string]*nvm.Device
+	mode nvm.Mode
+}
+
+// New creates a manager. dir may be empty for a memory-only manager; when
+// set, heap images are stored as <dir>/<name>.pjh.
+func New(dir string, mode nvm.Mode) *Manager {
+	return &Manager{dir: dir, mem: make(map[string]*nvm.Device), mode: mode}
+}
+
+// CheckName validates a heap name.
+func CheckName(name string) error {
+	if !nameRe.MatchString(name) {
+		return fmt.Errorf("namemgr: invalid heap name %q", name)
+	}
+	return nil
+}
+
+func (m *Manager) path(name string) string {
+	return filepath.Join(m.dir, name+".pjh")
+}
+
+// Register records a freshly created heap's device under name.
+func (m *Manager) Register(name string, dev *nvm.Device) error {
+	if err := CheckName(name); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, dup := m.mem[name]; dup {
+		return fmt.Errorf("namemgr: heap %q already exists", name)
+	}
+	if m.dir != "" {
+		if _, err := os.Stat(m.path(name)); err == nil {
+			return fmt.Errorf("namemgr: heap %q already exists on disk", name)
+		}
+	}
+	m.mem[name] = dev
+	return nil
+}
+
+// Exists reports whether a heap is known (in memory or on disk).
+func (m *Manager) Exists(name string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.mem[name]; ok {
+		return true
+	}
+	if m.dir == "" {
+		return false
+	}
+	_, err := os.Stat(m.path(name))
+	return err == nil
+}
+
+// Device returns the device backing name, loading it from disk if needed.
+func (m *Manager) Device(name string) (*nvm.Device, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if dev, ok := m.mem[name]; ok {
+		return dev, nil
+	}
+	if m.dir == "" {
+		return nil, fmt.Errorf("namemgr: heap %q does not exist", name)
+	}
+	dev, err := nvm.LoadFile(m.path(name), nvm.Config{Mode: m.mode})
+	if err != nil {
+		return nil, err
+	}
+	m.mem[name] = dev
+	return dev, nil
+}
+
+// Sync writes the named heap's persisted image to disk (no-op for a
+// memory-only manager).
+func (m *Manager) Sync(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	dev, ok := m.mem[name]
+	if !ok {
+		return fmt.Errorf("namemgr: heap %q not loaded", name)
+	}
+	if m.dir == "" {
+		return nil
+	}
+	return dev.Save(m.path(name))
+}
+
+// Remove forgets a heap and deletes its image.
+func (m *Manager) Remove(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.mem, name)
+	if m.dir == "" {
+		return nil
+	}
+	err := os.Remove(m.path(name))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	return err
+}
+
+// Names lists known in-memory heaps plus on-disk images.
+func (m *Manager) Names() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	seen := map[string]bool{}
+	var names []string
+	for n := range m.mem {
+		seen[n] = true
+		names = append(names, n)
+	}
+	if m.dir != "" {
+		matches, _ := filepath.Glob(filepath.Join(m.dir, "*.pjh"))
+		for _, p := range matches {
+			n := filepath.Base(p)
+			n = n[:len(n)-len(".pjh")]
+			if !seen[n] {
+				names = append(names, n)
+			}
+		}
+	}
+	return names
+}

@@ -1,0 +1,89 @@
+package namemgr
+
+import (
+	"testing"
+
+	"espresso/internal/nvm"
+)
+
+func TestMemoryOnlyManager(t *testing.T) {
+	m := New("", nvm.Direct)
+	if m.Exists("h") {
+		t.Fatal("phantom heap")
+	}
+	dev := nvm.New(nvm.Config{Size: 4096})
+	if err := m.Register("h", dev); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Exists("h") {
+		t.Fatal("registered heap missing")
+	}
+	if err := m.Register("h", dev); err == nil {
+		t.Fatal("duplicate registration accepted")
+	}
+	got, err := m.Device("h")
+	if err != nil || got != dev {
+		t.Fatalf("Device = %v %v", got, err)
+	}
+	if err := m.Sync("h"); err != nil { // no-op without a dir
+		t.Fatal(err)
+	}
+	if err := m.Remove("h"); err != nil {
+		t.Fatal(err)
+	}
+	if m.Exists("h") {
+		t.Fatal("removed heap still exists")
+	}
+}
+
+func TestDirectoryManagerRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	m := New(dir, nvm.Tracked)
+	dev := nvm.New(nvm.Config{Size: 4096, Mode: nvm.Tracked})
+	dev.WriteU64(0, 777)
+	dev.Flush(0, 8)
+	if err := m.Register("store", dev); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Sync("store"); err != nil {
+		t.Fatal(err)
+	}
+	// A second manager (new process) sees the file.
+	m2 := New(dir, nvm.Tracked)
+	if !m2.Exists("store") {
+		t.Fatal("file-backed heap invisible to new manager")
+	}
+	dev2, err := m2.Device("store")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dev2.ReadU64(0) != 777 {
+		t.Fatal("contents lost")
+	}
+	names := m2.Names()
+	if len(names) != 1 || names[0] != "store" {
+		t.Fatalf("Names = %v", names)
+	}
+}
+
+func TestNameValidation(t *testing.T) {
+	m := New("", nvm.Direct)
+	for _, bad := range []string{"", "a/b", "../evil", "x y", "名"} {
+		if err := m.Register(bad, nvm.New(nvm.Config{Size: 64})); err == nil {
+			t.Errorf("accepted bad name %q", bad)
+		}
+	}
+}
+
+func TestMissingHeapErrors(t *testing.T) {
+	m := New("", nvm.Direct)
+	if _, err := m.Device("nope"); err == nil {
+		t.Fatal("missing heap returned a device")
+	}
+	if err := m.Sync("nope"); err == nil {
+		t.Fatal("sync of missing heap accepted")
+	}
+	if err := m.Remove("nope"); err != nil {
+		t.Fatal("remove of missing heap should be a no-op")
+	}
+}

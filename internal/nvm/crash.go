@@ -1,0 +1,70 @@
+package nvm
+
+import "math/rand"
+
+// CrashPolicy chooses what happens to dirty (written but unflushed) cache
+// lines when the machine loses power.
+type CrashPolicy int
+
+const (
+	// CrashFlushedOnly keeps only explicitly flushed data: no dirty line
+	// survives. This is the adversarial case protocols are designed for.
+	CrashFlushedOnly CrashPolicy = iota
+	// CrashAllDirty pretends every dirty line happened to be evicted before
+	// the crash. Protocols must also tolerate this (writes may persist
+	// *early*), so tests sweep both extremes.
+	CrashAllDirty
+	// CrashRandomEviction persists an arbitrary subset of dirty lines,
+	// chosen by the seed. This models real caches, where eviction order is
+	// unconstrained; a correct protocol must survive every subset.
+	CrashRandomEviction
+)
+
+// CrashImage returns the device contents as they would read after power
+// loss under the given policy. The device must be in Tracked mode. The
+// returned slice is a copy; build a new Device with FromImage to "reboot".
+func (d *Device) CrashImage(policy CrashPolicy, seed int64) []byte {
+	if d.mode != Tracked {
+		panic("nvm: CrashImage requires Tracked mode")
+	}
+	img := make([]byte, d.size)
+	copy(img, d.persisted)
+	switch policy {
+	case CrashFlushedOnly:
+		// Nothing else survives.
+	case CrashAllDirty:
+		d.forEachDirtyLine(func(l int) {
+			lo := l * LineSize
+			copy(img[lo:lo+LineSize], d.mem[lo:lo+LineSize])
+		})
+	case CrashRandomEviction:
+		rng := rand.New(rand.NewSource(seed))
+		d.forEachDirtyLine(func(l int) {
+			if rng.Intn(2) == 0 {
+				lo := l * LineSize
+				copy(img[lo:lo+LineSize], d.mem[lo:lo+LineSize])
+			}
+		})
+	default:
+		panic("nvm: unknown crash policy")
+	}
+	return img
+}
+
+func (d *Device) forEachDirtyLine(fn func(line int)) {
+	for wi, w := range d.dirty {
+		for ; w != 0; w &= w - 1 {
+			bit := trailingZeros(w)
+			fn(wi*64 + bit)
+		}
+	}
+}
+
+func trailingZeros(w uint64) int {
+	n := 0
+	for w&1 == 0 {
+		w >>= 1
+		n++
+	}
+	return n
+}

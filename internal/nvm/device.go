@@ -1,0 +1,345 @@
+// Package nvm simulates a byte-addressable non-volatile memory device
+// fronted by a volatile CPU cache, in the style of an NVDIMM reached
+// through clflush/sfence.
+//
+// The device exposes two views of its contents:
+//
+//   - the memory view (what loads see): every store is immediately visible,
+//     exactly like DRAM-backed caches in front of an NVDIMM;
+//   - the persisted view (what survives power loss): a store reaches it only
+//     after the covering cache line is flushed, or if the simulator decides
+//     the line was evicted on its own.
+//
+// Crash-consistency protocols (flush-before-publish, undo logs, redo logs)
+// are *ordering* disciplines, so a faithful reproduction only needs the
+// line-granular distinction between the two views, not real hardware. The
+// device also accounts flush/fence/byte traffic and can model the write
+// latency of NVM media so benchmarks can report device-level cost next to
+// wall-clock time.
+package nvm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+)
+
+// LineSize is the cache line size in bytes. Flush granularity, like
+// clflush, is one line.
+const LineSize = 64
+
+// Mode selects how much bookkeeping the device performs.
+type Mode int
+
+const (
+	// Direct keeps a single copy of the contents. Flushes and fences are
+	// counted but there is no separate persisted view, so crash images are
+	// unavailable. Use it for benchmarks.
+	Direct Mode = iota
+	// Tracked maintains the persisted shadow view and per-line dirty bits,
+	// enabling CrashImage and crash-injection tests.
+	Tracked
+)
+
+// Config describes a device.
+type Config struct {
+	// Size is the device capacity in bytes. It is rounded up to a multiple
+	// of LineSize.
+	Size int
+	// Mode selects Direct (fast) or Tracked (crash-simulation) operation.
+	Mode Mode
+	// WriteLatency, if nonzero, is the modelled media latency charged per
+	// flushed line. It accumulates in Stats.ModeledFlushTime; the device
+	// never sleeps.
+	WriteLatency time.Duration
+}
+
+// Stats is the device traffic accounting. Counters are maintained by the
+// device on every access; callers snapshot them with Device.Stats.
+type Stats struct {
+	Writes         uint64 // store operations
+	BytesWritten   uint64 // bytes stored
+	Reads          uint64 // load operations
+	BytesRead      uint64 // bytes loaded
+	Flushes        uint64 // Flush calls
+	FlushedLines   uint64 // distinct lines written back by Flush calls
+	Fences         uint64 // Fence calls
+	ModeledFlushNS uint64 // Config.WriteLatency × FlushedLines, in nanoseconds
+}
+
+// ModeledFlushTime converts the accumulated modelled latency to a Duration.
+func (s Stats) ModeledFlushTime() time.Duration { return time.Duration(s.ModeledFlushNS) }
+
+// Sub returns the difference s - prev, counter by counter. It is the usual
+// way to account a measured interval.
+func (s Stats) Sub(prev Stats) Stats {
+	return Stats{
+		Writes:         s.Writes - prev.Writes,
+		BytesWritten:   s.BytesWritten - prev.BytesWritten,
+		Reads:          s.Reads - prev.Reads,
+		BytesRead:      s.BytesRead - prev.BytesRead,
+		Flushes:        s.Flushes - prev.Flushes,
+		FlushedLines:   s.FlushedLines - prev.FlushedLines,
+		Fences:         s.Fences - prev.Fences,
+		ModeledFlushNS: s.ModeledFlushNS - prev.ModeledFlushNS,
+	}
+}
+
+// Device is a simulated NVM device. It is not safe for concurrent use;
+// callers (the heap allocator, the garbage collector) serialize access,
+// mirroring how the JVM serializes heap mutation under allocation locks
+// and stop-the-world pauses.
+type Device struct {
+	size      int
+	mode      Mode
+	mem       []byte
+	persisted []byte   // Tracked only: the power-loss view
+	dirty     []uint64 // Tracked only: bitmap, one bit per line
+	stats     Stats
+	latNS     uint64
+
+	// flushHook, if set, runs after every Flush with the running flush
+	// count. Crash-injection tests use it to panic at a chosen boundary.
+	flushHook func(flushCount uint64)
+	noFlush   bool
+}
+
+// New creates a device of cfg.Size bytes, zero-filled (fresh NVM DIMMs and
+// freshly created heap files read as zero).
+func New(cfg Config) *Device {
+	if cfg.Size <= 0 {
+		panic("nvm: non-positive device size")
+	}
+	size := (cfg.Size + LineSize - 1) / LineSize * LineSize
+	d := &Device{
+		size:  size,
+		mode:  cfg.Mode,
+		mem:   make([]byte, size),
+		latNS: uint64(cfg.WriteLatency.Nanoseconds()),
+	}
+	if cfg.Mode == Tracked {
+		d.persisted = make([]byte, size)
+		d.dirty = make([]uint64, (size/LineSize+63)/64)
+	}
+	return d
+}
+
+// FromImage creates a device whose memory and persisted views both equal
+// img, as after a reboot from a crash image or a file load.
+func FromImage(img []byte, cfg Config) *Device {
+	cfg.Size = len(img)
+	d := New(cfg)
+	copy(d.mem, img)
+	if d.mode == Tracked {
+		copy(d.persisted, img)
+	}
+	return d
+}
+
+// Size reports the device capacity in bytes.
+func (d *Device) Size() int { return d.size }
+
+// Mode reports the device bookkeeping mode.
+func (d *Device) Mode() Mode { return d.mode }
+
+// SetFlushHook installs fn to run after every Flush call with the running
+// flush count. Pass nil to remove the hook.
+func (d *Device) SetFlushHook(fn func(flushCount uint64)) { d.flushHook = fn }
+
+// SetNoFlush disables the effect of Flush and Fence (they are still
+// counted). It models running the recoverable GC without clflush, the
+// baseline of the paper's §6.4 pause-time experiment.
+func (d *Device) SetNoFlush(v bool) { d.noFlush = v }
+
+func (d *Device) check(off, n int) {
+	if off < 0 || n < 0 || off+n > d.size {
+		panic(fmt.Sprintf("nvm: access [%d,%d) outside device of %d bytes", off, off+n, d.size))
+	}
+}
+
+func (d *Device) markDirty(off, n int) {
+	if d.mode != Tracked || n == 0 {
+		return
+	}
+	first := off / LineSize
+	last := (off + n - 1) / LineSize
+	for l := first; l <= last; l++ {
+		d.dirty[l/64] |= 1 << (uint(l) % 64)
+	}
+}
+
+// WriteU64 stores v at byte offset off, little-endian.
+func (d *Device) WriteU64(off int, v uint64) {
+	d.check(off, 8)
+	binary.LittleEndian.PutUint64(d.mem[off:], v)
+	d.stats.Writes++
+	d.stats.BytesWritten += 8
+	d.markDirty(off, 8)
+}
+
+// ReadU64 loads the little-endian uint64 at byte offset off.
+func (d *Device) ReadU64(off int) uint64 {
+	d.check(off, 8)
+	d.stats.Reads++
+	d.stats.BytesRead += 8
+	return binary.LittleEndian.Uint64(d.mem[off:])
+}
+
+// WriteU32 stores v at byte offset off, little-endian.
+func (d *Device) WriteU32(off int, v uint32) {
+	d.check(off, 4)
+	binary.LittleEndian.PutUint32(d.mem[off:], v)
+	d.stats.Writes++
+	d.stats.BytesWritten += 4
+	d.markDirty(off, 4)
+}
+
+// ReadU32 loads the little-endian uint32 at byte offset off.
+func (d *Device) ReadU32(off int) uint32 {
+	d.check(off, 4)
+	d.stats.Reads++
+	d.stats.BytesRead += 4
+	return binary.LittleEndian.Uint32(d.mem[off:])
+}
+
+// WriteU16 stores v at byte offset off, little-endian.
+func (d *Device) WriteU16(off int, v uint16) {
+	d.check(off, 2)
+	binary.LittleEndian.PutUint16(d.mem[off:], v)
+	d.stats.Writes++
+	d.stats.BytesWritten += 2
+	d.markDirty(off, 2)
+}
+
+// ReadU16 loads the little-endian uint16 at byte offset off.
+func (d *Device) ReadU16(off int) uint16 {
+	d.check(off, 2)
+	d.stats.Reads++
+	d.stats.BytesRead += 2
+	return binary.LittleEndian.Uint16(d.mem[off:])
+}
+
+// WriteByte stores one byte at off.
+func (d *Device) WriteByteAt(off int, v byte) {
+	d.check(off, 1)
+	d.mem[off] = v
+	d.stats.Writes++
+	d.stats.BytesWritten++
+	d.markDirty(off, 1)
+}
+
+// ReadByteAt loads one byte at off.
+func (d *Device) ReadByteAt(off int) byte {
+	d.check(off, 1)
+	d.stats.Reads++
+	d.stats.BytesRead++
+	return d.mem[off]
+}
+
+// WriteBytes stores p at off.
+func (d *Device) WriteBytes(off int, p []byte) {
+	d.check(off, len(p))
+	copy(d.mem[off:], p)
+	d.stats.Writes++
+	d.stats.BytesWritten += uint64(len(p))
+	d.markDirty(off, len(p))
+}
+
+// ReadBytes fills p from the memory view starting at off.
+func (d *Device) ReadBytes(off int, p []byte) {
+	d.check(off, len(p))
+	copy(p, d.mem[off:])
+	d.stats.Reads++
+	d.stats.BytesRead += uint64(len(p))
+}
+
+// View returns a read-only window into the memory view. Mutating the
+// returned slice bypasses accounting and dirty tracking; use the Write
+// methods for stores. It exists for hot read paths (heap parsing, marking).
+func (d *Device) View(off, n int) []byte {
+	d.check(off, n)
+	return d.mem[off : off+n : off+n]
+}
+
+// Move copies n bytes from src to dst within the device, with memmove
+// overlap semantics. It is the GC's object-copy primitive.
+func (d *Device) Move(dst, src, n int) {
+	d.check(src, n)
+	d.check(dst, n)
+	copy(d.mem[dst:dst+n], d.mem[src:src+n])
+	d.stats.Writes++
+	d.stats.BytesWritten += uint64(n)
+	d.stats.Reads++
+	d.stats.BytesRead += uint64(n)
+	d.markDirty(dst, n)
+}
+
+// Zero clears n bytes starting at off.
+func (d *Device) Zero(off, n int) {
+	d.check(off, n)
+	clear(d.mem[off : off+n])
+	d.stats.Writes++
+	d.stats.BytesWritten += uint64(n)
+	d.markDirty(off, n)
+}
+
+// Flush writes back the cache lines covering [off, off+n), like a run of
+// clflush instructions. In Tracked mode the covered lines become part of
+// the persisted view and their dirty bits clear.
+func (d *Device) Flush(off, n int) {
+	if n <= 0 {
+		return
+	}
+	d.check(off, n)
+	first := off / LineSize
+	last := (off + n - 1) / LineSize
+	lines := uint64(last - first + 1)
+	d.stats.Flushes++
+	if !d.noFlush {
+		d.stats.FlushedLines += lines
+		d.stats.ModeledFlushNS += lines * d.latNS
+		if d.mode == Tracked {
+			lo, hi := first*LineSize, (last+1)*LineSize
+			copy(d.persisted[lo:hi], d.mem[lo:hi])
+			for l := first; l <= last; l++ {
+				d.dirty[l/64] &^= 1 << (uint(l) % 64)
+			}
+		}
+	}
+	if d.flushHook != nil {
+		d.flushHook(d.stats.Flushes)
+	}
+}
+
+// Fence orders earlier flushes before later stores, like sfence. Flush is
+// synchronous in this simulator, so Fence only accounts the instruction;
+// protocols still call it wherever real hardware would need it so the
+// counted cost is honest.
+func (d *Device) Fence() { d.stats.Fences++ }
+
+// FlushAll persists the entire device, like a shutdown msync.
+func (d *Device) FlushAll() {
+	if d.noFlush {
+		d.stats.Flushes++
+		return
+	}
+	d.Flush(0, d.size)
+}
+
+// Stats returns a snapshot of the traffic counters.
+func (d *Device) Stats() Stats { return d.stats }
+
+// ResetStats zeroes the traffic counters.
+func (d *Device) ResetStats() { d.stats = Stats{} }
+
+// DirtyLines reports how many lines are modified but not yet persisted.
+// It is zero in Direct mode.
+func (d *Device) DirtyLines() int {
+	n := 0
+	for _, w := range d.dirty {
+		for ; w != 0; w &= w - 1 {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,80 @@
+package nvm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+)
+
+// Heap images on disk carry a small header so stale or foreign files are
+// rejected instead of being interpreted as a heap.
+const (
+	fileMagic   = 0x4553_5052_4E56_4D31 // "ESPRNVM1"
+	fileVersion = 1
+	fileHdrSize = 24
+)
+
+// Save writes the persisted view to path (the memory view in Direct mode,
+// where the two coincide). It models unmounting an NVM DIMM region into a
+// file the external name manager tracks.
+func (d *Device) Save(path string) error {
+	hdr := make([]byte, fileHdrSize)
+	binary.LittleEndian.PutUint64(hdr[0:], fileMagic)
+	binary.LittleEndian.PutUint64(hdr[8:], fileVersion)
+	binary.LittleEndian.PutUint64(hdr[16:], uint64(d.size))
+	f, err := os.CreateTemp(dirOf(path), ".nvm-*")
+	if err != nil {
+		return fmt.Errorf("nvm: save %s: %w", path, err)
+	}
+	tmp := f.Name()
+	view := d.mem
+	if d.mode == Tracked {
+		view = d.persisted
+	}
+	if _, err = f.Write(hdr); err == nil {
+		_, err = f.Write(view)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, path)
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("nvm: save %s: %w", path, err)
+	}
+	return nil
+}
+
+func dirOf(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' || path[i] == os.PathSeparator {
+			return path[:i]
+		}
+	}
+	return "."
+}
+
+// LoadFile reads a device image previously written by Save.
+func LoadFile(path string, cfg Config) (*Device, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("nvm: load %s: %w", path, err)
+	}
+	if len(raw) < fileHdrSize {
+		return nil, fmt.Errorf("nvm: load %s: truncated header", path)
+	}
+	if binary.LittleEndian.Uint64(raw[0:]) != fileMagic {
+		return nil, fmt.Errorf("nvm: load %s: not an nvm image", path)
+	}
+	if v := binary.LittleEndian.Uint64(raw[8:]); v != fileVersion {
+		return nil, fmt.Errorf("nvm: load %s: unsupported image version %d", path, v)
+	}
+	size := int(binary.LittleEndian.Uint64(raw[16:]))
+	if len(raw)-fileHdrSize != size {
+		return nil, fmt.Errorf("nvm: load %s: image size %d does not match header %d",
+			path, len(raw)-fileHdrSize, size)
+	}
+	return FromImage(raw[fileHdrSize:], cfg), nil
+}

@@ -1,0 +1,362 @@
+// Package pcollections implements persistent data structures over PJH —
+// the Espresso-side counterparts of PCJ's types used in the §6.2
+// comparison: a boxed long (PersistentLong), tuples, a generic array, an
+// array list, and a hash map. They are ordinary Java-object graphs
+// allocated with pnew; each mutating operation runs in a ptx undo-log
+// transaction so both sides of the comparison offer the same ACID
+// guarantee.
+package pcollections
+
+import (
+	"fmt"
+
+	"espresso/internal/klass"
+	"espresso/internal/layout"
+	"espresso/internal/pheap"
+	"espresso/internal/ptx"
+)
+
+// World bundles the heap, its registry, and the transaction manager the
+// collections operate in.
+type World struct {
+	H  *pheap.Heap
+	TX *ptx.Manager
+
+	boxKlass    *klass.Klass
+	entryKlass  *klass.Klass
+	listKlass   *klass.Klass
+	mapKlass    *klass.Klass
+	tupleKlass  map[int]*klass.Klass
+	objArrKlass *klass.Klass
+}
+
+// NewWorld prepares the collection classes on a heap.
+func NewWorld(h *pheap.Heap) (*World, error) {
+	tm, err := ptx.NewManager(h)
+	if err != nil {
+		return nil, err
+	}
+	w := &World{H: h, TX: tm, tupleKlass: map[int]*klass.Klass{}}
+	reg := h.Registry()
+	if w.boxKlass, err = reg.Define(klass.MustInstance("espresso/PLong", nil,
+		klass.Field{Name: "value", Type: layout.FTLong})); err != nil {
+		return nil, err
+	}
+	if w.entryKlass, err = reg.Define(klass.MustInstance("espresso/PMapEntry", nil,
+		klass.Field{Name: "hash", Type: layout.FTLong},
+		klass.Field{Name: "key", Type: layout.FTLong},
+		klass.Field{Name: "value", Type: layout.FTRef},
+		klass.Field{Name: "next", Type: layout.FTRef, RefKlass: "espresso/PMapEntry"})); err != nil {
+		return nil, err
+	}
+	if w.listKlass, err = reg.Define(klass.MustInstance("espresso/PArrayList", nil,
+		klass.Field{Name: "size", Type: layout.FTLong},
+		klass.Field{Name: "elems", Type: layout.FTRef})); err != nil {
+		return nil, err
+	}
+	if w.mapKlass, err = reg.Define(klass.MustInstance("espresso/PHashMap", nil,
+		klass.Field{Name: "size", Type: layout.FTLong},
+		klass.Field{Name: "buckets", Type: layout.FTRef})); err != nil {
+		return nil, err
+	}
+	w.objArrKlass = reg.ObjArray("java/lang/Object")
+	return w, nil
+}
+
+func fieldOff(k *klass.Klass, name string) int {
+	i, ok := k.FieldIndex(name)
+	if !ok {
+		panic("pcollections: missing field " + name)
+	}
+	return layout.FieldOff(i)
+}
+
+// --- PLong (the PersistentLong equivalent) ---
+
+// NewLong allocates a boxed long with ACID semantics.
+func (w *World) NewLong(v int64) (layout.Ref, error) {
+	ref, err := w.H.Alloc(w.boxKlass, 0)
+	if err != nil {
+		return 0, err
+	}
+	err = w.TX.Run(func(tx *ptx.Tx) error {
+		return tx.WriteWord(ref, fieldOff(w.boxKlass, "value"), uint64(v))
+	})
+	return ref, err
+}
+
+// LongValue reads a boxed long.
+func (w *World) LongValue(ref layout.Ref) int64 {
+	return int64(w.H.GetWord(ref, fieldOff(w.boxKlass, "value")))
+}
+
+// SetLongValue updates a boxed long transactionally.
+func (w *World) SetLongValue(ref layout.Ref, v int64) error {
+	return w.TX.Run(func(tx *ptx.Tx) error {
+		return tx.WriteWord(ref, fieldOff(w.boxKlass, "value"), uint64(v))
+	})
+}
+
+// --- Tuples ---
+
+// tupleKlassOf builds (or reuses) the N-ary tuple class.
+func (w *World) tupleKlassOf(n int) (*klass.Klass, error) {
+	if k, ok := w.tupleKlass[n]; ok {
+		return k, nil
+	}
+	fields := make([]klass.Field, n)
+	for i := range fields {
+		fields[i] = klass.Field{Name: fmt.Sprintf("f%d", i), Type: layout.FTRef}
+	}
+	k, err := w.H.Registry().Define(klass.MustInstance(fmt.Sprintf("espresso/PTuple%d", n), nil, fields...))
+	if err != nil {
+		return nil, err
+	}
+	w.tupleKlass[n] = k
+	return k, nil
+}
+
+// NewTuple allocates an n-ary tuple and stores its elements.
+func (w *World) NewTuple(elems ...layout.Ref) (layout.Ref, error) {
+	k, err := w.tupleKlassOf(len(elems))
+	if err != nil {
+		return 0, err
+	}
+	ref, err := w.H.Alloc(k, 0)
+	if err != nil {
+		return 0, err
+	}
+	err = w.TX.Run(func(tx *ptx.Tx) error {
+		for i, e := range elems {
+			if err := tx.WriteWord(ref, layout.FieldOff(i), uint64(e)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	return ref, err
+}
+
+// TupleGet reads tuple slot i.
+func (w *World) TupleGet(ref layout.Ref, i int) layout.Ref {
+	return layout.Ref(w.H.GetWord(ref, layout.FieldOff(i)))
+}
+
+// TupleSet writes tuple slot i transactionally.
+func (w *World) TupleSet(ref layout.Ref, i int, v layout.Ref) error {
+	return w.TX.Run(func(tx *ptx.Tx) error {
+		return tx.WriteWord(ref, layout.FieldOff(i), uint64(v))
+	})
+}
+
+// --- Generic object array ---
+
+// NewArray allocates a persistent object array.
+func (w *World) NewArray(n int) (layout.Ref, error) {
+	return w.H.Alloc(w.objArrKlass, n)
+}
+
+// ArrayGet reads element i.
+func (w *World) ArrayGet(arr layout.Ref, i int) layout.Ref {
+	return layout.Ref(w.H.GetWord(arr, layout.ElemOff(layout.FTRef, i)))
+}
+
+// ArraySet writes element i transactionally.
+func (w *World) ArraySet(arr layout.Ref, i int, v layout.Ref) error {
+	return w.TX.Run(func(tx *ptx.Tx) error {
+		return tx.WriteWord(arr, layout.ElemOff(layout.FTRef, i), uint64(v))
+	})
+}
+
+// --- PArrayList ---
+
+// NewList allocates an array list with the given capacity.
+func (w *World) NewList(capacity int) (layout.Ref, error) {
+	if capacity < 4 {
+		capacity = 4
+	}
+	elems, err := w.NewArray(capacity)
+	if err != nil {
+		return 0, err
+	}
+	ref, err := w.H.Alloc(w.listKlass, 0)
+	if err != nil {
+		return 0, err
+	}
+	err = w.TX.Run(func(tx *ptx.Tx) error {
+		if err := tx.WriteWord(ref, fieldOff(w.listKlass, "size"), 0); err != nil {
+			return err
+		}
+		return tx.WriteWord(ref, fieldOff(w.listKlass, "elems"), uint64(elems))
+	})
+	return ref, err
+}
+
+// ListLen reports the list's element count.
+func (w *World) ListLen(list layout.Ref) int {
+	return int(w.H.GetWord(list, fieldOff(w.listKlass, "size")))
+}
+
+// ListAdd appends v, growing the backing array by doubling when full.
+func (w *World) ListAdd(list layout.Ref, v layout.Ref) error {
+	size := w.ListLen(list)
+	elems := layout.Ref(w.H.GetWord(list, fieldOff(w.listKlass, "elems")))
+	cap := w.H.ArrayLen(elems)
+	if size == cap {
+		bigger, err := w.NewArray(cap * 2)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < size; i++ {
+			w.H.SetWord(bigger, layout.ElemOff(layout.FTRef, i),
+				w.H.GetWord(elems, layout.ElemOff(layout.FTRef, i)))
+		}
+		w.H.FlushRange(bigger, 0, w.objArrKlass.SizeOf(cap*2))
+		if err := w.TX.Run(func(tx *ptx.Tx) error {
+			return tx.WriteWord(list, fieldOff(w.listKlass, "elems"), uint64(bigger))
+		}); err != nil {
+			return err
+		}
+		elems = bigger
+	}
+	return w.TX.Run(func(tx *ptx.Tx) error {
+		if err := tx.WriteWord(elems, layout.ElemOff(layout.FTRef, size), uint64(v)); err != nil {
+			return err
+		}
+		return tx.WriteWord(list, fieldOff(w.listKlass, "size"), uint64(size+1))
+	})
+}
+
+// ListGet reads element i.
+func (w *World) ListGet(list layout.Ref, i int) (layout.Ref, error) {
+	if i < 0 || i >= w.ListLen(list) {
+		return 0, fmt.Errorf("pcollections: list index %d out of range", i)
+	}
+	elems := layout.Ref(w.H.GetWord(list, fieldOff(w.listKlass, "elems")))
+	return w.ArrayGet(elems, i), nil
+}
+
+// ListSet overwrites element i transactionally.
+func (w *World) ListSet(list layout.Ref, i int, v layout.Ref) error {
+	if i < 0 || i >= w.ListLen(list) {
+		return fmt.Errorf("pcollections: list index %d out of range", i)
+	}
+	elems := layout.Ref(w.H.GetWord(list, fieldOff(w.listKlass, "elems")))
+	return w.ArraySet(elems, i, v)
+}
+
+// --- PHashMap (int64 keys → object refs) ---
+
+// NewMap allocates a hash map with the given bucket count.
+func (w *World) NewMap(buckets int) (layout.Ref, error) {
+	if buckets < 8 {
+		buckets = 8
+	}
+	arr, err := w.NewArray(buckets)
+	if err != nil {
+		return 0, err
+	}
+	ref, err := w.H.Alloc(w.mapKlass, 0)
+	if err != nil {
+		return 0, err
+	}
+	err = w.TX.Run(func(tx *ptx.Tx) error {
+		if err := tx.WriteWord(ref, fieldOff(w.mapKlass, "size"), 0); err != nil {
+			return err
+		}
+		return tx.WriteWord(ref, fieldOff(w.mapKlass, "buckets"), uint64(arr))
+	})
+	return ref, err
+}
+
+func mixHash(k int64) uint64 {
+	x := uint64(k)
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	return x
+}
+
+// MapPut inserts or updates key → value.
+func (w *World) MapPut(m layout.Ref, key int64, value layout.Ref) error {
+	buckets := layout.Ref(w.H.GetWord(m, fieldOff(w.mapKlass, "buckets")))
+	nb := w.H.ArrayLen(buckets)
+	slot := int(mixHash(key) % uint64(nb))
+	head := w.ArrayGet(buckets, slot)
+	for e := head; e != layout.NullRef; e = layout.Ref(w.H.GetWord(e, fieldOff(w.entryKlass, "next"))) {
+		if int64(w.H.GetWord(e, fieldOff(w.entryKlass, "key"))) == key {
+			return w.TX.Run(func(tx *ptx.Tx) error {
+				return tx.WriteWord(e, fieldOff(w.entryKlass, "value"), uint64(value))
+			})
+		}
+	}
+	entry, err := w.H.Alloc(w.entryKlass, 0)
+	if err != nil {
+		return err
+	}
+	size := int64(w.H.GetWord(m, fieldOff(w.mapKlass, "size")))
+	return w.TX.Run(func(tx *ptx.Tx) error {
+		if err := tx.WriteWord(entry, fieldOff(w.entryKlass, "hash"), mixHash(key)); err != nil {
+			return err
+		}
+		if err := tx.WriteWord(entry, fieldOff(w.entryKlass, "key"), uint64(key)); err != nil {
+			return err
+		}
+		if err := tx.WriteWord(entry, fieldOff(w.entryKlass, "value"), uint64(value)); err != nil {
+			return err
+		}
+		if err := tx.WriteWord(entry, fieldOff(w.entryKlass, "next"), uint64(head)); err != nil {
+			return err
+		}
+		if err := tx.WriteWord(buckets, layout.ElemOff(layout.FTRef, slot), uint64(entry)); err != nil {
+			return err
+		}
+		return tx.WriteWord(m, fieldOff(w.mapKlass, "size"), uint64(size+1))
+	})
+}
+
+// MapGet looks a key up.
+func (w *World) MapGet(m layout.Ref, key int64) (layout.Ref, bool) {
+	buckets := layout.Ref(w.H.GetWord(m, fieldOff(w.mapKlass, "buckets")))
+	nb := w.H.ArrayLen(buckets)
+	slot := int(mixHash(key) % uint64(nb))
+	for e := w.ArrayGet(buckets, slot); e != layout.NullRef; e = layout.Ref(w.H.GetWord(e, fieldOff(w.entryKlass, "next"))) {
+		if int64(w.H.GetWord(e, fieldOff(w.entryKlass, "key"))) == key {
+			return layout.Ref(w.H.GetWord(e, fieldOff(w.entryKlass, "value"))), true
+		}
+	}
+	return 0, false
+}
+
+// MapRemove deletes a key, reporting whether it was present.
+func (w *World) MapRemove(m layout.Ref, key int64) (bool, error) {
+	buckets := layout.Ref(w.H.GetWord(m, fieldOff(w.mapKlass, "buckets")))
+	nb := w.H.ArrayLen(buckets)
+	slot := int(mixHash(key) % uint64(nb))
+	nextOff := fieldOff(w.entryKlass, "next")
+	var prev layout.Ref
+	for e := w.ArrayGet(buckets, slot); e != layout.NullRef; e = layout.Ref(w.H.GetWord(e, nextOff)) {
+		if int64(w.H.GetWord(e, fieldOff(w.entryKlass, "key"))) == key {
+			next := w.H.GetWord(e, nextOff)
+			size := w.H.GetWord(m, fieldOff(w.mapKlass, "size"))
+			err := w.TX.Run(func(tx *ptx.Tx) error {
+				if prev == layout.NullRef {
+					if err := tx.WriteWord(buckets, layout.ElemOff(layout.FTRef, slot), next); err != nil {
+						return err
+					}
+				} else if err := tx.WriteWord(prev, nextOff, next); err != nil {
+					return err
+				}
+				return tx.WriteWord(m, fieldOff(w.mapKlass, "size"), size-1)
+			})
+			return true, err
+		}
+		prev = e
+	}
+	return false, nil
+}
+
+// MapLen reports the entry count.
+func (w *World) MapLen(m layout.Ref) int {
+	return int(w.H.GetWord(m, fieldOff(w.mapKlass, "size")))
+}

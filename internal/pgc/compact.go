@@ -1,0 +1,106 @@
+package pgc
+
+import (
+	"espresso/internal/layout"
+	"espresso/internal/pheap"
+)
+
+// compact executes (or, after a crash, resumes) the compact phase
+// described by the summary. It is safe to run the same summary twice: the
+// region bitmap skips fully evacuated source regions, and the source-header
+// timestamp skips individual objects that already reached their
+// destination. cur is the collection's global timestamp.
+func compact(h *pheap.Heap, s *Summary, cur uint64) {
+	dev := h.Device()
+	geo := h.Geo()
+	regionBm := h.RegionBitmap()
+	regionOf := func(off int) int { return (off - geo.DataOff) / layout.RegionSize }
+
+	// Resolve klass records for reference iteration. During recovery,
+	// source regions whose bit is set may hold garbage, but those objects
+	// are skipped wholesale before any header read.
+	skipRegion := -1
+	for i, m := range s.Moves {
+		r := regionOf(m.Src)
+		if r == skipRegion || regionBm.Get(r) {
+			skipRegion = r
+			continue
+		}
+		srcMark := dev.ReadU64(m.Src + layout.MarkWordOff)
+		if layout.MarkTimestamp(srcMark) != cur {
+			if m.Dst == m.Src {
+				// In-place object (dense prefix or pinned): fix its
+				// references, persist, then stamp it processed. Its own
+				// header is authentic, so the timestamp gate is sound.
+				fixRefs(h, s, m.Dst, m.Size)
+				dev.Flush(m.Dst, m.Size)
+				dev.Fence()
+				dev.WriteU64(m.Src+layout.MarkWordOff, layout.WithTimestamp(srcMark, cur))
+				dev.Flush(m.Src+layout.MarkWordOff, 8)
+				dev.Fence()
+			} else {
+				// Evacuation: copy, fix references in the copy (the source
+				// stays pristine — it is the undo log), persist the copy,
+				// then stamp destination first, source second (§4.2 step 3).
+				dev.Move(m.Dst, m.Src, m.Size)
+				fixRefs(h, s, m.Dst, m.Size)
+				dev.Flush(m.Dst, m.Size)
+				dev.Fence()
+				dev.WriteU64(m.Dst+layout.MarkWordOff, layout.WithTimestamp(srcMark, cur))
+				dev.Flush(m.Dst+layout.MarkWordOff, 8)
+				dev.Fence()
+				dev.WriteU64(m.Src+layout.MarkWordOff, layout.WithTimestamp(srcMark, cur))
+				dev.Flush(m.Src+layout.MarkWordOff, 8)
+				dev.Fence()
+			}
+		}
+		if i == s.RegionLastMove(r) {
+			// The region is fully evacuated (or fully processed in place);
+			// from here on it may be overwritten as a destination, so the
+			// fact must be durable first.
+			regionBm.Set(r)
+			dev.Flush(geo.RegionBmpOff, geo.RegionBmpSize)
+			dev.Fence()
+		}
+	}
+
+	writeGapFillers(h, s)
+}
+
+// fixRefs rewrites every reference slot of the object at device offset off
+// through the summary's forwarding relation. References outside the heap
+// (DRAM, other heaps) forward to themselves.
+func fixRefs(h *pheap.Heap, s *Summary, off, size int) {
+	dev := h.Device()
+	kaddr := layout.Ref(dev.ReadU64(off + layout.KlassWordOff))
+	k, ok := h.KlassByAddr(kaddr)
+	if !ok {
+		// Unreachable by protocol; leaving the object untouched is safer
+		// than guessing a layout.
+		return
+	}
+	pheap.RefSlots(dev, off, k, func(slotBoff int) {
+		v := layout.Ref(dev.ReadU64(off + slotBoff))
+		if v != layout.NullRef && h.Contains(v) {
+			if f := s.Forward(v); f != v {
+				dev.WriteU64(off+slotBoff, uint64(f))
+			}
+		}
+	})
+}
+
+// writeGapFillers plugs every hole below the new top with filler objects
+// so the compacted heap parses: dest-region tails, partially occupied
+// in-place regions, and wholly emptied regions. Rerunning it after a crash
+// rewrites the same fillers.
+func writeGapFillers(h *pheap.Heap, s *Summary) {
+	geo := h.Geo()
+	for r := 0; geo.DataOff+r*layout.RegionSize < s.NewTop; r++ {
+		start := geo.DataOff + r*layout.RegionSize
+		gapLo := start + s.Occupancy(r)
+		gapHi := min(start+layout.RegionSize, s.NewTop)
+		if gapLo < gapHi {
+			h.WriteFiller(gapLo, gapHi-gapLo) // persists internally
+		}
+	}
+}

@@ -1,0 +1,155 @@
+package pgc
+
+import (
+	"fmt"
+	"time"
+
+	"espresso/internal/layout"
+	"espresso/internal/nvm"
+	"espresso/internal/pheap"
+)
+
+// Result reports what a collection (or recovery) did.
+type Result struct {
+	LiveObjects  int
+	LiveBytes    int
+	MovedObjects int
+	MovedBytes   int
+	NewTop       int
+	Pause        time.Duration
+	DeviceStats  nvm.Stats // device traffic during the collection
+	Recovered    bool      // true when produced by Recover
+}
+
+// Collect runs a full crash-consistent collection of h. ext supplies (and
+// receives updates for) DRAM references into the heap; pass NoRoots{} if
+// none exist. The world must be stopped: no allocation or mutation may run
+// concurrently, as with the JVM's stop-the-world old GC.
+func Collect(h *pheap.Heap, ext Rooter) (Result, error) {
+	if h.GCActive() {
+		return Result{}, fmt.Errorf("pgc: heap is mid-collection; run Recover first")
+	}
+	if ext == nil {
+		ext = NoRoots{}
+	}
+	start := time.Now()
+	statsBefore := h.Device().Stats()
+
+	// Phase 1: mark, then persist both bitmaps. The mark bitmap is the
+	// pre-collection sketch of the heap; the cleared region bitmap must be
+	// durable before the heap is stamped active, or recovery could trust
+	// stale region bits from a previous collection.
+	liveObjects, liveBytes, err := mark(h, ext)
+	if err != nil {
+		return Result{}, err
+	}
+	h.MarkBitmap().Persist()
+	h.RegionBitmap().Persist()
+
+	// Phase 2: stamp the heap mid-collection (timestamp first, flag second;
+	// see pheap.SetGCState for why the order matters).
+	cur := h.GlobalTS() + 1
+	h.SetGCState(cur, true)
+
+	// Phase 3: summary — idempotent, derived from the bitmap alone.
+	s, err := Summarize(h)
+	if err != nil {
+		// Nothing has moved; un-stamp the heap and report.
+		h.SetGCState(cur, false)
+		return Result{}, err
+	}
+	if s.LiveObjects != liveObjects || s.LiveBytes != liveBytes {
+		h.SetGCState(cur, false)
+		return Result{}, fmt.Errorf("pgc: summary disagrees with marking: %d/%d objects, %d/%d bytes",
+			s.LiveObjects, liveObjects, s.LiveBytes, liveBytes)
+	}
+
+	// Phase 4: compact. Recycling state refers to the pre-GC layout and
+	// must be dropped before anything moves.
+	h.ResetFreeHoles()
+	compact(h, s, cur)
+
+	// Phase 5: finish atomically via the redo log, then patch DRAM roots
+	// and hand the filler-covered gaps back to the allocator.
+	finish(h, s)
+	ext.UpdateRoots(s.Forward)
+	h.SetFreeHoles(freeHolesOf(h, s))
+
+	return Result{
+		LiveObjects:  s.LiveObjects,
+		LiveBytes:    s.LiveBytes,
+		MovedObjects: s.MovedObjects,
+		MovedBytes:   s.MovedBytes,
+		NewTop:       s.NewTop,
+		Pause:        time.Since(start),
+		DeviceStats:  h.Device().Stats().Sub(statsBefore),
+	}, nil
+}
+
+// finish commits the collection's metadata transition — forwarded root
+// entries, the new top, gcActive=0 — through the redo log so the whole
+// batch is atomic and idempotently reapplicable.
+func finish(h *pheap.Heap, s *Summary) {
+	var entries []pheap.RedoEntry
+	for _, root := range h.Roots() {
+		entries = append(entries, pheap.RedoEntry{Off: root.ValueOff, Val: uint64(s.Forward(root.Ref))})
+	}
+	entries = append(entries,
+		pheap.RedoEntry{Off: h.TopMetaOff(), Val: uint64(s.NewTop)},
+		pheap.RedoEntry{Off: h.GCActiveMetaOff(), Val: 0},
+	)
+	h.RedoCommit(entries)
+	h.RedoApply()
+	h.RefreshAfterRedo()
+}
+
+// freeHolesOf lists the filler-covered gaps below the new top — exactly
+// the ranges writeGapFillers plugged — so the allocator can refill them.
+func freeHolesOf(h *pheap.Heap, s *Summary) []pheap.Hole {
+	geo := h.Geo()
+	var holes []pheap.Hole
+	for r := 0; geo.DataOff+r*layout.RegionSize < s.NewTop; r++ {
+		start := geo.DataOff + r*layout.RegionSize
+		lo := start + s.Occupancy(r)
+		hi := start + layout.RegionSize
+		if hi > s.NewTop {
+			hi = s.NewTop
+		}
+		if lo < hi {
+			holes = append(holes, pheap.Hole{Lo: lo, Hi: hi})
+		}
+	}
+	return holes
+}
+
+// Recover finishes an interrupted collection on a freshly loaded heap
+// (paper §4.3): refetch the mark bitmap, redo the summary, process the
+// regions the region bitmap and source timestamps report unfinished, and
+// rerun the atomic finish. It is a no-op on a heap that is not
+// mid-collection. Recovery itself may crash and be rerun: every step is
+// idempotent.
+func Recover(h *pheap.Heap) (Result, error) {
+	if !h.GCActive() {
+		return Result{}, nil
+	}
+	start := time.Now()
+	statsBefore := h.Device().Stats()
+	s, err := Summarize(h)
+	if err != nil {
+		return Result{}, fmt.Errorf("pgc: recovery summary: %w", err)
+	}
+	h.ResetFreeHoles()
+	compact(h, s, h.GlobalTS())
+	finish(h, s)
+	h.SetFreeHoles(freeHolesOf(h, s))
+	return Result{
+		LiveObjects:  s.LiveObjects,
+		LiveBytes:    s.LiveBytes,
+		MovedObjects: s.MovedObjects,
+		MovedBytes:   s.MovedBytes,
+		NewTop:       s.NewTop,
+		Pause:        time.Since(start),
+		DeviceStats:  h.Device().Stats().Sub(statsBefore),
+		Recovered:    true,
+	}, nil
+}

@@ -1,0 +1,82 @@
+package pgc
+
+import (
+	"fmt"
+
+	"espresso/internal/layout"
+	"espresso/internal/pheap"
+)
+
+// Rooter supplies the collector with roots that live outside the heap
+// image: DRAM slots (volatile-heap fields, runtime handles) holding
+// references into the persistent heap. The name-table roots are handled
+// by the collector itself.
+type Rooter interface {
+	// Roots calls visit with every candidate external root reference.
+	// Non-heap values are ignored by the collector.
+	Roots(visit func(layout.Ref))
+	// UpdateRoots applies the forwarding function to every external slot
+	// and stores the result back, after compaction has moved objects.
+	UpdateRoots(fwd func(layout.Ref) layout.Ref)
+}
+
+// NoRoots is the Rooter for a heap with no live DRAM references — the
+// situation during recovery, when the previous process's DRAM is gone.
+type NoRoots struct{}
+
+// Roots is a no-op: there are no external roots.
+func (NoRoots) Roots(func(layout.Ref)) {}
+
+// UpdateRoots is a no-op: there are no external slots to patch.
+func (NoRoots) UpdateRoots(func(layout.Ref) layout.Ref) {}
+
+// mark traces the heap from the name-table roots plus ext's roots,
+// setting begin and end bits in the mark bitmap for every live object.
+// It returns the live object count and byte volume.
+func mark(h *pheap.Heap, ext Rooter) (int, int, error) {
+	bm := h.MarkBitmap()
+	bm.ClearAll()
+	h.RegionBitmap().ClearAll()
+
+	geo := h.Geo()
+	idx := func(off int) int { return (off - geo.DataOff) / layout.WordSize }
+
+	var stack []layout.Ref
+	pushRoot := func(ref layout.Ref) {
+		if ref != layout.NullRef && h.Contains(ref) {
+			stack = append(stack, ref)
+		}
+	}
+	for _, r := range h.Roots() {
+		pushRoot(r.Ref)
+	}
+	if ext != nil {
+		ext.Roots(pushRoot)
+	}
+
+	liveObjects, liveBytes := 0, 0
+	dev := h.Device()
+	for len(stack) > 0 {
+		ref := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		off := h.OffOf(ref)
+		if bm.Get(idx(off)) {
+			continue // already marked (object starts are never interior words)
+		}
+		k, size, err := h.SizeOfObjectAt(off)
+		if err != nil {
+			return 0, 0, fmt.Errorf("pgc: marking %#x: %w", uint64(ref), err)
+		}
+		bm.Set(idx(off))
+		bm.Set(idx(off) + size/layout.WordSize - 1)
+		liveObjects++
+		liveBytes += size
+		pheap.RefSlots(dev, off, k, func(slotBoff int) {
+			v := layout.Ref(dev.ReadU64(off + slotBoff))
+			if v != layout.NullRef && h.Contains(v) {
+				stack = append(stack, v)
+			}
+		})
+	}
+	return liveObjects, liveBytes, nil
+}

@@ -1,0 +1,303 @@
+// Package pgc implements the crash-consistent garbage collector for the
+// persistent Java heap (paper §4.2–§4.3): a region-based mark/summary/
+// compact algorithm derived from ParallelScavenge's old GC, hardened so a
+// crash at any point leaves the heap recoverable.
+//
+// The protocol, as in the paper:
+//
+//  1. Marking records live objects in the persistent mark bitmap; the
+//     bitmap is persisted before anything moves.
+//  2. The heap is stamped mid-collection: the global timestamp is bumped
+//     and the gcActive flag set (in that store order), making every object
+//     "stale".
+//  3. The summary phase is a pure function of the mark bitmap — idempotent,
+//     so recovery can simply rerun it.
+//  4. The compact phase copies each live object to its destination, fixes
+//     its references, persists it, and then writes the current timestamp
+//     into both headers, destination first. Until a source region is fully
+//     evacuated, its data is the undo log for its objects; a region bitmap
+//     records full evacuation, after which (and only after which) a region
+//     may be reused as a destination.
+//  5. The finish step — forwarded root entries, the new top, clearing
+//     gcActive — commits atomically through the metadata redo log.
+//
+// Recovery reruns summary from the persisted bitmap and resumes compaction:
+// objects in bitmap-marked regions are done wholesale (their source bytes
+// may be overwritten); elsewhere the source header's timestamp — a real
+// header, intact by the undo-log invariant — tells exactly which objects
+// were processed. The timestamp check deliberately reads the *source*
+// header: destination bytes of an unfinished copy are arbitrary, and a
+// payload word there could forge a timestamp.
+package pgc
+
+import (
+	"errors"
+	"sort"
+
+	"espresso/internal/layout"
+	"espresso/internal/pheap"
+)
+
+// ErrNoSpaceToCompact is returned when the heap is so full and fragmented
+// that no empty region is available as an evacuation destination.
+var ErrNoSpaceToCompact = errors.New("pgc: no empty region available for compaction")
+
+// Move describes one live object: its source, destination, and size, all
+// as device offsets. Dst == Src for objects that stay in place (dense
+// prefix and pinned humongous objects).
+type Move struct {
+	Src, Dst, Size int
+}
+
+// Summary is the idempotent output of the summary phase: the full
+// forwarding relation plus the per-region occupancy needed to place
+// fillers and compute the new top. It is derived from the mark bitmap
+// alone, never from heap data, so recovery recomputes it bit-identically.
+type Summary struct {
+	Moves []Move // ascending by Src
+
+	// regionLastMove[r] is the index in Moves of the last object whose
+	// source lies in region r, or -1. The compactor sets r's region-bitmap
+	// bit after processing that move.
+	regionLastMove []int
+	// occ[r] is the final occupied prefix of region r in bytes.
+	occ []int
+
+	NewTop       int
+	LiveObjects  int
+	LiveBytes    int
+	MovedObjects int
+	MovedBytes   int
+
+	dataOff int
+	base    layout.Ref
+}
+
+// Summarize runs the summary phase over h's persisted mark bitmap.
+func Summarize(h *pheap.Heap) (*Summary, error) {
+	geo := h.Geo()
+	regions := geo.Regions()
+	s := &Summary{
+		regionLastMove: make([]int, regions),
+		occ:            make([]int, regions),
+		dataOff:        geo.DataOff,
+		base:           h.Base(),
+	}
+	for i := range s.regionLastMove {
+		s.regionLastMove[i] = -1
+	}
+
+	// Decode (begin,end) mark-bit pairs into (src,size) runs. The size of
+	// every live object is recoverable from the bitmap alone, which is
+	// what makes this phase rerunnable after a crash even when source
+	// bytes have been overwritten.
+	bm := h.MarkBitmap()
+	type liveObj struct{ src, size int }
+	var objs []liveObj
+	for b := bm.NextSet(0); b >= 0; {
+		e := bm.NextSet(b + 1)
+		if e < 0 {
+			return nil, errors.New("pgc: mark bitmap has unpaired begin bit")
+		}
+		src := geo.DataOff + b*layout.WordSize
+		size := (e - b + 1) * layout.WordSize
+		objs = append(objs, liveObj{src, size})
+		s.LiveObjects++
+		s.LiveBytes += size
+		b = bm.NextSet(e + 1)
+	}
+
+	regionOf := func(off int) int { return (off - geo.DataOff) / layout.RegionSize }
+	regionStart := func(r int) int { return geo.DataOff + r*layout.RegionSize }
+
+	// Per-region live bytes (seeds the destination pool with empty
+	// regions) and last-object index (drives the region bitmap and the
+	// pool recycling).
+	liveIn := make([]int, regions)
+	lastObj := make([]int, regions)
+	for i := range lastObj {
+		lastObj[i] = -1
+	}
+	for i, o := range objs {
+		for r := regionOf(o.src); r <= regionOf(o.src+o.size-1); r++ {
+			lo := max(o.src, regionStart(r))
+			hi := min(o.src+o.size, regionStart(r)+layout.RegionSize)
+			liveIn[r] += hi - lo
+		}
+		lastObj[regionOf(o.src)] = i
+	}
+	// The destination pool holds *start offsets* of free space: whole empty
+	// regions, the tail of a region behind an in-place (dense or pinned)
+	// prefix, and — once fully evacuated — recycled source regions. Always
+	// drawing the lowest offset packs the heap downward.
+	var pool minIntHeap
+	for r := 0; r < regions; r++ {
+		if liveIn[r] == 0 {
+			pool.push(regionStart(r))
+		}
+	}
+
+	// Assign destinations in address order. The invariants that make the
+	// source-as-undo-log protocol sound:
+	//
+	//   - free space enters the pool only when nothing live remains to read
+	//     from it: empty regions up front, evacuated regions and in-place
+	//     tails only after the region's last source object is assigned;
+	//   - compaction executes moves in the same ascending order, so by the
+	//     time a destination is written, every object that lived there has
+	//     already been copied out.
+	dense := true
+	denseFill := geo.DataOff
+	inPlaceEnd := make([]int, regions) // prefix occupied by non-moving objects
+	destRegion, destFill := -1, 0
+	retireDest := func() {
+		if destRegion >= 0 {
+			s.occ[destRegion] = destFill - regionStart(destRegion)
+			destRegion = -1
+		}
+	}
+	for i, o := range objs {
+		srcRegion := regionOf(o.src)
+		var dst int
+		switch {
+		case dense && o.src == denseFill:
+			dst = o.src
+			denseFill += o.size
+		case o.size > pheap.HugeThreshold:
+			// Pinned humongous object: allocated on exclusive region-
+			// aligned runs, stays put; its final region's tail becomes
+			// destination space immediately (nothing else lives there).
+			dense = false
+			dst = o.src
+			tail := o.src + o.size
+			if tail%layout.RegionSize != 0 {
+				pool.push(tail)
+			}
+		default:
+			dense = false
+			if destRegion < 0 || destFill+o.size > regionStart(destRegion)+layout.RegionSize {
+				retireDest()
+				if pool.empty() {
+					return nil, ErrNoSpaceToCompact
+				}
+				destFill = pool.pop()
+				destRegion = regionOf(destFill)
+			}
+			dst = destFill
+			destFill += o.size
+		}
+		s.Moves = append(s.Moves, Move{Src: o.src, Dst: dst, Size: o.size})
+		if dst != o.src {
+			s.MovedObjects++
+			s.MovedBytes += o.size
+		} else {
+			for r := srcRegion; r <= regionOf(o.src+o.size-1); r++ {
+				end := min(o.src+o.size, regionStart(r)+layout.RegionSize)
+				if pe := end - regionStart(r); pe > inPlaceEnd[r] {
+					inPlaceEnd[r] = pe
+				}
+				if inPlaceEnd[r] > s.occ[r] {
+					s.occ[r] = inPlaceEnd[r]
+				}
+			}
+		}
+		s.regionLastMove[srcRegion] = len(s.Moves) - 1
+		if i == lastObj[srcRegion] && srcRegion != destRegion && o.size <= pheap.HugeThreshold {
+			// The region's sources are all assigned: the space behind its
+			// in-place prefix (the whole region if it has none) is free to
+			// receive later objects.
+			free := regionStart(srcRegion) + inPlaceEnd[srcRegion]
+			if free < regionStart(srcRegion)+layout.RegionSize {
+				pool.push(free)
+			}
+		}
+	}
+	retireDest()
+
+	// New top: one past the highest finally-occupied byte.
+	s.NewTop = geo.DataOff
+	for r := 0; r < regions; r++ {
+		if s.occ[r] > 0 {
+			s.NewTop = regionStart(r) + s.occ[r]
+		}
+	}
+	return s, nil
+}
+
+// Forward maps a pre-GC object address to its post-GC address. Addresses
+// outside the heap (DRAM refs, other heaps, null) map to themselves, as do
+// unmoved objects.
+func (s *Summary) Forward(ref layout.Ref) layout.Ref {
+	if ref == layout.NullRef {
+		return ref
+	}
+	off := int(ref - s.base)
+	i := sort.Search(len(s.Moves), func(i int) bool { return s.Moves[i].Src >= off })
+	if i < len(s.Moves) && s.Moves[i].Src == off {
+		return s.base + layout.Ref(s.Moves[i].Dst)
+	}
+	return ref
+}
+
+// RegionLastMove exposes the per-region last-move index (see the compact
+// phase).
+func (s *Summary) RegionLastMove(r int) int { return s.regionLastMove[r] }
+
+// Occupancy reports the final occupied prefix of region r.
+func (s *Summary) Occupancy(r int) int { return s.occ[r] }
+
+// minIntHeap is a small binary min-heap of region indexes.
+type minIntHeap struct{ a []int }
+
+func (h *minIntHeap) empty() bool { return len(h.a) == 0 }
+
+func (h *minIntHeap) push(v int) {
+	h.a = append(h.a, v)
+	i := len(h.a) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.a[p] <= h.a[i] {
+			break
+		}
+		h.a[p], h.a[i] = h.a[i], h.a[p]
+		i = p
+	}
+}
+
+func (h *minIntHeap) pop() int {
+	v := h.a[0]
+	last := len(h.a) - 1
+	h.a[0] = h.a[last]
+	h.a = h.a[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(h.a) && h.a[l] < h.a[small] {
+			small = l
+		}
+		if r < len(h.a) && h.a[r] < h.a[small] {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h.a[i], h.a[small] = h.a[small], h.a[i]
+		i = small
+	}
+	return v
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

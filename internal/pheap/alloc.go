@@ -1,0 +1,207 @@
+package pheap
+
+import (
+	"fmt"
+
+	"espresso/internal/klass"
+	"espresso/internal/layout"
+)
+
+// Crash-consistent allocation (paper §4.1). The paper's three phases are
+//
+//	(1) fetch the Klass pointer from the constant pool,
+//	(2) allocate memory and update top,
+//	(3) initialize the object header,
+//
+// with the persisted replica of top and the klass-pointer store ordered by
+// flush+fence. We strengthen the paper's ordering slightly: the header is
+// persisted *before* the top replica advances past the object, so the
+// persisted prefix of the data heap is always a parseable sequence of
+// objects — a crash can only truncate at a persisted-top boundary, never
+// expose an uninitialized header below it (the paper's "stale top value →
+// truncation" recovery rule, made unconditional).
+//
+// Objects never straddle a region boundary; the remainder of a region that
+// cannot fit the next object is plugged with a filler object. Objects
+// larger than half a region ("humongous") are allocated on whole
+// region-aligned runs and are pinned by the collector.
+
+// HugeThreshold is the size above which an allocation takes the humongous
+// path.
+const HugeThreshold = layout.RegionSize / 2
+
+// ErrOutOfMemory is returned when the data heap cannot fit an allocation.
+var ErrOutOfMemory = fmt.Errorf("pheap: out of persistent heap space")
+
+// Alloc allocates an object of klass k. arrayLen is the element count for
+// array klasses and ignored for instance klasses. The object body is
+// zeroed; the header carries the current global timestamp. This is the
+// landing point of the pnew/panewarray/pnewarray bytecodes.
+func (h *Heap) Alloc(k *klass.Klass, arrayLen int) (layout.Ref, error) {
+	if k.IsArray() && arrayLen < 0 {
+		return 0, fmt.Errorf("pheap: negative array length %d", arrayLen)
+	}
+	size := k.SizeOf(arrayLen)
+
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.gcActive {
+		return 0, fmt.Errorf("pheap: allocation while collection in progress")
+	}
+	kaddr, err := h.ensureKlassLocked(k)
+	if err != nil {
+		return 0, err
+	}
+
+	var off int
+	inHole := false
+	if size > HugeThreshold {
+		off, err = h.reserveHumongousLocked(size)
+	} else {
+		off, inHole, err = h.reserveLocked(size)
+	}
+	if err != nil {
+		return 0, err
+	}
+
+	if inHole {
+		// Recycled-region protocol: the hole is currently covered by a
+		// filler, so the heap parses at every instant. First persist a new
+		// tail filler for the remainder, then the object header; a crash
+		// between the two leaves the old covering filler in charge.
+		if tail := h.holeEnd - (off + size); tail > 0 {
+			h.fillGapLocked(off+size, tail)
+		}
+		h.dev.Zero(off, size)
+		h.writeHeader(off, kaddr, k, arrayLen)
+		h.dev.Flush(off, headerBytesOf(k))
+		h.dev.Fence()
+		// top is untouched: the hole lies below the persisted top.
+		return h.AddrOf(off), nil
+	}
+
+	h.dev.Zero(off, size)
+	h.writeHeader(off, kaddr, k, arrayLen)
+	h.dev.Flush(off, headerBytesOf(k))
+	h.dev.Fence()
+	h.persistU64(mTop, uint64(h.top))
+	return h.AddrOf(off), nil
+}
+
+func headerBytesOf(k *klass.Klass) int {
+	if k.IsArray() {
+		return layout.ArrayHdrBytes
+	}
+	return layout.HeaderBytes
+}
+
+func (h *Heap) writeHeader(off int, kaddr layout.Ref, k *klass.Klass, arrayLen int) {
+	h.dev.WriteU64(off+layout.MarkWordOff, layout.MarkWord(h.globalTS, 0))
+	h.dev.WriteU64(off+layout.KlassWordOff, uint64(kaddr))
+	if k.IsArray() {
+		h.dev.WriteU64(off+layout.ArrayLenOff, uint64(arrayLen))
+	}
+}
+
+// dataLimit is one past the last allocatable byte (the scratch region is
+// reserved for the compactor).
+func (h *Heap) dataLimit() int { return h.geo.ScratchOff }
+
+// reserveLocked claims size bytes for a small object: first from the
+// active recycled hole, then from the free-region list, then by bumping
+// top (plugging the current region's tail with a filler if the object
+// would straddle the boundary).
+func (h *Heap) reserveLocked(size int) (off int, inHole bool, err error) {
+	for {
+		if h.holeCur != 0 && h.holeCur+size <= h.holeEnd {
+			off = h.holeCur
+			h.holeCur += size
+			return off, true, nil
+		}
+		if len(h.freeHoles) == 0 {
+			break
+		}
+		// The abandoned hole's tail is already covered by a filler from
+		// the previous allocation (or by the GC's gap filler).
+		next := h.freeHoles[0]
+		h.freeHoles = h.freeHoles[1:]
+		h.holeCur, h.holeEnd = next.Lo, next.Hi
+	}
+
+	regionEnd := (h.top/layout.RegionSize + 1) * layout.RegionSize
+	if h.top+size > regionEnd {
+		if regionEnd > h.dataLimit() {
+			return 0, false, ErrOutOfMemory
+		}
+		h.fillGapLocked(h.top, regionEnd-h.top)
+		h.top = regionEnd
+	}
+	if h.top+size > h.dataLimit() {
+		return 0, false, ErrOutOfMemory
+	}
+	off = h.top
+	h.top += size
+	return off, false, nil
+}
+
+// reserveHumongousLocked claims a whole-region-aligned run for a humongous
+// object and plugs the tail of its last region.
+func (h *Heap) reserveHumongousLocked(size int) (int, error) {
+	start := align(h.top, layout.RegionSize)
+	end := align(start+size, layout.RegionSize)
+	if end > h.dataLimit() {
+		return 0, ErrOutOfMemory
+	}
+	if start > h.top {
+		h.fillGapLocked(h.top, start-h.top)
+	}
+	if end > start+size {
+		h.fillGapLocked(start+size, end-start-size)
+	}
+	h.top = end
+	return start, nil
+}
+
+// fillGapLocked writes a filler object covering exactly [off, off+n).
+// n must be 16-aligned; a 16-byte gap takes the 2-word filler, larger gaps
+// a byte-array filler.
+func (h *Heap) fillGapLocked(off, n int) {
+	if n == 0 {
+		return
+	}
+	if n < layout.MinObjectBytes || n%layout.ObjAlign != 0 {
+		panic(fmt.Sprintf("pheap: unfillable gap of %d bytes", n))
+	}
+	if n == layout.HeaderBytes {
+		fk := h.reg.Filler()
+		kaddr, _ := h.ensureKlassLocked(fk)
+		h.writeHeader(off, kaddr, fk, 0)
+		h.dev.Flush(off, layout.HeaderBytes)
+		h.dev.Fence()
+		return
+	}
+	fk := h.reg.FillerArray()
+	kaddr, _ := h.ensureKlassLocked(fk)
+	// Choose the largest length whose aligned size equals n exactly.
+	elems := n - layout.ArrayHdrBytes
+	if layout.ArrayBytes(layout.FTByte, elems) != n {
+		elems -= layout.ArrayBytes(layout.FTByte, elems) - n
+	}
+	h.writeHeader(off, kaddr, fk, elems)
+	h.dev.Flush(off, layout.ArrayHdrBytes)
+	h.dev.Fence()
+}
+
+// IsFiller reports whether k is one of the gap-filler klasses.
+func IsFiller(k *klass.Klass) bool {
+	return k.Name == klass.FillerName || k.Name == klass.FillerArrayName
+}
+
+// WriteFiller writes a persisted filler object covering exactly
+// [off, off+n). The garbage collector uses it to plug evacuated holes so
+// the compacted heap still parses.
+func (h *Heap) WriteFiller(off, n int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.fillGapLocked(off, n)
+}

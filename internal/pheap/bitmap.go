@@ -1,0 +1,112 @@
+package pheap
+
+import (
+	"espresso/internal/layout"
+	"espresso/internal/nvm"
+)
+
+// Bitmap is a device-backed bitset. The mark bitmap keeps one bit per
+// heap word (an object is marked at its starting word); the region bitmap
+// keeps one bit per region. Both live in the heap image so they survive a
+// crash once flushed (paper §4.2: "the mark bitmap can be seen as a sketch
+// of the whole heap before the real collection").
+type Bitmap struct {
+	dev  *nvm.Device
+	off  int // device offset of the first word
+	bits int
+}
+
+// MarkBitmap returns the heap's mark bitmap (one bit per data-heap word).
+func (h *Heap) MarkBitmap() *Bitmap {
+	return &Bitmap{dev: h.dev, off: h.geo.MarkBmpOff, bits: h.geo.DataSize / layout.WordSize}
+}
+
+// RegionBitmap returns the heap's processed-region bitmap.
+func (h *Heap) RegionBitmap() *Bitmap {
+	return &Bitmap{dev: h.dev, off: h.geo.RegionBmpOff, bits: h.geo.Regions()}
+}
+
+// markIndex converts a data-heap device offset to a mark-bitmap bit index.
+func (h *Heap) markIndex(off int) int { return (off - h.geo.DataOff) / layout.WordSize }
+
+// MarkObject sets the mark bit for the object at device offset off.
+func (h *Heap) MarkObject(off int) { h.MarkBitmap().Set(h.markIndex(off)) }
+
+// IsMarked reports the mark bit for the object at device offset off.
+func (h *Heap) IsMarked(off int) bool { return h.MarkBitmap().Get(h.markIndex(off)) }
+
+// Len reports the number of bits.
+func (b *Bitmap) Len() int { return b.bits }
+
+// Set sets bit i.
+func (b *Bitmap) Set(i int) {
+	woff := b.off + i/64*8
+	b.dev.WriteU64(woff, b.dev.ReadU64(woff)|1<<(uint(i)%64))
+}
+
+// Clear clears bit i.
+func (b *Bitmap) Clear(i int) {
+	woff := b.off + i/64*8
+	b.dev.WriteU64(woff, b.dev.ReadU64(woff)&^(1<<(uint(i)%64)))
+}
+
+// Get reports bit i.
+func (b *Bitmap) Get(i int) bool {
+	return b.dev.ReadU64(b.off+i/64*8)&(1<<(uint(i)%64)) != 0
+}
+
+// ClearAll zeroes the bitmap (volatile store; persist with Persist).
+func (b *Bitmap) ClearAll() {
+	b.dev.Zero(b.off, (b.bits+63)/64*8)
+}
+
+// NextSet returns the first set bit ≥ from, or -1.
+func (b *Bitmap) NextSet(from int) int {
+	if from < 0 {
+		from = 0
+	}
+	wi := from / 64
+	lastW := (b.bits - 1) / 64
+	if from >= b.bits {
+		return -1
+	}
+	w := b.dev.ReadU64(b.off+wi*8) >> (uint(from) % 64) << (uint(from) % 64)
+	for {
+		if w != 0 {
+			bit := wi*64 + tz64(w)
+			if bit >= b.bits {
+				return -1
+			}
+			return bit
+		}
+		wi++
+		if wi > lastW {
+			return -1
+		}
+		w = b.dev.ReadU64(b.off + wi*8)
+	}
+}
+
+// CountSet reports the number of set bits (diagnostics, tests).
+func (b *Bitmap) CountSet() int {
+	n := 0
+	for i := b.NextSet(0); i >= 0; i = b.NextSet(i + 1) {
+		n++
+	}
+	return n
+}
+
+// Persist flushes the bitmap's backing words.
+func (b *Bitmap) Persist() {
+	b.dev.Flush(b.off, (b.bits+63)/64*8)
+	b.dev.Fence()
+}
+
+func tz64(w uint64) int {
+	n := 0
+	for w&1 == 0 {
+		w >>= 1
+		n++
+	}
+	return n
+}

@@ -1,0 +1,417 @@
+// Package pheap implements PJH, the Persistent Java Heap of the paper's
+// §3–§4: an NVM-resident space holding Java objects, laid out as
+//
+//	metadata area | name table | string arena | redo log |
+//	mark bitmap | region bitmap | Klass segment | data heap (+ scratch region)
+//
+// All components live on one nvm.Device so the whole heap is a single
+// reloadable image. The metadata area stores the address hint, heap size,
+// top pointer, global GC timestamp, and GC-active flag (paper Figure 8);
+// the name table maps string constants to Klass entries and root entries;
+// the Klass segment stores place-holder Klass records that are
+// re-initialized in place on load so class pointers inside objects stay
+// valid; the data heap is carved into regions for the crash-consistent
+// compacting collector in package pgc.
+package pheap
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"espresso/internal/klass"
+	"espresso/internal/layout"
+	"espresso/internal/nvm"
+)
+
+const (
+	heapMagic   = 0x4553_5052_4845_4150 // "ESPRHEAP"
+	heapVersion = 1
+)
+
+// Metadata field offsets (device-relative). The whole block fits in three
+// cache lines at the start of the device.
+const (
+	mMagic         = 0
+	mVersion       = 8
+	mAddressHint   = 16
+	mDeviceSize    = 24
+	mTop           = 32
+	mGlobalTS      = 40
+	mGCActive      = 48
+	mNameTabOff    = 56
+	mNameTabCap    = 64
+	mArenaOff      = 72
+	mArenaSize     = 80
+	mArenaUsed     = 88
+	mRedoOff       = 96
+	mRedoSize      = 104
+	mMarkBmpOff    = 112
+	mMarkBmpSize   = 120
+	mRegionBmpOff  = 128
+	mRegionBmpSize = 136
+	mKsegOff       = 144
+	mKsegSize      = 152
+	mKsegUsed      = 160
+	mDataOff       = 168
+	mDataSize      = 176
+	mScratchOff    = 184
+	metadataBytes  = 192
+)
+
+// Config sizes a new heap. Zero values select defaults.
+type Config struct {
+	// Name identifies the heap to the external name manager.
+	Name string
+	// AddressHint is the virtual base address the heap wants to occupy
+	// (paper: "the starting virtual address of the whole heap for future
+	// heap reloading"). Defaults to layout.DefaultPJHBase.
+	AddressHint layout.Ref
+	// DataSize is the requested data-heap capacity in bytes; it is rounded
+	// up to whole regions and one extra scratch region is added for the
+	// compactor. Default 16 MB.
+	DataSize int
+	// KsegSize caps the Klass segment. Default 1 MB.
+	KsegSize int
+	// NameTabCap is the name table capacity in entries. Default 4096.
+	NameTabCap int
+	// ArenaSize caps the name-string arena. Default 256 KB.
+	ArenaSize int
+	// Mode and WriteLatency configure the backing nvm.Device.
+	Mode         nvm.Mode
+	WriteLatency time.Duration
+}
+
+func (c *Config) fillDefaults() {
+	if c.AddressHint == 0 {
+		c.AddressHint = layout.DefaultPJHBase
+	}
+	if c.DataSize == 0 {
+		c.DataSize = 16 << 20
+	}
+	if c.KsegSize == 0 {
+		c.KsegSize = 1 << 20
+	}
+	if c.NameTabCap == 0 {
+		c.NameTabCap = 4096
+	}
+	if c.ArenaSize == 0 {
+		c.ArenaSize = 256 << 10
+	}
+}
+
+// Geometry is the resolved component layout of a heap image.
+type Geometry struct {
+	NameTabOff, NameTabCap      int
+	ArenaOff, ArenaSize         int
+	RedoOff, RedoSize           int
+	MarkBmpOff, MarkBmpSize     int
+	RegionBmpOff, RegionBmpSize int
+	KsegOff, KsegSize           int
+	DataOff, DataSize           int // includes the scratch region
+	ScratchOff                  int
+}
+
+// Regions reports the number of data regions, including the scratch
+// region.
+func (g Geometry) Regions() int { return g.DataSize / layout.RegionSize }
+
+// Heap is a loaded PJH instance. Allocation is safe for concurrent use;
+// GC and load/recovery assume the world is stopped, as in the JVM.
+type Heap struct {
+	dev  *nvm.Device
+	reg  *klass.Registry
+	name string
+	base layout.Ref
+	geo  Geometry
+
+	mu        sync.Mutex
+	top       int // volatile mirror of the persisted top (device offset)
+	gcActive  bool
+	globalTS  uint64
+	ksegUsed  int
+	arenaUsed int
+
+	// Hole recycling: the collector reports the filler-covered gaps below
+	// top that it left behind; the allocator refills them before growing
+	// top. The list is volatile — after a reload it starts empty and is
+	// repopulated by the next collection.
+	freeHoles []Hole
+	holeCur   int // active recycled hole being filled; 0 = none
+	holeEnd   int
+
+	segByAddr map[layout.Ref]*klass.Klass
+	segByName map[string]layout.Ref
+}
+
+func align(n, a int) int { return (n + a - 1) &^ (a - 1) }
+
+// Create formats a fresh heap on a new device.
+func Create(reg *klass.Registry, cfg Config) (*Heap, error) {
+	cfg.fillDefaults()
+	dataSize := align(cfg.DataSize, layout.RegionSize) + layout.RegionSize // + scratch
+	regions := dataSize / layout.RegionSize
+
+	geo := Geometry{NameTabCap: cfg.NameTabCap, ArenaSize: align(cfg.ArenaSize, 64)}
+	off := align(metadataBytes, 64)
+	geo.NameTabOff = off
+	off += cfg.NameTabCap * nameEntryBytes
+	geo.ArenaOff = off
+	off += geo.ArenaSize
+	geo.RedoOff = off
+	geo.RedoSize = align(16+cfg.NameTabCap*16+64, 64)
+	off += geo.RedoSize
+	geo.MarkBmpOff = off
+	geo.MarkBmpSize = align(dataSize/layout.WordSize/8, 64)
+	off += geo.MarkBmpSize
+	geo.RegionBmpOff = off
+	geo.RegionBmpSize = align((regions+7)/8, 64)
+	off += geo.RegionBmpSize
+	geo.KsegOff = off
+	geo.KsegSize = align(cfg.KsegSize, 64)
+	off += geo.KsegSize
+	off = align(off, layout.RegionSize)
+	geo.DataOff = off
+	geo.DataSize = dataSize
+	geo.ScratchOff = off + dataSize - layout.RegionSize
+	total := off + dataSize
+
+	dev := nvm.New(nvm.Config{Size: total, Mode: cfg.Mode, WriteLatency: cfg.WriteLatency})
+	h := &Heap{
+		dev: dev, reg: reg, name: cfg.Name, base: cfg.AddressHint, geo: geo,
+		top:       geo.DataOff,
+		segByAddr: make(map[layout.Ref]*klass.Klass),
+		segByName: make(map[string]layout.Ref),
+	}
+
+	dev.WriteU64(mMagic, heapMagic)
+	dev.WriteU64(mVersion, heapVersion)
+	dev.WriteU64(mAddressHint, uint64(cfg.AddressHint))
+	dev.WriteU64(mDeviceSize, uint64(total))
+	dev.WriteU64(mTop, uint64(h.top))
+	dev.WriteU64(mGlobalTS, 1)
+	dev.WriteU64(mGCActive, 0)
+	dev.WriteU64(mNameTabOff, uint64(geo.NameTabOff))
+	dev.WriteU64(mNameTabCap, uint64(geo.NameTabCap))
+	dev.WriteU64(mArenaOff, uint64(geo.ArenaOff))
+	dev.WriteU64(mArenaSize, uint64(geo.ArenaSize))
+	dev.WriteU64(mArenaUsed, 0)
+	dev.WriteU64(mRedoOff, uint64(geo.RedoOff))
+	dev.WriteU64(mRedoSize, uint64(geo.RedoSize))
+	dev.WriteU64(mMarkBmpOff, uint64(geo.MarkBmpOff))
+	dev.WriteU64(mMarkBmpSize, uint64(geo.MarkBmpSize))
+	dev.WriteU64(mRegionBmpOff, uint64(geo.RegionBmpOff))
+	dev.WriteU64(mRegionBmpSize, uint64(geo.RegionBmpSize))
+	dev.WriteU64(mKsegOff, uint64(geo.KsegOff))
+	dev.WriteU64(mKsegSize, uint64(geo.KsegSize))
+	dev.WriteU64(mKsegUsed, 0)
+	dev.WriteU64(mDataOff, uint64(geo.DataOff))
+	dev.WriteU64(mDataSize, uint64(dataSize))
+	dev.WriteU64(mScratchOff, uint64(geo.ScratchOff))
+	dev.Flush(0, metadataBytes)
+	dev.Fence()
+	h.globalTS = 1
+
+	// Every heap carries the filler classes so allocation gaps parse.
+	if _, err := h.EnsureKlass(reg.Filler()); err != nil {
+		return nil, err
+	}
+	if _, err := h.EnsureKlass(reg.FillerArray()); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// Load opens an existing heap image. If the image was mid-GC when it was
+// last persisted, the heap reports GCActive()==true and the caller must
+// run pgc recovery before using it (core.LoadHeap does).
+func Load(dev *nvm.Device, reg *klass.Registry) (*Heap, error) {
+	if dev.Size() < metadataBytes {
+		return nil, fmt.Errorf("pheap: image too small")
+	}
+	if dev.ReadU64(mMagic) != heapMagic {
+		return nil, fmt.Errorf("pheap: bad heap magic")
+	}
+	if v := dev.ReadU64(mVersion); v != heapVersion {
+		return nil, fmt.Errorf("pheap: unsupported heap version %d", v)
+	}
+	if sz := dev.ReadU64(mDeviceSize); int(sz) != dev.Size() {
+		return nil, fmt.Errorf("pheap: image size %d does not match metadata %d", dev.Size(), sz)
+	}
+	geo := Geometry{
+		NameTabOff: int(dev.ReadU64(mNameTabOff)), NameTabCap: int(dev.ReadU64(mNameTabCap)),
+		ArenaOff: int(dev.ReadU64(mArenaOff)), ArenaSize: int(dev.ReadU64(mArenaSize)),
+		RedoOff: int(dev.ReadU64(mRedoOff)), RedoSize: int(dev.ReadU64(mRedoSize)),
+		MarkBmpOff: int(dev.ReadU64(mMarkBmpOff)), MarkBmpSize: int(dev.ReadU64(mMarkBmpSize)),
+		RegionBmpOff: int(dev.ReadU64(mRegionBmpOff)), RegionBmpSize: int(dev.ReadU64(mRegionBmpSize)),
+		KsegOff: int(dev.ReadU64(mKsegOff)), KsegSize: int(dev.ReadU64(mKsegSize)),
+		DataOff: int(dev.ReadU64(mDataOff)), DataSize: int(dev.ReadU64(mDataSize)),
+		ScratchOff: int(dev.ReadU64(mScratchOff)),
+	}
+	h := &Heap{
+		dev: dev, reg: reg,
+		base:      layout.Ref(dev.ReadU64(mAddressHint)),
+		geo:       geo,
+		top:       int(dev.ReadU64(mTop)),
+		globalTS:  dev.ReadU64(mGlobalTS),
+		gcActive:  dev.ReadU64(mGCActive) != 0,
+		ksegUsed:  int(dev.ReadU64(mKsegUsed)),
+		arenaUsed: int(dev.ReadU64(mArenaUsed)),
+		segByAddr: make(map[layout.Ref]*klass.Klass),
+		segByName: make(map[string]layout.Ref),
+	}
+	// Class re-initialization in place: cost ∝ number of Klasses, not
+	// objects — the property behind Figure 18's flat UG line.
+	if err := h.reinitKlasses(); err != nil {
+		return nil, err
+	}
+	// A committed-but-unapplied GC finish means the collection logically
+	// completed; reapplying the redo log is idempotent.
+	if h.RedoPending() {
+		h.RedoApply()
+		h.top = int(dev.ReadU64(mTop))
+		h.gcActive = dev.ReadU64(mGCActive) != 0
+	}
+	return h, nil
+}
+
+// Device exposes the backing device (benchmarks read its stats; the GC
+// flushes through it).
+func (h *Heap) Device() *nvm.Device { return h.dev }
+
+// Registry returns the klass registry this heap resolves against.
+func (h *Heap) Registry() *klass.Registry { return h.reg }
+
+// Name reports the heap's name-manager identity.
+func (h *Heap) Name() string { return h.name }
+
+// SetName sets the heap's name (used by the name manager on load).
+func (h *Heap) SetName(n string) { h.name = n }
+
+// Base reports the heap's virtual base address (the address hint).
+func (h *Heap) Base() layout.Ref { return h.base }
+
+// Limit reports one past the heap's highest virtual address.
+func (h *Heap) Limit() layout.Ref { return h.base + layout.Ref(h.dev.Size()) }
+
+// Geo returns the component geometry.
+func (h *Heap) Geo() Geometry { return h.geo }
+
+// Contains reports whether ref points into this heap's data area.
+func (h *Heap) Contains(ref layout.Ref) bool {
+	return ref >= h.base+layout.Ref(h.geo.DataOff) && ref < h.base+layout.Ref(h.geo.DataOff+h.geo.DataSize)
+}
+
+// ContainsImage reports whether ref points anywhere inside the heap image
+// (including metadata and the Klass segment).
+func (h *Heap) ContainsImage(ref layout.Ref) bool {
+	return ref >= h.base && ref < h.Limit()
+}
+
+// OffOf converts a virtual address into a device offset.
+func (h *Heap) OffOf(ref layout.Ref) int { return int(ref - h.base) }
+
+// AddrOf converts a device offset into a virtual address.
+func (h *Heap) AddrOf(off int) layout.Ref { return h.base + layout.Ref(off) }
+
+// Top reports the current allocation frontier as a device offset.
+func (h *Heap) Top() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.top
+}
+
+// UsedBytes reports allocated data-heap bytes.
+func (h *Heap) UsedBytes() int { return h.Top() - h.geo.DataOff }
+
+// GlobalTS reports the persisted global GC timestamp.
+func (h *Heap) GlobalTS() uint64 { return h.globalTS }
+
+// GCActive reports whether the image is marked as mid-collection.
+func (h *Heap) GCActive() bool { return h.gcActive }
+
+func (h *Heap) persistU64(off int, v uint64) {
+	h.dev.WriteU64(off, v)
+	h.dev.Flush(off, 8)
+	h.dev.Fence()
+}
+
+// SetGCState persists the global timestamp and GC-active flag, in that
+// store order (timestamp first) so a partial persist can only yield
+// {new TS, inactive} — a harmless no-op — never {old TS, active}, which
+// would let stale timestamps masquerade as processed objects.
+func (h *Heap) SetGCState(ts uint64, active bool) {
+	h.dev.WriteU64(mGlobalTS, ts)
+	var a uint64
+	if active {
+		a = 1
+	}
+	h.dev.WriteU64(mGCActive, a)
+	h.dev.Flush(mGlobalTS, 16)
+	h.dev.Fence()
+	h.globalTS = ts
+	h.gcActive = active
+}
+
+// SetTop persists a new allocation frontier (used by the GC finish path
+// through the redo log and by tests).
+func (h *Heap) SetTop(top int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.top = top
+	h.persistU64(mTop, uint64(top))
+}
+
+// TopMetaOff exposes the metadata offset of the top field for redo-log
+// entries.
+func (h *Heap) TopMetaOff() int { return mTop }
+
+// GCActiveMetaOff exposes the metadata offset of the gcActive flag for
+// redo-log entries.
+func (h *Heap) GCActiveMetaOff() int { return mGCActive }
+
+// RefreshAfterRedo re-reads the volatile mirrors of redo-applied fields.
+func (h *Heap) RefreshAfterRedo() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.top = int(h.dev.ReadU64(mTop))
+	h.gcActive = h.dev.ReadU64(mGCActive) != 0
+	h.globalTS = h.dev.ReadU64(mGlobalTS)
+}
+
+// Hole is a filler-covered gap below top, reusable by the allocator. A
+// hole never crosses a region boundary.
+type Hole struct{ Lo, Hi int }
+
+// SetFreeHoles installs the collector's list of reusable gaps below top
+// (ascending, each fully covered by fillers, none crossing a region
+// boundary). The list is volatile bookkeeping: losing it costs reuse until
+// the next GC, never correctness.
+func (h *Heap) SetFreeHoles(holes []Hole) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.freeHoles = append([]Hole(nil), holes...)
+	h.holeCur, h.holeEnd = 0, 0
+}
+
+// ResetFreeHoles drops the recycling state; the collector calls it before
+// it starts rearranging the heap.
+func (h *Heap) ResetFreeHoles() { h.SetFreeHoles(nil) }
+
+// FreeBytes estimates the allocatable capacity: the bump headroom plus
+// recycled holes.
+func (h *Heap) FreeBytes() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	free := h.geo.ScratchOff - h.top
+	if free < 0 {
+		free = 0
+	}
+	for _, hole := range h.freeHoles {
+		free += hole.Hi - hole.Lo
+	}
+	if h.holeCur != 0 {
+		free += h.holeEnd - h.holeCur
+	}
+	return free
+}

@@ -1,0 +1,211 @@
+package pheap
+
+import (
+	"fmt"
+
+	"espresso/internal/layout"
+)
+
+// The name table (paper §3.1) maps string constants to Klass entries and
+// root entries. It is an open-addressing hash table whose 64-byte entries
+// each occupy exactly one cache line, so an insert commits with a single
+// flush of the entry line after its name bytes are persisted in the arena:
+//
+//	entry := { state u64; hash u64; kind u64; nameLen u64;
+//	           nameOff u64; value u64; pad u64[2] }
+//
+// state is written last; a crash mid-insert leaves state==0 and the slot
+// reads as empty. Updating an existing entry overwrites only the 8-byte
+// value, which persists atomically.
+const nameEntryBytes = 64
+
+const (
+	entryStateEmpty     = 0
+	entryStateCommitted = 1
+	entryStateTombstone = 2
+)
+
+// Entry kinds.
+const (
+	// EntryKlass maps a class name to its Klass record address.
+	EntryKlass = 1
+	// EntryRoot maps a root name to a root object address (paper: "the
+	// only known entry points to access the objects in data heap").
+	EntryRoot = 2
+)
+
+func nameHash(name string) uint64 {
+	// FNV-1a.
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	if h == 0 {
+		h = 1
+	}
+	return h
+}
+
+func (h *Heap) entryOff(slot int) int { return h.geo.NameTabOff + slot*nameEntryBytes }
+
+// findSlot probes for (kind, name). It returns the matching slot, or the
+// first insertable slot and found=false.
+func (h *Heap) findSlot(kind uint64, name string) (slot int, found bool, err error) {
+	hash := nameHash(name)
+	cap := h.geo.NameTabCap
+	insertAt := -1
+	for i := 0; i < cap; i++ {
+		s := int((hash + uint64(i)) % uint64(cap))
+		off := h.entryOff(s)
+		switch h.dev.ReadU64(off) {
+		case entryStateEmpty:
+			if insertAt < 0 {
+				insertAt = s
+			}
+			return insertAt, false, nil
+		case entryStateTombstone:
+			if insertAt < 0 {
+				insertAt = s
+			}
+		case entryStateCommitted:
+			if h.dev.ReadU64(off+8) == hash && h.dev.ReadU64(off+16) == kind {
+				nameLen := int(h.dev.ReadU64(off + 24))
+				nameOff := int(h.dev.ReadU64(off + 32))
+				if nameLen == len(name) && string(h.dev.View(nameOff, nameLen)) == name {
+					return s, true, nil
+				}
+			}
+		}
+	}
+	if insertAt >= 0 {
+		return insertAt, false, nil
+	}
+	return 0, false, fmt.Errorf("pheap: name table full (%d entries)", cap)
+}
+
+// putEntry inserts or updates (kind, name) → value with the crash-safe
+// commit protocol described above.
+func (h *Heap) putEntry(kind uint64, name string, value uint64) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.putEntryLocked(kind, name, value)
+}
+
+func (h *Heap) putEntryLocked(kind uint64, name string, value uint64) error {
+	slot, found, err := h.findSlot(kind, name)
+	if err != nil {
+		return err
+	}
+	off := h.entryOff(slot)
+	if found {
+		h.dev.WriteU64(off+40, value)
+		h.dev.Flush(off+40, 8)
+		h.dev.Fence()
+		return nil
+	}
+	// New entry: persist the name bytes first, then the entry line with
+	// state written last.
+	if h.arenaUsed+len(name) > h.geo.ArenaSize {
+		return fmt.Errorf("pheap: name arena full")
+	}
+	nameOff := h.geo.ArenaOff + h.arenaUsed
+	h.dev.WriteBytes(nameOff, []byte(name))
+	h.dev.Flush(nameOff, len(name))
+	h.dev.Fence()
+	h.arenaUsed += len(name)
+	h.persistU64(mArenaUsed, uint64(h.arenaUsed))
+
+	h.dev.WriteU64(off+8, nameHash(name))
+	h.dev.WriteU64(off+16, kind)
+	h.dev.WriteU64(off+24, uint64(len(name)))
+	h.dev.WriteU64(off+32, uint64(nameOff))
+	h.dev.WriteU64(off+40, value)
+	h.dev.WriteU64(off, entryStateCommitted) // commit point
+	h.dev.Flush(off, nameEntryBytes)
+	h.dev.Fence()
+	return nil
+}
+
+// getEntry looks up (kind, name).
+func (h *Heap) getEntry(kind uint64, name string) (uint64, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	slot, found, err := h.findSlot(kind, name)
+	if err != nil || !found {
+		return 0, false
+	}
+	return h.dev.ReadU64(h.entryOff(slot) + 40), true
+}
+
+// SetRoot marks the object at ref as a root under the given name
+// (Table 1: setRoot).
+func (h *Heap) SetRoot(name string, ref layout.Ref) error {
+	if ref != layout.NullRef && !h.Contains(ref) {
+		return fmt.Errorf("pheap: setRoot %q: %#x is not in this heap", name, uint64(ref))
+	}
+	return h.putEntry(EntryRoot, name, uint64(ref))
+}
+
+// GetRoot fetches a root object address (Table 1: getRoot). The second
+// result reports whether the root exists.
+func (h *Heap) GetRoot(name string) (layout.Ref, bool) {
+	v, ok := h.getEntry(EntryRoot, name)
+	return layout.Ref(v), ok
+}
+
+// RemoveRoot tombstones a root entry so its object may be collected.
+func (h *Heap) RemoveRoot(name string) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	slot, found, err := h.findSlot(EntryRoot, name)
+	if err != nil || !found {
+		return false
+	}
+	off := h.entryOff(slot)
+	h.dev.WriteU64(off, entryStateTombstone)
+	h.dev.Flush(off, 8)
+	h.dev.Fence()
+	return true
+}
+
+// Root describes one root entry.
+type Root struct {
+	Name string
+	Ref  layout.Ref
+	// ValueOff is the device offset of the entry's value word; the GC
+	// patches it through the redo log when the root object moves.
+	ValueOff int
+}
+
+// Roots lists all committed root entries.
+func (h *Heap) Roots() []Root {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var roots []Root
+	for s := 0; s < h.geo.NameTabCap; s++ {
+		off := h.entryOff(s)
+		if h.dev.ReadU64(off) != entryStateCommitted || h.dev.ReadU64(off+16) != EntryRoot {
+			continue
+		}
+		nameLen := int(h.dev.ReadU64(off + 24))
+		nameOff := int(h.dev.ReadU64(off + 32))
+		roots = append(roots, Root{
+			Name:     string(h.dev.View(nameOff, nameLen)),
+			Ref:      layout.Ref(h.dev.ReadU64(off + 40)),
+			ValueOff: off + 40,
+		})
+	}
+	return roots
+}
+
+// setKlassEntry records a class-name → Klass-record-address mapping.
+func (h *Heap) setKlassEntry(name string, recAddr layout.Ref) error {
+	return h.putEntry(EntryKlass, name, uint64(recAddr))
+}
+
+// KlassEntry looks up the Klass record address for a class name.
+func (h *Heap) KlassEntry(name string) (layout.Ref, bool) {
+	v, ok := h.getEntry(EntryKlass, name)
+	return layout.Ref(v), ok
+}

@@ -1,0 +1,86 @@
+package pheap
+
+import (
+	"fmt"
+
+	"espresso/internal/klass"
+	"espresso/internal/layout"
+)
+
+// Rebase moves the heap to a new virtual base address, the paper's remap
+// fallback for when loadHeap finds the address hint occupied: "Since all
+// the pointers within heap become trash, a thorough scan is warranted to
+// update pointers. The remap phase might be very costly, but it may rarely
+// happen thanks to the large virtual address space of 64-bit OSes."
+//
+// Every intra-heap pointer is rewritten: object klass words (they address
+// Klass records inside the image), reference fields and elements, name
+// table values (Klass entries and root entries), and the metadata address
+// hint. Like the paper, the remap is not crash-atomic: it runs at load
+// time before the heap is published, and a crash mid-remap requires
+// remapping again from the file image.
+func (h *Heap) Rebase(newBase layout.Ref) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.gcActive {
+		return fmt.Errorf("pheap: cannot rebase a heap mid-collection")
+	}
+	oldBase := h.base
+	if newBase == oldBase {
+		return nil
+	}
+	oldLimit := oldBase + layout.Ref(h.dev.Size())
+	delta := int64(newBase) - int64(oldBase)
+	shift := func(r layout.Ref) layout.Ref { return layout.Ref(int64(r) + delta) }
+	inOld := func(r layout.Ref) bool { return r >= oldBase && r < oldLimit }
+
+	// Objects: klass words always point into the image; data refs may.
+	off := h.geo.DataOff
+	for off < h.top {
+		kaddr := layout.Ref(h.dev.ReadU64(off + layout.KlassWordOff))
+		k, ok := h.segByAddr[kaddr]
+		if !ok {
+			return fmt.Errorf("pheap: rebase: dangling klass word %#x at %d", uint64(kaddr), off)
+		}
+		n := 0
+		if k.IsArray() {
+			n = int(h.dev.ReadU64(off + layout.ArrayLenOff))
+		}
+		size := k.SizeOf(n)
+		h.dev.WriteU64(off+layout.KlassWordOff, uint64(shift(kaddr)))
+		RefSlots(h.dev, off, k, func(slotBoff int) {
+			v := layout.Ref(h.dev.ReadU64(off + slotBoff))
+			if v != layout.NullRef && inOld(v) {
+				h.dev.WriteU64(off+slotBoff, uint64(shift(v)))
+			}
+		})
+		off += size
+	}
+
+	// Name table values: klass entries and root entries are image
+	// addresses; shift both.
+	for s := 0; s < h.geo.NameTabCap; s++ {
+		eoff := h.entryOff(s)
+		if h.dev.ReadU64(eoff) != entryStateCommitted {
+			continue
+		}
+		v := layout.Ref(h.dev.ReadU64(eoff + 40))
+		if v != layout.NullRef && inOld(v) {
+			h.dev.WriteU64(eoff+40, uint64(shift(v)))
+		}
+	}
+
+	// Metadata and the in-memory mirrors.
+	h.dev.WriteU64(mAddressHint, uint64(newBase))
+	h.base = newBase
+	newByAddr := make(map[layout.Ref]*klass.Klass, len(h.segByAddr))
+	for addr, k := range h.segByAddr {
+		newByAddr[shift(addr)] = k
+		h.segByName[k.Name] = shift(addr)
+	}
+	h.segByAddr = newByAddr
+
+	h.dev.FlushAll()
+	h.dev.Fence()
+	return nil
+}

@@ -1,0 +1,70 @@
+package pheap
+
+// The metadata redo log makes a batch of metadata updates atomic: the GC's
+// finish step (rewrite forwarded root addresses, set the new top, clear
+// the gcActive flag) must happen all-or-nothing, or a crash between the
+// individual stores could leave forwarded roots with an active GC flag or
+// vice versa.
+//
+// Layout at geo.RedoOff:
+//
+//	+0  state u64 (0 idle, 1 committed)
+//	+8  count u64
+//	+16 count × { offset u64; value u64 }
+//
+// Protocol: write entries, flush, fence; write count then state=1, flush,
+// fence (commit point); apply entries with flushes; write state=0, flush,
+// fence. Recovery re-applies a committed log — application is a set of
+// absolute-offset stores, hence idempotent.
+
+// RedoEntry is one 8-byte store to replay.
+type RedoEntry struct {
+	Off int
+	Val uint64
+}
+
+// RedoCapacity reports how many entries fit in the log area.
+func (h *Heap) RedoCapacity() int { return (h.geo.RedoSize - 16) / 16 }
+
+// RedoCommit persists the entry batch and marks it committed. It does not
+// apply it; call RedoApply next. Splitting the two lets crash tests stop
+// between commit and apply.
+func (h *Heap) RedoCommit(entries []RedoEntry) {
+	if len(entries) > h.RedoCapacity() {
+		panic("pheap: redo log overflow")
+	}
+	base := h.geo.RedoOff
+	for i, e := range entries {
+		h.dev.WriteU64(base+16+i*16, uint64(e.Off))
+		h.dev.WriteU64(base+16+i*16+8, e.Val)
+	}
+	if len(entries) > 0 {
+		h.dev.Flush(base+16, len(entries)*16)
+		h.dev.Fence()
+	}
+	h.dev.WriteU64(base+8, uint64(len(entries)))
+	h.dev.WriteU64(base, 1)
+	h.dev.Flush(base, 16)
+	h.dev.Fence()
+}
+
+// RedoPending reports whether a committed, unapplied log exists.
+func (h *Heap) RedoPending() bool {
+	return h.dev.ReadU64(h.geo.RedoOff) == 1
+}
+
+// RedoApply replays the committed log and retires it.
+func (h *Heap) RedoApply() {
+	base := h.geo.RedoOff
+	count := int(h.dev.ReadU64(base + 8))
+	for i := 0; i < count; i++ {
+		off := int(h.dev.ReadU64(base + 16 + i*16))
+		val := h.dev.ReadU64(base + 16 + i*16 + 8)
+		h.dev.WriteU64(off, val)
+		h.dev.Flush(off, 8)
+	}
+	h.dev.Fence()
+	h.dev.WriteU64(base, 0)
+	h.dev.Flush(base, 8)
+	h.dev.Fence()
+}

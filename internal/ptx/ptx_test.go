@@ -1,0 +1,151 @@
+package ptx
+
+import (
+	"errors"
+	"testing"
+
+	"espresso/internal/klass"
+	"espresso/internal/layout"
+	"espresso/internal/nvm"
+	"espresso/internal/pheap"
+)
+
+func setup(t *testing.T) (*pheap.Heap, *Manager, layout.Ref) {
+	t.Helper()
+	reg := klass.NewRegistry()
+	h, err := pheap.Create(reg, pheap.Config{DataSize: 1 << 20, Mode: nvm.Tracked})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewManager(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	box, _ := reg.Define(klass.MustInstance("Box", nil,
+		klass.Field{Name: "a", Type: layout.FTLong},
+		klass.Field{Name: "b", Type: layout.FTLong}))
+	ref, err := h.Alloc(box, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h, m, ref
+}
+
+func TestCommitPersists(t *testing.T) {
+	h, m, ref := setup(t)
+	err := m.Run(func(tx *Tx) error {
+		if err := tx.WriteWord(ref, layout.FieldOff(0), 11); err != nil {
+			return err
+		}
+		return tx.WriteWord(ref, layout.FieldOff(1), 22)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := h.Device().CrashImage(nvm.CrashFlushedOnly, 0)
+	re, err := pheap.Load(nvm.FromImage(img, nvm.Config{}), klass.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.GetWord(ref, layout.FieldOff(0)) != 11 || re.GetWord(ref, layout.FieldOff(1)) != 22 {
+		t.Fatal("committed values lost after crash")
+	}
+}
+
+func TestAbortRollsBack(t *testing.T) {
+	_, m, ref := setup(t)
+	m.Run(func(tx *Tx) error { return tx.WriteWord(ref, layout.FieldOff(0), 1) })
+	err := m.Run(func(tx *Tx) error {
+		tx.WriteWord(ref, layout.FieldOff(0), 999)
+		return errors.New("boom")
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if got := m.h.GetWord(ref, layout.FieldOff(0)); got != 1 {
+		t.Fatalf("abort left %d, want 1", got)
+	}
+}
+
+func TestCrashMidTransactionRollsBackOnRecovery(t *testing.T) {
+	h, m, ref := setup(t)
+	m.Run(func(tx *Tx) error { return tx.WriteWord(ref, layout.FieldOff(0), 5) })
+
+	// Open a transaction, write, and crash before commit at several flush
+	// boundaries.
+	for crashAt := uint64(1); crashAt <= 8; crashAt++ {
+		base := h.Device().Stats().Flushes
+		h.Device().SetFlushHook(func(n uint64) {
+			if n == base+crashAt {
+				panic("crash")
+			}
+		})
+		crashed := false
+		func() {
+			defer func() {
+				if recover() != nil {
+					crashed = true
+				}
+			}()
+			tx := m.Begin()
+			tx.WriteWord(ref, layout.FieldOff(0), 777)
+			tx.WriteWord(ref, layout.FieldOff(1), 888)
+			tx.Commit()
+		}()
+		h.Device().SetFlushHook(nil)
+		img := h.Device().CrashImage(nvm.CrashRandomEviction, int64(crashAt))
+		re, err := pheap.Load(nvm.FromImage(img, nvm.Config{Mode: nvm.Tracked}), klass.NewRegistry())
+		if err != nil {
+			t.Fatalf("crashAt=%d: %v", crashAt, err)
+		}
+		m2, err := NewManager(re)
+		if err != nil {
+			t.Fatalf("crashAt=%d: recover: %v", crashAt, err)
+		}
+		a := re.GetWord(ref, layout.FieldOff(0))
+		b := re.GetWord(ref, layout.FieldOff(1))
+		committed := a == 777 && b == 888
+		rolledBack := a == 5 && b == 0
+		if !committed && !rolledBack {
+			t.Fatalf("crashAt=%d: torn state a=%d b=%d", crashAt, a, b)
+		}
+		_ = m2
+		// Reset for the next iteration: if the crash interrupted the live
+		// transaction, roll it back and release its lock.
+		if crashed {
+			if err := m.recover(); err != nil {
+				t.Fatal(err)
+			}
+			m.mu.Unlock()
+		}
+		m.Run(func(tx *Tx) error { return tx.WriteWord(ref, layout.FieldOff(0), 5) })
+		m.Run(func(tx *Tx) error { return tx.WriteWord(ref, layout.FieldOff(1), 0) })
+	}
+}
+
+func TestLogFullRejected(t *testing.T) {
+	_, m, ref := setup(t)
+	tx := m.Begin()
+	defer tx.Abort()
+	var err error
+	for i := 0; i <= DefaultLogEntries; i++ {
+		if err = tx.WriteWord(ref, layout.FieldOff(0), uint64(i)); err != nil {
+			break
+		}
+	}
+	if err == nil {
+		t.Fatal("expected log-full error")
+	}
+}
+
+func TestManagerReattachesToExistingLog(t *testing.T) {
+	h, _, _ := setup(t)
+	// A second manager on the same heap must find the same log root.
+	m2, err := NewManager(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref, ok := h.GetRoot(LogRootName); !ok || ref != m2.log {
+		t.Fatal("manager did not reattach to the existing log")
+	}
+}

@@ -1,0 +1,426 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Statement is a parsed SQL statement.
+type Statement interface{ stmt() }
+
+// ColumnType enumerates the supported column types.
+type ColumnType int
+
+const (
+	ColBigint ColumnType = iota
+	ColVarchar
+	ColDouble
+)
+
+func (t ColumnType) String() string {
+	switch t {
+	case ColBigint:
+		return "BIGINT"
+	case ColVarchar:
+		return "VARCHAR"
+	case ColDouble:
+		return "DOUBLE"
+	}
+	return "?"
+}
+
+// ColumnDef is one column of a CREATE TABLE.
+type ColumnDef struct {
+	Name       string
+	Type       ColumnType
+	PrimaryKey bool
+}
+
+// CreateTable is CREATE TABLE name (cols...).
+type CreateTable struct {
+	Table   string
+	Columns []ColumnDef
+}
+
+// Insert is INSERT INTO t (cols) VALUES (exprs).
+type Insert struct {
+	Table   string
+	Columns []string
+	Values  []Expr
+}
+
+// Select is SELECT cols|* FROM t [WHERE col = expr].
+type Select struct {
+	Table   string
+	Columns []string // nil = *
+	Where   *Cond
+}
+
+// Update is UPDATE t SET col=expr,... WHERE col = expr.
+type Update struct {
+	Table string
+	Set   []Assign
+	Where *Cond
+}
+
+// Delete is DELETE FROM t [WHERE col = expr].
+type Delete struct {
+	Table string
+	Where *Cond
+}
+
+// Assign is col = expr.
+type Assign struct {
+	Column string
+	Value  Expr
+}
+
+// Cond is the equality predicate col = expr.
+type Cond struct {
+	Column string
+	Value  Expr
+}
+
+func (*CreateTable) stmt() {}
+func (*Insert) stmt()      {}
+func (*Select) stmt()      {}
+func (*Update) stmt()      {}
+func (*Delete) stmt()      {}
+
+// Expr is a literal or a positional parameter.
+type Expr struct {
+	Param  bool // '?'
+	IsInt  bool
+	IsStr  bool
+	IsReal bool
+	Int    int64
+	Str    string
+	Real   float64
+}
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+// Parse parses one statement.
+func Parse(src string) (Statement, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	st, err := p.statement()
+	if err != nil {
+		return nil, fmt.Errorf("%w (in %q)", err, src)
+	}
+	if p.peek().kind != tokEOF {
+		return nil, fmt.Errorf("sql: trailing tokens after statement (in %q)", src)
+	}
+	return st, nil
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+func (p *parser) advance() token {
+	t := p.toks[p.i]
+	if t.kind != tokEOF {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	t := p.advance()
+	if t.kind != tokIdent || !strings.EqualFold(t.text, kw) {
+		return fmt.Errorf("sql: expected %s, found %q", kw, t.text)
+	}
+	return nil
+}
+
+func (p *parser) expectPunct(s string) error {
+	t := p.advance()
+	if t.kind != tokPunct || t.text != s {
+		return fmt.Errorf("sql: expected %q, found %q", s, t.text)
+	}
+	return nil
+}
+
+func (p *parser) ident() (string, error) {
+	t := p.advance()
+	if t.kind != tokIdent {
+		return "", fmt.Errorf("sql: expected identifier, found %q", t.text)
+	}
+	return t.text, nil
+}
+
+func (p *parser) keywordIs(kw string) bool {
+	t := p.peek()
+	return t.kind == tokIdent && strings.EqualFold(t.text, kw)
+}
+
+func (p *parser) statement() (Statement, error) {
+	t := p.peek()
+	if t.kind != tokIdent {
+		return nil, fmt.Errorf("sql: expected statement keyword, found %q", t.text)
+	}
+	switch strings.ToUpper(t.text) {
+	case "CREATE":
+		return p.createTable()
+	case "INSERT":
+		return p.insert()
+	case "SELECT":
+		return p.selectStmt()
+	case "UPDATE":
+		return p.update()
+	case "DELETE":
+		return p.deleteStmt()
+	default:
+		return nil, fmt.Errorf("sql: unsupported statement %q", t.text)
+	}
+}
+
+func (p *parser) createTable() (Statement, error) {
+	p.advance() // CREATE
+	if err := p.expectKeyword("TABLE"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	var cols []ColumnDef
+	for {
+		cname, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		tname, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		var ct ColumnType
+		switch strings.ToUpper(tname) {
+		case "BIGINT", "INT", "INTEGER":
+			ct = ColBigint
+		case "VARCHAR", "TEXT":
+			ct = ColVarchar
+		case "DOUBLE", "FLOAT", "REAL":
+			ct = ColDouble
+		default:
+			return nil, fmt.Errorf("sql: unsupported column type %q", tname)
+		}
+		col := ColumnDef{Name: cname, Type: ct}
+		if p.keywordIs("PRIMARY") {
+			p.advance()
+			if err := p.expectKeyword("KEY"); err != nil {
+				return nil, err
+			}
+			col.PrimaryKey = true
+		}
+		cols = append(cols, col)
+		t := p.advance()
+		if t.kind == tokPunct && t.text == "," {
+			continue
+		}
+		if t.kind == tokPunct && t.text == ")" {
+			break
+		}
+		return nil, fmt.Errorf("sql: expected , or ) in column list, found %q", t.text)
+	}
+	return &CreateTable{Table: name, Columns: cols}, nil
+}
+
+func (p *parser) expr() (Expr, error) {
+	t := p.advance()
+	switch {
+	case t.kind == tokPunct && t.text == "?":
+		return Expr{Param: true}, nil
+	case t.kind == tokNumber:
+		if strings.ContainsRune(t.text, '.') {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return Expr{}, fmt.Errorf("sql: bad number %q", t.text)
+			}
+			return Expr{IsReal: true, Real: f}, nil
+		}
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return Expr{}, fmt.Errorf("sql: bad number %q", t.text)
+		}
+		return Expr{IsInt: true, Int: n}, nil
+	case t.kind == tokString:
+		return Expr{IsStr: true, Str: t.text}, nil
+	case t.kind == tokIdent && strings.EqualFold(t.text, "NULL"):
+		return Expr{}, nil
+	default:
+		return Expr{}, fmt.Errorf("sql: expected value, found %q", t.text)
+	}
+}
+
+func (p *parser) insert() (Statement, error) {
+	p.advance() // INSERT
+	if err := p.expectKeyword("INTO"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	var cols []string
+	for {
+		c, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		cols = append(cols, c)
+		t := p.advance()
+		if t.text == ")" {
+			break
+		}
+		if t.text != "," {
+			return nil, fmt.Errorf("sql: expected , or ) in insert columns")
+		}
+	}
+	if err := p.expectKeyword("VALUES"); err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	var vals []Expr
+	for {
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		vals = append(vals, e)
+		t := p.advance()
+		if t.text == ")" {
+			break
+		}
+		if t.text != "," {
+			return nil, fmt.Errorf("sql: expected , or ) in insert values")
+		}
+	}
+	if len(vals) != len(cols) {
+		return nil, fmt.Errorf("sql: %d columns but %d values", len(cols), len(vals))
+	}
+	return &Insert{Table: table, Columns: cols, Values: vals}, nil
+}
+
+func (p *parser) whereOpt() (*Cond, error) {
+	if !p.keywordIs("WHERE") {
+		return nil, nil
+	}
+	p.advance()
+	col, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("="); err != nil {
+		return nil, err
+	}
+	e, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	return &Cond{Column: col, Value: e}, nil
+}
+
+func (p *parser) selectStmt() (Statement, error) {
+	p.advance() // SELECT
+	var cols []string
+	if t := p.peek(); t.kind == tokPunct && t.text == "*" {
+		p.advance()
+	} else {
+		for {
+			c, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			cols = append(cols, c)
+			if t := p.peek(); t.kind == tokPunct && t.text == "," {
+				p.advance()
+				continue
+			}
+			break
+		}
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	where, err := p.whereOpt()
+	if err != nil {
+		return nil, err
+	}
+	return &Select{Table: table, Columns: cols, Where: where}, nil
+}
+
+func (p *parser) update() (Statement, error) {
+	p.advance() // UPDATE
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("SET"); err != nil {
+		return nil, err
+	}
+	var set []Assign
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("="); err != nil {
+			return nil, err
+		}
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		set = append(set, Assign{Column: col, Value: e})
+		if t := p.peek(); t.kind == tokPunct && t.text == "," {
+			p.advance()
+			continue
+		}
+		break
+	}
+	where, err := p.whereOpt()
+	if err != nil {
+		return nil, err
+	}
+	return &Update{Table: table, Set: set, Where: where}, nil
+}
+
+func (p *parser) deleteStmt() (Statement, error) {
+	p.advance() // DELETE
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	where, err := p.whereOpt()
+	if err != nil {
+		return nil, err
+	}
+	return &Delete{Table: table, Where: where}, nil
+}
+
+// Quote escapes a string literal for embedding in SQL text (the JPA
+// provider builds statements as strings, like DataNucleus does).
+func Quote(s string) string {
+	return "'" + strings.ReplaceAll(s, "'", "''") + "'"
+}

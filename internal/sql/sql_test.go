@@ -1,0 +1,111 @@
+package sql
+
+import "testing"
+
+func TestParseCreateTable(t *testing.T) {
+	st, err := Parse("CREATE TABLE person (id BIGINT PRIMARY KEY, name VARCHAR, score DOUBLE)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := st.(*CreateTable)
+	if ct.Table != "person" || len(ct.Columns) != 3 {
+		t.Fatalf("parsed %+v", ct)
+	}
+	if !ct.Columns[0].PrimaryKey || ct.Columns[0].Type != ColBigint {
+		t.Fatalf("pk column %+v", ct.Columns[0])
+	}
+	if ct.Columns[1].Type != ColVarchar || ct.Columns[2].Type != ColDouble {
+		t.Fatalf("column types %+v", ct.Columns)
+	}
+}
+
+func TestParseInsertWithLiteralsAndParams(t *testing.T) {
+	st, err := Parse("INSERT INTO t (id, name, score) VALUES (42, 'O''Brien', ?)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := st.(*Insert)
+	if ins.Values[0].Int != 42 || ins.Values[1].Str != "O'Brien" || !ins.Values[2].Param {
+		t.Fatalf("values %+v", ins.Values)
+	}
+}
+
+func TestParseSelect(t *testing.T) {
+	st, err := Parse("SELECT name, score FROM t WHERE id = 7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := st.(*Select)
+	if len(sel.Columns) != 2 || sel.Where == nil || sel.Where.Value.Int != 7 {
+		t.Fatalf("select %+v", sel)
+	}
+	st, err = Parse("SELECT * FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel := st.(*Select); sel.Columns != nil || sel.Where != nil {
+		t.Fatalf("select star %+v", sel)
+	}
+}
+
+func TestParseUpdateDelete(t *testing.T) {
+	st, err := Parse("UPDATE t SET a = 1, b = 'x' WHERE id = ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	up := st.(*Update)
+	if len(up.Set) != 2 || !up.Where.Value.Param {
+		t.Fatalf("update %+v", up)
+	}
+	st, err = Parse("DELETE FROM t WHERE id = -3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if del := st.(*Delete); del.Where.Value.Int != -3 {
+		t.Fatalf("delete %+v", del)
+	}
+}
+
+func TestParseFloatAndNull(t *testing.T) {
+	st, err := Parse("INSERT INTO t (a, b) VALUES (2.5, NULL)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := st.(*Insert)
+	if !ins.Values[0].IsReal || ins.Values[0].Real != 2.5 {
+		t.Fatalf("float %+v", ins.Values[0])
+	}
+	if ins.Values[1].IsInt || ins.Values[1].IsStr || ins.Values[1].IsReal || ins.Values[1].Param {
+		t.Fatalf("null %+v", ins.Values[1])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"DROP TABLE t",
+		"SELECT FROM t",
+		"INSERT INTO t (a) VALUES (1, 2)",
+		"CREATE TABLE t (x BLOB)",
+		"UPDATE t SET",
+		"SELECT * FROM t WHERE a = 'unterminated",
+		"SELECT * FROM t extra garbage",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("accepted %q", bad)
+		}
+	}
+}
+
+func TestQuote(t *testing.T) {
+	if Quote("a'b") != "'a''b'" {
+		t.Fatalf("Quote = %q", Quote("a'b"))
+	}
+	st, err := Parse("SELECT * FROM t WHERE name = " + Quote("O'Brien"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.(*Select).Where.Value.Str != "O'Brien" {
+		t.Fatal("quote round trip failed")
+	}
+}

@@ -1,0 +1,151 @@
+package vheap
+
+import (
+	"espresso/internal/layout"
+	"espresso/internal/pheap"
+)
+
+// MinorGC scavenges the young generation: live young objects are copied to
+// the empty survivor space (or promoted to the old generation once their
+// age exceeds PromoteAge, or when the survivor overflows), and every slot
+// that referenced them — external roots, old-generation remembered slots —
+// is patched to the new location.
+func (h *Heap) MinorGC(roots RootSet) error {
+	h.MinorGCs++
+	toBase := h.survBase[h.toIdx]
+	to := h.surv[h.toIdx]
+	toTop := 0
+
+	var scanList []layout.Ref // copied objects pending field scan
+	var gcErr error
+
+	// evacuate copies one young object (or returns its existing forward).
+	var evacuate func(ref layout.Ref) layout.Ref
+	evacuate = func(ref layout.Ref) layout.Ref {
+		mark := h.GetWord(ref, layout.MarkWordOff)
+		if layout.MarkFlags(mark)&flagForwarded != 0 {
+			return layout.Ref(mark >> 8)
+		}
+		k, size, err := h.sizeOf(ref)
+		if err != nil {
+			if gcErr == nil {
+				gcErr = err
+			}
+			return ref
+		}
+		age := int(layout.MarkFlags(mark) & ageMask)
+		var newRef layout.Ref
+		if age+1 >= PromoteAge || toTop+size > h.survSize {
+			// Tenure into the old generation.
+			promoted, err := h.allocOld(k, arrayLenOf(h, ref, k), size)
+			if err != nil {
+				if gcErr == nil {
+					gcErr = err
+				}
+				return ref
+			}
+			src, soff := h.mem(ref)
+			dst, doff := h.mem(promoted)
+			copy(dst[doff:doff+size], src[soff:soff+size])
+			h.SetWord(promoted, layout.MarkWordOff, layout.MarkWord(0, 0))
+			newRef = promoted
+			h.PromotedBytes += uint64(size)
+		} else {
+			src, soff := h.mem(ref)
+			copy(to[toTop:toTop+size], src[soff:soff+size])
+			newRef = toBase + layout.Ref(toTop)
+			toTop += size
+			h.SetWord(newRef, layout.MarkWordOff, layout.MarkWord(0, uint8(age+1)))
+			h.CopiedBytes += uint64(size)
+		}
+		// Leave a forwarding pointer in the original.
+		h.SetWord(ref, layout.MarkWordOff, uint64(newRef)<<8|flagForwarded)
+		scanList = append(scanList, newRef)
+		return newRef
+	}
+
+	update := func(ref layout.Ref) layout.Ref {
+		if ref != layout.NullRef && h.InYoung(ref) {
+			return evacuate(ref)
+		}
+		return ref
+	}
+
+	// Roots: external slots, then the old→young remembered set.
+	roots.UpdateSlots(update)
+	newRemset := make(map[layout.Ref]struct{})
+	for slot := range h.oldToYoung {
+		m, off := h.mem(slot)
+		v := layout.Ref(le64(m[off:]))
+		nv := update(v)
+		if nv != v {
+			put64(m[off:], uint64(nv))
+		}
+		if nv != layout.NullRef && h.InYoung(nv) {
+			newRemset[slot] = struct{}{}
+		}
+	}
+	h.oldToYoung = newRemset
+
+	// Cheney scan: fields of copied/promoted objects. Promoted objects'
+	// young refs re-enter the remembered set.
+	for len(scanList) > 0 {
+		ref := scanList[len(scanList)-1]
+		scanList = scanList[:len(scanList)-1]
+		k, _, err := h.sizeOf(ref)
+		if err != nil {
+			return err
+		}
+		m, off := h.mem(ref)
+		pheap.RefSlots(memReader{m}, off, k, func(slotBoff int) {
+			v := layout.Ref(le64(m[off+slotBoff:]))
+			nv := update(v)
+			if nv != v {
+				put64(m[off+slotBoff:], uint64(nv))
+			}
+			if h.InOld(ref) && nv != layout.NullRef && h.InYoung(nv) {
+				h.oldToYoung[ref+layout.Ref(slotBoff)] = struct{}{}
+			}
+		})
+	}
+	if gcErr != nil {
+		return gcErr
+	}
+
+	// Reset eden and swap survivor roles.
+	h.edenTop = 0
+	h.survTop = toTop
+	h.toIdx = 1 - h.toIdx
+	return nil
+}
+
+func arrayLenOf(h *Heap, ref layout.Ref, k interface{ IsArray() bool }) int {
+	if k.IsArray() {
+		return h.ArrayLen(ref)
+	}
+	return 0
+}
+
+// memReader adapts a byte slice to the ReadU64 interface pheap.RefSlots
+// expects.
+type memReader struct{ m []byte }
+
+func (r memReader) ReadU64(off int) uint64 { return le64(r.m[off:]) }
+
+func le64(b []byte) uint64 {
+	_ = b[7]
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+func put64(b []byte, v uint64) {
+	_ = b[7]
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+	b[4] = byte(v >> 32)
+	b[5] = byte(v >> 40)
+	b[6] = byte(v >> 48)
+	b[7] = byte(v >> 56)
+}

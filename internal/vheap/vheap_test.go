@@ -1,0 +1,243 @@
+package vheap
+
+import (
+	"testing"
+
+	"espresso/internal/klass"
+	"espresso/internal/layout"
+)
+
+func nodeKlass(reg *klass.Registry) *klass.Klass {
+	k, err := reg.Define(klass.MustInstance("VNode", nil,
+		klass.Field{Name: "id", Type: layout.FTLong},
+		klass.Field{Name: "next", Type: layout.FTRef},
+	))
+	if err != nil {
+		panic(err)
+	}
+	return k
+}
+
+// handleRoots is a RootSet over a slice of handle slots.
+type handleRoots struct{ slots []layout.Ref }
+
+func (r *handleRoots) UpdateSlots(fn func(layout.Ref) layout.Ref) {
+	for i, v := range r.slots {
+		r.slots[i] = fn(v)
+	}
+}
+
+func newTestHeap(t *testing.T) (*Heap, *klass.Klass) {
+	t.Helper()
+	reg := klass.NewRegistry()
+	h := New(reg, Config{EdenSize: 64 << 10, SurvivorSize: 16 << 10, OldSize: 1 << 20})
+	return h, nodeKlass(reg)
+}
+
+func TestAllocAndFieldAccess(t *testing.T) {
+	h, node := newTestHeap(t)
+	ref, err := h.Alloc(node, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.InEden(ref) {
+		t.Fatal("fresh allocation not in eden")
+	}
+	h.SetWord(ref, layout.FieldOff(0), 99)
+	if h.GetWord(ref, layout.FieldOff(0)) != 99 {
+		t.Fatal("field store lost")
+	}
+	k, err := h.KlassOf(ref)
+	if err != nil || k.Name != "VNode" {
+		t.Fatalf("KlassOf = %v %v", k, err)
+	}
+}
+
+func TestScavengeKeepsRootedChain(t *testing.T) {
+	h, node := newTestHeap(t)
+	// Build a chain a→b→c rooted at a handle; plus garbage.
+	refs := make([]layout.Ref, 3)
+	for i := range refs {
+		refs[i], _ = h.Alloc(node, 0)
+		h.SetWord(refs[i], layout.FieldOff(0), uint64(i+1))
+	}
+	h.SetWord(refs[0], layout.FieldOff(1), uint64(refs[1]))
+	h.SetWord(refs[1], layout.FieldOff(1), uint64(refs[2]))
+	for i := 0; i < 100; i++ {
+		h.Alloc(node, 0) // garbage
+	}
+	roots := &handleRoots{slots: []layout.Ref{refs[0]}}
+	if err := h.MinorGC(roots); err != nil {
+		t.Fatal(err)
+	}
+	a := roots.slots[0]
+	if a == refs[0] {
+		t.Fatal("root slot not forwarded out of eden")
+	}
+	if h.GetWord(a, layout.FieldOff(0)) != 1 {
+		t.Fatal("payload lost in scavenge")
+	}
+	b := layout.Ref(h.GetWord(a, layout.FieldOff(1)))
+	c := layout.Ref(h.GetWord(b, layout.FieldOff(1)))
+	if h.GetWord(b, layout.FieldOff(0)) != 2 || h.GetWord(c, layout.FieldOff(0)) != 3 {
+		t.Fatal("chain broken by scavenge")
+	}
+	if h.UsedYoung() >= 104*node.SizeOf(0) {
+		t.Fatalf("garbage not reclaimed: young = %d", h.UsedYoung())
+	}
+}
+
+func TestPromotionAfterAging(t *testing.T) {
+	h, node := newTestHeap(t)
+	ref, _ := h.Alloc(node, 0)
+	h.SetWord(ref, layout.FieldOff(0), 7)
+	roots := &handleRoots{slots: []layout.Ref{ref}}
+	for i := 0; i < PromoteAge+1; i++ {
+		if err := h.MinorGC(roots); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !h.InOld(roots.slots[0]) {
+		t.Fatalf("object not promoted after %d scavenges (at %#x)", PromoteAge+1, uint64(roots.slots[0]))
+	}
+	if h.GetWord(roots.slots[0], layout.FieldOff(0)) != 7 {
+		t.Fatal("payload lost during promotion")
+	}
+}
+
+func TestOldToYoungRemset(t *testing.T) {
+	h, node := newTestHeap(t)
+	oldObj, _ := h.Alloc(node, 0)
+	roots := &handleRoots{slots: []layout.Ref{oldObj}}
+	for i := 0; i < PromoteAge+1; i++ {
+		h.MinorGC(roots)
+	}
+	oldObj = roots.slots[0]
+	if !h.InOld(oldObj) {
+		t.Fatal("setup: object not old")
+	}
+	// Old object points at a young one; only the remset keeps it alive.
+	young, _ := h.Alloc(node, 0)
+	h.SetWord(young, layout.FieldOff(0), 55)
+	h.SetWord(oldObj, layout.FieldOff(1), uint64(young))
+	h.RecordOldToYoung(oldObj + layout.Ref(layout.FieldOff(1)))
+	if err := h.MinorGC(roots); err != nil {
+		t.Fatal(err)
+	}
+	got := layout.Ref(h.GetWord(roots.slots[0], layout.FieldOff(1)))
+	if got == young || got == layout.NullRef {
+		t.Fatalf("old→young slot not forwarded: %#x", uint64(got))
+	}
+	if h.GetWord(got, layout.FieldOff(0)) != 55 {
+		t.Fatal("young object lost despite remset")
+	}
+}
+
+func TestFullGCCompactsOld(t *testing.T) {
+	h, node := newTestHeap(t)
+	// Promote a keeper and lots of garbage into old.
+	keeper, _ := h.Alloc(node, 0)
+	h.SetWord(keeper, layout.FieldOff(0), 123)
+	roots := &handleRoots{slots: []layout.Ref{keeper}}
+	for round := 0; round < 8; round++ {
+		for i := 0; i < 50; i++ {
+			if _, err := h.Alloc(node, 0); err != nil {
+				h.MinorGC(roots)
+			}
+		}
+		h.MinorGC(roots)
+	}
+	// Force everything young into old, then drop the garbage.
+	usedBefore := h.UsedOld()
+	if err := h.FullGC(roots); err != nil {
+		t.Fatal(err)
+	}
+	if h.UsedOld() > usedBefore && usedBefore > 0 {
+		t.Fatalf("full GC did not shrink old: %d → %d", usedBefore, h.UsedOld())
+	}
+	if h.UsedOld() != node.SizeOf(0) {
+		t.Fatalf("old should hold exactly the keeper: %d", h.UsedOld())
+	}
+	if h.GetWord(roots.slots[0], layout.FieldOff(0)) != 123 {
+		t.Fatal("keeper corrupted by full GC")
+	}
+}
+
+func TestFullGCPreservesGraph(t *testing.T) {
+	h, node := newTestHeap(t)
+	// A cycle: a→b→a, rooted at a.
+	a, _ := h.Alloc(node, 0)
+	b, _ := h.Alloc(node, 0)
+	h.SetWord(a, layout.FieldOff(0), 1)
+	h.SetWord(b, layout.FieldOff(0), 2)
+	h.SetWord(a, layout.FieldOff(1), uint64(b))
+	h.SetWord(b, layout.FieldOff(1), uint64(a))
+	roots := &handleRoots{slots: []layout.Ref{a}}
+	if err := h.FullGC(roots); err != nil {
+		t.Fatal(err)
+	}
+	na := roots.slots[0]
+	nb := layout.Ref(h.GetWord(na, layout.FieldOff(1)))
+	if h.GetWord(na, layout.FieldOff(0)) != 1 || h.GetWord(nb, layout.FieldOff(0)) != 2 {
+		t.Fatal("cycle payloads lost")
+	}
+	if layout.Ref(h.GetWord(nb, layout.FieldOff(1))) != na {
+		t.Fatal("cycle back-edge not fixed up")
+	}
+}
+
+func TestBigObjectGoesStraightToOld(t *testing.T) {
+	h, _ := newTestHeap(t)
+	big := h.reg.PrimArray(layout.FTLong)
+	ref, err := h.Alloc(big, (64<<10)/8) // eden is 64 KB: too big for half
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.InOld(ref) {
+		t.Fatal("oversized allocation should be tenured immediately")
+	}
+}
+
+func TestAllocReturnsNeedGC(t *testing.T) {
+	h, node := newTestHeap(t)
+	var err error
+	for i := 0; i < 1<<20; i++ {
+		if _, err = h.Alloc(node, 0); err != nil {
+			break
+		}
+	}
+	if err != ErrNeedGC {
+		t.Fatalf("err = %v, want ErrNeedGC", err)
+	}
+	if err := h.MinorGC(NoRoots{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Alloc(node, 0); err != nil {
+		t.Fatalf("alloc after scavenge: %v", err)
+	}
+}
+
+func TestArrayScavenge(t *testing.T) {
+	h, node := newTestHeap(t)
+	reg := h.Registry()
+	arr, _ := h.Alloc(reg.ObjArray("VNode"), 4)
+	for i := 0; i < 4; i++ {
+		n, _ := h.Alloc(node, 0)
+		h.SetWord(n, layout.FieldOff(0), uint64(100+i))
+		h.SetWord(arr, layout.ElemOff(layout.FTRef, i), uint64(n))
+	}
+	roots := &handleRoots{slots: []layout.Ref{arr}}
+	if err := h.MinorGC(roots); err != nil {
+		t.Fatal(err)
+	}
+	na := roots.slots[0]
+	if h.ArrayLen(na) != 4 {
+		t.Fatalf("array len after GC = %d", h.ArrayLen(na))
+	}
+	for i := 0; i < 4; i++ {
+		el := layout.Ref(h.GetWord(na, layout.ElemOff(layout.FTRef, i)))
+		if h.GetWord(el, layout.FieldOff(0)) != uint64(100+i) {
+			t.Fatalf("element %d corrupted", i)
+		}
+	}
+}
