@@ -8,12 +8,15 @@
 //	espresso-bench -exp fig17    BasicTest time breakdown
 //	espresso-bench -exp fig18    heap loading time (UG vs zeroing)
 //	espresso-bench -exp gcflush  recoverable-GC flush overhead (§6.4)
+//	espresso-bench -exp fastpath resolved-handle / bulk-I/O / flush-coalescing costs
 //	espresso-bench -exp all      everything
 //
-// -scale N divides workload sizes by N for quick runs.
+// -scale N divides workload sizes by N for quick runs. -json FILE writes
+// the fastpath rows as JSON (the BENCH_fastpath.json baseline).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,9 +25,10 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig4|fig6|fig15|fig16|fig17|fig18|gcflush|all")
+	exp := flag.String("exp", "all", "experiment: fig4|fig6|fig15|fig16|fig17|fig18|gcflush|fastpath|all")
 	scale := flag.Int("scale", 1, "divide workload sizes by this factor")
 	gcMB := flag.Int("gcmb", 256, "live megabytes for the gcflush experiment")
+	jsonPath := flag.String("json", "", "write fastpath rows to this JSON file")
 	flag.Parse()
 
 	s := experiments.Scale(*scale)
@@ -73,6 +77,24 @@ func main() {
 			return err
 		}
 		experiments.PrintGCFlush(w, r)
+		return nil
+	})
+	run("fastpath", func() error {
+		rows, err := experiments.Fastpath(s)
+		if err != nil {
+			return err
+		}
+		experiments.PrintFastpath(w, rows)
+		if *jsonPath != "" {
+			b, err := json.MarshalIndent(rows, "", "  ")
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(*jsonPath, append(b, '\n'), 0o644); err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "wrote %s\n", *jsonPath)
+		}
 		return nil
 	})
 }

@@ -25,6 +25,28 @@
 //		_ = p
 //	}
 //
+// # Resolved field handles
+//
+// GetLong/SetRef resolve the class and field name on every call. Hot
+// paths should resolve a FieldRef once — the analog of a resolved
+// constant-pool entry in compiled bytecode — and access through it; the
+// Fast accessors cost one device word operation plus the write barrier:
+//
+//	idF := rt.MustResolveField(person, "id")
+//	nameF := rt.MustResolveField(person, "name")
+//	p, _ := rt.PNew(person)
+//	rt.SetLongFast(p, idF, 1)                  // no name map, no klass read
+//	name, _ := rt.NewString("Jimmy", true)     // one bulk device write
+//	rt.SetRefFast(p, nameF, name)              // full write barrier kept
+//	id := rt.GetLongFast(p, idF)
+//	_ = id
+//
+// Bulk transfers (CopyLongs, WriteLongs, CopyBytes, WriteBytes, string
+// construction/reads) move whole spans with one device operation, and
+// FlushTransitive/FlushBatch coalesce cache-line flushes with a single
+// trailing fence, so device cost is proportional to bytes touched, not
+// API calls made.
+//
 // The facade re-exports the runtime in internal/core with small
 // conveniences; the substrates (NVM device, heap, collectors, database,
 // providers) live under internal/.
@@ -53,6 +75,11 @@ type Field = klass.Field
 
 // Runtime is a simulated JVM instance with volatile and persistent heaps.
 type Runtime struct{ *core.Runtime }
+
+// FieldRef is a resolved field handle (klass identity + byte offset +
+// type), the fast-path alternative to name-resolving accessors. Resolve
+// once with ResolveField/MustResolveField, then use the *Fast accessors.
+type FieldRef = core.FieldRef
 
 // SafetyLevel selects the §3.4 memory-safety contract.
 type SafetyLevel = core.SafetyLevel

@@ -1,0 +1,163 @@
+// Microbenchmarks for the resolved-accessor fast path: field access with
+// and without resolved handles, bulk string round trips, and coalesced
+// transitive flushes. Each reports accounted device traffic per op next
+// to wall time, since device ops are what NVM hardware charges for.
+package espresso_test
+
+import (
+	"strings"
+	"testing"
+
+	"espresso"
+	"espresso/internal/nvm"
+)
+
+func benchRT(b *testing.B) (*espresso.Runtime, *nvm.Device) {
+	b.Helper()
+	rt, err := espresso.Open(espresso.Options{DefaultHeapSize: 64 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := rt.CreateHeap("bench", 0); err != nil {
+		b.Fatal(err)
+	}
+	h, _ := rt.Heap("bench")
+	return rt, h.Device()
+}
+
+// BenchmarkFieldAccess compares the name-resolving accessors against the
+// FieldRef fast path. The acceptance bar for this repo: the resolved
+// variants do ≥3x fewer ns/op and ≥2x fewer device reads than the named
+// ones.
+func BenchmarkFieldAccess(b *testing.B) {
+	rt, dev := benchRT(b)
+	person := espresso.MustClass("bench/Person", nil,
+		espresso.Long("id"), espresso.Long("age"), espresso.Str("name"))
+	p, err := rt.PNew(person)
+	if err != nil {
+		b.Fatal(err)
+	}
+	idF := rt.MustResolveField(person, "id")
+
+	reportReads := func(b *testing.B, s0 nvm.Stats) {
+		d := dev.Stats().Sub(s0)
+		b.ReportMetric(float64(d.Reads)/float64(b.N), "devreads/op")
+		b.ReportMetric(float64(d.Writes)/float64(b.N), "devwrites/op")
+	}
+
+	b.Run("named-get", func(b *testing.B) {
+		s0 := dev.Stats()
+		for i := 0; i < b.N; i++ {
+			if _, err := rt.GetLong(p, "id"); err != nil {
+				b.Fatal(err)
+			}
+		}
+		reportReads(b, s0)
+	})
+	b.Run("resolved-get", func(b *testing.B) {
+		s0 := dev.Stats()
+		for i := 0; i < b.N; i++ {
+			_ = rt.GetLongFast(p, idF)
+		}
+		reportReads(b, s0)
+	})
+	b.Run("named-set", func(b *testing.B) {
+		s0 := dev.Stats()
+		for i := 0; i < b.N; i++ {
+			if err := rt.SetLong(p, "id", int64(i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		reportReads(b, s0)
+	})
+	b.Run("resolved-set", func(b *testing.B) {
+		s0 := dev.Stats()
+		for i := 0; i < b.N; i++ {
+			rt.SetLongFast(p, idF, int64(i))
+		}
+		reportReads(b, s0)
+	})
+}
+
+// BenchmarkStringRoundTrip writes and reads back persistent strings. The
+// device-op count per round trip must be O(1), not O(len): the payload
+// moves with one bulk write and one bulk read.
+func BenchmarkStringRoundTrip(b *testing.B) {
+	rt, dev := benchRT(b)
+	payload := strings.Repeat("s", 256)
+	s0 := dev.Stats()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ref, err := rt.NewString(payload, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		got, err := rt.GetString(ref)
+		if err != nil || len(got) != len(payload) {
+			b.Fatalf("round trip failed: %v", err)
+		}
+		// The bench heap holds ~200k dead strings per GC cycle; collect
+		// outside the measured window when it fills.
+		if i%100000 == 99999 {
+			b.StopTimer()
+			if _, err := rt.PersistentGC("bench"); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+		}
+	}
+	d := dev.Stats().Sub(s0)
+	b.ReportMetric(float64(d.Reads+d.Writes)/float64(b.N), "devops/op")
+}
+
+// BenchmarkFlushTransitive flushes a 64-node object graph, comparing the
+// coalesced traversal (each covered cache line flushed once, one trailing
+// fence) against a per-object FlushObject loop (one flush+fence each).
+func BenchmarkFlushTransitive(b *testing.B) {
+	rt, dev := benchRT(b)
+	node := espresso.MustClass("bench/Node", nil,
+		espresso.RefTo("next", "bench/Node"), espresso.Long("v"))
+	const graph = 64
+	refs := make([]espresso.Ref, graph)
+	var prev espresso.Ref
+	for i := range refs {
+		r, err := rt.PNew(node)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := rt.SetRef(r, "next", prev); err != nil {
+			b.Fatal(err)
+		}
+		refs[i] = r
+		prev = r
+	}
+	head := refs[len(refs)-1]
+
+	report := func(b *testing.B, s0 nvm.Stats) {
+		d := dev.Stats().Sub(s0)
+		b.ReportMetric(float64(d.FlushedLines)/float64(b.N), "lines/op")
+		b.ReportMetric(float64(d.Fences)/float64(b.N), "fences/op")
+		b.ReportMetric(float64(d.Reads)/float64(b.N), "devreads/op")
+	}
+
+	b.Run("coalesced", func(b *testing.B) {
+		s0 := dev.Stats()
+		for i := 0; i < b.N; i++ {
+			if err := rt.FlushTransitive(head); err != nil {
+				b.Fatal(err)
+			}
+		}
+		report(b, s0)
+	})
+	b.Run("per-object", func(b *testing.B) {
+		s0 := dev.Stats()
+		for i := 0; i < b.N; i++ {
+			for _, r := range refs {
+				if err := rt.FlushObject(r); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		report(b, s0)
+	})
+}

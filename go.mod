@@ -1,0 +1,3 @@
+module espresso
+
+go 1.22

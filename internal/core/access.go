@@ -37,27 +37,6 @@ func (rt *Runtime) setWord(ref layout.Ref, boff int, v uint64) {
 	panic(fmt.Sprintf("core: store to non-object address %#x", uint64(ref)))
 }
 
-func (rt *Runtime) getByte(ref layout.Ref, boff int) byte {
-	if rt.vol.Contains(ref) {
-		word := rt.vol.GetWord(ref, boff&^7)
-		return byte(word >> (8 * uint(boff&7)))
-	}
-	h := rt.heapOf(ref)
-	return h.Device().ReadByteAt(h.OffOf(ref) + boff)
-}
-
-func (rt *Runtime) setByte(ref layout.Ref, boff int, v byte) {
-	if rt.vol.Contains(ref) {
-		word := rt.vol.GetWord(ref, boff&^7)
-		shift := 8 * uint(boff&7)
-		word = word&^(0xff<<shift) | uint64(v)<<shift
-		rt.vol.SetWord(ref, boff&^7, word)
-		return
-	}
-	h := rt.heapOf(ref)
-	h.Device().WriteByteAt(h.OffOf(ref)+boff, v)
-}
-
 func (rt *Runtime) arrayLen(ref layout.Ref) int {
 	return int(rt.getWord(ref, layout.ArrayLenOff))
 }
@@ -178,13 +157,9 @@ func (rt *Runtime) storeRef(obj layout.Ref, boff int, val layout.Ref) error {
 			if rt.cfg.Safety == TypeBased {
 				return fmt.Errorf("core: type-based safety forbids storing a volatile reference into NVM")
 			}
-			rt.mu.Lock()
-			rt.nvmToVol[slot] = struct{}{}
-			rt.mu.Unlock()
+			rt.nvmToVol.Add(slot)
 		} else {
-			rt.mu.Lock()
-			delete(rt.nvmToVol, slot)
-			rt.mu.Unlock()
+			rt.nvmToVol.Remove(slot)
 		}
 		h.SetWord(obj, boff, uint64(val))
 		return nil
@@ -200,11 +175,5 @@ func (rt *Runtime) storeRef(obj layout.Ref, boff int, val layout.Ref) error {
 // NVMToVolSlots snapshots the persistent-to-volatile remembered set
 // (diagnostics and tests).
 func (rt *Runtime) NVMToVolSlots() []layout.Ref {
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
-	out := make([]layout.Ref, 0, len(rt.nvmToVol))
-	for s := range rt.nvmToVol {
-		out = append(out, s)
-	}
-	return out
+	return rt.nvmToVol.Snapshot()
 }

@@ -33,13 +33,7 @@ func (r volRoots) UpdateSlots(fn func(layout.Ref) layout.Ref) {
 			rt.handles[i] = fn(v)
 		}
 	}
-	rt.mu.Lock()
-	slots := make([]layout.Ref, 0, len(rt.nvmToVol))
-	for s := range rt.nvmToVol {
-		slots = append(slots, s)
-	}
-	rt.mu.Unlock()
-	for _, slot := range slots {
+	for _, slot := range rt.nvmToVol.Snapshot() {
 		h := rt.heapOf(slot)
 		if h == nil {
 			continue
@@ -50,11 +44,9 @@ func (r volRoots) UpdateSlots(fn func(layout.Ref) layout.Ref) {
 		if nv != v {
 			h.Device().WriteU64(boff, uint64(nv))
 			// The slot now points elsewhere; membership is re-derived.
-			rt.mu.Lock()
 			if nv == layout.NullRef || !rt.vol.Contains(nv) {
-				delete(rt.nvmToVol, slot)
+				rt.nvmToVol.Remove(slot)
 			}
-			rt.mu.Unlock()
 		}
 	}
 }
@@ -134,13 +126,7 @@ func (rt *Runtime) PersistentGC(name string) (pgc.Result, error) {
 // rebuildNVMRemset rescans one heap's live objects for volatile
 // references. Called after compaction invalidates slot addresses.
 func (rt *Runtime) rebuildNVMRemset(h *pheap.Heap) {
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
-	for slot := range rt.nvmToVol {
-		if h.ContainsImage(slot) {
-			delete(rt.nvmToVol, slot)
-		}
-	}
+	rt.nvmToVol.RemoveIf(h.ContainsImage)
 	_ = h.ForEachObject(func(off int, k *klass.Klass, size int) bool {
 		if pheap.IsFiller(k) {
 			return true
@@ -148,7 +134,7 @@ func (rt *Runtime) rebuildNVMRemset(h *pheap.Heap) {
 		pheap.RefSlots(h.Device(), off, k, func(slotBoff int) {
 			v := layout.Ref(h.Device().ReadU64(off + slotBoff))
 			if v != layout.NullRef && rt.vol.Contains(v) {
-				rt.nvmToVol[h.AddrOf(off+slotBoff)] = struct{}{}
+				rt.nvmToVol.Add(h.AddrOf(off + slotBoff))
 			}
 		})
 		return true

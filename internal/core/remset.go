@@ -1,0 +1,87 @@
+package core
+
+import (
+	"sync"
+
+	"espresso/internal/layout"
+)
+
+// remset is the persistent-to-volatile remembered set: absolute addresses
+// of NVM slots currently holding DRAM references. It is sharded by slot
+// address so concurrent mutators storing refs into different objects do
+// not serialize on one lock — the write barrier is on every SetRef, and a
+// global mutex there is exactly the kind of per-call cost the fast path
+// removes.
+//
+// Stop-the-world operations (GC root scans, rebuilds) still see a
+// consistent view: they run with mutators stopped, as in the JVM.
+const remsetShards = 64
+
+type remset struct {
+	shards [remsetShards]remsetShard
+}
+
+type remsetShard struct {
+	mu sync.Mutex
+	m  map[layout.Ref]struct{}
+}
+
+func newRemset() *remset {
+	r := &remset{}
+	for i := range r.shards {
+		r.shards[i].m = make(map[layout.Ref]struct{})
+	}
+	return r
+}
+
+// shard picks the shard for a slot address. Slots are word-aligned, so
+// the low three bits carry no entropy; a Fibonacci mix spreads nearby
+// slots (fields of one object) across shards.
+func (r *remset) shard(slot layout.Ref) *remsetShard {
+	h := uint64(slot) * 0x9e3779b97f4a7c15
+	return &r.shards[h>>(64-6)]
+}
+
+// Add records that slot holds a volatile reference.
+func (r *remset) Add(slot layout.Ref) {
+	s := r.shard(slot)
+	s.mu.Lock()
+	s.m[slot] = struct{}{}
+	s.mu.Unlock()
+}
+
+// Remove forgets slot. Removing an absent slot is a no-op.
+func (r *remset) Remove(slot layout.Ref) {
+	s := r.shard(slot)
+	s.mu.Lock()
+	delete(s.m, slot)
+	s.mu.Unlock()
+}
+
+// Snapshot returns every recorded slot (order unspecified).
+func (r *remset) Snapshot() []layout.Ref {
+	var out []layout.Ref
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.Lock()
+		for slot := range s.m {
+			out = append(out, slot)
+		}
+		s.mu.Unlock()
+	}
+	return out
+}
+
+// RemoveIf deletes every slot for which pred returns true.
+func (r *remset) RemoveIf(pred func(layout.Ref) bool) {
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.Lock()
+		for slot := range s.m {
+			if pred(slot) {
+				delete(s.m, slot)
+			}
+		}
+		s.mu.Unlock()
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"espresso/internal/klass"
@@ -90,14 +91,26 @@ type Runtime struct {
 	active     *pheap.Heap // target of PNew
 	nextBase   layout.Ref
 
+	// lastHeap is a one-entry cache over heapOf's binary search: almost
+	// every access run stays within one heap, so the common case is a
+	// pair of bounds checks instead of a sort.Search.
+	lastHeap atomic.Pointer[pheap.Heap]
+
 	handles     []layout.Ref
 	freeHandles []int
 
 	// nvmToVol is the persistent-to-volatile remembered set: absolute
 	// addresses of NVM slots currently holding DRAM references. The
 	// volatile collectors treat these as roots and patch them; the
-	// zeroing scan and type-based safety police them.
-	nvmToVol map[layout.Ref]struct{}
+	// zeroing scan and type-based safety police them. Sharded by slot
+	// address so the SetRef write barrier does not contend globally.
+	nvmToVol *remset
+
+	// flushWork is FlushTransitive/FlushBatch's reusable traversal state
+	// (work stack, visited set, line coalescer, object read buffer),
+	// serialized by flushMu so concurrent committers do not interleave.
+	flushMu   sync.Mutex
+	flushWork flushState
 
 	cp *klass.ConstantPool
 
@@ -117,7 +130,7 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 		vol:        vheap.New(reg, cfg.Volatile),
 		mgr:        namemgr.New(cfg.HeapDir, cfg.NVMMode),
 		heapByName: make(map[string]*pheap.Heap),
-		nvmToVol:   make(map[layout.Ref]struct{}),
+		nvmToVol:   newRemset(),
 		cp:         klass.NewConstantPool(),
 		nextBase:   layout.DefaultPJHBase,
 	}
@@ -138,10 +151,16 @@ func (rt *Runtime) NameManager() *namemgr.Manager { return rt.mgr }
 // StringKlass returns the built-in string class.
 func (rt *Runtime) StringKlass() *klass.Klass { return rt.stringKlass }
 
-// heapOf locates the persistent heap containing ref, or nil.
+// heapOf locates the persistent heap containing ref, or nil. A one-entry
+// last-heap cache short-circuits the binary search: the bounds are
+// re-checked on every hit, so a stale entry can only miss, never lie.
 func (rt *Runtime) heapOf(ref layout.Ref) *pheap.Heap {
+	if h := rt.lastHeap.Load(); h != nil && ref >= h.Base() && ref < h.Limit() {
+		return h
+	}
 	i := sort.Search(len(rt.heaps), func(i int) bool { return rt.heaps[i].Limit() > ref })
 	if i < len(rt.heaps) && ref >= rt.heaps[i].Base() {
+		rt.lastHeap.Store(rt.heaps[i])
 		return rt.heaps[i]
 	}
 	return nil
@@ -223,28 +242,35 @@ func (rt *Runtime) PNew(k *klass.Klass, arrayLen int) (layout.Ref, error) {
 }
 
 // PNewMultiArray allocates a persistent array of arrays (the
-// pmultianewarray bytecode): dims gives the length at each level.
+// pmultianewarray bytecode): dims gives the length at each level. The
+// array klass at every level is resolved once up front; the recursion
+// only allocates.
 func (rt *Runtime) PNewMultiArray(elem *klass.Klass, dims []int) (layout.Ref, error) {
 	if len(dims) == 0 {
 		return 0, fmt.Errorf("core: pmultianewarray needs at least one dimension")
 	}
-	if len(dims) == 1 {
-		if elem.Kind == klass.KindPrimArray {
-			return rt.PNew(elem, dims[0])
-		}
-		return rt.PNew(rt.Reg.ObjArray(elem.Name), dims[0])
+	chain := make([]*klass.Klass, len(dims))
+	leaf := elem
+	if elem.Kind != klass.KindPrimArray {
+		leaf = rt.Reg.ObjArray(elem.Name)
 	}
-	inner := elem
-	for i := 1; i < len(dims); i++ {
-		_ = i
-		inner = rt.Reg.ObjArray(inner.Name)
+	chain[len(dims)-1] = leaf
+	for i := len(dims) - 2; i >= 0; i-- {
+		chain[i] = rt.Reg.ObjArray(chain[i+1].Name)
 	}
-	arr, err := rt.PNew(rt.Reg.ObjArray(inner.Name), dims[0])
+	return rt.pnewMulti(chain, dims)
+}
+
+func (rt *Runtime) pnewMulti(chain []*klass.Klass, dims []int) (layout.Ref, error) {
+	arr, err := rt.PNew(chain[0], dims[0])
 	if err != nil {
 		return 0, err
 	}
+	if len(dims) == 1 {
+		return arr, nil
+	}
 	for i := 0; i < dims[0]; i++ {
-		sub, err := rt.PNewMultiArray(elem, dims[1:])
+		sub, err := rt.pnewMulti(chain[1:], dims[1:])
 		if err != nil {
 			return 0, err
 		}
@@ -285,8 +311,15 @@ func (rt *Runtime) NewString(s string, persistent bool) (layout.Ref, error) {
 	if err != nil {
 		return 0, err
 	}
-	for i := 0; i < len(s); i++ {
-		rt.setByte(ref, layout.ElemOff(layout.FTByte, i), s[i])
+	// Bulk store: one device write (or one DRAM memmove) for the whole
+	// payload, not a per-byte read-modify-write loop.
+	if len(s) > 0 {
+		boff := layout.ElemOff(layout.FTByte, 0)
+		if persistent {
+			rt.heapOf(ref).WriteBytesAt(ref, boff, []byte(s))
+		} else {
+			copy(rt.vol.Bytes(ref, boff, len(s)), s)
+		}
 	}
 	if persistent {
 		// Strings are immutable: persist eagerly like the paper's string
@@ -296,7 +329,7 @@ func (rt *Runtime) NewString(s string, persistent bool) (layout.Ref, error) {
 	return ref, nil
 }
 
-// GetString reads a string object's contents.
+// GetString reads a string object's contents with one bulk device read.
 func (rt *Runtime) GetString(ref layout.Ref) (string, error) {
 	k, err := rt.KlassOf(ref)
 	if err != nil {
@@ -306,9 +339,14 @@ func (rt *Runtime) GetString(ref layout.Ref) (string, error) {
 		return "", fmt.Errorf("core: %#x is a %s, not a string", uint64(ref), k.Name)
 	}
 	n := rt.arrayLen(ref)
-	b := make([]byte, n)
-	for i := range b {
-		b[i] = rt.getByte(ref, layout.ElemOff(layout.FTByte, i))
+	if n == 0 {
+		return "", nil
 	}
+	boff := layout.ElemOff(layout.FTByte, 0)
+	if rt.vol.Contains(ref) {
+		return string(rt.vol.Bytes(ref, boff, n)), nil
+	}
+	b := make([]byte, n)
+	rt.heapOf(ref).ReadBytesAt(ref, boff, b)
 	return string(b), nil
 }

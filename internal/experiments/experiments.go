@@ -452,20 +452,34 @@ type Fig16Row struct {
 	JPA, PJO float64 // ops/sec
 }
 
-func newJPAStack() (*jpa.Provider, error) {
-	db, err := h2.New(128<<20, nvm.Direct)
+// stackSize scales the backing stores with the workload so small test
+// runs do not spend their time (and flush the page cache) zero-filling
+// hundreds of megabytes they never touch.
+func stackSize(scale Scale) int {
+	if scale <= 1 {
+		return 128 << 20
+	}
+	size := (128 << 20) / int(scale)
+	if size < 16<<20 {
+		size = 16 << 20
+	}
+	return size
+}
+
+func newJPAStack(scale Scale) (*jpa.Provider, error) {
+	db, err := h2.New(stackSize(scale), nvm.Direct)
 	if err != nil {
 		return nil, err
 	}
 	return jpa.NewProvider(db), nil
 }
 
-func newPJOStack() (*pjo.Provider, error) {
-	db, err := h2.New(128<<20, nvm.Direct)
+func newPJOStack(scale Scale) (*pjo.Provider, error) {
+	db, err := h2.New(stackSize(scale), nvm.Direct)
 	if err != nil {
 		return nil, err
 	}
-	rt, err := core.NewRuntime(core.Config{PJHDataSize: 128 << 20})
+	rt, err := core.NewRuntime(core.Config{PJHDataSize: stackSize(scale)})
 	if err != nil {
 		return nil, err
 	}
@@ -475,30 +489,55 @@ func newPJOStack() (*pjo.Provider, error) {
 	return pjo.NewProvider(rt, db), nil
 }
 
+// runBest runs a JPAB test several times on the same stack and keeps the
+// best rate per operation — the usual best-of-k discipline for wall-clock
+// microbenchmarks, applied identically to both providers.
+func runBest(t *jpab.Test, em jpa.EntityManager, n, attempts int) (map[string]float64, error) {
+	best := map[string]float64{}
+	for a := 0; a < attempts; a++ {
+		r, err := jpab.Run(t, em, n, 50)
+		if err != nil {
+			return nil, err
+		}
+		for op, v := range r.Ops() {
+			if v > best[op] {
+				best[op] = v
+			}
+		}
+	}
+	return best, nil
+}
+
 // Fig16 runs the four JPAB tests over both providers.
 // Paper: H2-PJO beats H2-JPA everywhere, up to 3.24x.
 func Fig16(scale Scale) ([]Fig16Row, error) {
 	n := scale.div(2000)
+	// Throughput cells need enough ops to rise above scheduler jitter;
+	// scaling below this floor measures noise, not providers.
+	if n < 250 {
+		n = 250
+	}
+	const attempts = 3
 	var rows []Fig16Row
 	for _, mk := range jpab.AllTests() {
-		jp, err := newJPAStack()
+		jp, err := newJPAStack(scale)
 		if err != nil {
 			return nil, err
 		}
-		rJPA, err := jpab.Run(mk, jp, n, 50)
+		rJPA, err := runBest(mk, jp, n, attempts)
 		if err != nil {
 			return nil, fmt.Errorf("fig16 %s JPA: %w", mk.Name, err)
 		}
-		pj, err := newPJOStack()
+		pj, err := newPJOStack(scale)
 		if err != nil {
 			return nil, err
 		}
-		rPJO, err := jpab.Run(mk, pj, n, 50)
+		rPJO, err := runBest(mk, pj, n, attempts)
 		if err != nil {
 			return nil, fmt.Errorf("fig16 %s PJO: %w", mk.Name, err)
 		}
 		for _, op := range []string{"Retrieve", "Update", "Delete", "Create"} {
-			rows = append(rows, Fig16Row{Test: mk.Name, Op: op, JPA: rJPA.Ops()[op], PJO: rPJO.Ops()[op]})
+			rows = append(rows, Fig16Row{Test: mk.Name, Op: op, JPA: rJPA[op], PJO: rPJO[op]})
 		}
 	}
 	return rows, nil
@@ -526,13 +565,13 @@ func Fig17(w io.Writer, scale Scale) error {
 		var em jpa.EntityManager
 		var setProf func(*bench.Breakdown)
 		if sys == "H2-JPA" {
-			p, err := newJPAStack()
+			p, err := newJPAStack(scale)
 			if err != nil {
 				return err
 			}
 			em, setProf = p, p.SetProfile
 		} else {
-			p, err := newPJOStack()
+			p, err := newPJOStack(scale)
 			if err != nil {
 				return err
 			}

@@ -1,0 +1,232 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"espresso/internal/core"
+	"espresso/internal/klass"
+	"espresso/internal/layout"
+	"espresso/internal/nvm"
+)
+
+// The fast-path experiment measures the resolved-accessor layer the way
+// the paper measures everything else: wall time next to accounted device
+// traffic. It is the source of BENCH_fastpath.json, the baseline CI
+// compares new runs against by eye.
+
+// FastpathRow is one operation's cost, per op.
+type FastpathRow struct {
+	Op           string  `json:"op"`
+	NsPerOp      float64 `json:"ns_per_op"`
+	DevReads     float64 `json:"dev_reads_per_op"`
+	DevWrites    float64 `json:"dev_writes_per_op"`
+	FlushedLines float64 `json:"flushed_lines_per_op"`
+	Fences       float64 `json:"fences_per_op"`
+}
+
+// Fastpath measures named vs resolved field access, persistent-string
+// round trips, and per-object vs coalesced transitive flushes.
+func Fastpath(scale Scale) ([]FastpathRow, error) {
+	rt, err := core.NewRuntime(core.Config{PJHDataSize: 64 << 20})
+	if err != nil {
+		return nil, err
+	}
+	h, err := rt.CreateHeap("fastpath", 0)
+	if err != nil {
+		return nil, err
+	}
+	dev := h.Device()
+	n := scale.div(1000000)
+
+	person := klass.MustInstance("fastpath/Person", nil,
+		klass.Field{Name: "id", Type: layout.FTLong},
+		klass.Field{Name: "name", Type: layout.FTRef, RefKlass: core.StringKlassName},
+	)
+	p, err := rt.PNew(person, 0)
+	if err != nil {
+		return nil, err
+	}
+	idF, err := rt.ResolveField(person, "id")
+	if err != nil {
+		return nil, err
+	}
+
+	var rows []FastpathRow
+	measure := func(op string, iters int, fn func() error) error {
+		s0 := dev.Stats()
+		t0 := time.Now()
+		if err := fn(); err != nil {
+			return fmt.Errorf("fastpath %s: %w", op, err)
+		}
+		wall := time.Since(t0)
+		d := dev.Stats().Sub(s0)
+		rows = append(rows, FastpathRow{
+			Op:           op,
+			NsPerOp:      float64(wall.Nanoseconds()) / float64(iters),
+			DevReads:     float64(d.Reads) / float64(iters),
+			DevWrites:    float64(d.Writes) / float64(iters),
+			FlushedLines: float64(d.FlushedLines) / float64(iters),
+			Fences:       float64(d.Fences) / float64(iters),
+		})
+		return nil
+	}
+
+	if err := measure("named-get", n, func() error {
+		for i := 0; i < n; i++ {
+			if _, err := rt.GetLong(p, "id"); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	if err := measure("resolved-get", n, func() error {
+		for i := 0; i < n; i++ {
+			rt.GetLongFast(p, idF)
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	if err := measure("named-set", n, func() error {
+		for i := 0; i < n; i++ {
+			if err := rt.SetLong(p, "id", int64(i)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	if err := measure("resolved-set", n, func() error {
+		for i := 0; i < n; i++ {
+			rt.SetLongFast(p, idF, int64(i))
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	// Strings: one round trip per iteration, measured in chunks with the
+	// dead-string GC between them — outside both the timer and the
+	// device-stat window, so the per-op numbers are scale-independent
+	// and comparable against the committed baseline.
+	payload := strings.Repeat("s", 256)
+	strN := n / 10
+	if strN < 1 {
+		strN = 1
+	}
+	{
+		var wall time.Duration
+		var traffic nvm.Stats
+		const chunk = 10000
+		for done := 0; done < strN; {
+			step := chunk
+			if step > strN-done {
+				step = strN - done
+			}
+			s0 := dev.Stats()
+			t0 := time.Now()
+			for i := 0; i < step; i++ {
+				ref, err := rt.NewString(payload, true)
+				if err != nil {
+					return nil, fmt.Errorf("fastpath string-roundtrip: %w", err)
+				}
+				if _, err := rt.GetString(ref); err != nil {
+					return nil, fmt.Errorf("fastpath string-roundtrip: %w", err)
+				}
+			}
+			wall += time.Since(t0)
+			d := dev.Stats().Sub(s0)
+			traffic.Reads += d.Reads
+			traffic.Writes += d.Writes
+			traffic.FlushedLines += d.FlushedLines
+			traffic.Fences += d.Fences
+			done += step
+			if done < strN {
+				if _, err := rt.PersistentGC("fastpath"); err != nil {
+					return nil, fmt.Errorf("fastpath string-roundtrip gc: %w", err)
+				}
+			}
+		}
+		rows = append(rows, FastpathRow{
+			Op:           "string-roundtrip",
+			NsPerOp:      float64(wall.Nanoseconds()) / float64(strN),
+			DevReads:     float64(traffic.Reads) / float64(strN),
+			DevWrites:    float64(traffic.Writes) / float64(strN),
+			FlushedLines: float64(traffic.FlushedLines) / float64(strN),
+			Fences:       float64(traffic.Fences) / float64(strN),
+		})
+	}
+
+	// Transitive flush over a 64-node chain.
+	node := klass.MustInstance("fastpath/Node", nil,
+		klass.Field{Name: "next", Type: layout.FTRef, RefKlass: "fastpath/Node"},
+		klass.Field{Name: "v", Type: layout.FTLong},
+	)
+	const graph = 64
+	var head layout.Ref
+	chain := make([]layout.Ref, graph)
+	for i := 0; i < graph; i++ {
+		r, err := rt.PNew(node, 0)
+		if err != nil {
+			return nil, err
+		}
+		if err := rt.SetRef(r, "next", head); err != nil {
+			return nil, err
+		}
+		chain[i] = r
+		head = r
+	}
+	flushN := n / 100
+	if flushN < 1 {
+		flushN = 1
+	}
+	if err := measure("flush-per-object", flushN, func() error {
+		for i := 0; i < flushN; i++ {
+			for _, r := range chain {
+				if err := rt.FlushObject(r); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	if err := measure("flush-transitive", flushN, func() error {
+		for i := 0; i < flushN; i++ {
+			if err := rt.FlushTransitive(head); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// PrintFastpath renders the fast-path table with the headline ratios.
+func PrintFastpath(w io.Writer, rows []FastpathRow) {
+	fmt.Fprintln(w, "Fast path — resolved handles, bulk I/O, coalesced flushes (per op)")
+	byOp := map[string]FastpathRow{}
+	fmt.Fprintf(w, "  %-18s %12s %10s %10s %8s %8s\n", "op", "ns", "reads", "writes", "lines", "fences")
+	for _, r := range rows {
+		byOp[r.Op] = r
+		fmt.Fprintf(w, "  %-18s %12.1f %10.2f %10.2f %8.2f %8.2f\n",
+			r.Op, r.NsPerOp, r.DevReads, r.DevWrites, r.FlushedLines, r.Fences)
+	}
+	if ng, rg := byOp["named-get"], byOp["resolved-get"]; rg.NsPerOp > 0 && rg.DevReads > 0 {
+		fmt.Fprintf(w, "  resolved get: %.2fx faster, %.1fx fewer device reads\n",
+			ng.NsPerOp/rg.NsPerOp, ng.DevReads/rg.DevReads)
+	}
+	if po, tr := byOp["flush-per-object"], byOp["flush-transitive"]; tr.Fences > 0 {
+		fmt.Fprintf(w, "  coalesced flush: %.0fx fewer fences, %.1fx fewer flushed lines\n",
+			po.Fences/tr.Fences, po.FlushedLines/tr.FlushedLines)
+	}
+}

@@ -226,6 +226,13 @@ func (e *Entity) GetFloat(name string) float64 {
 // Value reads flattened field i as a database value.
 func (e *Entity) Value(i int) h2.Value { return e.get(i) }
 
+// SetValueAt is the resolved-index write: callers that looked an index
+// up once with EntityDef.FieldIndex skip the per-access name map, the
+// way enhanced bytecode addresses fields by slot. It maintains the
+// dirty bitmap and copy-on-write shadowing exactly like the named
+// accessors; Value is its read counterpart.
+func (e *Entity) SetValueAt(i int, v h2.Value) { e.set(i, v) }
+
 // EntityManager is the persistence contract of the paper's Figure 3:
 // transaction demarcation plus persist/find/remove. Both the JPA provider
 // (SQL transformation) and the PJO provider (DBPersistable shipping)

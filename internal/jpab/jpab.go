@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"time"
 
+	"espresso/internal/h2"
 	"espresso/internal/jpa"
 )
 
@@ -48,6 +49,32 @@ var (
 		jpa.FieldDef{Name: "nextId", Kind: jpa.FInt},
 		jpa.FieldDef{Name: "label", Kind: jpa.FStr},
 	)
+)
+
+// Field indices resolved once at load — the workload loops address
+// fields by slot, like enhanced bytecode, instead of re-walking the
+// name map on every access.
+func fi(d *jpa.EntityDef, name string) int {
+	i, ok := d.FieldIndex(name)
+	if !ok {
+		panic("jpab: " + d.Name + " has no field " + name)
+	}
+	return i
+}
+
+var (
+	personFirstName = fi(Person, "firstName")
+	personLastName  = fi(Person, "lastName")
+	personEmail     = fi(Person, "email")
+	personScore     = fi(Person, "score")
+	employeeSalary  = fi(Employee, "salary")
+	employeeDept    = fi(Employee, "department")
+	albumTitle      = fi(Album, "title")
+	albumTrackCount = fi(Album, "trackCount")
+	trackAlbumID    = fi(Track, "albumId")
+	trackName       = fi(Track, "name")
+	nodeNextID      = fi(Node, "nextId")
+	nodeLabel       = fi(Node, "label")
 )
 
 // Result is one test's throughput per CRUD operation, in operations per
@@ -144,22 +171,22 @@ func BasicTest() *Test {
 		MakeBatch: func(em jpa.EntityManager, base int64, n int) error {
 			return persistBatch(em, func(id int64) *jpa.Entity {
 				e := Person.NewEntity(id)
-				e.SetStr("firstName", fmt.Sprintf("First%d", id))
-				e.SetStr("lastName", fmt.Sprintf("Last%d", id))
-				e.SetStr("email", fmt.Sprintf("p%d@example.com", id))
-				e.SetFloat("score", float64(id)*0.5)
+				e.SetValueAt(personFirstName, h2.StrV(fmt.Sprintf("First%d", id)))
+				e.SetValueAt(personLastName, h2.StrV(fmt.Sprintf("Last%d", id)))
+				e.SetValueAt(personEmail, h2.StrV(fmt.Sprintf("p%d@example.com", id)))
+				e.SetValueAt(personScore, h2.FloatV(float64(id)*0.5))
 				return e
 			}, base, n)
 		},
 		Fetch: func(em jpa.EntityManager, id int64) error {
 			return fetchOne(em, Person, id, func(e *jpa.Entity) {
-				_ = e.GetStr("firstName")
-				_ = e.GetFloat("score")
+				_ = e.Value(personFirstName)
+				_ = e.Value(personScore)
 			})
 		},
 		Touch: func(em jpa.EntityManager, id int64) error {
 			return touchOne(em, Person, id, func(e *jpa.Entity) {
-				e.SetFloat("score", float64(id)+1.25)
+				e.SetValueAt(personScore, h2.FloatV(float64(id)+1.25))
 			})
 		},
 		Drop: func(em jpa.EntityManager, id int64) error { return dropOne(em, Person, id) },
@@ -174,24 +201,24 @@ func ExtTest() *Test {
 		MakeBatch: func(em jpa.EntityManager, base int64, n int) error {
 			return persistBatch(em, func(id int64) *jpa.Entity {
 				e := Employee.NewEntity(id)
-				e.SetStr("firstName", fmt.Sprintf("First%d", id))
-				e.SetStr("lastName", fmt.Sprintf("Last%d", id))
-				e.SetStr("email", fmt.Sprintf("e%d@example.com", id))
-				e.SetFloat("score", float64(id))
-				e.SetInt("salary", 40000+id)
-				e.SetStr("department", "Systems")
+				e.SetValueAt(personFirstName, h2.StrV(fmt.Sprintf("First%d", id)))
+				e.SetValueAt(personLastName, h2.StrV(fmt.Sprintf("Last%d", id)))
+				e.SetValueAt(personEmail, h2.StrV(fmt.Sprintf("e%d@example.com", id)))
+				e.SetValueAt(personScore, h2.FloatV(float64(id)))
+				e.SetValueAt(employeeSalary, h2.IntV(40000+id))
+				e.SetValueAt(employeeDept, h2.StrV("Systems"))
 				return e
 			}, base, n)
 		},
 		Fetch: func(em jpa.EntityManager, id int64) error {
 			return fetchOne(em, Employee, id, func(e *jpa.Entity) {
-				_ = e.GetStr("firstName") // inherited
-				_ = e.GetInt("salary")    // own
+				_ = e.Value(personFirstName) // inherited
+				_ = e.Value(employeeSalary)  // own
 			})
 		},
 		Touch: func(em jpa.EntityManager, id int64) error {
 			return touchOne(em, Employee, id, func(e *jpa.Entity) {
-				e.SetInt("salary", 50000+id)
+				e.SetValueAt(employeeSalary, h2.IntV(50000+id))
 			})
 		},
 		Drop: func(em jpa.EntityManager, id int64) error { return dropOne(em, Employee, id) },
@@ -213,15 +240,15 @@ func CollectionTest() *Test {
 			for i := 0; i < n; i++ {
 				id := base + int64(i)
 				a := Album.NewEntity(id)
-				a.SetStr("title", fmt.Sprintf("Album %d", id))
-				a.SetInt("trackCount", tracksPerAlbum)
+				a.SetValueAt(albumTitle, h2.StrV(fmt.Sprintf("Album %d", id)))
+				a.SetValueAt(albumTrackCount, h2.IntV(tracksPerAlbum))
 				if err := em.Persist(a); err != nil {
 					return err
 				}
 				for tk := 0; tk < tracksPerAlbum; tk++ {
 					t := Track.NewEntity(trackID(id, tk))
-					t.SetInt("albumId", id)
-					t.SetStr("name", fmt.Sprintf("Track %d-%d", id, tk))
+					t.SetValueAt(trackAlbumID, h2.IntV(id))
+					t.SetValueAt(trackName, h2.StrV(fmt.Sprintf("Track %d-%d", id, tk)))
 					if err := em.Persist(t); err != nil {
 						return err
 					}
@@ -230,11 +257,11 @@ func CollectionTest() *Test {
 			return em.Commit()
 		},
 		Fetch: func(em jpa.EntityManager, id int64) error {
-			if err := fetchOne(em, Album, id, func(e *jpa.Entity) { _ = e.GetStr("title") }); err != nil {
+			if err := fetchOne(em, Album, id, func(e *jpa.Entity) { _ = e.Value(albumTitle) }); err != nil {
 				return err
 			}
 			for tk := 0; tk < tracksPerAlbum; tk++ {
-				if err := fetchOne(em, Track, trackID(id, tk), func(e *jpa.Entity) { _ = e.GetStr("name") }); err != nil {
+				if err := fetchOne(em, Track, trackID(id, tk), func(e *jpa.Entity) { _ = e.Value(trackName) }); err != nil {
 					return err
 				}
 			}
@@ -242,7 +269,7 @@ func CollectionTest() *Test {
 		},
 		Touch: func(em jpa.EntityManager, id int64) error {
 			return touchOne(em, Track, trackID(id, 0), func(e *jpa.Entity) {
-				e.SetStr("name", fmt.Sprintf("Track %d-0 (remastered)", id))
+				e.SetValueAt(trackName, h2.StrV(fmt.Sprintf("Track %d-0 (remastered)", id)))
 			})
 		},
 		Drop: func(em jpa.EntityManager, id int64) error {
@@ -265,24 +292,24 @@ func NodeTest() *Test {
 		MakeBatch: func(em jpa.EntityManager, base int64, n int) error {
 			return persistBatch(em, func(id int64) *jpa.Entity {
 				e := Node.NewEntity(id)
-				e.SetInt("nextId", id+1) // chain
-				e.SetStr("label", fmt.Sprintf("node-%d", id))
+				e.SetValueAt(nodeNextID, h2.IntV(id+1)) // chain
+				e.SetValueAt(nodeLabel, h2.StrV(fmt.Sprintf("node-%d", id)))
 				return e
 			}, base, n)
 		},
 		Fetch: func(em jpa.EntityManager, id int64) error {
 			return fetchOne(em, Node, id, func(e *jpa.Entity) {
-				next := e.GetInt("nextId")
+				next := e.Value(nodeNextID).I
 				// Follow the reference if the target exists (chain tail
 				// points past the population).
 				if tgt, err := em.Find(Node, next); err == nil && tgt != nil {
-					_ = tgt.GetStr("label")
+					_ = tgt.Value(nodeLabel)
 				}
 			})
 		},
 		Touch: func(em jpa.EntityManager, id int64) error {
 			return touchOne(em, Node, id, func(e *jpa.Entity) {
-				e.SetStr("label", fmt.Sprintf("node-%d'", id))
+				e.SetValueAt(nodeLabel, h2.StrV(fmt.Sprintf("node-%d'", id)))
 			})
 		},
 		Drop: func(em jpa.EntityManager, id int64) error { return dropOne(em, Node, id) },

@@ -144,6 +144,29 @@ func (k *Klass) FieldIndex(name string) (int, bool) {
 	return i, ok
 }
 
+// ResolvedField is a field descriptor resolved once from the name map:
+// the registry slot of the declaring klass, the field's flattened index
+// and byte offset, and its type. It is the klass-level half of the
+// runtime's FieldRef fast path — the analog of a resolved constant-pool
+// field entry, which lets compiled bytecode address a field by offset
+// instead of by name on every access.
+type ResolvedField struct {
+	KlassID int
+	Index   int
+	Off     int // byte offset within the object
+	Type    layout.FieldType
+}
+
+// Resolve looks a field name up once and returns its resolved descriptor.
+// Accesses through the result skip the name map entirely.
+func (k *Klass) Resolve(name string) (ResolvedField, bool) {
+	i, ok := k.fieldIdx[name]
+	if !ok {
+		return ResolvedField{}, false
+	}
+	return ResolvedField{KlassID: k.id, Index: i, Off: layout.FieldOff(i), Type: k.all[i].Type}, true
+}
+
 // IsArray reports whether k describes an array shape.
 func (k *Klass) IsArray() bool { return k.Kind != KindInstance }
 

@@ -311,6 +311,20 @@ func (d *Device) Flush(off, n int) {
 	}
 }
 
+// Range is a byte range [Off, Off+N) used by FlushBatch.
+type Range struct{ Off, N int }
+
+// FlushBatch writes back every range and issues a single trailing Fence —
+// the coalesced-persist idiom: clflush each line once, sfence once.
+// Callers are expected to pre-merge overlapping ranges (core's flush
+// coalescer does); the device flushes exactly what it is handed.
+func (d *Device) FlushBatch(ranges []Range) {
+	for _, r := range ranges {
+		d.Flush(r.Off, r.N)
+	}
+	d.Fence()
+}
+
 // Fence orders earlier flushes before later stores, like sfence. Flush is
 // synchronous in this simulator, so Fence only accounts the instruction;
 // protocols still call it wherever real hardware would need it so the

@@ -28,6 +28,14 @@ type World struct {
 	mapKlass    *klass.Klass
 	tupleKlass  map[int]*klass.Klass
 	objArrKlass *klass.Klass
+
+	// Field offsets resolved once at world construction — the same
+	// resolve-once discipline as core's FieldRef fast path, so the §6.2
+	// hot loops do no per-access name-map lookups.
+	boxValueOff                                          int
+	entryHashOff, entryKeyOff, entryValOff, entryNextOff int
+	listSizeOff, listElemsOff                            int
+	mapSizeOff, mapBucketsOff                            int
 }
 
 // NewWorld prepares the collection classes on a heap.
@@ -60,6 +68,15 @@ func NewWorld(h *pheap.Heap) (*World, error) {
 		return nil, err
 	}
 	w.objArrKlass = reg.ObjArray("java/lang/Object")
+	w.boxValueOff = fieldOff(w.boxKlass, "value")
+	w.entryHashOff = fieldOff(w.entryKlass, "hash")
+	w.entryKeyOff = fieldOff(w.entryKlass, "key")
+	w.entryValOff = fieldOff(w.entryKlass, "value")
+	w.entryNextOff = fieldOff(w.entryKlass, "next")
+	w.listSizeOff = fieldOff(w.listKlass, "size")
+	w.listElemsOff = fieldOff(w.listKlass, "elems")
+	w.mapSizeOff = fieldOff(w.mapKlass, "size")
+	w.mapBucketsOff = fieldOff(w.mapKlass, "buckets")
 	return w, nil
 }
 
@@ -80,20 +97,20 @@ func (w *World) NewLong(v int64) (layout.Ref, error) {
 		return 0, err
 	}
 	err = w.TX.Run(func(tx *ptx.Tx) error {
-		return tx.WriteWord(ref, fieldOff(w.boxKlass, "value"), uint64(v))
+		return tx.WriteWord(ref, w.boxValueOff, uint64(v))
 	})
 	return ref, err
 }
 
 // LongValue reads a boxed long.
 func (w *World) LongValue(ref layout.Ref) int64 {
-	return int64(w.H.GetWord(ref, fieldOff(w.boxKlass, "value")))
+	return int64(w.H.GetWord(ref, w.boxValueOff))
 }
 
 // SetLongValue updates a boxed long transactionally.
 func (w *World) SetLongValue(ref layout.Ref, v int64) error {
 	return w.TX.Run(func(tx *ptx.Tx) error {
-		return tx.WriteWord(ref, fieldOff(w.boxKlass, "value"), uint64(v))
+		return tx.WriteWord(ref, w.boxValueOff, uint64(v))
 	})
 }
 
@@ -184,23 +201,23 @@ func (w *World) NewList(capacity int) (layout.Ref, error) {
 		return 0, err
 	}
 	err = w.TX.Run(func(tx *ptx.Tx) error {
-		if err := tx.WriteWord(ref, fieldOff(w.listKlass, "size"), 0); err != nil {
+		if err := tx.WriteWord(ref, w.listSizeOff, 0); err != nil {
 			return err
 		}
-		return tx.WriteWord(ref, fieldOff(w.listKlass, "elems"), uint64(elems))
+		return tx.WriteWord(ref, w.listElemsOff, uint64(elems))
 	})
 	return ref, err
 }
 
 // ListLen reports the list's element count.
 func (w *World) ListLen(list layout.Ref) int {
-	return int(w.H.GetWord(list, fieldOff(w.listKlass, "size")))
+	return int(w.H.GetWord(list, w.listSizeOff))
 }
 
 // ListAdd appends v, growing the backing array by doubling when full.
 func (w *World) ListAdd(list layout.Ref, v layout.Ref) error {
 	size := w.ListLen(list)
-	elems := layout.Ref(w.H.GetWord(list, fieldOff(w.listKlass, "elems")))
+	elems := layout.Ref(w.H.GetWord(list, w.listElemsOff))
 	cap := w.H.ArrayLen(elems)
 	if size == cap {
 		bigger, err := w.NewArray(cap * 2)
@@ -213,7 +230,7 @@ func (w *World) ListAdd(list layout.Ref, v layout.Ref) error {
 		}
 		w.H.FlushRange(bigger, 0, w.objArrKlass.SizeOf(cap*2))
 		if err := w.TX.Run(func(tx *ptx.Tx) error {
-			return tx.WriteWord(list, fieldOff(w.listKlass, "elems"), uint64(bigger))
+			return tx.WriteWord(list, w.listElemsOff, uint64(bigger))
 		}); err != nil {
 			return err
 		}
@@ -223,7 +240,7 @@ func (w *World) ListAdd(list layout.Ref, v layout.Ref) error {
 		if err := tx.WriteWord(elems, layout.ElemOff(layout.FTRef, size), uint64(v)); err != nil {
 			return err
 		}
-		return tx.WriteWord(list, fieldOff(w.listKlass, "size"), uint64(size+1))
+		return tx.WriteWord(list, w.listSizeOff, uint64(size+1))
 	})
 }
 
@@ -232,7 +249,7 @@ func (w *World) ListGet(list layout.Ref, i int) (layout.Ref, error) {
 	if i < 0 || i >= w.ListLen(list) {
 		return 0, fmt.Errorf("pcollections: list index %d out of range", i)
 	}
-	elems := layout.Ref(w.H.GetWord(list, fieldOff(w.listKlass, "elems")))
+	elems := layout.Ref(w.H.GetWord(list, w.listElemsOff))
 	return w.ArrayGet(elems, i), nil
 }
 
@@ -241,7 +258,7 @@ func (w *World) ListSet(list layout.Ref, i int, v layout.Ref) error {
 	if i < 0 || i >= w.ListLen(list) {
 		return fmt.Errorf("pcollections: list index %d out of range", i)
 	}
-	elems := layout.Ref(w.H.GetWord(list, fieldOff(w.listKlass, "elems")))
+	elems := layout.Ref(w.H.GetWord(list, w.listElemsOff))
 	return w.ArraySet(elems, i, v)
 }
 
@@ -261,10 +278,10 @@ func (w *World) NewMap(buckets int) (layout.Ref, error) {
 		return 0, err
 	}
 	err = w.TX.Run(func(tx *ptx.Tx) error {
-		if err := tx.WriteWord(ref, fieldOff(w.mapKlass, "size"), 0); err != nil {
+		if err := tx.WriteWord(ref, w.mapSizeOff, 0); err != nil {
 			return err
 		}
-		return tx.WriteWord(ref, fieldOff(w.mapKlass, "buckets"), uint64(arr))
+		return tx.WriteWord(ref, w.mapBucketsOff, uint64(arr))
 	})
 	return ref, err
 }
@@ -279,14 +296,14 @@ func mixHash(k int64) uint64 {
 
 // MapPut inserts or updates key → value.
 func (w *World) MapPut(m layout.Ref, key int64, value layout.Ref) error {
-	buckets := layout.Ref(w.H.GetWord(m, fieldOff(w.mapKlass, "buckets")))
+	buckets := layout.Ref(w.H.GetWord(m, w.mapBucketsOff))
 	nb := w.H.ArrayLen(buckets)
 	slot := int(mixHash(key) % uint64(nb))
 	head := w.ArrayGet(buckets, slot)
-	for e := head; e != layout.NullRef; e = layout.Ref(w.H.GetWord(e, fieldOff(w.entryKlass, "next"))) {
-		if int64(w.H.GetWord(e, fieldOff(w.entryKlass, "key"))) == key {
+	for e := head; e != layout.NullRef; e = layout.Ref(w.H.GetWord(e, w.entryNextOff)) {
+		if int64(w.H.GetWord(e, w.entryKeyOff)) == key {
 			return w.TX.Run(func(tx *ptx.Tx) error {
-				return tx.WriteWord(e, fieldOff(w.entryKlass, "value"), uint64(value))
+				return tx.WriteWord(e, w.entryValOff, uint64(value))
 			})
 		}
 	}
@@ -294,35 +311,35 @@ func (w *World) MapPut(m layout.Ref, key int64, value layout.Ref) error {
 	if err != nil {
 		return err
 	}
-	size := int64(w.H.GetWord(m, fieldOff(w.mapKlass, "size")))
+	size := int64(w.H.GetWord(m, w.mapSizeOff))
 	return w.TX.Run(func(tx *ptx.Tx) error {
-		if err := tx.WriteWord(entry, fieldOff(w.entryKlass, "hash"), mixHash(key)); err != nil {
+		if err := tx.WriteWord(entry, w.entryHashOff, mixHash(key)); err != nil {
 			return err
 		}
-		if err := tx.WriteWord(entry, fieldOff(w.entryKlass, "key"), uint64(key)); err != nil {
+		if err := tx.WriteWord(entry, w.entryKeyOff, uint64(key)); err != nil {
 			return err
 		}
-		if err := tx.WriteWord(entry, fieldOff(w.entryKlass, "value"), uint64(value)); err != nil {
+		if err := tx.WriteWord(entry, w.entryValOff, uint64(value)); err != nil {
 			return err
 		}
-		if err := tx.WriteWord(entry, fieldOff(w.entryKlass, "next"), uint64(head)); err != nil {
+		if err := tx.WriteWord(entry, w.entryNextOff, uint64(head)); err != nil {
 			return err
 		}
 		if err := tx.WriteWord(buckets, layout.ElemOff(layout.FTRef, slot), uint64(entry)); err != nil {
 			return err
 		}
-		return tx.WriteWord(m, fieldOff(w.mapKlass, "size"), uint64(size+1))
+		return tx.WriteWord(m, w.mapSizeOff, uint64(size+1))
 	})
 }
 
 // MapGet looks a key up.
 func (w *World) MapGet(m layout.Ref, key int64) (layout.Ref, bool) {
-	buckets := layout.Ref(w.H.GetWord(m, fieldOff(w.mapKlass, "buckets")))
+	buckets := layout.Ref(w.H.GetWord(m, w.mapBucketsOff))
 	nb := w.H.ArrayLen(buckets)
 	slot := int(mixHash(key) % uint64(nb))
-	for e := w.ArrayGet(buckets, slot); e != layout.NullRef; e = layout.Ref(w.H.GetWord(e, fieldOff(w.entryKlass, "next"))) {
-		if int64(w.H.GetWord(e, fieldOff(w.entryKlass, "key"))) == key {
-			return layout.Ref(w.H.GetWord(e, fieldOff(w.entryKlass, "value"))), true
+	for e := w.ArrayGet(buckets, slot); e != layout.NullRef; e = layout.Ref(w.H.GetWord(e, w.entryNextOff)) {
+		if int64(w.H.GetWord(e, w.entryKeyOff)) == key {
+			return layout.Ref(w.H.GetWord(e, w.entryValOff)), true
 		}
 	}
 	return 0, false
@@ -330,15 +347,15 @@ func (w *World) MapGet(m layout.Ref, key int64) (layout.Ref, bool) {
 
 // MapRemove deletes a key, reporting whether it was present.
 func (w *World) MapRemove(m layout.Ref, key int64) (bool, error) {
-	buckets := layout.Ref(w.H.GetWord(m, fieldOff(w.mapKlass, "buckets")))
+	buckets := layout.Ref(w.H.GetWord(m, w.mapBucketsOff))
 	nb := w.H.ArrayLen(buckets)
 	slot := int(mixHash(key) % uint64(nb))
-	nextOff := fieldOff(w.entryKlass, "next")
+	nextOff := w.entryNextOff
 	var prev layout.Ref
 	for e := w.ArrayGet(buckets, slot); e != layout.NullRef; e = layout.Ref(w.H.GetWord(e, nextOff)) {
-		if int64(w.H.GetWord(e, fieldOff(w.entryKlass, "key"))) == key {
+		if int64(w.H.GetWord(e, w.entryKeyOff)) == key {
 			next := w.H.GetWord(e, nextOff)
-			size := w.H.GetWord(m, fieldOff(w.mapKlass, "size"))
+			size := w.H.GetWord(m, w.mapSizeOff)
 			err := w.TX.Run(func(tx *ptx.Tx) error {
 				if prev == layout.NullRef {
 					if err := tx.WriteWord(buckets, layout.ElemOff(layout.FTRef, slot), next); err != nil {
@@ -347,7 +364,7 @@ func (w *World) MapRemove(m layout.Ref, key int64) (bool, error) {
 				} else if err := tx.WriteWord(prev, nextOff, next); err != nil {
 					return err
 				}
-				return tx.WriteWord(m, fieldOff(w.mapKlass, "size"), size-1)
+				return tx.WriteWord(m, w.mapSizeOff, size-1)
 			})
 			return true, err
 		}
@@ -358,5 +375,5 @@ func (w *World) MapRemove(m layout.Ref, key int64) (bool, error) {
 
 // MapLen reports the entry count.
 func (w *World) MapLen(m layout.Ref) int {
-	return int(w.H.GetWord(m, fieldOff(w.mapKlass, "size")))
+	return int(w.H.GetWord(m, w.mapSizeOff))
 }

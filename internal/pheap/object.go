@@ -63,6 +63,19 @@ func (h *Heap) SetWord(ref layout.Ref, boff int, v uint64) {
 	h.dev.WriteU64(h.OffOf(ref)+boff, v)
 }
 
+// ReadBytesAt fills p from byte offset boff inside the object — one
+// device read regardless of length, the bulk path under string and
+// primitive-array copies.
+func (h *Heap) ReadBytesAt(ref layout.Ref, boff int, p []byte) {
+	h.dev.ReadBytes(h.OffOf(ref)+boff, p)
+}
+
+// WriteBytesAt stores p at byte offset boff inside the object — one
+// device write regardless of length.
+func (h *Heap) WriteBytesAt(ref layout.Ref, boff int, p []byte) {
+	h.dev.WriteBytes(h.OffOf(ref)+boff, p)
+}
+
 // FlushRange persists n bytes at byte offset boff inside the object,
 // followed by a fence — the primitive under the field/array/object flush
 // APIs of paper §3.5.

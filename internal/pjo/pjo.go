@@ -36,7 +36,11 @@ type Provider struct {
 	ctx  []*jpa.Entity
 	inTx bool
 
-	klasses map[*jpa.EntityDef]*klass.Klass
+	// klasses caches, per entity class, the DBPersistable klass plus the
+	// FieldRef handle of every column, resolved once at schema time — the
+	// JIT-compiled-accessor analog. Commit and read-through go through
+	// these handles instead of re-resolving field names per access.
+	klasses map[*jpa.EntityDef]*dbSchema
 
 	// Dedup and FieldTracking gate the §5 optimizations; both default on.
 	// The ablation benchmark switches them off individually.
@@ -44,10 +48,16 @@ type Provider struct {
 	FieldTracking bool
 }
 
+// dbSchema is the resolved persistence schema of one entity class.
+type dbSchema struct {
+	k      *klass.Klass
+	fields []core.FieldRef // one resolved handle per flattened column
+}
+
 // NewProvider wires a PJO provider to a runtime (whose active heap holds
 // the DBPersistable objects) and a backend database.
 func NewProvider(rt *core.Runtime, db *h2.DB) *Provider {
-	return &Provider{rt: rt, db: db, klasses: map[*jpa.EntityDef]*klass.Klass{},
+	return &Provider{rt: rt, db: db, klasses: map[*jpa.EntityDef]*dbSchema{},
 		Dedup: true, FieldTracking: true}
 }
 
@@ -87,7 +97,13 @@ func (p *Provider) EnsureSchema(def *jpa.EntityDef) error {
 	if err != nil {
 		return err
 	}
-	p.klasses[def] = k
+	s := &dbSchema{k: k, fields: make([]core.FieldRef, len(def.AllFields()))}
+	for i, f := range def.AllFields() {
+		if s.fields[i], err = p.rt.ResolveField(k, f.Name); err != nil {
+			return err
+		}
+	}
+	p.klasses[def] = s
 	return nil
 }
 
@@ -137,16 +153,18 @@ func (p *Provider) Find(def *jpa.EntityDef, id int64) (*jpa.Entity, error) {
 }
 
 // attachReadThrough points the entity's field reads at the persistent
-// copy (the dedup arrangement of Figure 14d).
+// copy (the dedup arrangement of Figure 14d). Reads go through the
+// resolved FieldRef handles: one device word op per field, plus one bulk
+// read for string payloads.
 func (p *Provider) attachReadThrough(e *jpa.Entity, def *jpa.EntityDef, ref layout.Ref) {
 	rt := p.rt
 	fields := def.AllFields()
+	frefs := p.klasses[def].fields
 	e.SM.ReadThrough = func(i int) h2.Value {
-		f := fields[i]
-		switch f.Kind {
+		switch fields[i].Kind {
 		case jpa.FStr:
-			sref, err := rt.GetRef(ref, f.Name)
-			if err != nil || sref == layout.NullRef {
+			sref := rt.GetRefFast(ref, frefs[i])
+			if sref == layout.NullRef {
 				return h2.Null
 			}
 			s, err := rt.GetString(sref)
@@ -155,11 +173,9 @@ func (p *Provider) attachReadThrough(e *jpa.Entity, def *jpa.EntityDef, ref layo
 			}
 			return h2.StrV(s)
 		case jpa.FFloat:
-			v, _ := rt.GetLong(ref, f.Name)
-			return h2.FloatV(math.Float64frombits(uint64(v)))
+			return h2.FloatV(math.Float64frombits(uint64(rt.GetLongFast(ref, frefs[i]))))
 		default:
-			v, _ := rt.GetLong(ref, f.Name)
-			return h2.IntV(v)
+			return h2.IntV(rt.GetLongFast(ref, frefs[i]))
 		}
 	}
 }
@@ -199,6 +215,19 @@ func (p *Provider) Commit() error {
 			return err
 		}
 		ships = append(ships, shipment{e, ref, dirty})
+	}
+	// One coalesced persist for every DBPersistable shipped this commit —
+	// line flushes deduplicated, a single trailing fence — before the
+	// backend learns any of the references.
+	if len(ships) > 0 {
+		refs := make([]layout.Ref, len(ships))
+		for i, s := range ships {
+			refs[i] = s.ref
+		}
+		if err := p.rt.FlushBatch(refs); err != nil {
+			stopT()
+			return err
+		}
 	}
 	stopT()
 
@@ -242,16 +271,18 @@ func (p *Provider) Commit() error {
 
 // materialize writes the entity's (dirty) fields into its DBPersistable,
 // allocating one with pnew on first persist. Only dirty fields are
-// written when field tracking is on and a copy already exists.
+// written when field tracking is on and a copy already exists. The
+// stores are volatile here; Commit persists the whole shipment with one
+// FlushBatch.
 func (p *Provider) materialize(e *jpa.Entity) (layout.Ref, uint64, error) {
-	k := p.klasses[e.Def]
+	s := p.klasses[e.Def]
 	var ref layout.Ref
 	dirty := e.SM.Dirty
 	if e.SM.PJORef != 0 {
 		ref = layout.Ref(e.SM.PJORef)
 	} else {
 		var err error
-		if ref, err = p.rt.PNew(k, 0); err != nil {
+		if ref, err = p.rt.PNew(s.k, 0); err != nil {
 			return 0, 0, err
 		}
 		dirty = ^uint64(0) >> (64 - uint(len(e.Def.AllFields()))) // all fields
@@ -273,7 +304,7 @@ func (p *Provider) materialize(e *jpa.Entity) (layout.Ref, uint64, error) {
 					return 0, 0, err
 				}
 			}
-			if err := p.rt.SetRef(ref, f.Name, sref); err != nil {
+			if err := p.rt.SetRefFast(ref, s.fields[i], sref); err != nil {
 				return 0, 0, err
 			}
 		case jpa.FFloat:
@@ -281,17 +312,10 @@ func (p *Provider) materialize(e *jpa.Entity) (layout.Ref, uint64, error) {
 			if v.Kind == h2.KInt {
 				bits = v.I
 			}
-			if err := p.rt.SetLong(ref, f.Name, bits); err != nil {
-				return 0, 0, err
-			}
+			p.rt.SetLongFast(ref, s.fields[i], bits)
 		default:
-			if err := p.rt.SetLong(ref, f.Name, v.I); err != nil {
-				return 0, 0, err
-			}
+			p.rt.SetLongFast(ref, s.fields[i], v.I)
 		}
-	}
-	if err := p.rt.FlushObject(ref); err != nil {
-		return 0, 0, err
 	}
 	return ref, dirty, nil
 }

@@ -172,6 +172,16 @@ func (h *Heap) SetWord(ref layout.Ref, boff int, v uint64) {
 	binary.LittleEndian.PutUint64(m[off+boff:], v)
 }
 
+// Bytes returns a window over the n bytes at byte offset boff of the
+// object at ref, backed by the heap's own storage. Callers may read or
+// write through it directly — DRAM needs no flush accounting — which is
+// what makes bulk string/array copies one memmove instead of a per-byte
+// word loop.
+func (h *Heap) Bytes(ref layout.Ref, boff, n int) []byte {
+	m, off := h.mem(ref)
+	return m[off+boff : off+boff+n : off+boff+n]
+}
+
 // KlassOf resolves the klass of the object at ref.
 func (h *Heap) KlassOf(ref layout.Ref) (*klass.Klass, error) {
 	kaddr := layout.Ref(h.GetWord(ref, layout.KlassWordOff))
