@@ -1,0 +1,152 @@
+// Command benchgate compares a fresh espresso-bench JSON dump against a
+// committed baseline and fails (exit 1) on regressions — CI's enforcement
+// arm for the device-cost contracts.
+//
+//	benchgate -baseline BENCH_fastpath.json -current out.json [-tol 0.10] [-minspeedup 3]
+//
+// Rows are matched by their identity fields (op, or series+goroutines).
+// Gated fields are the deterministic device-cost metrics: dev_*_per_op,
+// flushed_lines_per_op, fences_per_op, and modeled_ns_per_op — a current
+// value may not exceed baseline×(1+tol) plus a small absolute slack.
+// Wall-clock fields (ns_per_op, wall_ns_per_op) are reported but never
+// gated: CI runners make them noise. modeled_speedup_vs_1 is gated as a
+// lower bound — it may not drop below baseline×(1−tol), nor below
+// -minspeedup when that flag is set (the parallel-allocation scaling
+// claim).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+type row = map[string]any
+
+func load(path string) ([]row, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rows []row
+	if err := json.Unmarshal(b, &rows); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return rows, nil
+}
+
+// key builds the row identity from its non-numeric fields plus the
+// goroutine count, covering both the fastpath ({op}) and alloc
+// ({series, goroutines}) schemas.
+func key(r row) string {
+	var parts []string
+	for _, f := range []string{"op", "series", "goroutines"} {
+		if v, ok := r[f]; ok {
+			parts = append(parts, fmt.Sprint(v))
+		}
+	}
+	return strings.Join(parts, "/")
+}
+
+func isGatedUpper(field string) bool {
+	switch {
+	case strings.HasPrefix(field, "dev_"),
+		field == "flushed_lines_per_op",
+		field == "fences_per_op",
+		field == "modeled_ns_per_op":
+		return true
+	}
+	return false
+}
+
+func main() {
+	basePath := flag.String("baseline", "", "committed baseline JSON")
+	curPath := flag.String("current", "", "freshly measured JSON")
+	tol := flag.Float64("tol", 0.10, "relative tolerance")
+	minSpeedup := flag.Float64("minspeedup", 0, "required modeled_speedup_vs_1 at the largest goroutine count (0 = off)")
+	flag.Parse()
+	if *basePath == "" || *curPath == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -baseline and -current are required")
+		os.Exit(2)
+	}
+	baseRows, err := load(*basePath)
+	if err != nil {
+		fatal(err)
+	}
+	curRows, err := load(*curPath)
+	if err != nil {
+		fatal(err)
+	}
+	current := map[string]row{}
+	for _, r := range curRows {
+		current[key(r)] = r
+	}
+
+	const absSlack = 0.05 // forgives rounding on near-zero counts
+	failures := 0
+	bestG, bestSpeedup := -1.0, 0.0
+	for _, base := range baseRows {
+		k := key(base)
+		cur, ok := current[k]
+		if !ok {
+			fmt.Printf("FAIL %-24s row missing from current run\n", k)
+			failures++
+			continue
+		}
+		for field, bv := range base {
+			b, isNum := bv.(float64)
+			if !isNum {
+				continue
+			}
+			c, ok := cur[field].(float64)
+			if !ok {
+				fmt.Printf("FAIL %-24s %s missing\n", k, field)
+				failures++
+				continue
+			}
+			switch {
+			case isGatedUpper(field):
+				if limit := b*(1+*tol) + absSlack; c > limit {
+					fmt.Printf("FAIL %-24s %-22s %.3f > %.3f (baseline %.3f +%d%%)\n",
+						k, field, c, limit, b, int(*tol*100))
+					failures++
+				}
+			case field == "modeled_speedup_vs_1":
+				if floor := b * (1 - *tol); c < floor && b > 0 {
+					fmt.Printf("FAIL %-24s %-22s %.2f < %.2f (baseline %.2f -%d%%)\n",
+						k, field, c, floor, b, int(*tol*100))
+					failures++
+				}
+			}
+		}
+		if g, ok := cur["goroutines"].(float64); ok && cur["series"] == "plab" && g > bestG {
+			bestG = g
+			bestSpeedup, _ = cur["modeled_speedup_vs_1"].(float64)
+		}
+	}
+	if *minSpeedup > 0 {
+		if bestG < 0 {
+			fmt.Printf("FAIL no plab scaling rows found for -minspeedup\n")
+			failures++
+		} else if bestSpeedup < *minSpeedup {
+			fmt.Printf("FAIL plab/%d modeled_speedup_vs_1 %.2f < required %.2f\n",
+				int(bestG), bestSpeedup, *minSpeedup)
+			failures++
+		} else {
+			fmt.Printf("ok   plab/%d modeled_speedup_vs_1 %.2f ≥ %.2f\n",
+				int(bestG), bestSpeedup, *minSpeedup)
+		}
+	}
+	if failures > 0 {
+		fmt.Printf("benchgate: %d regression(s) vs %s\n", failures, *basePath)
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: %d rows within %.0f%% of %s\n", len(baseRows), *tol*100, *basePath)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchgate:", err)
+	os.Exit(1)
+}

@@ -9,10 +9,14 @@
 //	espresso-bench -exp fig18    heap loading time (UG vs zeroing)
 //	espresso-bench -exp gcflush  recoverable-GC flush overhead (§6.4)
 //	espresso-bench -exp fastpath resolved-handle / bulk-I/O / flush-coalescing costs
+//	espresso-bench -exp alloc    PLAB allocation scaling curve
 //	espresso-bench -exp all      everything
 //
-// -scale N divides workload sizes by N for quick runs. -json FILE writes
-// the fastpath rows as JSON (the BENCH_fastpath.json baseline).
+// -scale N divides workload sizes by N for quick runs. -parallel N caps
+// the alloc experiment's goroutine curve (instead of hardcoding
+// GOMAXPROCS). -json FILE writes the fastpath or alloc rows as JSON (the
+// BENCH_fastpath.json / BENCH_alloc.json baselines that CI's bench gate
+// compares against).
 package main
 
 import (
@@ -25,11 +29,17 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig4|fig6|fig15|fig16|fig17|fig18|gcflush|fastpath|all")
+	exp := flag.String("exp", "all", "experiment: fig4|fig6|fig15|fig16|fig17|fig18|gcflush|fastpath|alloc|all")
 	scale := flag.Int("scale", 1, "divide workload sizes by this factor")
 	gcMB := flag.Int("gcmb", 256, "live megabytes for the gcflush experiment")
-	jsonPath := flag.String("json", "", "write fastpath rows to this JSON file")
+	parallel := flag.Int("parallel", 8, "top of the alloc experiment's goroutine scaling curve")
+	jsonPath := flag.String("json", "", "write fastpath/alloc rows to this JSON file")
 	flag.Parse()
+
+	if *jsonPath != "" && *exp != "fastpath" && *exp != "alloc" {
+		fmt.Fprintln(os.Stderr, "espresso-bench: -json requires -exp fastpath or -exp alloc")
+		os.Exit(2)
+	}
 
 	s := experiments.Scale(*scale)
 	w := os.Stdout
@@ -42,6 +52,20 @@ func main() {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
 			os.Exit(1)
 		}
+	}
+	writeJSON := func(rows any) error {
+		if *jsonPath == "" {
+			return nil
+		}
+		b, err := json.MarshalIndent(rows, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonPath, append(b, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n", *jsonPath)
+		return nil
 	}
 
 	run("fig4", func() error { return experiments.Fig4(w, s) })
@@ -85,15 +109,19 @@ func main() {
 			return err
 		}
 		experiments.PrintFastpath(w, rows)
-		if *jsonPath != "" {
-			b, err := json.MarshalIndent(rows, "", "  ")
-			if err != nil {
-				return err
-			}
-			if err := os.WriteFile(*jsonPath, append(b, '\n'), 0o644); err != nil {
-				return err
-			}
-			fmt.Fprintf(w, "wrote %s\n", *jsonPath)
+		if *exp == "fastpath" {
+			return writeJSON(rows)
+		}
+		return nil
+	})
+	run("alloc", func() error {
+		rows, err := experiments.AllocScaling(s, *parallel)
+		if err != nil {
+			return err
+		}
+		experiments.PrintAllocScaling(w, rows)
+		if *exp == "alloc" {
+			return writeJSON(rows)
 		}
 		return nil
 	})

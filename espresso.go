@@ -47,6 +47,18 @@
 // trailing fence, so device cost is proportional to bytes touched, not
 // API calls made.
 //
+// # Scalable allocation
+//
+// PNew is safe for concurrent use but serializes on the heap's shared
+// allocator. Goroutines that allocate heavily should each attach a
+// mutator context — a persistent region-local allocation buffer (PLAB)
+// that bump-allocates lock-free and persists a per-region top word, so
+// allocation throughput scales with cores:
+//
+//	m, _ := rt.NewMutator()        // one per goroutine
+//	defer m.Release()
+//	p, _ := m.PNew(person, 0)      // arrayLen 0: lock-free after first use of a class
+//
 // The facade re-exports the runtime in internal/core with small
 // conveniences; the substrates (NVM device, heap, collectors, database,
 // providers) live under internal/.
@@ -80,6 +92,10 @@ type Runtime struct{ *core.Runtime }
 // type), the fast-path alternative to name-resolving accessors. Resolve
 // once with ResolveField/MustResolveField, then use the *Fast accessors.
 type FieldRef = core.FieldRef
+
+// Mutator is a per-goroutine allocation context with its own persistent
+// region-local allocation buffer; obtain one with Runtime.NewMutator.
+type Mutator = core.Mutator
 
 // SafetyLevel selects the §3.4 memory-safety contract.
 type SafetyLevel = core.SafetyLevel

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"fmt"
+
+	"espresso/internal/klass"
+	"espresso/internal/layout"
+	"espresso/internal/pheap"
+)
+
+// Mutator is a per-goroutine allocation context: the runtime analog of a
+// JVM mutator thread with a thread-local allocation buffer. It pins the
+// heap that was active when it was created and routes PNew through its
+// own pheap.Allocator, so steady-state allocation touches no shared lock
+// — the PLAB bump path persists only the mutator's own region top.
+//
+// A Mutator is not safe for concurrent use; give each goroutine its own.
+// Class metadata work (Define, safety checks, constant-pool resolution,
+// Klass-segment append) happens once per class per mutator, serialized
+// on the runtime lock. At a persistent-GC safepoint the collector
+// detaches every mutator's PLAB (pheap.PrepareForCollection); the world
+// must be stopped then, exactly as for the shared allocation path.
+type Mutator struct {
+	rt       *Runtime
+	h        *pheap.Heap
+	alloc    *pheap.Allocator
+	prepared map[*klass.Klass]bool
+}
+
+// NewMutator attaches a new mutator context to the active heap.
+func (rt *Runtime) NewMutator() (*Mutator, error) {
+	h := rt.active
+	if h == nil {
+		return nil, fmt.Errorf("core: no persistent heap loaded")
+	}
+	return &Mutator{
+		rt:       rt,
+		h:        h,
+		alloc:    h.NewAllocator(),
+		prepared: make(map[*klass.Klass]bool),
+	}, nil
+}
+
+// Heap reports the persistent heap this mutator allocates into.
+func (m *Mutator) Heap() *pheap.Heap { return m.h }
+
+// AllocStats snapshots the underlying allocator's own-path counters.
+func (m *Mutator) AllocStats() pheap.AllocatorStats { return m.alloc.Stats() }
+
+// PNew allocates a persistent object of k in the mutator's heap — the
+// pnew keyword on this mutator's thread. The first allocation of each
+// class runs the shared metadata path (class definition, safety check,
+// constant-pool resolution) under the runtime lock; after that the PLAB
+// bump path is lock-free.
+func (m *Mutator) PNew(k *klass.Klass, arrayLen int) (layout.Ref, error) {
+	if !m.prepared[k] {
+		if err := m.prepare(k); err != nil {
+			return 0, err
+		}
+	}
+	ref, err := m.alloc.Alloc(k, arrayLen)
+	if err != nil {
+		return 0, fmt.Errorf("core: pnew %s: %w", k.Name, err)
+	}
+	return ref, nil
+}
+
+func (m *Mutator) prepare(k *klass.Klass) error {
+	rt := m.rt
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if _, err := rt.Reg.Define(k); err != nil {
+		return err
+	}
+	if rt.cfg.Safety == TypeBased {
+		if err := rt.checkPersistentClosure(k); err != nil {
+			return err
+		}
+	}
+	if _, err := m.h.EnsureKlass(k); err != nil {
+		return fmt.Errorf("core: pnew %s: %w", k.Name, err)
+	}
+	if kaddr, ok := m.h.KlassAddr(k); ok {
+		rt.cp.Resolve(k.Name, kaddr)
+	}
+	m.prepared[k] = true
+	return nil
+}
+
+// Release retires the mutator: its PLAB headroom and recycled hole go
+// back to the heap's dispenser for the next mutator to continue filling.
+func (m *Mutator) Release() { m.alloc.Release() }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"io"
 	"strings"
 	"testing"
@@ -44,6 +45,9 @@ func TestFig15EspressoWinsEverywhere(t *testing.T) {
 }
 
 func TestFig16PJOWinsEverywhere(t *testing.T) {
+	if raceEnabled {
+		t.Skip("wall-clock provider comparison is meaningless under -race instrumentation")
+	}
 	rows, err := Fig16(Scale(50))
 	if err != nil {
 		t.Fatal(err)
@@ -90,5 +94,31 @@ func TestGCFlushCostPositive(t *testing.T) {
 	}
 	if r.LiveBytes == 0 || r.WithFlush == 0 || r.WithoutFlush == 0 {
 		t.Fatalf("degenerate result: %+v", r)
+	}
+}
+
+func TestAllocScalingPLABs(t *testing.T) {
+	rows, err := AllocScaling(Scale(50), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[string]AllocRow{}
+	for _, r := range rows {
+		byKey[fmt.Sprintf("%s/%d", r.Series, r.Goroutines)] = r
+	}
+	p1, ok1 := byKey["plab/1"]
+	p8, ok8 := byKey["plab/8"]
+	s1, okS := byKey["shared/1"]
+	if !ok1 || !ok8 || !okS {
+		t.Fatalf("missing rows: %+v", rows)
+	}
+	// Single-mutator PLAB allocation must cost exactly what the shared
+	// (seed-equivalent) path costs: the same device ops per object.
+	if p1.DevWrites != s1.DevWrites || p1.FlushedLines != s1.FlushedLines || p1.Fences != s1.Fences {
+		t.Fatalf("plab/1 device cost %+v != shared/1 %+v", p1, s1)
+	}
+	// The acceptance bar: ≥3x modeled allocation scaling at 8 mutators.
+	if p8.ModeledSpeedup < 3 {
+		t.Fatalf("modeled speedup at 8 goroutines = %.2fx, want ≥3x", p8.ModeledSpeedup)
 	}
 }

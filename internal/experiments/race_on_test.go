@@ -1,0 +1,9 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports that this binary was built with -race: wall-clock
+// throughput comparisons are skipped there, since the instrumentation
+// skews the two sides unevenly and the tests would measure the detector,
+// not the providers.
+const raceEnabled = true

@@ -23,6 +23,11 @@ const (
 	// ObjAlign is the object start/size alignment. 16 bytes guarantees any
 	// allocation gap can hold a filler object (2-word minimum object).
 	ObjAlign = 16
+	// RegionTopStride is the byte stride of the per-region persisted-top
+	// table (pheap's PLAB table): one full cache line per region, so a
+	// mutator persisting its own region's top never shares a flushed line
+	// with another region's top word.
+	RegionTopStride = LineSize
 )
 
 // Object header geometry, in bytes from the object start.

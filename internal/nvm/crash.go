@@ -1,6 +1,9 @@
 package nvm
 
-import "math/rand"
+import (
+	"math/rand"
+	"sync/atomic"
+)
 
 // CrashPolicy chooses what happens to dirty (written but unflushed) cache
 // lines when the machine loses power.
@@ -52,8 +55,8 @@ func (d *Device) CrashImage(policy CrashPolicy, seed int64) []byte {
 }
 
 func (d *Device) forEachDirtyLine(fn func(line int)) {
-	for wi, w := range d.dirty {
-		for ; w != 0; w &= w - 1 {
+	for wi := range d.dirty {
+		for w := atomic.LoadUint64(&d.dirty[wi]); w != 0; w &= w - 1 {
 			bit := trailingZeros(w)
 			fn(wi*64 + bit)
 		}

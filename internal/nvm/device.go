@@ -21,6 +21,7 @@ package nvm
 import (
 	"encoding/binary"
 	"fmt"
+	"sync/atomic"
 	"time"
 )
 
@@ -85,17 +86,28 @@ func (s Stats) Sub(prev Stats) Stats {
 	}
 }
 
-// Device is a simulated NVM device. It is not safe for concurrent use;
-// callers (the heap allocator, the garbage collector) serialize access,
-// mirroring how the JVM serializes heap mutation under allocation locks
-// and stop-the-world pauses.
+// counters is the device's internal atomic form of Stats.
+type counters struct {
+	writes, bytesWritten, reads, bytesRead   atomic.Uint64
+	flushes, flushedLines, fences, modeledNS atomic.Uint64
+}
+
+// Device is a simulated NVM device. Traffic counters and the Tracked-mode
+// dirty bitmap are atomic, so concurrent use is race-free provided the
+// callers' protocol keeps concurrent writers and flushers on *disjoint
+// cache lines* — exactly the discipline real hardware demands, and the
+// one the PLAB allocator enforces (each mutator owns its region and its
+// region's line in the top table). Accesses that may share lines (heap
+// metadata, the klass segment, the name table, GC) remain serialized by
+// their callers, mirroring the JVM's allocation locks and stop-the-world
+// pauses.
 type Device struct {
 	size      int
 	mode      Mode
 	mem       []byte
 	persisted []byte   // Tracked only: the power-loss view
-	dirty     []uint64 // Tracked only: bitmap, one bit per line
-	stats     Stats
+	dirty     []uint64 // Tracked only: bitmap, one bit per line (atomic)
+	stats     counters
 	latNS     uint64
 
 	// flushHook, if set, runs after every Flush with the running flush
@@ -143,7 +155,8 @@ func (d *Device) Size() int { return d.size }
 func (d *Device) Mode() Mode { return d.mode }
 
 // SetFlushHook installs fn to run after every Flush call with the running
-// flush count. Pass nil to remove the hook.
+// flush count. Pass nil to remove the hook. Install hooks only while the
+// device is quiescent.
 func (d *Device) SetFlushHook(fn func(flushCount uint64)) { d.flushHook = fn }
 
 // SetNoFlush disables the effect of Flush and Fence (they are still
@@ -164,24 +177,39 @@ func (d *Device) markDirty(off, n int) {
 	first := off / LineSize
 	last := (off + n - 1) / LineSize
 	for l := first; l <= last; l++ {
-		d.dirty[l/64] |= 1 << (uint(l) % 64)
+		w := &d.dirty[l/64]
+		bit := uint64(1) << (uint(l) % 64)
+		for {
+			old := atomic.LoadUint64(w)
+			if old&bit != 0 || atomic.CompareAndSwapUint64(w, old, old|bit) {
+				break
+			}
+		}
 	}
+}
+
+func (d *Device) countWrite(n int) {
+	d.stats.writes.Add(1)
+	d.stats.bytesWritten.Add(uint64(n))
+}
+
+func (d *Device) countRead(n int) {
+	d.stats.reads.Add(1)
+	d.stats.bytesRead.Add(uint64(n))
 }
 
 // WriteU64 stores v at byte offset off, little-endian.
 func (d *Device) WriteU64(off int, v uint64) {
 	d.check(off, 8)
 	binary.LittleEndian.PutUint64(d.mem[off:], v)
-	d.stats.Writes++
-	d.stats.BytesWritten += 8
+	d.countWrite(8)
 	d.markDirty(off, 8)
 }
 
 // ReadU64 loads the little-endian uint64 at byte offset off.
 func (d *Device) ReadU64(off int) uint64 {
 	d.check(off, 8)
-	d.stats.Reads++
-	d.stats.BytesRead += 8
+	d.countRead(8)
 	return binary.LittleEndian.Uint64(d.mem[off:])
 }
 
@@ -189,16 +217,14 @@ func (d *Device) ReadU64(off int) uint64 {
 func (d *Device) WriteU32(off int, v uint32) {
 	d.check(off, 4)
 	binary.LittleEndian.PutUint32(d.mem[off:], v)
-	d.stats.Writes++
-	d.stats.BytesWritten += 4
+	d.countWrite(4)
 	d.markDirty(off, 4)
 }
 
 // ReadU32 loads the little-endian uint32 at byte offset off.
 func (d *Device) ReadU32(off int) uint32 {
 	d.check(off, 4)
-	d.stats.Reads++
-	d.stats.BytesRead += 4
+	d.countRead(4)
 	return binary.LittleEndian.Uint32(d.mem[off:])
 }
 
@@ -206,33 +232,29 @@ func (d *Device) ReadU32(off int) uint32 {
 func (d *Device) WriteU16(off int, v uint16) {
 	d.check(off, 2)
 	binary.LittleEndian.PutUint16(d.mem[off:], v)
-	d.stats.Writes++
-	d.stats.BytesWritten += 2
+	d.countWrite(2)
 	d.markDirty(off, 2)
 }
 
 // ReadU16 loads the little-endian uint16 at byte offset off.
 func (d *Device) ReadU16(off int) uint16 {
 	d.check(off, 2)
-	d.stats.Reads++
-	d.stats.BytesRead += 2
+	d.countRead(2)
 	return binary.LittleEndian.Uint16(d.mem[off:])
 }
 
-// WriteByte stores one byte at off.
+// WriteByteAt stores one byte at off.
 func (d *Device) WriteByteAt(off int, v byte) {
 	d.check(off, 1)
 	d.mem[off] = v
-	d.stats.Writes++
-	d.stats.BytesWritten++
+	d.countWrite(1)
 	d.markDirty(off, 1)
 }
 
 // ReadByteAt loads one byte at off.
 func (d *Device) ReadByteAt(off int) byte {
 	d.check(off, 1)
-	d.stats.Reads++
-	d.stats.BytesRead++
+	d.countRead(1)
 	return d.mem[off]
 }
 
@@ -240,8 +262,7 @@ func (d *Device) ReadByteAt(off int) byte {
 func (d *Device) WriteBytes(off int, p []byte) {
 	d.check(off, len(p))
 	copy(d.mem[off:], p)
-	d.stats.Writes++
-	d.stats.BytesWritten += uint64(len(p))
+	d.countWrite(len(p))
 	d.markDirty(off, len(p))
 }
 
@@ -249,8 +270,7 @@ func (d *Device) WriteBytes(off int, p []byte) {
 func (d *Device) ReadBytes(off int, p []byte) {
 	d.check(off, len(p))
 	copy(p, d.mem[off:])
-	d.stats.Reads++
-	d.stats.BytesRead += uint64(len(p))
+	d.countRead(len(p))
 }
 
 // View returns a read-only window into the memory view. Mutating the
@@ -267,10 +287,8 @@ func (d *Device) Move(dst, src, n int) {
 	d.check(src, n)
 	d.check(dst, n)
 	copy(d.mem[dst:dst+n], d.mem[src:src+n])
-	d.stats.Writes++
-	d.stats.BytesWritten += uint64(n)
-	d.stats.Reads++
-	d.stats.BytesRead += uint64(n)
+	d.countWrite(n)
+	d.countRead(n)
 	d.markDirty(dst, n)
 }
 
@@ -278,8 +296,7 @@ func (d *Device) Move(dst, src, n int) {
 func (d *Device) Zero(off, n int) {
 	d.check(off, n)
 	clear(d.mem[off : off+n])
-	d.stats.Writes++
-	d.stats.BytesWritten += uint64(n)
+	d.countWrite(n)
 	d.markDirty(off, n)
 }
 
@@ -294,20 +311,27 @@ func (d *Device) Flush(off, n int) {
 	first := off / LineSize
 	last := (off + n - 1) / LineSize
 	lines := uint64(last - first + 1)
-	d.stats.Flushes++
+	count := d.stats.flushes.Add(1)
 	if !d.noFlush {
-		d.stats.FlushedLines += lines
-		d.stats.ModeledFlushNS += lines * d.latNS
+		d.stats.flushedLines.Add(lines)
+		d.stats.modeledNS.Add(lines * d.latNS)
 		if d.mode == Tracked {
 			lo, hi := first*LineSize, (last+1)*LineSize
 			copy(d.persisted[lo:hi], d.mem[lo:hi])
 			for l := first; l <= last; l++ {
-				d.dirty[l/64] &^= 1 << (uint(l) % 64)
+				w := &d.dirty[l/64]
+				bit := uint64(1) << (uint(l) % 64)
+				for {
+					old := atomic.LoadUint64(w)
+					if old&bit == 0 || atomic.CompareAndSwapUint64(w, old, old&^bit) {
+						break
+					}
+				}
 			}
 		}
 	}
 	if d.flushHook != nil {
-		d.flushHook(d.stats.Flushes)
+		d.flushHook(count)
 	}
 }
 
@@ -329,29 +353,50 @@ func (d *Device) FlushBatch(ranges []Range) {
 // synchronous in this simulator, so Fence only accounts the instruction;
 // protocols still call it wherever real hardware would need it so the
 // counted cost is honest.
-func (d *Device) Fence() { d.stats.Fences++ }
+func (d *Device) Fence() { d.stats.fences.Add(1) }
 
 // FlushAll persists the entire device, like a shutdown msync.
 func (d *Device) FlushAll() {
 	if d.noFlush {
-		d.stats.Flushes++
+		d.stats.flushes.Add(1)
 		return
 	}
 	d.Flush(0, d.size)
 }
 
-// Stats returns a snapshot of the traffic counters.
-func (d *Device) Stats() Stats { return d.stats }
+// Stats returns a snapshot of the traffic counters. Under concurrent
+// traffic the snapshot is per-counter atomic, not globally consistent.
+func (d *Device) Stats() Stats {
+	return Stats{
+		Writes:         d.stats.writes.Load(),
+		BytesWritten:   d.stats.bytesWritten.Load(),
+		Reads:          d.stats.reads.Load(),
+		BytesRead:      d.stats.bytesRead.Load(),
+		Flushes:        d.stats.flushes.Load(),
+		FlushedLines:   d.stats.flushedLines.Load(),
+		Fences:         d.stats.fences.Load(),
+		ModeledFlushNS: d.stats.modeledNS.Load(),
+	}
+}
 
 // ResetStats zeroes the traffic counters.
-func (d *Device) ResetStats() { d.stats = Stats{} }
+func (d *Device) ResetStats() {
+	d.stats.writes.Store(0)
+	d.stats.bytesWritten.Store(0)
+	d.stats.reads.Store(0)
+	d.stats.bytesRead.Store(0)
+	d.stats.flushes.Store(0)
+	d.stats.flushedLines.Store(0)
+	d.stats.fences.Store(0)
+	d.stats.modeledNS.Store(0)
+}
 
 // DirtyLines reports how many lines are modified but not yet persisted.
 // It is zero in Direct mode.
 func (d *Device) DirtyLines() int {
 	n := 0
-	for _, w := range d.dirty {
-		for ; w != 0; w &= w - 1 {
+	for i := range d.dirty {
+		for w := atomic.LoadUint64(&d.dirty[i]); w != 0; w &= w - 1 {
 			n++
 		}
 	}

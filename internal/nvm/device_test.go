@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 	"testing/quick"
 	"time"
@@ -250,5 +251,48 @@ func TestQuickPersistedMatchesFlushed(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestConcurrentDisjointLineTraffic pins the device's concurrency
+// contract: writers and flushers on disjoint cache lines (the PLAB
+// discipline) are race-free, counters account every operation, and the
+// dirty bitmap converges. Run it under -race.
+func TestConcurrentDisjointLineTraffic(t *testing.T) {
+	const goroutines = 8
+	const perG = 200
+	d := New(Config{Size: goroutines * perG * LineSize, Mode: Tracked})
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			base := g * perG * LineSize
+			for i := 0; i < perG; i++ {
+				off := base + i*LineSize
+				d.WriteU64(off, uint64(g)<<32|uint64(i))
+				d.Flush(off, 8)
+				d.Fence()
+				_ = d.Stats() // concurrent snapshots must be safe
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := d.Stats()
+	if want := uint64(goroutines * perG); s.Writes != want || s.Flushes != want || s.Fences != want {
+		t.Fatalf("stats = %+v, want %d writes/flushes/fences", s, want)
+	}
+	if s.FlushedLines != uint64(goroutines*perG) {
+		t.Fatalf("flushed lines = %d", s.FlushedLines)
+	}
+	if d.DirtyLines() != 0 {
+		t.Fatalf("dirty lines = %d after flushing everything", d.DirtyLines())
+	}
+	for g := 0; g < goroutines; g++ {
+		for i := 0; i < perG; i++ {
+			if got := d.ReadU64((g*perG + i) * LineSize); got != uint64(g)<<32|uint64(i) {
+				t.Fatalf("word %d/%d = %#x", g, i, got)
+			}
+		}
 	}
 }

@@ -91,16 +91,29 @@ func fixRefs(h *pheap.Heap, s *Summary, off, size int) {
 
 // writeGapFillers plugs every hole below the new top with filler objects
 // so the compacted heap parses: dest-region tails, partially occupied
-// in-place regions, and wholly emptied regions. Rerunning it after a crash
-// rewrites the same fillers.
+// in-place regions, and wholly emptied regions. Gaps big enough to
+// recycle are split at cache-line boundaries — edge sliver, aligned
+// middle, edge sliver — so the middle filler handed to allocators (see
+// freeHolesOf) starts on a line no live object shares. Rerunning after a
+// crash rewrites the same fillers.
 func writeGapFillers(h *pheap.Heap, s *Summary) {
 	geo := h.Geo()
 	for r := 0; geo.DataOff+r*layout.RegionSize < s.NewTop; r++ {
-		start := geo.DataOff + r*layout.RegionSize
-		gapLo := start + s.Occupancy(r)
-		gapHi := min(start+layout.RegionSize, s.NewTop)
-		if gapLo < gapHi {
+		gapLo, gapHi := gapOf(h, s, r)
+		if gapLo >= gapHi {
+			continue
+		}
+		hole, ok := recyclableOf(gapLo, gapHi)
+		if !ok {
 			h.WriteFiller(gapLo, gapHi-gapLo) // persists internally
+			continue
+		}
+		if hole.Lo > gapLo {
+			h.WriteFiller(gapLo, hole.Lo-gapLo)
+		}
+		h.WriteFiller(hole.Lo, hole.Hi-hole.Lo)
+		if gapHi > hole.Hi {
+			h.WriteFiller(hole.Hi, gapHi-hole.Hi)
 		}
 	}
 }

@@ -35,6 +35,12 @@ func Collect(h *pheap.Heap, ext Rooter) (Result, error) {
 	start := time.Now()
 	statsBefore := h.Device().Stats()
 
+	// Safepoint: detach every mutator's PLAB and recycled hole. Their
+	// region tops are already persisted (headers-before-top), so dropping
+	// the volatile bump state loses nothing; the finish step republishes
+	// all region tops from the summary.
+	h.PrepareForCollection()
+
 	// Phase 1: mark, then persist both bitmaps. The mark bitmap is the
 	// pre-collection sketch of the heap; the cleared region bitmap must be
 	// durable before the heap is stamped active, or recovery could trust
@@ -87,36 +93,71 @@ func Collect(h *pheap.Heap, ext Rooter) (Result, error) {
 }
 
 // finish commits the collection's metadata transition — forwarded root
-// entries, the new top, gcActive=0 — through the redo log so the whole
-// batch is atomic and idempotently reapplicable.
+// entries, the republished per-region tops, gcActive=0 — through the
+// redo log so the whole batch is atomic and idempotently reapplicable.
+// After compaction the heap is dense below NewTop (gap fillers included),
+// so every region below it parses to its end (or to NewTop in the last,
+// partial region — which the dispenser then resumes filling), and every
+// region above it is reset to untouched.
 func finish(h *pheap.Heap, s *Summary) {
 	var entries []pheap.RedoEntry
 	for _, root := range h.Roots() {
 		entries = append(entries, pheap.RedoEntry{Off: root.ValueOff, Val: uint64(s.Forward(root.Ref))})
 	}
-	entries = append(entries,
-		pheap.RedoEntry{Off: h.TopMetaOff(), Val: uint64(s.NewTop)},
-		pheap.RedoEntry{Off: h.GCActiveMetaOff(), Val: 0},
-	)
+	geo := h.Geo()
+	for r := 0; r < geo.DataRegions(); r++ {
+		start := geo.DataOff + r*layout.RegionSize
+		var top uint64
+		if start < s.NewTop {
+			top = uint64(min(start+layout.RegionSize, s.NewTop))
+		}
+		entries = append(entries, pheap.RedoEntry{Off: h.RegionTopMetaOff(r), Val: top})
+	}
+	entries = append(entries, pheap.RedoEntry{Off: h.GCActiveMetaOff(), Val: 0})
 	h.RedoCommit(entries)
 	h.RedoApply()
 	h.RefreshAfterRedo()
 }
 
-// freeHolesOf lists the filler-covered gaps below the new top — exactly
-// the ranges writeGapFillers plugged — so the allocator can refill them.
+// gapOf reports the filler-covered gap of region r below the new top.
+func gapOf(h *pheap.Heap, s *Summary, r int) (lo, hi int) {
+	start := h.Geo().DataOff + r*layout.RegionSize
+	lo = start + s.Occupancy(r)
+	hi = start + layout.RegionSize
+	if hi > s.NewTop {
+		hi = s.NewTop
+	}
+	return lo, hi
+}
+
+// recyclableOf trims gap [lo, hi) to cache-line boundaries. Only the
+// aligned middle is handed back to allocators: a hole that started
+// mid-line would share its first flushed line with the live object the
+// compactor left right before it, and a mutator refilling the hole must
+// never write a line another mutator may concurrently flush. The edge
+// slivers stay plugged with their own fillers until the next collection.
+func recyclableOf(lo, hi int) (pheap.Hole, bool) {
+	alignedLo := (lo + layout.LineSize - 1) &^ (layout.LineSize - 1)
+	alignedHi := hi &^ (layout.LineSize - 1)
+	if alignedHi-alignedLo < layout.LineSize {
+		return pheap.Hole{}, false
+	}
+	return pheap.Hole{Lo: alignedLo, Hi: alignedHi}, true
+}
+
+// freeHolesOf lists the recyclable line-aligned gaps below the new top —
+// exactly the middle fillers writeGapFillers plugged — so the allocator
+// can refill them.
 func freeHolesOf(h *pheap.Heap, s *Summary) []pheap.Hole {
 	geo := h.Geo()
 	var holes []pheap.Hole
 	for r := 0; geo.DataOff+r*layout.RegionSize < s.NewTop; r++ {
-		start := geo.DataOff + r*layout.RegionSize
-		lo := start + s.Occupancy(r)
-		hi := start + layout.RegionSize
-		if hi > s.NewTop {
-			hi = s.NewTop
+		lo, hi := gapOf(h, s, r)
+		if lo >= hi {
+			continue
 		}
-		if lo < hi {
-			holes = append(holes, pheap.Hole{Lo: lo, Hi: hi})
+		if hole, ok := recyclableOf(lo, hi); ok {
+			holes = append(holes, hole)
 		}
 	}
 	return holes
@@ -134,6 +175,7 @@ func Recover(h *pheap.Heap) (Result, error) {
 	}
 	start := time.Now()
 	statsBefore := h.Device().Stats()
+	h.PrepareForCollection()
 	s, err := Summarize(h)
 	if err != nil {
 		return Result{}, fmt.Errorf("pgc: recovery summary: %w", err)

@@ -7,85 +7,407 @@ import (
 	"espresso/internal/layout"
 )
 
-// Crash-consistent allocation (paper §4.1). The paper's three phases are
+// Crash-consistent allocation (paper §4.1), scaled out with persistent
+// region-local allocation buffers (PLABs). The paper's three phases are
 //
 //	(1) fetch the Klass pointer from the constant pool,
 //	(2) allocate memory and update top,
 //	(3) initialize the object header,
 //
-// with the persisted replica of top and the klass-pointer store ordered by
-// flush+fence. We strengthen the paper's ordering slightly: the header is
-// persisted *before* the top replica advances past the object, so the
-// persisted prefix of the data heap is always a parseable sequence of
-// objects — a crash can only truncate at a persisted-top boundary, never
-// expose an uninitialized header below it (the paper's "stale top value →
-// truncation" recovery rule, made unconditional).
+// with the persisted replica of top and the klass-pointer store ordered
+// by flush+fence. The paper bumps a single persisted top under one lock;
+// here a region dispenser hands each mutator a whole GC region under a
+// short lock, and the mutator then bump-allocates inside its PLAB
+// lock-free, publishing through a *per-region* persisted top word in the
+// region-top table (one cache line per region).
 //
-// Objects never straddle a region boundary; the remainder of a region that
-// cannot fit the next object is plugged with a filler object. Objects
-// larger than half a region ("humongous") are allocated on whole
-// region-aligned runs and are pinned by the collector.
+// The crash-ordering argument is the paper's, applied region by region,
+// and strengthened the same way the seed strengthened it globally: for
+// every allocation,
+//
+//	(a) the object body is zeroed and its header written and persisted
+//	    (flush + fence) while the owning region's persisted top still
+//	    lies at or below the object start;
+//	(b) only then does that region's top word advance past the object
+//	    (write + flush + fence) — the publication point.
+//
+// The persisted prefix [regionStart, top) of every region is therefore a
+// parseable run of objects at all times: a crash truncates each region
+// independently at its last persisted top and can never expose an
+// uninitialized header below one — the paper's "stale top value →
+// truncation" recovery rule, made unconditional and per-region. Tops of
+// different regions live on different cache lines (layout.RegionTopStride),
+// so concurrent mutators never contend on a shared persisted word; that
+// independence is exactly what lets allocation throughput scale with
+// cores while keeping the same two flush+fence pairs per object the
+// single-top allocator paid.
+//
+// Region-top table encoding (device offsets):
+//
+//	0                          never used since the last GC reset
+//	1 (regionTopHumongousCont) interior region of a humongous run
+//	(start, start+RegionSize]  region parses up to this offset
+//	> start+RegionSize         humongous run starts here; parses to run end
+//
+// Objects never straddle a region boundary; a PLAB that cannot fit the
+// next object is retired — its tail plugged with a filler object and its
+// top sealed at the region end. Objects larger than half a region
+// ("humongous") are allocated on whole region-aligned runs at the
+// dispenser frontier and are pinned by the collector.
 
 // HugeThreshold is the size above which an allocation takes the humongous
 // path.
 const HugeThreshold = layout.RegionSize / 2
 
+// regionTopHumongousCont marks a region as the interior of a humongous
+// run: never a parse entry point (its bytes belong to the object that
+// starts in an earlier region). 1 is unreachable as a real top, which are
+// 16-aligned offsets inside the data area.
+const regionTopHumongousCont = 1
+
 // ErrOutOfMemory is returned when the data heap cannot fit an allocation.
 var ErrOutOfMemory = fmt.Errorf("pheap: out of persistent heap space")
+
+// AllocatorStats counts the work an Allocator performed on its own paths.
+// Only the owning mutator may read them; the alloc scaling experiment
+// uses FlushedLines to compute per-mutator device critical paths.
+type AllocatorStats struct {
+	Allocs       int // objects allocated
+	FlushedLines int // cache lines this allocator flushed
+	Fences       int // fences this allocator issued
+	Dispenses    int // regions fetched from the dispenser
+}
+
+// Allocator is a mutator-local allocation context: an attached PLAB plus
+// an attached recycled hole. It is not safe for concurrent use — each
+// mutator (goroutine) owns its Allocator, which is the point: the bump
+// path touches only the allocator's own region and that region's line in
+// the top table. Obtain one with Heap.NewAllocator; release it with
+// Release when the mutator retires.
+type Allocator struct {
+	h *Heap
+
+	// Attached PLAB: bump-allocates in [cur, end) of region. region < 0
+	// means none attached.
+	region   int
+	cur, end int
+
+	// Attached recycled hole (filler-covered space below a region top).
+	holeCur, holeEnd int
+
+	// klass-record address cache, so steady-state allocation skips the
+	// segment maps entirely.
+	kaddrs map[*klass.Klass]layout.Ref
+
+	stats AllocatorStats
+}
+
+// NewAllocator creates and registers a mutator-local allocator.
+func (h *Heap) NewAllocator() *Allocator {
+	a := &Allocator{h: h, region: -1, kaddrs: make(map[*klass.Klass]layout.Ref)}
+	h.mu.Lock()
+	h.allocators = append(h.allocators, a)
+	h.mu.Unlock()
+	return a
+}
+
+// Stats returns a snapshot of the allocator's own-path counters.
+func (a *Allocator) Stats() AllocatorStats { return a.stats }
 
 // Alloc allocates an object of klass k. arrayLen is the element count for
 // array klasses and ignored for instance klasses. The object body is
 // zeroed; the header carries the current global timestamp. This is the
 // landing point of the pnew/panewarray/pnewarray bytecodes.
-func (h *Heap) Alloc(k *klass.Klass, arrayLen int) (layout.Ref, error) {
+func (a *Allocator) Alloc(k *klass.Klass, arrayLen int) (layout.Ref, error) {
 	if k.IsArray() && arrayLen < 0 {
 		return 0, fmt.Errorf("pheap: negative array length %d", arrayLen)
 	}
-	size := k.SizeOf(arrayLen)
-
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if h.gcActive {
+	if a.h.gcActive.Load() {
 		return 0, fmt.Errorf("pheap: allocation while collection in progress")
 	}
-	kaddr, err := h.ensureKlassLocked(k)
+	size := k.SizeOf(arrayLen)
+	kaddr, err := a.klassAddr(k)
 	if err != nil {
 		return 0, err
 	}
-
-	var off int
-	inHole := false
 	if size > HugeThreshold {
-		off, err = h.reserveHumongousLocked(size)
-	} else {
-		off, inHole, err = h.reserveLocked(size)
-	}
-	if err != nil {
-		return 0, err
+		return a.allocHumongous(k, kaddr, arrayLen, size)
 	}
 
-	if inHole {
-		// Recycled-region protocol: the hole is currently covered by a
-		// filler, so the heap parses at every instant. First persist a new
-		// tail filler for the remainder, then the object header; a crash
-		// between the two leaves the old covering filler in charge.
-		if tail := h.holeEnd - (off + size); tail > 0 {
-			h.fillGapLocked(off+size, tail)
+	// Recycled holes first, like the seed: refill collector-reported gaps
+	// below the region tops before claiming fresh regions.
+	if a.holeCur != 0 && a.holeCur+size <= a.holeEnd {
+		return a.allocInHole(k, kaddr, arrayLen, size), nil
+	}
+	if a.h.holeCount.Load() > 0 {
+		if hole, ok := a.h.takeHole(size); ok {
+			a.holeCur, a.holeEnd = hole.Lo, hole.Hi
+			return a.allocInHole(k, kaddr, arrayLen, size), nil
 		}
-		h.dev.Zero(off, size)
-		h.writeHeader(off, kaddr, k, arrayLen)
-		h.dev.Flush(off, headerBytesOf(k))
-		h.dev.Fence()
-		// top is untouched: the hole lies below the persisted top.
-		return h.AddrOf(off), nil
 	}
 
+	if a.cur+size > a.end {
+		if err := a.refill(size); err != nil {
+			return 0, err
+		}
+	}
+	off := a.cur
+	h := a.h
 	h.dev.Zero(off, size)
 	h.writeHeader(off, kaddr, k, arrayLen)
 	h.dev.Flush(off, headerBytesOf(k))
 	h.dev.Fence()
-	h.persistU64(mTop, uint64(h.top))
+	a.cur = off + size
+	// Publication: the region's persisted top moves past the object only
+	// after its header is durable.
+	h.persistRegionTop(a.region, a.cur)
+	a.stats.Allocs++
+	a.stats.FlushedLines += lineSpan(off, headerBytesOf(k)) + 1
+	a.stats.Fences += 2
 	return h.AddrOf(off), nil
+}
+
+// allocInHole claims size bytes from the attached hole. The hole is
+// filler-covered, line-aligned (see pgc's gap split), and lies below its
+// region's persisted top, so the protocol is the seed's recycled-region
+// protocol: first persist a new tail filler for the remainder, then the
+// object header; a crash between the two leaves the old covering filler
+// in charge. The region top is untouched. (As in the seed, the
+// covering-filler handover is flush-ordered but not eviction-proof: an
+// adversarial eviction between the body zeroing and the header fence can
+// persist a half-rewritten filler header. Real x86 persists a line at
+// store granularity, so the klass-word store itself is never torn.)
+func (a *Allocator) allocInHole(k *klass.Klass, kaddr layout.Ref, arrayLen, size int) layout.Ref {
+	h := a.h
+	off := a.holeCur
+	a.holeCur += size
+	if tail := a.holeEnd - (off + size); tail > 0 {
+		h.fillGapRaw(off+size, tail)
+		a.stats.FlushedLines += lineSpan(off+size, layout.ArrayHdrBytes)
+		a.stats.Fences++
+	}
+	h.dev.Zero(off, size)
+	h.writeHeader(off, kaddr, k, arrayLen)
+	h.dev.Flush(off, headerBytesOf(k))
+	h.dev.Fence()
+	a.stats.Allocs++
+	a.stats.FlushedLines += lineSpan(off, headerBytesOf(k))
+	a.stats.Fences++
+	return h.AddrOf(off)
+}
+
+// refill retires the attached PLAB and fetches a region with at least
+// size bytes of bump headroom from the dispenser.
+func (a *Allocator) refill(size int) error {
+	a.retirePLAB()
+	r, cur, err := a.h.dispense(size)
+	if err != nil {
+		return err
+	}
+	a.region = r
+	a.cur = cur
+	a.end = a.h.geo.DataOff + (r+1)*layout.RegionSize
+	a.stats.Dispenses++
+	return nil
+}
+
+// retirePLAB seals the attached PLAB: the unused tail is plugged with a
+// persisted filler and the region's top advanced to the region end, so
+// the region is whole — it parses to its end and is never dispensed
+// again until the collector reclaims it.
+func (a *Allocator) retirePLAB() {
+	if a.region < 0 {
+		return
+	}
+	if gap := a.end - a.cur; gap > 0 {
+		a.h.fillGapRaw(a.cur, gap)
+		a.h.persistRegionTop(a.region, a.end)
+		a.stats.FlushedLines += lineSpan(a.cur, layout.ArrayHdrBytes) + 1
+		a.stats.Fences += 2
+	}
+	a.region = -1
+	a.cur, a.end = 0, 0
+}
+
+// Release retires the allocator: the attached PLAB's headroom is handed
+// back to the dispenser (its top is already persisted, so the next owner
+// resumes bumping where this one stopped, line-padded at handoff), and
+// the allocator is unregistered. A partially consumed hole is dropped,
+// not handed on: its remainder starts mid-line, flush-adjacent to this
+// mutator's last object, and stays filler-covered until the next
+// collection re-reports it.
+func (a *Allocator) Release() {
+	h := a.h
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if a.region >= 0 && a.cur < a.end {
+		h.freeRegionsInsert(a.region)
+	}
+	a.region, a.cur, a.end = -1, 0, 0
+	a.holeCur, a.holeEnd = 0, 0
+	for i, other := range h.allocators {
+		if other == a {
+			h.allocators = append(h.allocators[:i], h.allocators[i+1:]...)
+			break
+		}
+	}
+}
+
+// dropBuffersForGC detaches the PLAB and hole without touching the device
+// (the collector republishes all region state). Called under h.mu by
+// PrepareForCollection with the world stopped.
+func (a *Allocator) dropBuffersForGC() {
+	a.region, a.cur, a.end = -1, 0, 0
+	a.holeCur, a.holeEnd = 0, 0
+}
+
+// klassAddr resolves k's record address through the allocator-local
+// cache, falling back to the heap's (locked) EnsureKlass on first use.
+func (a *Allocator) klassAddr(k *klass.Klass) (layout.Ref, error) {
+	if addr, ok := a.kaddrs[k]; ok {
+		return addr, nil
+	}
+	addr, err := a.h.EnsureKlass(k)
+	if err != nil {
+		return 0, err
+	}
+	a.kaddrs[k] = addr
+	return addr, nil
+}
+
+// Alloc allocates through the heap's shared default allocator — the
+// drop-in equivalent of the seed's single allocation entry point, safe
+// for concurrent use (serialized on the default allocator's lock).
+// Scalable callers attach their own Allocator via NewAllocator instead.
+func (h *Heap) Alloc(k *klass.Klass, arrayLen int) (layout.Ref, error) {
+	h.defMu.Lock()
+	defer h.defMu.Unlock()
+	return h.defAlloc.Alloc(k, arrayLen)
+}
+
+// dataLimit is one past the last allocatable byte (the scratch region is
+// reserved for the compactor).
+func (h *Heap) dataLimit() int { return h.geo.ScratchOff }
+
+// dispense hands out a region with at least size bytes of bump headroom:
+// first from the free list (fully free regions, or partial regions whose
+// previous owner released them — bumping resumes at their persisted top),
+// then from the untouched frontier. Partial regions too small for the
+// request are skipped and abandoned until the next collection, like the
+// seed abandoned undersized holes.
+//
+// A partial region is handed out at the next cache-line boundary, the
+// sliver plugged with a filler: the new owner must never write a line
+// that may still hold (and be concurrently flushed with) the previous
+// owner's last object. The one-time plug is the handoff cost; every
+// later write by the new owner lands on its own lines.
+func (h *Heap) dispense(size int) (region, cur int, err error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.gcActive.Load() {
+		return 0, 0, fmt.Errorf("pheap: allocation while collection in progress")
+	}
+	for len(h.freeRegions) > 0 {
+		r := h.freeRegions[0]
+		h.freeRegions = h.freeRegions[1:]
+		start := h.geo.DataOff + r*layout.RegionSize
+		cur = start
+		if t := int(h.regionTops[r].Load()); t > regionTopHumongousCont {
+			cur = t
+		}
+		aligned := (cur + layout.LineSize - 1) &^ (layout.LineSize - 1)
+		if start+layout.RegionSize-aligned < size {
+			continue // abandoned until the next collection
+		}
+		if aligned > cur {
+			h.fillGapRaw(cur, aligned-cur)
+			h.persistRegionTop(r, aligned)
+			cur = aligned
+		}
+		return r, cur, nil
+	}
+	if next := h.geo.DataOff + (h.frontier+1)*layout.RegionSize; next <= h.dataLimit() {
+		r := h.frontier
+		h.frontier++
+		return r, h.geo.DataOff + r*layout.RegionSize, nil
+	}
+	return 0, 0, ErrOutOfMemory
+}
+
+// takeHole pops recycled holes until one fits size. Undersized holes are
+// dropped (they stay filler-covered; the next collection re-reports
+// whatever is still free), preserving the seed's abandon-on-miss
+// behaviour.
+func (h *Heap) takeHole(size int) (Hole, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for len(h.freeHoles) > 0 {
+		hole := h.freeHoles[0]
+		h.freeHoles = h.freeHoles[1:]
+		h.holeCount.Add(-1)
+		if hole.Hi-hole.Lo >= size {
+			return hole, true
+		}
+	}
+	return Hole{}, false
+}
+
+// freeRegionsInsert returns r to the dispenser's free list, keeping it
+// sorted so allocation packs the heap downward. Caller holds h.mu.
+func (h *Heap) freeRegionsInsert(r int) {
+	i := 0
+	for i < len(h.freeRegions) && h.freeRegions[i] < r {
+		i++
+	}
+	h.freeRegions = append(h.freeRegions, 0)
+	copy(h.freeRegions[i+1:], h.freeRegions[i:])
+	h.freeRegions[i] = r
+}
+
+// allocHumongous claims a whole-region-aligned run at the dispenser
+// frontier for an object larger than half a region, plugging the tail of
+// its last region. The caller's PLAB is retired first so, for a single
+// mutator, heap parse order remains allocation order (the seed aligned
+// its global top the same way). Publication order: header and tail
+// filler persist first, then the covered region-top entries — the head
+// region's top at the run end, interior regions at the sentinel — with
+// one flush+fence over the (contiguous) table span.
+func (a *Allocator) allocHumongous(k *klass.Klass, kaddr layout.Ref, arrayLen, size int) (layout.Ref, error) {
+	a.retirePLAB()
+	h := a.h
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	start := h.geo.DataOff + h.frontier*layout.RegionSize
+	end := align(start+size, layout.RegionSize)
+	if end > h.dataLimit() {
+		return 0, ErrOutOfMemory
+	}
+	nRegions := (end - start) / layout.RegionSize
+	h.frontier += nRegions
+
+	h.dev.Zero(start, size)
+	h.writeHeader(start, kaddr, k, arrayLen)
+	h.dev.Flush(start, headerBytesOf(k))
+	if end > start+size {
+		h.fillGapRawNoFence(start+size, end-start-size)
+	}
+	h.dev.Fence()
+
+	r0 := (start - h.geo.DataOff) / layout.RegionSize
+	h.dev.WriteU64(h.RegionTopMetaOff(r0), uint64(end))
+	for r := r0 + 1; r < r0+nRegions; r++ {
+		h.dev.WriteU64(h.RegionTopMetaOff(r), regionTopHumongousCont)
+	}
+	h.dev.Flush(h.RegionTopMetaOff(r0), nRegions*layout.RegionTopStride)
+	h.dev.Fence()
+	h.regionTops[r0].Store(int64(end))
+	for r := r0 + 1; r < r0+nRegions; r++ {
+		h.regionTops[r].Store(regionTopHumongousCont)
+	}
+	a.stats.Allocs++
+	a.stats.Fences += 2
+	a.stats.FlushedLines += lineSpan(start, headerBytesOf(k)) + nRegions
+	return h.AddrOf(start), nil
 }
 
 func headerBytesOf(k *klass.Klass) int {
@@ -95,101 +417,51 @@ func headerBytesOf(k *klass.Klass) int {
 	return layout.HeaderBytes
 }
 
+// lineSpan counts the cache lines covering [off, off+n).
+func lineSpan(off, n int) int {
+	return (off+n-1)/layout.LineSize - off/layout.LineSize + 1
+}
+
 func (h *Heap) writeHeader(off int, kaddr layout.Ref, k *klass.Klass, arrayLen int) {
-	h.dev.WriteU64(off+layout.MarkWordOff, layout.MarkWord(h.globalTS, 0))
+	h.dev.WriteU64(off+layout.MarkWordOff, layout.MarkWord(h.globalTS.Load(), 0))
 	h.dev.WriteU64(off+layout.KlassWordOff, uint64(kaddr))
 	if k.IsArray() {
 		h.dev.WriteU64(off+layout.ArrayLenOff, uint64(arrayLen))
 	}
 }
 
-// dataLimit is one past the last allocatable byte (the scratch region is
-// reserved for the compactor).
-func (h *Heap) dataLimit() int { return h.geo.ScratchOff }
-
-// reserveLocked claims size bytes for a small object: first from the
-// active recycled hole, then from the free-region list, then by bumping
-// top (plugging the current region's tail with a filler if the object
-// would straddle the boundary).
-func (h *Heap) reserveLocked(size int) (off int, inHole bool, err error) {
-	for {
-		if h.holeCur != 0 && h.holeCur+size <= h.holeEnd {
-			off = h.holeCur
-			h.holeCur += size
-			return off, true, nil
-		}
-		if len(h.freeHoles) == 0 {
-			break
-		}
-		// The abandoned hole's tail is already covered by a filler from
-		// the previous allocation (or by the GC's gap filler).
-		next := h.freeHoles[0]
-		h.freeHoles = h.freeHoles[1:]
-		h.holeCur, h.holeEnd = next.Lo, next.Hi
-	}
-
-	regionEnd := (h.top/layout.RegionSize + 1) * layout.RegionSize
-	if h.top+size > regionEnd {
-		if regionEnd > h.dataLimit() {
-			return 0, false, ErrOutOfMemory
-		}
-		h.fillGapLocked(h.top, regionEnd-h.top)
-		h.top = regionEnd
-	}
-	if h.top+size > h.dataLimit() {
-		return 0, false, ErrOutOfMemory
-	}
-	off = h.top
-	h.top += size
-	return off, false, nil
+// fillGapRaw writes and persists a filler object covering exactly
+// [off, off+n). It is lock-free: the filler klass addresses are resolved
+// once at create/load, and the caller owns the covered bytes. n must be
+// 16-aligned; a 16-byte gap takes the 2-word filler, larger gaps a
+// byte-array filler.
+func (h *Heap) fillGapRaw(off, n int) {
+	h.fillGapRawNoFence(off, n)
+	h.dev.Fence()
 }
 
-// reserveHumongousLocked claims a whole-region-aligned run for a humongous
-// object and plugs the tail of its last region.
-func (h *Heap) reserveHumongousLocked(size int) (int, error) {
-	start := align(h.top, layout.RegionSize)
-	end := align(start+size, layout.RegionSize)
-	if end > h.dataLimit() {
-		return 0, ErrOutOfMemory
-	}
-	if start > h.top {
-		h.fillGapLocked(h.top, start-h.top)
-	}
-	if end > start+size {
-		h.fillGapLocked(start+size, end-start-size)
-	}
-	h.top = end
-	return start, nil
-}
-
-// fillGapLocked writes a filler object covering exactly [off, off+n).
-// n must be 16-aligned; a 16-byte gap takes the 2-word filler, larger gaps
-// a byte-array filler.
-func (h *Heap) fillGapLocked(off, n int) {
+func (h *Heap) fillGapRawNoFence(off, n int) {
 	if n == 0 {
 		return
 	}
 	if n < layout.MinObjectBytes || n%layout.ObjAlign != 0 {
 		panic(fmt.Sprintf("pheap: unfillable gap of %d bytes", n))
 	}
+	if h.fillerAddr == 0 || h.fillerArrAddr == 0 {
+		panic("pheap: filler klasses not resolved")
+	}
 	if n == layout.HeaderBytes {
-		fk := h.reg.Filler()
-		kaddr, _ := h.ensureKlassLocked(fk)
-		h.writeHeader(off, kaddr, fk, 0)
+		h.writeHeader(off, h.fillerAddr, h.fillerK, 0)
 		h.dev.Flush(off, layout.HeaderBytes)
-		h.dev.Fence()
 		return
 	}
-	fk := h.reg.FillerArray()
-	kaddr, _ := h.ensureKlassLocked(fk)
 	// Choose the largest length whose aligned size equals n exactly.
 	elems := n - layout.ArrayHdrBytes
 	if layout.ArrayBytes(layout.FTByte, elems) != n {
 		elems -= layout.ArrayBytes(layout.FTByte, elems) - n
 	}
-	h.writeHeader(off, kaddr, fk, elems)
+	h.writeHeader(off, h.fillerArrAddr, h.fillerArrK, elems)
 	h.dev.Flush(off, layout.ArrayHdrBytes)
-	h.dev.Fence()
 }
 
 // IsFiller reports whether k is one of the gap-filler klasses.
@@ -199,9 +471,8 @@ func IsFiller(k *klass.Klass) bool {
 
 // WriteFiller writes a persisted filler object covering exactly
 // [off, off+n). The garbage collector uses it to plug evacuated holes so
-// the compacted heap still parses.
+// the compacted heap still parses; the caller must own the covered bytes
+// (the world is stopped during collection).
 func (h *Heap) WriteFiller(off, n int) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	h.fillGapLocked(off, n)
+	h.fillGapRaw(off, n)
 }

@@ -2,21 +2,25 @@
 // §3–§4: an NVM-resident space holding Java objects, laid out as
 //
 //	metadata area | name table | string arena | redo log |
-//	mark bitmap | region bitmap | Klass segment | data heap (+ scratch region)
+//	mark bitmap | region bitmap | region-top table | Klass segment |
+//	data heap (+ scratch region)
 //
 // All components live on one nvm.Device so the whole heap is a single
 // reloadable image. The metadata area stores the address hint, heap size,
-// top pointer, global GC timestamp, and GC-active flag (paper Figure 8);
-// the name table maps string constants to Klass entries and root entries;
-// the Klass segment stores place-holder Klass records that are
-// re-initialized in place on load so class pointers inside objects stay
-// valid; the data heap is carved into regions for the crash-consistent
-// compacting collector in package pgc.
+// global GC timestamp, and GC-active flag (paper Figure 8); the
+// region-top table holds one persisted allocation-top word per data
+// region (one cache line each) — the PLAB allocator's replacement for the
+// paper's single persisted top; the name table maps string constants to
+// Klass entries and root entries; the Klass segment stores place-holder
+// Klass records that are re-initialized in place on load so class
+// pointers inside objects stay valid; the data heap is carved into
+// regions for the crash-consistent compacting collector in package pgc.
 package pheap
 
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"espresso/internal/klass"
@@ -25,18 +29,22 @@ import (
 )
 
 const (
-	heapMagic   = 0x4553_5052_4845_4150 // "ESPRHEAP"
-	heapVersion = 1
+	heapMagic = 0x4553_5052_4845_4150 // "ESPRHEAP"
+	// Version 2 added the per-region top table (PLAB allocation) and
+	// retired the single global top word.
+	heapVersion = 2
 )
 
-// Metadata field offsets (device-relative). The whole block fits in three
-// cache lines at the start of the device.
+// Metadata field offsets (device-relative). The whole block fits in four
+// cache lines at the start of the device. mTopRetired is the slot that
+// held the global allocation top before the per-region top table replaced
+// it; it is kept zero.
 const (
 	mMagic         = 0
 	mVersion       = 8
 	mAddressHint   = 16
 	mDeviceSize    = 24
-	mTop           = 32
+	mTopRetired    = 32
 	mGlobalTS      = 40
 	mGCActive      = 48
 	mNameTabOff    = 56
@@ -56,7 +64,9 @@ const (
 	mDataOff       = 168
 	mDataSize      = 176
 	mScratchOff    = 184
-	metadataBytes  = 192
+	mRegionTopOff  = 192
+	mRegionTopSize = 200
+	metadataBytes  = 208
 )
 
 // Config sizes a new heap. Zero values select defaults.
@@ -107,6 +117,7 @@ type Geometry struct {
 	RedoOff, RedoSize           int
 	MarkBmpOff, MarkBmpSize     int
 	RegionBmpOff, RegionBmpSize int
+	RegionTopOff, RegionTopSize int
 	KsegOff, KsegSize           int
 	DataOff, DataSize           int // includes the scratch region
 	ScratchOff                  int
@@ -116,8 +127,15 @@ type Geometry struct {
 // region.
 func (g Geometry) Regions() int { return g.DataSize / layout.RegionSize }
 
-// Heap is a loaded PJH instance. Allocation is safe for concurrent use;
-// GC and load/recovery assume the world is stopped, as in the JVM.
+// DataRegions reports the number of allocatable data regions (excluding
+// the compactor's scratch region).
+func (g Geometry) DataRegions() int { return (g.ScratchOff - g.DataOff) / layout.RegionSize }
+
+// Heap is a loaded PJH instance. Allocation is safe for concurrent use:
+// the shared Alloc entry point serializes on the heap's default
+// allocator, and NewAllocator hands out per-mutator PLAB contexts that
+// bump-allocate lock-free. GC and load/recovery assume the world is
+// stopped, as in the JVM.
 type Heap struct {
 	dev  *nvm.Device
 	reg  *klass.Registry
@@ -125,23 +143,50 @@ type Heap struct {
 	base layout.Ref
 	geo  Geometry
 
+	// mu serializes heap metadata: the region dispenser, hole list, klass
+	// segment appends, name table, and arena. The object fast paths
+	// (PLAB bumps, field access) never take it.
 	mu        sync.Mutex
-	top       int // volatile mirror of the persisted top (device offset)
-	gcActive  bool
-	globalTS  uint64
+	gcActive  atomic.Bool
+	globalTS  atomic.Uint64
 	ksegUsed  int
 	arenaUsed int
 
-	// Hole recycling: the collector reports the filler-covered gaps below
-	// top that it left behind; the allocator refills them before growing
-	// top. The list is volatile — after a reload it starts empty and is
-	// repopulated by the next collection.
-	freeHoles []Hole
-	holeCur   int // active recycled hole being filled; 0 = none
-	holeEnd   int
-
+	// kmu guards the klass-record address maps, which the allocation and
+	// parse fast paths read concurrently with EnsureKlass appends.
+	kmu       sync.RWMutex
 	segByAddr map[layout.Ref]*klass.Klass
 	segByName map[string]layout.Ref
+
+	// regionTops mirrors the persisted region-top table (see alloc.go for
+	// the value encoding). Entries are atomic so heap walks can run
+	// concurrently with PLAB owners advancing their own region's top.
+	regionTops []atomic.Int64
+
+	// Region dispenser state (guarded by mu): regions below frontier have
+	// been handed out at some point; freeRegions lists regions below the
+	// frontier with bump headroom left (fully free, or partially filled
+	// ones returned by Release / left behind by the collector).
+	frontier    int
+	freeRegions []int
+
+	// Hole recycling: the collector reports the filler-covered gaps below
+	// the region tops that it left behind; allocators refill them before
+	// claiming new regions. The list is volatile — after a reload it
+	// starts empty and is repopulated by the next collection. holeCount
+	// lets the allocation fast path skip the lock when no holes exist.
+	freeHoles []Hole
+	holeCount atomic.Int64
+
+	// Filler klass records, resolved once so gap plugging is lock-free.
+	fillerK, fillerArrK       *klass.Klass
+	fillerAddr, fillerArrAddr layout.Ref
+
+	// Registered allocators (guarded by mu); retired wholesale at the GC
+	// safepoint by PrepareForCollection.
+	allocators []*Allocator
+	defMu      sync.Mutex // serializes the shared Alloc entry point
+	defAlloc   *Allocator
 }
 
 func align(n, a int) int { return (n + a - 1) &^ (a - 1) }
@@ -159,7 +204,9 @@ func Create(reg *klass.Registry, cfg Config) (*Heap, error) {
 	geo.ArenaOff = off
 	off += geo.ArenaSize
 	geo.RedoOff = off
-	geo.RedoSize = align(16+cfg.NameTabCap*16+64, 64)
+	// The GC finish batch carries every root entry plus one top word per
+	// region; size the log for both.
+	geo.RedoSize = align(16+(cfg.NameTabCap+regions+8)*16+64, 64)
 	off += geo.RedoSize
 	geo.MarkBmpOff = off
 	geo.MarkBmpSize = align(dataSize/layout.WordSize/8, 64)
@@ -167,6 +214,9 @@ func Create(reg *klass.Registry, cfg Config) (*Heap, error) {
 	geo.RegionBmpOff = off
 	geo.RegionBmpSize = align((regions+7)/8, 64)
 	off += geo.RegionBmpSize
+	geo.RegionTopOff = off
+	geo.RegionTopSize = regions * layout.RegionTopStride
+	off += geo.RegionTopSize
 	geo.KsegOff = off
 	geo.KsegSize = align(cfg.KsegSize, 64)
 	off += geo.KsegSize
@@ -179,16 +229,16 @@ func Create(reg *klass.Registry, cfg Config) (*Heap, error) {
 	dev := nvm.New(nvm.Config{Size: total, Mode: cfg.Mode, WriteLatency: cfg.WriteLatency})
 	h := &Heap{
 		dev: dev, reg: reg, name: cfg.Name, base: cfg.AddressHint, geo: geo,
-		top:       geo.DataOff,
-		segByAddr: make(map[layout.Ref]*klass.Klass),
-		segByName: make(map[string]layout.Ref),
+		regionTops: make([]atomic.Int64, regions),
+		segByAddr:  make(map[layout.Ref]*klass.Klass),
+		segByName:  make(map[string]layout.Ref),
 	}
 
 	dev.WriteU64(mMagic, heapMagic)
 	dev.WriteU64(mVersion, heapVersion)
 	dev.WriteU64(mAddressHint, uint64(cfg.AddressHint))
 	dev.WriteU64(mDeviceSize, uint64(total))
-	dev.WriteU64(mTop, uint64(h.top))
+	dev.WriteU64(mTopRetired, 0)
 	dev.WriteU64(mGlobalTS, 1)
 	dev.WriteU64(mGCActive, 0)
 	dev.WriteU64(mNameTabOff, uint64(geo.NameTabOff))
@@ -208,9 +258,11 @@ func Create(reg *klass.Registry, cfg Config) (*Heap, error) {
 	dev.WriteU64(mDataOff, uint64(geo.DataOff))
 	dev.WriteU64(mDataSize, uint64(dataSize))
 	dev.WriteU64(mScratchOff, uint64(geo.ScratchOff))
+	dev.WriteU64(mRegionTopOff, uint64(geo.RegionTopOff))
+	dev.WriteU64(mRegionTopSize, uint64(geo.RegionTopSize))
 	dev.Flush(0, metadataBytes)
 	dev.Fence()
-	h.globalTS = 1
+	h.globalTS.Store(1)
 
 	// Every heap carries the filler classes so allocation gaps parse.
 	if _, err := h.EnsureKlass(reg.Filler()); err != nil {
@@ -219,12 +271,17 @@ func Create(reg *klass.Registry, cfg Config) (*Heap, error) {
 	if _, err := h.EnsureKlass(reg.FillerArray()); err != nil {
 		return nil, err
 	}
+	h.resolveFillers()
+	h.defAlloc = h.NewAllocator()
 	return h, nil
 }
 
 // Load opens an existing heap image. If the image was mid-GC when it was
 // last persisted, the heap reports GCActive()==true and the caller must
-// run pgc recovery before using it (core.LoadHeap does).
+// run pgc recovery before using it (core.LoadHeap does). On a clean
+// image, half-open PLAB regions — per-region tops strictly inside their
+// region — are plugged with fillers and sealed, so the reloaded data heap
+// parses region by region exactly up to each persisted top.
 func Load(dev *nvm.Device, reg *klass.Registry) (*Heap, error) {
 	if dev.Size() < metadataBytes {
 		return nil, fmt.Errorf("pheap: image too small")
@@ -244,35 +301,53 @@ func Load(dev *nvm.Device, reg *klass.Registry) (*Heap, error) {
 		RedoOff: int(dev.ReadU64(mRedoOff)), RedoSize: int(dev.ReadU64(mRedoSize)),
 		MarkBmpOff: int(dev.ReadU64(mMarkBmpOff)), MarkBmpSize: int(dev.ReadU64(mMarkBmpSize)),
 		RegionBmpOff: int(dev.ReadU64(mRegionBmpOff)), RegionBmpSize: int(dev.ReadU64(mRegionBmpSize)),
+		RegionTopOff: int(dev.ReadU64(mRegionTopOff)), RegionTopSize: int(dev.ReadU64(mRegionTopSize)),
 		KsegOff: int(dev.ReadU64(mKsegOff)), KsegSize: int(dev.ReadU64(mKsegSize)),
 		DataOff: int(dev.ReadU64(mDataOff)), DataSize: int(dev.ReadU64(mDataSize)),
 		ScratchOff: int(dev.ReadU64(mScratchOff)),
 	}
 	h := &Heap{
 		dev: dev, reg: reg,
-		base:      layout.Ref(dev.ReadU64(mAddressHint)),
-		geo:       geo,
-		top:       int(dev.ReadU64(mTop)),
-		globalTS:  dev.ReadU64(mGlobalTS),
-		gcActive:  dev.ReadU64(mGCActive) != 0,
-		ksegUsed:  int(dev.ReadU64(mKsegUsed)),
-		arenaUsed: int(dev.ReadU64(mArenaUsed)),
-		segByAddr: make(map[layout.Ref]*klass.Klass),
-		segByName: make(map[string]layout.Ref),
+		base:       layout.Ref(dev.ReadU64(mAddressHint)),
+		geo:        geo,
+		ksegUsed:   int(dev.ReadU64(mKsegUsed)),
+		arenaUsed:  int(dev.ReadU64(mArenaUsed)),
+		regionTops: make([]atomic.Int64, geo.Regions()),
+		segByAddr:  make(map[layout.Ref]*klass.Klass),
+		segByName:  make(map[string]layout.Ref),
 	}
+	h.globalTS.Store(dev.ReadU64(mGlobalTS))
+	h.gcActive.Store(dev.ReadU64(mGCActive) != 0)
 	// Class re-initialization in place: cost ∝ number of Klasses, not
 	// objects — the property behind Figure 18's flat UG line.
 	if err := h.reinitKlasses(); err != nil {
 		return nil, err
 	}
+	h.resolveFillers()
 	// A committed-but-unapplied GC finish means the collection logically
 	// completed; reapplying the redo log is idempotent.
 	if h.RedoPending() {
 		h.RedoApply()
-		h.top = int(dev.ReadU64(mTop))
-		h.gcActive = dev.ReadU64(mGCActive) != 0
+		h.gcActive.Store(dev.ReadU64(mGCActive) != 0)
 	}
+	// Region recovery: rebuild the volatile mirrors and the dispenser.
+	// Mid-collection images keep their raw tops — pgc.Recover rewrites
+	// them wholesale — while clean images get half-open PLABs sealed.
+	h.rebuildRegionState(!h.gcActive.Load())
+	h.defAlloc = h.NewAllocator()
 	return h, nil
+}
+
+// resolveFillers caches the filler klass records so gap plugging never
+// needs the metadata lock. Create ensures both records exist; any v2
+// image therefore carries them.
+func (h *Heap) resolveFillers() {
+	h.fillerK = h.reg.Filler()
+	h.fillerArrK = h.reg.FillerArray()
+	h.kmu.RLock()
+	h.fillerAddr = h.segByName[h.fillerK.Name]
+	h.fillerArrAddr = h.segByName[h.fillerArrK.Name]
+	h.kmu.RUnlock()
 }
 
 // Device exposes the backing device (benchmarks read its stats; the GC
@@ -314,21 +389,50 @@ func (h *Heap) OffOf(ref layout.Ref) int { return int(ref - h.base) }
 // AddrOf converts a device offset into a virtual address.
 func (h *Heap) AddrOf(off int) layout.Ref { return h.base + layout.Ref(off) }
 
-// Top reports the current allocation frontier as a device offset.
-func (h *Heap) Top() int {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.top
+// RegionTopMetaOff is the device offset of region r's persisted top word,
+// for redo-log entries and crash tests.
+func (h *Heap) RegionTopMetaOff(r int) int {
+	return h.geo.RegionTopOff + r*layout.RegionTopStride
 }
 
-// UsedBytes reports allocated data-heap bytes.
+// RegionTop reports region r's current top (the volatile mirror of the
+// persisted table entry; see alloc.go for the encoding).
+func (h *Heap) RegionTop(r int) int { return int(h.regionTops[r].Load()) }
+
+// persistRegionTop advances region r's persisted top and its mirror. The
+// caller must already have persisted every object header below the new
+// top — this store is the publication point.
+func (h *Heap) persistRegionTop(r, top int) {
+	off := h.RegionTopMetaOff(r)
+	h.dev.WriteU64(off, uint64(top))
+	h.dev.Flush(off, 8)
+	h.dev.Fence()
+	h.regionTops[r].Store(int64(top))
+}
+
+// Top reports one past the highest allocated byte across all regions —
+// the successor of the paper's single top pointer, derived from the
+// region-top table. Gaps below it (retired PLAB tails, fillers) count as
+// used.
+func (h *Heap) Top() int {
+	top := h.geo.DataOff
+	for r := 0; r < h.geo.DataRegions(); r++ {
+		if t := int(h.regionTops[r].Load()); t > regionTopHumongousCont && t > top {
+			top = t
+		}
+	}
+	return top
+}
+
+// UsedBytes reports data-heap bytes at or below the allocation frontier
+// (fillers and retired tails included).
 func (h *Heap) UsedBytes() int { return h.Top() - h.geo.DataOff }
 
 // GlobalTS reports the persisted global GC timestamp.
-func (h *Heap) GlobalTS() uint64 { return h.globalTS }
+func (h *Heap) GlobalTS() uint64 { return h.globalTS.Load() }
 
 // GCActive reports whether the image is marked as mid-collection.
-func (h *Heap) GCActive() bool { return h.gcActive }
+func (h *Heap) GCActive() bool { return h.gcActive.Load() }
 
 func (h *Heap) persistU64(off int, v uint64) {
 	h.dev.WriteU64(off, v)
@@ -349,69 +453,118 @@ func (h *Heap) SetGCState(ts uint64, active bool) {
 	h.dev.WriteU64(mGCActive, a)
 	h.dev.Flush(mGlobalTS, 16)
 	h.dev.Fence()
-	h.globalTS = ts
-	h.gcActive = active
+	h.globalTS.Store(ts)
+	h.gcActive.Store(active)
 }
-
-// SetTop persists a new allocation frontier (used by the GC finish path
-// through the redo log and by tests).
-func (h *Heap) SetTop(top int) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	h.top = top
-	h.persistU64(mTop, uint64(top))
-}
-
-// TopMetaOff exposes the metadata offset of the top field for redo-log
-// entries.
-func (h *Heap) TopMetaOff() int { return mTop }
 
 // GCActiveMetaOff exposes the metadata offset of the gcActive flag for
 // redo-log entries.
 func (h *Heap) GCActiveMetaOff() int { return mGCActive }
 
-// RefreshAfterRedo re-reads the volatile mirrors of redo-applied fields.
-func (h *Heap) RefreshAfterRedo() {
+// PrepareForCollection is the allocator side of the GC safepoint: every
+// registered allocator's PLAB and recycled hole is dropped (their region
+// tops are already persisted, so nothing is lost), and the dispenser
+// forgets its free list — the collector is about to rearrange the heap
+// and republish region tops through the redo log. The world must be
+// stopped, as for the collection itself.
+func (h *Heap) PrepareForCollection() {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	h.top = int(h.dev.ReadU64(mTop))
-	h.gcActive = h.dev.ReadU64(mGCActive) != 0
-	h.globalTS = h.dev.ReadU64(mGlobalTS)
+	for _, a := range h.allocators {
+		a.dropBuffersForGC()
+	}
+	h.freeRegions = nil
+	h.freeHoles = nil
+	h.holeCount.Store(0)
 }
 
-// Hole is a filler-covered gap below top, reusable by the allocator. A
-// hole never crosses a region boundary.
+// RefreshAfterRedo re-reads the volatile mirrors of redo-applied fields
+// and rebuilds the region dispenser from the republished top table. The
+// GC's finish step calls it after applying the metadata redo batch.
+func (h *Heap) RefreshAfterRedo() {
+	h.gcActive.Store(h.dev.ReadU64(mGCActive) != 0)
+	h.globalTS.Store(h.dev.ReadU64(mGlobalTS))
+	h.rebuildRegionState(false)
+}
+
+// rebuildRegionState re-derives the volatile region mirrors and the
+// dispenser's free list from the persisted region-top table. With plug
+// set (load of a clean image), half-open PLAB regions — top strictly
+// inside the region — are sealed: their tail is plugged with a persisted
+// filler and the top advanced to the region end, so a region recovered
+// from a crash parses completely and the "stale top → truncation"
+// invariant is re-established with no dangling bump state.
+func (h *Heap) rebuildRegionState(plug bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	dataRegions := h.geo.DataRegions()
+	h.freeRegions = h.freeRegions[:0]
+	h.frontier = 0
+	for r := 0; r < h.geo.Regions(); r++ {
+		start := h.geo.DataOff + r*layout.RegionSize
+		end := start + layout.RegionSize
+		t := int(h.dev.ReadU64(h.RegionTopMetaOff(r)))
+		if plug && r < dataRegions && t > start && t < end {
+			// Half-open PLAB: everything below t parses (headers persist
+			// before tops); the bytes above are unordered garbage. Seal
+			// the region so it is whole-or-empty from here on.
+			h.fillGapRaw(t, end-t)
+			h.persistRegionTop(r, end)
+			t = end
+		}
+		h.regionTops[r].Store(int64(t))
+		if r < dataRegions && t != 0 {
+			h.frontier = r + 1
+		}
+	}
+	for r := 0; r < h.frontier; r++ {
+		start := h.geo.DataOff + r*layout.RegionSize
+		t := int(h.regionTops[r].Load())
+		// Dispensable: fully free regions and partial regions with bump
+		// headroom. Sentinel (humongous interior) and overlong tops
+		// (humongous heads) are excluded.
+		if t == 0 || (t > regionTopHumongousCont && t < start+layout.RegionSize) {
+			h.freeRegions = append(h.freeRegions, r)
+		}
+	}
+}
+
+// Hole is a filler-covered gap below a region's top, reusable by the
+// allocator. A hole never crosses a region boundary.
 type Hole struct{ Lo, Hi int }
 
-// SetFreeHoles installs the collector's list of reusable gaps below top
-// (ascending, each fully covered by fillers, none crossing a region
-// boundary). The list is volatile bookkeeping: losing it costs reuse until
-// the next GC, never correctness.
+// SetFreeHoles installs the collector's list of reusable gaps (ascending,
+// each fully covered by fillers, none crossing a region boundary). The
+// list is volatile bookkeeping: losing it costs reuse until the next GC,
+// never correctness.
 func (h *Heap) SetFreeHoles(holes []Hole) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	h.freeHoles = append([]Hole(nil), holes...)
-	h.holeCur, h.holeEnd = 0, 0
+	h.holeCount.Store(int64(len(h.freeHoles)))
 }
 
 // ResetFreeHoles drops the recycling state; the collector calls it before
 // it starts rearranging the heap.
 func (h *Heap) ResetFreeHoles() { h.SetFreeHoles(nil) }
 
-// FreeBytes estimates the allocatable capacity: the bump headroom plus
-// recycled holes.
+// FreeBytes estimates the allocatable capacity: untouched frontier
+// regions, headroom in dispensable regions, and recycled holes. Space
+// inside currently attached PLABs counts as allocated.
 func (h *Heap) FreeBytes() int {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	free := h.geo.ScratchOff - h.top
-	if free < 0 {
-		free = 0
+	free := (h.geo.DataRegions() - h.frontier) * layout.RegionSize
+	for _, r := range h.freeRegions {
+		start := h.geo.DataOff + r*layout.RegionSize
+		t := int(h.regionTops[r].Load())
+		if t <= regionTopHumongousCont {
+			t = start
+		}
+		free += start + layout.RegionSize - t
 	}
 	for _, hole := range h.freeHoles {
 		free += hole.Hi - hole.Lo
-	}
-	if h.holeCur != 0 {
-		free += h.holeEnd - h.holeCur
 	}
 	return free
 }

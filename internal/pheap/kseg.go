@@ -28,7 +28,10 @@ func (h *Heap) EnsureKlass(k *klass.Klass) (layout.Ref, error) {
 }
 
 func (h *Heap) ensureKlassLocked(k *klass.Klass) (layout.Ref, error) {
-	if addr, ok := h.segByName[k.Name]; ok {
+	h.kmu.RLock()
+	addr, ok := h.segByName[k.Name]
+	h.kmu.RUnlock()
+	if ok {
 		return addr, nil
 	}
 	if k.Super != nil {
@@ -47,9 +50,11 @@ func (h *Heap) ensureKlassLocked(k *klass.Klass) (layout.Ref, error) {
 	h.ksegUsed += len(rec)
 	h.persistU64(mKsegUsed, uint64(h.ksegUsed))
 
-	addr := h.AddrOf(off)
+	addr = h.AddrOf(off)
+	h.kmu.Lock()
 	h.segByAddr[addr] = k
 	h.segByName[k.Name] = addr
+	h.kmu.Unlock()
 	if err := h.putEntryLocked(EntryKlass, k.Name, uint64(addr)); err != nil {
 		return 0, err
 	}
@@ -84,8 +89,10 @@ func (h *Heap) reinitKlasses() error {
 			return fmt.Errorf("pheap: reinitializing %s: %w", ri.Name, err)
 		}
 		addr := h.AddrOf(off)
+		h.kmu.Lock()
 		h.segByAddr[addr] = canon
 		h.segByName[canon.Name] = addr
+		h.kmu.Unlock()
 		off += size
 	}
 	return nil
@@ -94,18 +101,24 @@ func (h *Heap) reinitKlasses() error {
 // KlassByAddr resolves a Klass-record address (an object's klass word)
 // to its runtime descriptor.
 func (h *Heap) KlassByAddr(addr layout.Ref) (*klass.Klass, bool) {
+	h.kmu.RLock()
 	k, ok := h.segByAddr[addr]
+	h.kmu.RUnlock()
 	return k, ok
 }
 
 // KlassAddr reports the record address of a klass already present in the
 // segment.
 func (h *Heap) KlassAddr(k *klass.Klass) (layout.Ref, bool) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
+	h.kmu.RLock()
 	addr, ok := h.segByName[k.Name]
+	h.kmu.RUnlock()
 	return addr, ok
 }
 
 // KlassCount reports how many Klass records the segment holds.
-func (h *Heap) KlassCount() int { return len(h.segByAddr) }
+func (h *Heap) KlassCount() int {
+	h.kmu.RLock()
+	defer h.kmu.RUnlock()
+	return len(h.segByAddr)
+}

@@ -15,7 +15,7 @@ import (
 func (h *Heap) KlassOf(ref layout.Ref) (*klass.Klass, error) {
 	off := h.OffOf(ref)
 	kaddr := layout.Ref(h.dev.ReadU64(off + layout.KlassWordOff))
-	k, ok := h.segByAddr[kaddr]
+	k, ok := h.KlassByAddr(kaddr)
 	if !ok {
 		return nil, fmt.Errorf("pheap: object %#x has dangling klass word %#x", uint64(ref), uint64(kaddr))
 	}
@@ -26,7 +26,7 @@ func (h *Heap) KlassOf(ref layout.Ref) (*klass.Klass, error) {
 // offset off.
 func (h *Heap) SizeOfObjectAt(off int) (*klass.Klass, int, error) {
 	kaddr := layout.Ref(h.dev.ReadU64(off + layout.KlassWordOff))
-	k, ok := h.segByAddr[kaddr]
+	k, ok := h.KlassByAddr(kaddr)
 	if !ok {
 		return nil, 0, fmt.Errorf("pheap: offset %d: dangling klass word %#x", off, uint64(kaddr))
 	}
@@ -84,27 +84,38 @@ func (h *Heap) FlushRange(ref layout.Ref, boff, n int) {
 	h.dev.Fence()
 }
 
-// ForEachObject walks the data heap from bottom to top, invoking fn for
-// every object including fillers. It stops early if fn returns false.
-// The walk relies on the allocation invariant: everything below top is a
-// valid object or filler.
+// ForEachObject walks the data heap in address order, region by region,
+// invoking fn for every object including fillers. It stops early if fn
+// returns false. The walk relies on the per-region allocation invariant:
+// everything below a region's top is a valid object or filler. Regions
+// whose top is unset are skipped; humongous objects carry the walk
+// across their interior regions (whose table entries hold the sentinel,
+// never a parse entry point).
 func (h *Heap) ForEachObject(fn func(off int, k *klass.Klass, size int) bool) error {
-	h.mu.Lock()
-	top := h.top
-	h.mu.Unlock()
+	dataEnd := h.geo.DataOff + h.geo.DataSize
 	off := h.geo.DataOff
-	for off < top {
-		k, size, err := h.SizeOfObjectAt(off)
-		if err != nil {
-			return fmt.Errorf("pheap: heap parse failed: %w", err)
+	for r := 0; r < h.geo.DataRegions(); r++ {
+		start := h.geo.DataOff + r*layout.RegionSize
+		if off < start {
+			off = start
 		}
-		if size <= 0 || off+size > h.geo.DataOff+h.geo.DataSize {
-			return fmt.Errorf("pheap: heap parse: impossible size %d at offset %d", size, off)
+		top := int(h.regionTops[r].Load())
+		if top <= regionTopHumongousCont || top <= off {
+			continue
 		}
-		if !fn(off, k, size) {
-			return nil
+		for off < top {
+			k, size, err := h.SizeOfObjectAt(off)
+			if err != nil {
+				return fmt.Errorf("pheap: heap parse failed: %w", err)
+			}
+			if size <= 0 || off+size > dataEnd {
+				return fmt.Errorf("pheap: heap parse: impossible size %d at offset %d", size, off)
+			}
+			if !fn(off, k, size) {
+				return nil
+			}
+			off += size
 		}
-		off += size
 	}
 	return nil
 }

@@ -54,8 +54,19 @@ func TestCreateGeometry(t *testing.T) {
 	if g.MarkBmpSize < g.DataSize/layout.WordSize/8 {
 		t.Fatalf("mark bitmap too small: %d", g.MarkBmpSize)
 	}
+	if g.RegionTopSize != g.Regions()*layout.RegionTopStride {
+		t.Fatalf("region-top table size = %d for %d regions", g.RegionTopSize, g.Regions())
+	}
+	if g.RegionTopOff%layout.LineSize != 0 {
+		t.Fatalf("region-top table not line aligned: %d", g.RegionTopOff)
+	}
 	if h.Top() != g.DataOff {
 		t.Fatalf("fresh top = %d", h.Top())
+	}
+	for r := 0; r < g.Regions(); r++ {
+		if h.RegionTop(r) != 0 {
+			t.Fatalf("fresh region %d top = %d", r, h.RegionTop(r))
+		}
 	}
 }
 
@@ -396,7 +407,7 @@ func TestReloadWithConflictingKlassFails(t *testing.T) {
 func TestRedoLogIdempotent(t *testing.T) {
 	h, _ := testHeap(t, Config{})
 	entries := []RedoEntry{
-		{Off: h.TopMetaOff(), Val: uint64(h.Geo().DataOff + 4096)},
+		{Off: h.RegionTopMetaOff(0), Val: uint64(h.Geo().DataOff + 4096)},
 		{Off: h.GCActiveMetaOff(), Val: 0},
 	}
 	h.RedoCommit(entries)
@@ -408,6 +419,9 @@ func TestRedoLogIdempotent(t *testing.T) {
 	if h.RedoPending() {
 		t.Fatal("applied log still pending")
 	}
+	if h.RegionTop(0) != h.Geo().DataOff+4096 {
+		t.Fatalf("region top after redo = %d", h.RegionTop(0))
+	}
 	if h.Top() != h.Geo().DataOff+4096 {
 		t.Fatalf("top after redo = %d", h.Top())
 	}
@@ -415,7 +429,10 @@ func TestRedoLogIdempotent(t *testing.T) {
 
 func TestRedoAppliedOnLoad(t *testing.T) {
 	h, _ := testHeap(t, Config{})
-	h.RedoCommit([]RedoEntry{{Off: h.TopMetaOff(), Val: uint64(h.Geo().DataOff + 8192)}})
+	// A sealed region 0 (top at the region end, as the GC's finish batch
+	// would publish for a fully occupied region).
+	sealed := h.Geo().DataOff + layout.RegionSize
+	h.RedoCommit([]RedoEntry{{Off: h.RegionTopMetaOff(0), Val: uint64(sealed)}})
 	// Crash after commit, before apply.
 	img := h.Device().CrashImage(nvm.CrashFlushedOnly, 0)
 	re, err := Load(nvm.FromImage(img, nvm.Config{}), klass.NewRegistry())
@@ -425,7 +442,7 @@ func TestRedoAppliedOnLoad(t *testing.T) {
 	if re.RedoPending() {
 		t.Fatal("load left redo log pending")
 	}
-	if re.Top() != re.Geo().DataOff+8192 {
+	if re.Top() != sealed {
 		t.Fatalf("redo not applied on load: top=%d", re.Top())
 	}
 }

@@ -22,7 +22,7 @@ import (
 func (h *Heap) Rebase(newBase layout.Ref) error {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	if h.gcActive {
+	if h.gcActive.Load() {
 		return fmt.Errorf("pheap: cannot rebase a heap mid-collection")
 	}
 	oldBase := h.base
@@ -35,18 +35,10 @@ func (h *Heap) Rebase(newBase layout.Ref) error {
 	inOld := func(r layout.Ref) bool { return r >= oldBase && r < oldLimit }
 
 	// Objects: klass words always point into the image; data refs may.
-	off := h.geo.DataOff
-	for off < h.top {
+	// The region walk visits everything below each region's top — the
+	// same set the single-top scan covered, now per region.
+	if err := h.ForEachObject(func(off int, k *klass.Klass, size int) bool {
 		kaddr := layout.Ref(h.dev.ReadU64(off + layout.KlassWordOff))
-		k, ok := h.segByAddr[kaddr]
-		if !ok {
-			return fmt.Errorf("pheap: rebase: dangling klass word %#x at %d", uint64(kaddr), off)
-		}
-		n := 0
-		if k.IsArray() {
-			n = int(h.dev.ReadU64(off + layout.ArrayLenOff))
-		}
-		size := k.SizeOf(n)
 		h.dev.WriteU64(off+layout.KlassWordOff, uint64(shift(kaddr)))
 		RefSlots(h.dev, off, k, func(slotBoff int) {
 			v := layout.Ref(h.dev.ReadU64(off + slotBoff))
@@ -54,7 +46,9 @@ func (h *Heap) Rebase(newBase layout.Ref) error {
 				h.dev.WriteU64(off+slotBoff, uint64(shift(v)))
 			}
 		})
-		off += size
+		return true
+	}); err != nil {
+		return fmt.Errorf("pheap: rebase: %w", err)
 	}
 
 	// Name table values: klass entries and root entries are image
@@ -70,15 +64,20 @@ func (h *Heap) Rebase(newBase layout.Ref) error {
 		}
 	}
 
-	// Metadata and the in-memory mirrors.
+	// Metadata and the in-memory mirrors. Region tops are device offsets,
+	// not virtual addresses, so the table is untouched by a rebase.
 	h.dev.WriteU64(mAddressHint, uint64(newBase))
 	h.base = newBase
+	h.kmu.Lock()
 	newByAddr := make(map[layout.Ref]*klass.Klass, len(h.segByAddr))
 	for addr, k := range h.segByAddr {
 		newByAddr[shift(addr)] = k
 		h.segByName[k.Name] = shift(addr)
 	}
 	h.segByAddr = newByAddr
+	h.kmu.Unlock()
+	// The cached filler record addresses shifted with the maps.
+	h.resolveFillers()
 
 	h.dev.FlushAll()
 	h.dev.Fence()
