@@ -5,14 +5,23 @@
 //	benchgate -baseline BENCH_fastpath.json -current out.json [-tol 0.10] [-minspeedup 3]
 //
 // Rows are matched by their identity fields (op, or series+goroutines).
-// Gated fields are the deterministic device-cost metrics: dev_*_per_op,
+// Gated fields are the deterministic device-cost metrics: dev_*,
 // flushed_lines_per_op, fences_per_op, and modeled_ns_per_op — a current
 // value may not exceed baseline×(1+tol) plus a small absolute slack.
-// Wall-clock fields (ns_per_op, wall_ns_per_op) are reported but never
-// gated: CI runners make them noise. modeled_speedup_vs_1 is gated as a
-// lower bound — it may not drop below baseline×(1−tol), nor below
-// -minspeedup when that flag is set (the parallel-allocation scaling
-// claim).
+// Wall-clock fields (ns_per_op, wall_*_ns) are reported but never gated:
+// CI runners make them noise. modeled_speedup_vs_1 is gated as a lower
+// bound — it may not drop below baseline×(1−tol), nor below -minspeedup
+// when that flag is set (the parallel-allocation scaling claim).
+// pause_reduction_vs_stw is gated only by the -minpausereduction floor:
+// the concurrent row's in-pause work varies with goroutine scheduling,
+// so a baseline-relative bound would flake where the absolute claim
+// ("≥ Nx") still holds.
+//
+// Pause-time metrics additionally use an absolute-ceiling class: a
+// baseline field named X_ceiling bounds the current row's X by its
+// literal value — not a ratio against a measured baseline, because a
+// pause budget is a promise ("remark + compaction fit in N ms"), not a
+// drift check.
 package main
 
 import (
@@ -66,6 +75,7 @@ func main() {
 	curPath := flag.String("current", "", "freshly measured JSON")
 	tol := flag.Float64("tol", 0.10, "relative tolerance")
 	minSpeedup := flag.Float64("minspeedup", 0, "required modeled_speedup_vs_1 at the largest goroutine count (0 = off)")
+	minPauseReduction := flag.Float64("minpausereduction", 0, "required pause_reduction_vs_stw on the concurrent gcpause row (0 = off)")
 	flag.Parse()
 	if *basePath == "" || *curPath == "" {
 		fmt.Fprintln(os.Stderr, "benchgate: -baseline and -current are required")
@@ -87,6 +97,7 @@ func main() {
 	const absSlack = 0.05 // forgives rounding on near-zero counts
 	failures := 0
 	bestG, bestSpeedup := -1.0, 0.0
+	pauseReduction, pauseRowSeen := 0.0, false
 	for _, base := range baseRows {
 		k := key(base)
 		cur, ok := current[k]
@@ -98,6 +109,18 @@ func main() {
 		for field, bv := range base {
 			b, isNum := bv.(float64)
 			if !isNum {
+				continue
+			}
+			if gated, target := strings.CutSuffix(field, "_ceiling"); target {
+				// Absolute ceiling: the baseline value IS the budget.
+				c, ok := cur[gated].(float64)
+				if !ok {
+					fmt.Printf("FAIL %-24s %s missing (bounded by %s)\n", k, gated, field)
+					failures++
+				} else if c > b {
+					fmt.Printf("FAIL %-24s %-22s %.0f > ceiling %.0f\n", k, gated, c, b)
+					failures++
+				}
 				continue
 			}
 			c, ok := cur[field].(float64)
@@ -125,6 +148,9 @@ func main() {
 			bestG = g
 			bestSpeedup, _ = cur["modeled_speedup_vs_1"].(float64)
 		}
+		if r, ok := cur["pause_reduction_vs_stw"].(float64); ok {
+			pauseReduction, pauseRowSeen = r, true
+		}
 	}
 	if *minSpeedup > 0 {
 		if bestG < 0 {
@@ -137,6 +163,19 @@ func main() {
 		} else {
 			fmt.Printf("ok   plab/%d modeled_speedup_vs_1 %.2f ≥ %.2f\n",
 				int(bestG), bestSpeedup, *minSpeedup)
+		}
+	}
+	if *minPauseReduction > 0 {
+		if !pauseRowSeen {
+			fmt.Printf("FAIL no pause_reduction_vs_stw row found for -minpausereduction\n")
+			failures++
+		} else if pauseReduction < *minPauseReduction {
+			fmt.Printf("FAIL pause_reduction_vs_stw %.2f < required %.2f\n",
+				pauseReduction, *minPauseReduction)
+			failures++
+		} else {
+			fmt.Printf("ok   pause_reduction_vs_stw %.2f ≥ %.2f\n",
+				pauseReduction, *minPauseReduction)
 		}
 	}
 	if failures > 0 {

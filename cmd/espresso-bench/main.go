@@ -10,13 +10,14 @@
 //	espresso-bench -exp gcflush  recoverable-GC flush overhead (§6.4)
 //	espresso-bench -exp fastpath resolved-handle / bulk-I/O / flush-coalescing costs
 //	espresso-bench -exp alloc    PLAB allocation scaling curve
+//	espresso-bench -exp gcpause  STW vs concurrent-marking GC pause times
 //	espresso-bench -exp all      everything
 //
 // -scale N divides workload sizes by N for quick runs. -parallel N caps
 // the alloc experiment's goroutine curve (instead of hardcoding
-// GOMAXPROCS). -json FILE writes the fastpath or alloc rows as JSON (the
-// BENCH_fastpath.json / BENCH_alloc.json baselines that CI's bench gate
-// compares against).
+// GOMAXPROCS) and sets the gcpause experiment's mutator count. -json
+// FILE writes the fastpath, alloc, or gcpause rows as JSON (the
+// BENCH_*.json baselines that CI's bench gate compares against).
 package main
 
 import (
@@ -29,15 +30,15 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig4|fig6|fig15|fig16|fig17|fig18|gcflush|fastpath|alloc|all")
+	exp := flag.String("exp", "all", "experiment: fig4|fig6|fig15|fig16|fig17|fig18|gcflush|fastpath|alloc|gcpause|all")
 	scale := flag.Int("scale", 1, "divide workload sizes by this factor")
 	gcMB := flag.Int("gcmb", 256, "live megabytes for the gcflush experiment")
-	parallel := flag.Int("parallel", 8, "top of the alloc experiment's goroutine scaling curve")
-	jsonPath := flag.String("json", "", "write fastpath/alloc rows to this JSON file")
+	parallel := flag.Int("parallel", 8, "top of the alloc goroutine curve / gcpause mutator count")
+	jsonPath := flag.String("json", "", "write fastpath/alloc/gcpause rows to this JSON file")
 	flag.Parse()
 
-	if *jsonPath != "" && *exp != "fastpath" && *exp != "alloc" {
-		fmt.Fprintln(os.Stderr, "espresso-bench: -json requires -exp fastpath or -exp alloc")
+	if *jsonPath != "" && *exp != "fastpath" && *exp != "alloc" && *exp != "gcpause" {
+		fmt.Fprintln(os.Stderr, "espresso-bench: -json requires -exp fastpath, -exp alloc, or -exp gcpause")
 		os.Exit(2)
 	}
 
@@ -121,6 +122,17 @@ func main() {
 		}
 		experiments.PrintAllocScaling(w, rows)
 		if *exp == "alloc" {
+			return writeJSON(rows)
+		}
+		return nil
+	})
+	run("gcpause", func() error {
+		rows, err := experiments.GCPause(s, *parallel)
+		if err != nil {
+			return err
+		}
+		experiments.PrintGCPause(w, rows)
+		if *exp == "gcpause" {
 			return writeJSON(rows)
 		}
 		return nil

@@ -76,7 +76,7 @@ func main() {
 				log.Fatal(err)
 			}
 			fmt.Printf("collected: %d live objects (%d bytes), %d moved, pause %v\n",
-				res.LiveObjects, res.LiveBytes, res.MovedObjects, res.Pause)
+				res.LiveObjects, res.LiveBytes, res.MovedObjects, res.PauseTime)
 		}
 		if err := dev.Save(*path); err != nil {
 			log.Fatal(err)

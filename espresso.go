@@ -59,6 +59,25 @@
 //	defer m.Release()
 //	p, _ := m.PNew(person, 0)      // arrayLen 0: lock-free after first use of a class
 //
+// # Concurrent persistent GC
+//
+// PersistentGC stops the world for the whole collection; with
+// Options.ConcurrentGC (or PersistentGCConcurrent) marking runs
+// concurrently with mutators under a snapshot-at-the-beginning barrier,
+// and only final remark + compaction pause them. Compaction moves
+// objects and patches every root it can see — named roots, handles,
+// heap and volatile slots — but never Go local variables, so code that
+// mutates concurrently with collections must hold its references inside
+// a Mutator.Do scope (which pins the world) or re-fetch them from roots
+// after it:
+//
+//	m.Do(func() {
+//		head, _ := m.GetRoot("list")
+//		n, _ := m.PNew(node, 0)
+//		m.SetRefFast(n, nextF, head)
+//		m.SetRoot("list", n)
+//	})
+//
 // The facade re-exports the runtime in internal/core with small
 // conveniences; the substrates (NVM device, heap, collectors, database,
 // providers) live under internal/.
@@ -124,6 +143,12 @@ type Options struct {
 	NVMWriteLatency time.Duration
 	// StrictCast disables alias Klasses, reproducing paper Figure 10.
 	StrictCast bool
+	// ConcurrentGC makes PersistentGC collect with concurrent SATB
+	// marking: mutators keep allocating and storing (through the
+	// pre-write barrier) while the object graph is traced, and only
+	// final remark + compaction pause them. PersistentGCConcurrent
+	// selects the concurrent collector per call regardless.
+	ConcurrentGC bool
 	// VolatileHeap sizes the DRAM young/old generations.
 	VolatileHeap vheap.Config
 }
@@ -145,6 +170,7 @@ func Open(opts Options) (*Runtime, error) {
 		NVMWriteLatency: opts.NVMWriteLatency,
 		PJHDataSize:     opts.DefaultHeapSize,
 		StrictCast:      opts.StrictCast,
+		ConcurrentGC:    opts.ConcurrentGC,
 	})
 	if err != nil {
 		return nil, err
@@ -208,9 +234,19 @@ func (rt *Runtime) LoadHeap(name string) error {
 }
 
 // PersistentGC forces a crash-consistent collection of a heap
-// (System.gc() for the persistent space).
+// (System.gc() for the persistent space). With Options.ConcurrentGC it
+// runs the concurrent collector.
 func (rt *Runtime) PersistentGC(name string) (GCResult, error) {
 	return rt.Runtime.PersistentGC(name)
+}
+
+// PersistentGCConcurrent forces a crash-consistent collection with SATB
+// concurrent marking: mutators on other goroutines keep running while
+// the graph is traced; only final remark + compaction + the redo-log
+// finish stop the world. GCResult.PauseTime reports that stop-the-world
+// portion, GCResult.MarkTime the overlapped marking.
+func (rt *Runtime) PersistentGCConcurrent(name string) (GCResult, error) {
+	return rt.Runtime.PersistentGCConcurrent(name)
 }
 
 // Heap exposes a loaded heap by name (diagnostics, tooling).

@@ -5,15 +5,22 @@ import (
 
 	"espresso/internal/klass"
 	"espresso/internal/layout"
+	"espresso/internal/pheap"
 )
 
-// Field and array access with the write barrier that maintains the two
-// remembered sets:
+// Field and array access with the write barriers that maintain the two
+// remembered sets and the concurrent collector's SATB invariant:
 //
 //   - old-generation slot ← young ref  → recorded for the scavenger;
 //   - persistent slot ← volatile ref   → recorded in the NVM-to-DRAM
 //     remembered set (used as volatile-GC roots, policed by type-based
-//     safety, nullified by the zeroing scan).
+//     safety, nullified by the zeroing scan);
+//   - persistent slot overwritten while a concurrent mark runs → the old
+//     referent is recorded in a SATB buffer (pre-write barrier), so the
+//     snapshot-at-the-beginning marker never loses a reachable object.
+//
+// Public accessors run under the runtime's safepoint read lock; the
+// lowercase helpers assume the caller holds it and never re-acquire it.
 
 func (rt *Runtime) getWord(ref layout.Ref, boff int) uint64 {
 	if rt.vol.Contains(ref) {
@@ -42,11 +49,15 @@ func (rt *Runtime) arrayLen(ref layout.Ref) int {
 }
 
 // ArrayLen reports the length of the array at ref.
-func (rt *Runtime) ArrayLen(ref layout.Ref) int { return rt.arrayLen(ref) }
+func (rt *Runtime) ArrayLen(ref layout.Ref) int {
+	rt.world.RLock()
+	defer rt.world.RUnlock()
+	return rt.arrayLen(ref)
+}
 
 // fieldOff resolves a named field to its byte offset.
 func (rt *Runtime) fieldOff(ref layout.Ref, name string) (int, *klass.Klass, error) {
-	k, err := rt.KlassOf(ref)
+	k, err := rt.klassOf(ref)
 	if err != nil {
 		return 0, nil, err
 	}
@@ -59,6 +70,8 @@ func (rt *Runtime) fieldOff(ref layout.Ref, name string) (int, *klass.Klass, err
 
 // GetLong reads a primitive field as a 64-bit integer.
 func (rt *Runtime) GetLong(ref layout.Ref, field string) (int64, error) {
+	rt.world.RLock()
+	defer rt.world.RUnlock()
 	boff, _, err := rt.fieldOff(ref, field)
 	if err != nil {
 		return 0, err
@@ -68,6 +81,8 @@ func (rt *Runtime) GetLong(ref layout.Ref, field string) (int64, error) {
 
 // SetLong writes a primitive field as a 64-bit integer.
 func (rt *Runtime) SetLong(ref layout.Ref, field string, v int64) error {
+	rt.world.RLock()
+	defer rt.world.RUnlock()
 	boff, _, err := rt.fieldOff(ref, field)
 	if err != nil {
 		return err
@@ -78,6 +93,8 @@ func (rt *Runtime) SetLong(ref layout.Ref, field string, v int64) error {
 
 // GetRef reads a reference field.
 func (rt *Runtime) GetRef(ref layout.Ref, field string) (layout.Ref, error) {
+	rt.world.RLock()
+	defer rt.world.RUnlock()
 	boff, k, err := rt.fieldOff(ref, field)
 	if err != nil {
 		return 0, err
@@ -90,6 +107,12 @@ func (rt *Runtime) GetRef(ref layout.Ref, field string) (layout.Ref, error) {
 
 // SetRef writes a reference field through the write barrier.
 func (rt *Runtime) SetRef(ref layout.Ref, field string, val layout.Ref) error {
+	rt.world.RLock()
+	defer rt.world.RUnlock()
+	return rt.setRefNamed(ref, field, val, nil)
+}
+
+func (rt *Runtime) setRefNamed(ref layout.Ref, field string, val layout.Ref, satb *pheap.SATBBuffer) error {
 	boff, k, err := rt.fieldOff(ref, field)
 	if err != nil {
 		return err
@@ -97,11 +120,13 @@ func (rt *Runtime) SetRef(ref layout.Ref, field string, val layout.Ref) error {
 	if i, _ := k.FieldIndex(field); k.FieldAt(i).Type != layout.FTRef {
 		return fmt.Errorf("core: field %s.%s is not a reference", k.Name, field)
 	}
-	return rt.storeRef(ref, boff, val)
+	return rt.storeRef(ref, boff, val, satb)
 }
 
 // GetElem reads element i of a reference array.
 func (rt *Runtime) GetElem(arr layout.Ref, i int) (layout.Ref, error) {
+	rt.world.RLock()
+	defer rt.world.RUnlock()
 	if err := rt.boundsCheck(arr, i); err != nil {
 		return 0, err
 	}
@@ -110,14 +135,22 @@ func (rt *Runtime) GetElem(arr layout.Ref, i int) (layout.Ref, error) {
 
 // SetElem stores element i of a reference array through the write barrier.
 func (rt *Runtime) SetElem(arr layout.Ref, i int, val layout.Ref) error {
+	rt.world.RLock()
+	defer rt.world.RUnlock()
+	return rt.setElem(arr, i, val, nil)
+}
+
+func (rt *Runtime) setElem(arr layout.Ref, i int, val layout.Ref, satb *pheap.SATBBuffer) error {
 	if err := rt.boundsCheck(arr, i); err != nil {
 		return err
 	}
-	return rt.storeRef(arr, layout.ElemOff(layout.FTRef, i), val)
+	return rt.storeRef(arr, layout.ElemOff(layout.FTRef, i), val, satb)
 }
 
 // GetLongElem reads element i of a long array.
 func (rt *Runtime) GetLongElem(arr layout.Ref, i int) (int64, error) {
+	rt.world.RLock()
+	defer rt.world.RUnlock()
 	if err := rt.boundsCheck(arr, i); err != nil {
 		return 0, err
 	}
@@ -126,6 +159,8 @@ func (rt *Runtime) GetLongElem(arr layout.Ref, i int) (int64, error) {
 
 // SetLongElem stores element i of a long array.
 func (rt *Runtime) SetLongElem(arr layout.Ref, i int, v int64) error {
+	rt.world.RLock()
+	defer rt.world.RUnlock()
 	if err := rt.boundsCheck(arr, i); err != nil {
 		return err
 	}
@@ -134,7 +169,7 @@ func (rt *Runtime) SetLongElem(arr layout.Ref, i int, v int64) error {
 }
 
 func (rt *Runtime) boundsCheck(arr layout.Ref, i int) error {
-	k, err := rt.KlassOf(arr)
+	k, err := rt.klassOf(arr)
 	if err != nil {
 		return err
 	}
@@ -147,8 +182,10 @@ func (rt *Runtime) boundsCheck(arr layout.Ref, i int) error {
 	return nil
 }
 
-// storeRef performs the reference store plus barrier bookkeeping.
-func (rt *Runtime) storeRef(obj layout.Ref, boff int, val layout.Ref) error {
+// storeRef performs the reference store plus barrier bookkeeping. satb
+// selects the SATB buffer the pre-write barrier records into: the
+// calling mutator's own, or (nil) the heap's shared default buffer.
+func (rt *Runtime) storeRef(obj layout.Ref, boff int, val layout.Ref, satb *pheap.SATBBuffer) error {
 	slot := obj + layout.Ref(boff)
 	if h := rt.heapOf(obj); h != nil {
 		// Persistent object. The paper permits NVM→DRAM references at the
@@ -161,7 +198,25 @@ func (rt *Runtime) storeRef(obj layout.Ref, boff int, val layout.Ref) error {
 		} else {
 			rt.nvmToVol.Remove(slot)
 		}
-		h.SetWord(obj, boff, uint64(val))
+		// SATB pre-write barrier: while a concurrent mark runs, the old
+		// referent must reach the marker before it is overwritten, or a
+		// snapshot-reachable object could be hidden from the trace. Off
+		// the marking phase this costs one atomic flag load.
+		if h.ConcurrentMarkActive() {
+			if old := layout.Ref(h.GetWordAtomic(obj, boff)); h.SATBRecordNeeded(old) {
+				if satb == nil {
+					satb = h.DefaultSATBBuffer()
+				}
+				satb.Record(old)
+			}
+			// Card mark: the store may retarget this object at something
+			// the marker's outgoing-reference summary did not see, so its
+			// region must be rescanned in the compaction pause.
+			h.SATBMarkDirtyCard(obj)
+		}
+		// The store itself is a single atomic machine store, so the
+		// concurrent marker's slot loads never tear against it.
+		h.SetWordAtomic(obj, boff, uint64(val))
 		return nil
 	}
 	// Volatile object: old→young stores feed the scavenger's remset.

@@ -44,6 +44,8 @@ func (rt *Runtime) klassByAddr(addr layout.Ref) (*klass.Klass, bool) {
 // otherwise the alias-aware check accepts any incarnation of the class
 // (or a subclass).
 func (rt *Runtime) CheckCast(obj layout.Ref, className string) error {
+	rt.world.RLock()
+	defer rt.world.RUnlock()
 	if obj == layout.NullRef {
 		return nil // casting null always succeeds
 	}
@@ -78,10 +80,12 @@ func (rt *Runtime) CheckCast(obj layout.Ref, className string) error {
 
 // InstanceOf reports whether obj is an instance of className (alias-aware).
 func (rt *Runtime) InstanceOf(obj layout.Ref, className string) (bool, error) {
+	rt.world.RLock()
+	defer rt.world.RUnlock()
 	if obj == layout.NullRef {
 		return false, nil
 	}
-	objK, err := rt.KlassOf(obj)
+	objK, err := rt.klassOf(obj)
 	if err != nil {
 		return false, err
 	}

@@ -6,6 +6,7 @@ import (
 
 	"espresso/internal/klass"
 	"espresso/internal/layout"
+	"espresso/internal/pheap"
 )
 
 // The resolved-accessor fast path. GetLong/SetRef and friends re-resolve
@@ -69,14 +70,26 @@ func (rt *Runtime) MustResolveField(k *klass.Klass, name string) FieldRef {
 // Reading a ref-typed field this way is permitted (it returns the raw
 // slot bits; reads need no barrier).
 func (rt *Runtime) GetLongFast(ref layout.Ref, f FieldRef) int64 {
+	rt.world.RLock()
+	defer rt.world.RUnlock()
+	return rt.getLongFast(ref, f)
+}
+
+func (rt *Runtime) getLongFast(ref layout.Ref, f FieldRef) int64 {
 	return int64(rt.getWord(ref, f.boff))
 }
 
 // SetLongFast writes a primitive field through a resolved handle. A
 // ref-typed handle is rejected with a panic — a raw store to a
 // reference slot would bypass the write barrier (remembered sets,
-// type-based safety), the JVM-verifier-error analog.
+// type-based safety, SATB), the JVM-verifier-error analog.
 func (rt *Runtime) SetLongFast(ref layout.Ref, f FieldRef, v int64) {
+	rt.world.RLock()
+	defer rt.world.RUnlock()
+	rt.setLongFast(ref, f, v)
+}
+
+func (rt *Runtime) setLongFast(ref layout.Ref, f FieldRef, v int64) {
 	if f.ftype == layout.FTRef {
 		panic("core: SetLongFast through a ref field handle; use SetRefFast")
 	}
@@ -87,6 +100,12 @@ func (rt *Runtime) SetLongFast(ref layout.Ref, f FieldRef, v int64) {
 // handle's ref-ness is enforced here (one compare), so no klass read is
 // needed.
 func (rt *Runtime) GetRefFast(ref layout.Ref, f FieldRef) layout.Ref {
+	rt.world.RLock()
+	defer rt.world.RUnlock()
+	return rt.getRefFast(ref, f)
+}
+
+func (rt *Runtime) getRefFast(ref layout.Ref, f FieldRef) layout.Ref {
 	if f.ftype != layout.FTRef {
 		panic("core: GetRefFast through a " + f.ftype.String() + " field handle")
 	}
@@ -94,12 +113,18 @@ func (rt *Runtime) GetRefFast(ref layout.Ref, f FieldRef) layout.Ref {
 }
 
 // SetRefFast writes a reference field through a resolved handle, keeping
-// the full write barrier (remembered sets, type-based safety).
+// the full write barrier (remembered sets, type-based safety, SATB).
 func (rt *Runtime) SetRefFast(ref layout.Ref, f FieldRef, val layout.Ref) error {
+	rt.world.RLock()
+	defer rt.world.RUnlock()
+	return rt.setRefFast(ref, f, val, nil)
+}
+
+func (rt *Runtime) setRefFast(ref layout.Ref, f FieldRef, val layout.Ref, satb *pheap.SATBBuffer) error {
 	if f.ftype != layout.FTRef {
 		return fmt.Errorf("core: SetRefFast through a %s field handle", f.ftype)
 	}
-	return rt.storeRef(ref, f.boff, val)
+	return rt.storeRef(ref, f.boff, val, satb)
 }
 
 // --- Bulk primitive-array transfer ---
@@ -111,7 +136,7 @@ func (rt *Runtime) SetRefFast(ref layout.Ref, f FieldRef, val layout.Ref) error 
 // bulkCheck validates arr as a t-typed array covering [start, start+n)
 // and returns the byte offset of element start.
 func (rt *Runtime) bulkCheck(arr layout.Ref, t layout.FieldType, start, n int) (int, error) {
-	k, err := rt.KlassOf(arr)
+	k, err := rt.klassOf(arr)
 	if err != nil {
 		return 0, err
 	}
@@ -127,6 +152,8 @@ func (rt *Runtime) bulkCheck(arr layout.Ref, t layout.FieldType, start, n int) (
 // CopyLongs reads len(dst) elements of a long array starting at start
 // with a single bulk device read.
 func (rt *Runtime) CopyLongs(arr layout.Ref, start int, dst []int64) error {
+	rt.world.RLock()
+	defer rt.world.RUnlock()
 	boff, err := rt.bulkCheck(arr, layout.FTLong, start, len(dst))
 	if err != nil || len(dst) == 0 {
 		return err
@@ -141,6 +168,8 @@ func (rt *Runtime) CopyLongs(arr layout.Ref, start int, dst []int64) error {
 // WriteLongs stores src into a long array starting at element start with
 // a single bulk device write.
 func (rt *Runtime) WriteLongs(arr layout.Ref, start int, src []int64) error {
+	rt.world.RLock()
+	defer rt.world.RUnlock()
 	boff, err := rt.bulkCheck(arr, layout.FTLong, start, len(src))
 	if err != nil || len(src) == 0 {
 		return err
@@ -163,6 +192,8 @@ func (rt *Runtime) WriteLongs(arr layout.Ref, start int, src []int64) error {
 // CopyBytes reads len(dst) elements of a byte array starting at start
 // with a single bulk device read.
 func (rt *Runtime) CopyBytes(arr layout.Ref, start int, dst []byte) error {
+	rt.world.RLock()
+	defer rt.world.RUnlock()
 	boff, err := rt.bulkCheck(arr, layout.FTByte, start, len(dst))
 	if err != nil || len(dst) == 0 {
 		return err
@@ -174,6 +205,8 @@ func (rt *Runtime) CopyBytes(arr layout.Ref, start int, dst []byte) error {
 // WriteBytes stores src into a byte array starting at element start with
 // a single bulk device write.
 func (rt *Runtime) WriteBytes(arr layout.Ref, start int, src []byte) error {
+	rt.world.RLock()
+	defer rt.world.RUnlock()
 	boff, err := rt.bulkCheck(arr, layout.FTByte, start, len(src))
 	if err != nil || len(src) == 0 {
 		return err

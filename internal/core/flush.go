@@ -20,6 +20,8 @@ import (
 // FlushField persists one named field of a persistent object — the
 // Field.flush(obj) reflection API of Figure 12.
 func (rt *Runtime) FlushField(obj layout.Ref, field string) error {
+	rt.world.RLock()
+	defer rt.world.RUnlock()
 	h := rt.heapOf(obj)
 	if h == nil {
 		return fmt.Errorf("core: flush of a non-persistent object")
@@ -35,11 +37,13 @@ func (rt *Runtime) FlushField(obj layout.Ref, field string) error {
 // FlushArrayElem persists element i of a persistent array — the
 // Array.flush(z, i) API of Figure 12.
 func (rt *Runtime) FlushArrayElem(arr layout.Ref, i int) error {
+	rt.world.RLock()
+	defer rt.world.RUnlock()
 	h := rt.heapOf(arr)
 	if h == nil {
 		return fmt.Errorf("core: flush of a non-persistent array")
 	}
-	k, err := rt.KlassOf(arr)
+	k, err := rt.klassOf(arr)
 	if err != nil {
 		return err
 	}
@@ -58,11 +62,13 @@ func (rt *Runtime) FlushArrayElem(arr layout.Ref, i int) error {
 // single trailing sfence — the coarse-grained Object.flush for scenarios
 // where persist order among the fields does not matter.
 func (rt *Runtime) FlushObject(obj layout.Ref) error {
+	rt.world.RLock()
+	defer rt.world.RUnlock()
 	h := rt.heapOf(obj)
 	if h == nil {
 		return fmt.Errorf("core: flush of a non-persistent object")
 	}
-	k, err := rt.KlassOf(obj)
+	k, err := rt.klassOf(obj)
 	if err != nil {
 		return err
 	}
@@ -206,6 +212,8 @@ func (r bufReader) ReadU64(off int) uint64 { return binary.LittleEndian.Uint64(r
 // to references followed. Concurrent flushers serialize on the shared
 // traversal state.
 func (rt *Runtime) FlushTransitive(obj layout.Ref) error {
+	rt.world.RLock()
+	defer rt.world.RUnlock()
 	rt.flushMu.Lock()
 	defer rt.flushMu.Unlock()
 	fw := &rt.flushWork
@@ -236,6 +244,8 @@ func (rt *Runtime) FlushTransitive(obj layout.Ref) error {
 // objects at once. Concurrent flushers serialize on the shared
 // traversal state.
 func (rt *Runtime) FlushBatch(refs []layout.Ref) error {
+	rt.world.RLock()
+	defer rt.world.RUnlock()
 	rt.flushMu.Lock()
 	defer rt.flushMu.Unlock()
 	fw := &rt.flushWork

@@ -25,24 +25,31 @@ import (
 // volRoots adapts handles + the NVM remembered set to vheap.RootSet.
 type volRoots struct{ rt *Runtime }
 
-// UpdateSlots feeds every handle and NVM-resident slot through fn.
+// UpdateSlots feeds every handle and NVM-resident slot through fn. NVM
+// slots are read and patched with atomic word accesses: a volatile
+// collection may run (under the safepoint read lock) while the
+// concurrent persistent marker is loading the same slots. The handle
+// patch takes rt.mu so it cannot race a concurrent NewHandle growing
+// the table.
 func (r volRoots) UpdateSlots(fn func(layout.Ref) layout.Ref) {
 	rt := r.rt
+	rt.mu.Lock()
 	for i, v := range rt.handles {
 		if v != layout.NullRef {
 			rt.handles[i] = fn(v)
 		}
 	}
+	rt.mu.Unlock()
 	for _, slot := range rt.nvmToVol.Snapshot() {
 		h := rt.heapOf(slot)
 		if h == nil {
 			continue
 		}
 		boff := int(slot) - int(h.Base())
-		v := layout.Ref(h.Device().ReadU64(boff))
+		v := layout.Ref(h.Device().ReadU64Atomic(boff))
 		nv := fn(v)
 		if nv != v {
-			h.Device().WriteU64(boff, uint64(nv))
+			h.Device().WriteU64Atomic(boff, uint64(nv))
 			// The slot now points elsewhere; membership is re-derived.
 			if nv == layout.NullRef || !rt.vol.Contains(nv) {
 				rt.nvmToVol.Remove(slot)
@@ -51,11 +58,27 @@ func (r volRoots) UpdateSlots(fn func(layout.Ref) layout.Ref) {
 	}
 }
 
-// MinorGC runs a young-generation scavenge.
-func (rt *Runtime) MinorGC() error { return rt.vol.MinorGC(volRoots{rt}) }
+// MinorGC runs a young-generation scavenge. Volatile collections (and
+// the volatile heap generally, as in the seed) assume a single volatile
+// mutator: the safepoint read lock only orders them against persistent
+// GC pauses, not against other goroutines touching DRAM objects.
+func (rt *Runtime) MinorGC() error {
+	rt.world.RLock()
+	defer rt.world.RUnlock()
+	return rt.minorGC()
+}
 
-// FullGC collects the whole volatile heap.
-func (rt *Runtime) FullGC() error { return rt.vol.FullGC(volRoots{rt}) }
+func (rt *Runtime) minorGC() error { return rt.vol.MinorGC(volRoots{rt}) }
+
+// FullGC collects the whole volatile heap; see MinorGC for the
+// single-volatile-mutator contract.
+func (rt *Runtime) FullGC() error {
+	rt.world.RLock()
+	defer rt.world.RUnlock()
+	return rt.fullGC()
+}
+
+func (rt *Runtime) fullGC() error { return rt.vol.FullGC(volRoots{rt}) }
 
 // persRoots adapts handles + a scan of the volatile heap to pgc.Rooter.
 type persRoots struct {
@@ -82,7 +105,11 @@ func (r persRoots) Roots(visit func(layout.Ref)) {
 	}
 }
 
-// UpdateRoots patches every such slot through the forwarding function.
+// UpdateRoots patches every such slot through the forwarding function,
+// then rebuilds the NVM→DRAM remembered set (remembered slots moved with
+// their objects). The collector calls it inside the pause — before
+// mutators resume under the concurrent collector — so no mutator ever
+// observes unpatched roots or a stale remembered set.
 func (r persRoots) UpdateRoots(fwd func(layout.Ref) layout.Ref) {
 	rt := r.rt
 	for i, v := range rt.handles {
@@ -104,28 +131,62 @@ func (r persRoots) UpdateRoots(fwd func(layout.Ref) layout.Ref) {
 	if err != nil {
 		panic(fmt.Sprintf("core: volatile heap patch during persistent GC: %v", err))
 	}
+	rt.rebuildNVMRemset(r.h)
 }
 
+// worldLocker adapts the runtime's safepoint lock to pgc.World: stopping
+// the world means waiting out every in-flight mutator operation and
+// holding new ones at the lock — the mutator handshake.
+type worldLocker struct{ rt *Runtime }
+
+func (w worldLocker) StopWorld()  { w.rt.world.Lock() }
+func (w worldLocker) StartWorld() { w.rt.world.Unlock() }
+
 // PersistentGC runs the crash-consistent collection of paper §4 on the
-// named heap (System.gc() for the persistent space). After compaction the
-// NVM→DRAM remembered set is rebuilt, since remembered slots moved with
-// their objects.
+// named heap (System.gc() for the persistent space). Mutators on other
+// goroutines are paused through the safepoint lock for the whole
+// collection; with Config.ConcurrentGC set, the concurrent collector
+// runs instead and pauses them only for handshake and compaction.
 func (rt *Runtime) PersistentGC(name string) (pgc.Result, error) {
+	if rt.cfg.ConcurrentGC {
+		return rt.PersistentGCConcurrent(name)
+	}
 	h, ok := rt.heapByName[name]
 	if !ok {
 		return pgc.Result{}, fmt.Errorf("core: heap %q is not loaded", name)
 	}
-	res, err := pgc.Collect(h, persRoots{rt, h})
-	if err != nil {
-		return res, err
+	rt.gcMu.Lock()
+	defer rt.gcMu.Unlock()
+	rt.world.Lock()
+	defer rt.world.Unlock()
+	return pgc.Collect(h, persRoots{rt, h})
+}
+
+// PersistentGCConcurrent collects the named heap with SATB concurrent
+// marking: the object graph is traced while mutators keep running (the
+// pre-write barrier in storeRef keeps the snapshot consistent, and
+// allocation proceeds above the snapshotted region tops), and only final
+// remark + compaction + the redo-log finish stop the world.
+func (rt *Runtime) PersistentGCConcurrent(name string) (pgc.Result, error) {
+	h, ok := rt.heapByName[name]
+	if !ok {
+		return pgc.Result{}, fmt.Errorf("core: heap %q is not loaded", name)
 	}
-	rt.rebuildNVMRemset(h)
-	return res, nil
+	rt.gcMu.Lock()
+	defer rt.gcMu.Unlock()
+	return pgc.CollectConcurrent(h, persRoots{rt, h}, worldLocker{rt})
 }
 
 // rebuildNVMRemset rescans one heap's live objects for volatile
-// references. Called after compaction invalidates slot addresses.
+// references. Called after compaction invalidates slot addresses. The
+// remembered set is precise — every NVM→DRAM store passes the write
+// barrier — so an empty set means no persistent slot anywhere holds a
+// volatile reference and the whole-heap rescan (a pause-time cost
+// proportional to everything live) is skipped.
 func (rt *Runtime) rebuildNVMRemset(h *pheap.Heap) {
+	if rt.nvmToVol.Empty() {
+		return
+	}
 	rt.nvmToVol.RemoveIf(h.ContainsImage)
 	_ = h.ForEachObject(func(off int, k *klass.Klass, size int) bool {
 		if pheap.IsFiller(k) {

@@ -7,11 +7,18 @@ import "espresso/internal/layout"
 // Handle rather than a raw Ref so collections can move the object and
 // patch the slot.
 
-// Handle names a root slot in the runtime's handle table.
+// Handle names a root slot in the runtime's handle table. Handle
+// operations run under the safepoint read lock plus the runtime lock:
+// persistent collections patch the table inside their pauses, so a Get
+// never races a compaction and always observes the patched referent,
+// and rt.mu orders readers against a concurrent NewHandle growing the
+// slice.
 type Handle struct{ idx int }
 
 // NewHandle registers ref as a GC root and returns its handle.
 func (rt *Runtime) NewHandle(ref layout.Ref) Handle {
+	rt.world.RLock()
+	defer rt.world.RUnlock()
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	if n := len(rt.freeHandles); n > 0 {
@@ -25,14 +32,31 @@ func (rt *Runtime) NewHandle(ref layout.Ref) Handle {
 }
 
 // Get returns the handle's current referent (collections may have moved
-// it since the handle was created).
-func (rt *Runtime) Get(h Handle) layout.Ref { return rt.handles[h.idx] }
+// it since the handle was created). rt.mu additionally excludes a
+// concurrent NewHandle's slice growth — the safepoint read lock is
+// shared among mutators, so it alone cannot order a reader against the
+// appender.
+func (rt *Runtime) Get(h Handle) layout.Ref {
+	rt.world.RLock()
+	defer rt.world.RUnlock()
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.handles[h.idx]
+}
 
 // SetHandle repoints a handle.
-func (rt *Runtime) SetHandle(h Handle, ref layout.Ref) { rt.handles[h.idx] = ref }
+func (rt *Runtime) SetHandle(h Handle, ref layout.Ref) {
+	rt.world.RLock()
+	defer rt.world.RUnlock()
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.handles[h.idx] = ref
+}
 
 // Release drops the handle, letting its referent die.
 func (rt *Runtime) Release(h Handle) {
+	rt.world.RLock()
+	defer rt.world.RUnlock()
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	rt.handles[h.idx] = layout.NullRef

@@ -85,8 +85,12 @@ func (rt *Runtime) LoadHeap(name string) (*pheap.Heap, error) {
 			return nil, fmt.Errorf("core: remapping %q away from %q: %w", name, clash.Name(), err)
 		}
 	}
-	// Crash recovery (paper §4.3) runs before the heap is used.
-	if h.GCActive() {
+	// Crash recovery (paper §4.3) runs before the heap is used. A
+	// persisted concurrent-mark phase with gcActive clear means the crash
+	// interrupted marking: Recover clears the word and the heap proceeds
+	// untouched (the STW-fallback contract — the next collection starts a
+	// fresh cycle).
+	if h.GCActive() || h.GCPhase() != pheap.GCPhaseIdle {
 		if _, err := pgc.Recover(h); err != nil {
 			return nil, fmt.Errorf("core: recovering %q: %w", name, err)
 		}
@@ -112,6 +116,12 @@ func (rt *Runtime) ExistsHeap(name string) bool { return rt.mgr.Exists(name) }
 // SetRoot marks an object as a named root in the heap that contains it
 // (Table 1: setRoot).
 func (rt *Runtime) SetRoot(name string, ref layout.Ref) error {
+	rt.world.RLock()
+	defer rt.world.RUnlock()
+	return rt.setRoot(name, ref)
+}
+
+func (rt *Runtime) setRoot(name string, ref layout.Ref) error {
 	h := rt.heapOf(ref)
 	if h == nil {
 		return fmt.Errorf("core: setRoot %q: %#x is not a persistent object", name, uint64(ref))
@@ -123,6 +133,12 @@ func (rt *Runtime) SetRoot(name string, ref layout.Ref) error {
 // (Table 1: getRoot). The result is an untyped object reference; the
 // caller casts, as in the paper.
 func (rt *Runtime) GetRoot(name string) (layout.Ref, bool) {
+	rt.world.RLock()
+	defer rt.world.RUnlock()
+	return rt.getRoot(name)
+}
+
+func (rt *Runtime) getRoot(name string) (layout.Ref, bool) {
 	for _, h := range rt.heaps {
 		if ref, ok := h.GetRoot(name); ok {
 			return ref, true

@@ -8,23 +8,46 @@ import (
 	"espresso/internal/pheap"
 )
 
-// Mutator is a per-goroutine allocation context: the runtime analog of a
-// JVM mutator thread with a thread-local allocation buffer. It pins the
-// heap that was active when it was created and routes PNew through its
-// own pheap.Allocator, so steady-state allocation touches no shared lock
-// — the PLAB bump path persists only the mutator's own region top.
+// Mutator is a per-goroutine allocation and mutation context: the runtime
+// analog of a JVM mutator thread with a thread-local allocation buffer
+// and a thread-local SATB barrier buffer. It pins the heap that was
+// active when it was created and routes PNew through its own
+// pheap.Allocator, so steady-state allocation touches no shared lock —
+// the PLAB bump path persists only the mutator's own region top. Its
+// reference stores feed the pre-write barrier through its own SATB
+// buffer, so barrier records contend with nothing while the concurrent
+// marker runs.
 //
 // A Mutator is not safe for concurrent use; give each goroutine its own.
 // Class metadata work (Define, safety checks, constant-pool resolution,
 // Klass-segment append) happens once per class per mutator, serialized
-// on the runtime lock. At a persistent-GC safepoint the collector
-// detaches every mutator's PLAB (pheap.PrepareForCollection); the world
-// must be stopped then, exactly as for the shared allocation path.
+// on the runtime lock.
+//
+// Every Mutator operation is a safepoint interval: it runs under the
+// runtime's safepoint read lock, and the concurrent collector's pauses
+// wait for it to finish (the mutator handshake). References held across
+// operations can be invalidated by a pause — compaction moves objects
+// and patches only roots it can see (handles, named roots, heap and
+// volatile slots), never Go locals. Wrap multi-step sequences in Do to
+// pin the world for their duration:
+//
+//	m.Do(func() {
+//		head, _ := m.GetRoot("list")
+//		n, _ := m.PNew(node, 0)
+//		m.SetRefFast(n, nextF, head)
+//		m.SetRoot("list", n)
+//	})
+//
+// Inside Do, use the Mutator's own accessors only — Runtime methods
+// would re-acquire the safepoint lock and can deadlock against a
+// collector waiting to pause.
 type Mutator struct {
 	rt       *Runtime
 	h        *pheap.Heap
 	alloc    *pheap.Allocator
+	satb     *pheap.SATBBuffer
 	prepared map[*klass.Klass]bool
+	locked   bool // inside Do: safepoint lock already held
 }
 
 // NewMutator attaches a new mutator context to the active heap.
@@ -37,6 +60,7 @@ func (rt *Runtime) NewMutator() (*Mutator, error) {
 		rt:       rt,
 		h:        h,
 		alloc:    h.NewAllocator(),
+		satb:     h.NewSATBBuffer(),
 		prepared: make(map[*klass.Klass]bool),
 	}, nil
 }
@@ -47,12 +71,43 @@ func (m *Mutator) Heap() *pheap.Heap { return m.h }
 // AllocStats snapshots the underlying allocator's own-path counters.
 func (m *Mutator) AllocStats() pheap.AllocatorStats { return m.alloc.Stats() }
 
+// enter acquires the safepoint read lock unless Do already holds it.
+// exit is its paired release. The flag is mutator-local state, touched
+// only by the owning goroutine.
+func (m *Mutator) enter() {
+	if !m.locked {
+		m.rt.world.RLock()
+	}
+}
+
+func (m *Mutator) exit() {
+	if !m.locked {
+		m.rt.world.RUnlock()
+	}
+}
+
+// Do runs fn with the world pinned: no GC pause can begin until fn
+// returns, so references obtained inside fn stay valid throughout it.
+// Keep fn short — it delays every collector pause (and any other caller
+// of a stop-the-world operation). Do must not nest.
+func (m *Mutator) Do(fn func()) {
+	m.rt.world.RLock()
+	m.locked = true
+	defer func() {
+		m.locked = false
+		m.rt.world.RUnlock()
+	}()
+	fn()
+}
+
 // PNew allocates a persistent object of k in the mutator's heap — the
 // pnew keyword on this mutator's thread. The first allocation of each
 // class runs the shared metadata path (class definition, safety check,
 // constant-pool resolution) under the runtime lock; after that the PLAB
 // bump path is lock-free.
 func (m *Mutator) PNew(k *klass.Klass, arrayLen int) (layout.Ref, error) {
+	m.enter()
+	defer m.exit()
 	if !m.prepared[k] {
 		if err := m.prepare(k); err != nil {
 			return 0, err
@@ -87,6 +142,76 @@ func (m *Mutator) prepare(k *klass.Klass) error {
 	return nil
 }
 
+// SetRef writes a named reference field through the write barrier,
+// recording SATB entries in this mutator's own buffer.
+func (m *Mutator) SetRef(ref layout.Ref, field string, val layout.Ref) error {
+	m.enter()
+	defer m.exit()
+	return m.rt.setRefNamed(ref, field, val, m.satb)
+}
+
+// SetRefFast writes a reference field through a resolved handle, with
+// the full write barrier routed through this mutator's SATB buffer.
+func (m *Mutator) SetRefFast(ref layout.Ref, f FieldRef, val layout.Ref) error {
+	m.enter()
+	defer m.exit()
+	return m.rt.setRefFast(ref, f, val, m.satb)
+}
+
+// SetElem stores element i of a reference array through the write
+// barrier, SATB records going to this mutator's buffer.
+func (m *Mutator) SetElem(arr layout.Ref, i int, val layout.Ref) error {
+	m.enter()
+	defer m.exit()
+	return m.rt.setElem(arr, i, val, m.satb)
+}
+
+// GetRefFast reads a reference field through a resolved handle.
+func (m *Mutator) GetRefFast(ref layout.Ref, f FieldRef) layout.Ref {
+	m.enter()
+	defer m.exit()
+	return m.rt.getRefFast(ref, f)
+}
+
+// GetLongFast reads a primitive field through a resolved handle.
+func (m *Mutator) GetLongFast(ref layout.Ref, f FieldRef) int64 {
+	m.enter()
+	defer m.exit()
+	return m.rt.getLongFast(ref, f)
+}
+
+// SetLongFast writes a primitive field through a resolved handle.
+func (m *Mutator) SetLongFast(ref layout.Ref, f FieldRef, v int64) {
+	m.enter()
+	defer m.exit()
+	m.rt.setLongFast(ref, f, v)
+}
+
+// GetRoot fetches a named root (Table 1: getRoot) on this mutator's
+// thread.
+func (m *Mutator) GetRoot(name string) (layout.Ref, bool) {
+	m.enter()
+	defer m.exit()
+	return m.rt.getRoot(name)
+}
+
+// SetRoot names ref as a root (Table 1: setRoot) on this mutator's
+// thread.
+func (m *Mutator) SetRoot(name string, ref layout.Ref) error {
+	m.enter()
+	defer m.exit()
+	return m.rt.setRoot(name, ref)
+}
+
 // Release retires the mutator: its PLAB headroom and recycled hole go
-// back to the heap's dispenser for the next mutator to continue filling.
-func (m *Mutator) Release() { m.alloc.Release() }
+// back to the heap's dispenser for the next mutator to continue filling,
+// and its SATB buffer is unregistered (pending barrier records are
+// handed to the heap's shared buffer, so none are lost mid-mark). Like
+// every mutator operation it is a safepoint interval.
+func (m *Mutator) Release() {
+	m.enter()
+	defer m.exit()
+	m.alloc.Release()
+	m.h.ReleaseSATBBuffer(m.satb)
+	m.satb = nil
+}

@@ -58,6 +58,20 @@ func (r *remset) Remove(slot layout.Ref) {
 	s.mu.Unlock()
 }
 
+// Empty reports whether no slot is recorded in any shard.
+func (r *remset) Empty() bool {
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.Lock()
+		n := len(s.m)
+		s.mu.Unlock()
+		if n > 0 {
+			return false
+		}
+	}
+	return true
+}
+
 // Snapshot returns every recorded slot (order unspecified).
 func (r *remset) Snapshot() []layout.Ref {
 	var out []layout.Ref

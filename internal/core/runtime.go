@@ -75,12 +75,36 @@ type Config struct {
 	// StrictCast disables the alias-Klass extension, reproducing the
 	// spurious ClassCastException of paper Figure 10. For tests and demos.
 	StrictCast bool
+	// ConcurrentGC routes PersistentGC through the concurrent collector:
+	// marking overlaps the mutators and only final remark + compaction
+	// pause the world. PersistentGCConcurrent selects it per call.
+	ConcurrentGC bool
 }
 
 // Runtime is one simulated JVM instance.
 type Runtime struct {
 	mu  sync.Mutex
 	cfg Config
+
+	// world is the safepoint lock — the mutator-handshake mechanism of
+	// the concurrent persistent GC. Every heap-touching public operation
+	// runs under a read lock (mutators are "in" an op or parked between
+	// ops, never mid-op when a pause begins); the collector's pauses take
+	// the write lock, so StopWorld returns exactly when every in-flight
+	// operation has drained. The lock makes *persistent-heap* access safe
+	// against collector pauses; the volatile heap keeps the seed's
+	// single-volatile-mutator contract (vheap has no internal locking).
+	// Internal (lowercase) helpers assume the caller holds the read lock
+	// and must never re-acquire it: a nested RLock can deadlock against a
+	// waiting writer.
+	world sync.RWMutex
+
+	// gcMu serializes persistent collections: a collector whose marking
+	// phase runs with the world released must never overlap another
+	// collection of the same runtime (pheap's per-heap guard is the
+	// erroring backstop; this lock makes concurrent callers queue
+	// instead).
+	gcMu sync.Mutex
 
 	Reg *klass.Registry
 	vol *vheap.Heap
@@ -177,6 +201,12 @@ func (rt *Runtime) InVolatile(ref layout.Ref) bool { return rt.vol.Contains(ref)
 
 // KlassOf resolves the class of any object, volatile or persistent.
 func (rt *Runtime) KlassOf(ref layout.Ref) (*klass.Klass, error) {
+	rt.world.RLock()
+	defer rt.world.RUnlock()
+	return rt.klassOf(ref)
+}
+
+func (rt *Runtime) klassOf(ref layout.Ref) (*klass.Klass, error) {
 	if rt.vol.Contains(ref) {
 		return rt.vol.KlassOf(ref)
 	}
@@ -189,19 +219,25 @@ func (rt *Runtime) KlassOf(ref layout.Ref) (*klass.Klass, error) {
 // New allocates a volatile object — the plain Java `new`. Allocation
 // failure triggers a scavenge, then a full collection, before giving up.
 func (rt *Runtime) New(k *klass.Klass, arrayLen int) (layout.Ref, error) {
+	rt.world.RLock()
+	defer rt.world.RUnlock()
+	return rt.vnew(k, arrayLen)
+}
+
+func (rt *Runtime) vnew(k *klass.Klass, arrayLen int) (layout.Ref, error) {
 	if _, err := rt.Reg.Define(k); err != nil {
 		return 0, err
 	}
 	rt.cp.Resolve(k.Name, rt.Reg.MetaAddr(k))
 	ref, err := rt.vol.Alloc(k, arrayLen)
 	if err == vheap.ErrNeedGC {
-		if err = rt.MinorGC(); err != nil {
+		if err = rt.minorGC(); err != nil {
 			return 0, err
 		}
 		ref, err = rt.vol.Alloc(k, arrayLen)
 	}
 	if err == vheap.ErrNeedGC || err == vheap.ErrOldFull {
-		if err = rt.FullGC(); err != nil {
+		if err = rt.fullGC(); err != nil {
 			return 0, err
 		}
 		ref, err = rt.vol.Alloc(k, arrayLen)
@@ -217,6 +253,12 @@ func (rt *Runtime) New(k *klass.Klass, arrayLen int) (layout.Ref, error) {
 // type-based safety the class must be annotated persistent with a
 // persistent-closed field closure.
 func (rt *Runtime) PNew(k *klass.Klass, arrayLen int) (layout.Ref, error) {
+	rt.world.RLock()
+	defer rt.world.RUnlock()
+	return rt.pnew(k, arrayLen)
+}
+
+func (rt *Runtime) pnew(k *klass.Klass, arrayLen int) (layout.Ref, error) {
 	h := rt.active
 	if h == nil {
 		return 0, fmt.Errorf("core: pnew %s: no persistent heap loaded", k.Name)
@@ -258,11 +300,13 @@ func (rt *Runtime) PNewMultiArray(elem *klass.Klass, dims []int) (layout.Ref, er
 	for i := len(dims) - 2; i >= 0; i-- {
 		chain[i] = rt.Reg.ObjArray(chain[i+1].Name)
 	}
+	rt.world.RLock()
+	defer rt.world.RUnlock()
 	return rt.pnewMulti(chain, dims)
 }
 
 func (rt *Runtime) pnewMulti(chain []*klass.Klass, dims []int) (layout.Ref, error) {
-	arr, err := rt.PNew(chain[0], dims[0])
+	arr, err := rt.pnew(chain[0], dims[0])
 	if err != nil {
 		return 0, err
 	}
@@ -274,7 +318,7 @@ func (rt *Runtime) pnewMulti(chain []*klass.Klass, dims []int) (layout.Ref, erro
 		if err != nil {
 			return 0, err
 		}
-		if err := rt.SetElem(arr, i, sub); err != nil {
+		if err := rt.setElem(arr, i, sub, nil); err != nil {
 			return 0, err
 		}
 	}
@@ -301,12 +345,14 @@ func (rt *Runtime) checkPersistentClosure(k *klass.Klass) error {
 // NewString allocates a string. persistent selects pnew vs new — the
 // `pnew String(name, true)` constructor of paper Figure 9.
 func (rt *Runtime) NewString(s string, persistent bool) (layout.Ref, error) {
+	rt.world.RLock()
+	defer rt.world.RUnlock()
 	var ref layout.Ref
 	var err error
 	if persistent {
-		ref, err = rt.PNew(rt.stringKlass, len(s))
+		ref, err = rt.pnew(rt.stringKlass, len(s))
 	} else {
-		ref, err = rt.New(rt.stringKlass, len(s))
+		ref, err = rt.vnew(rt.stringKlass, len(s))
 	}
 	if err != nil {
 		return 0, err
@@ -331,7 +377,9 @@ func (rt *Runtime) NewString(s string, persistent bool) (layout.Ref, error) {
 
 // GetString reads a string object's contents with one bulk device read.
 func (rt *Runtime) GetString(ref layout.Ref) (string, error) {
-	k, err := rt.KlassOf(ref)
+	rt.world.RLock()
+	defer rt.world.RUnlock()
+	k, err := rt.klassOf(ref)
 	if err != nil {
 		return "", err
 	}

@@ -836,7 +836,7 @@ func GCFlushCost(liveBytes int) (GCFlushResult, error) {
 			if err != nil {
 				return 0, 0, err
 			}
-			if d := r.Pause + r.DeviceStats.ModeledFlushTime(); d < bestD {
+			if d := r.PauseTime + r.DeviceStats.ModeledFlushTime(); d < bestD {
 				bestD = d
 			}
 			live = r.LiveBytes

@@ -1,0 +1,328 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"espresso/internal/core"
+	"espresso/internal/klass"
+	"espresso/internal/layout"
+	"espresso/internal/pgc"
+)
+
+// The gcpause experiment measures persistent-GC pause times under a
+// multi-mutator allocation workload: G mutator goroutines churn rooted
+// chains (allocate, prepend, unlink — through the PLAB allocator and the
+// SATB write barrier) against a large stable live graph, and the
+// collector runs either stop-the-world (the whole collection is the
+// pause) or concurrently (marking overlaps the mutators; only the
+// handshake and remark+compaction pause them).
+//
+// Wall-clock pauses are reported but too noisy to gate in CI. The gated
+// metric is the deterministic modeled pause: device reads in the pause ×
+// NVMReadLatency plus flushed lines in the pause × NVMWriteLatency —
+// tracing is read-dominated, compaction flush-dominated, and both
+// counters come from the device, not the host clock. The headline claim
+// matches the ROADMAP item: moving marking (and, via the marker's
+// outgoing-reference summary, most of the pause-time reference rescan)
+// out of the pause cuts the max stop-the-world pause by well over 3x on
+// the 8-mutator workload.
+
+// NVMReadLatency models media read cost per accounted device read for
+// pause metrics (3D-XPoint-class reads land in the 100–350 ns range).
+const NVMReadLatency = 100 * time.Nanosecond
+
+// GCPauseRow is one (series) measurement over several collection cycles.
+// The dev_* fields are emitted only for the stw series (deterministic:
+// its cycles run against a quiescent heap); the concurrent row carries
+// the absolute pause ceiling and the reduction ratio instead, both
+// gated by benchgate.
+type GCPauseRow struct {
+	Series            string  `json:"series"` // "stw" or "concurrent"
+	Mutators          int     `json:"mutators"`
+	Cycles            int     `json:"cycles"`
+	LiveObjects       int     `json:"live_objects"`
+	WallMaxPauseNs    float64 `json:"wall_max_pause_ns"`
+	WallAvgPauseNs    float64 `json:"wall_avg_pause_ns"`
+	WallMaxMarkNs     float64 `json:"wall_max_mark_ns"`
+	ModeledMaxPauseNs float64 `json:"modeled_max_pause_ns"`
+
+	DevReadsInPause float64 `json:"dev_reads_in_pause_per_cycle,omitempty"`
+	DevLinesInPause float64 `json:"dev_flushed_lines_in_pause_per_cycle,omitempty"`
+
+	PauseReduction float64 `json:"pause_reduction_vs_stw,omitempty"`
+	ModeledCeiling float64 `json:"modeled_max_pause_ns_ceiling,omitempty"`
+}
+
+const gcPauseCycles = 3
+
+// gcPauseCeilingNs is the absolute modeled-pause budget for a concurrent
+// cycle: a fixed 3 ms floor plus a 250 ns/live-object allowance. The
+// budget covers the worst goroutine schedule (all churn landing inside
+// the marking window, maximizing remark + dirty-card rescans) yet stays
+// a third of what the same workload costs stop-the-world (~800 ns/obj
+// of tracing plus compaction), so regressions that drag marking or the
+// reference rescan back into the pause trip the gate long before they
+// reach parity.
+func gcPauseCeilingNs(liveObjects int) float64 {
+	return 3e6 + 250*float64(liveObjects)
+}
+
+func modeledPauseNs(s pgc.Result) float64 {
+	return float64(s.PauseDeviceStats.Reads)*float64(NVMReadLatency.Nanoseconds()) +
+		float64(s.PauseDeviceStats.FlushedLines)*float64(NVMWriteLatency.Nanoseconds())
+}
+
+// GCPause runs both series at the given mutator count.
+func GCPause(scale Scale, mutators int) ([]GCPauseRow, error) {
+	if mutators < 1 {
+		mutators = 1
+	}
+	live := scale.div(40000)
+	churn := scale.div(600)
+	var rows []GCPauseRow
+	var stwModeledMax float64
+	for _, series := range []string{"stw", "concurrent"} {
+		row, err := runGCPauseSeries(series, mutators, live, churn)
+		if err != nil {
+			return nil, err
+		}
+		if series == "stw" {
+			stwModeledMax = row.ModeledMaxPauseNs
+		} else {
+			if row.ModeledMaxPauseNs > 0 {
+				row.PauseReduction = stwModeledMax / row.ModeledMaxPauseNs
+			}
+			row.ModeledCeiling = gcPauseCeilingNs(row.LiveObjects)
+			// Only the stw row's in-pause device counters are
+			// deterministic enough to ratio-gate; drop them here.
+			row.DevReadsInPause = 0
+			row.DevLinesInPause = 0
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+type gcPauseNode struct {
+	klass      *klass.Klass
+	idF, nextF core.FieldRef
+}
+
+func runGCPauseSeries(series string, mutators, live, churnOps int) (GCPauseRow, error) {
+	// Size the heap to the workload: stable graph + in-flight churn +
+	// PLAB slack. An oversized heap would only inflate the pause-time
+	// bitmap persist, which covers the heap, not the live set.
+	rt, err := core.NewRuntime(core.Config{
+		PJHDataSize: live*64 + mutators*(churnOps*64+2*layout.RegionSize) + (4 << 20),
+	})
+	if err != nil {
+		return GCPauseRow{}, err
+	}
+	if _, err := rt.CreateHeap("gcpause", 0); err != nil {
+		return GCPauseRow{}, err
+	}
+	nk := klass.MustInstance("gcpause/Node", nil,
+		klass.Field{Name: "id", Type: layout.FTLong},
+		klass.Field{Name: "next", Type: layout.FTRef, RefKlass: "gcpause/Node"},
+	)
+	n := gcPauseNode{klass: nk, idF: rt.MustResolveField(nk, "id"), nextF: rt.MustResolveField(nk, "next")}
+
+	// Build the stable live graph: the 8-mutator alloc workload — each
+	// mutator bump-allocates its own rooted chain through its PLAB.
+	perM := live / mutators
+	if perM < 1 {
+		perM = 1
+	}
+	if err := forEachMutator(rt, mutators, func(g int, m *core.Mutator) error {
+		var head layout.Ref
+		for i := 0; i < perM; i++ {
+			ref, err := m.PNew(n.klass, 0)
+			if err != nil {
+				return err
+			}
+			m.SetLongFast(ref, n.idF, int64(g*10_000_000+i))
+			if err := m.SetRefFast(ref, n.nextF, head); err != nil {
+				return err
+			}
+			head = ref
+		}
+		return m.SetRoot(fmt.Sprintf("stable%d", g), head)
+	}); err != nil {
+		return GCPauseRow{}, err
+	}
+
+	// Warmup collection (unmeasured): the freshly built heap is region-
+	// interleaved across mutators, so the first cycle compacts nearly
+	// everything. The measured cycles then see the steady state — a dense
+	// stable graph plus per-cycle churn — which is what pause-time claims
+	// are about.
+	if _, err := rt.PersistentGC("gcpause"); err != nil {
+		return GCPauseRow{}, err
+	}
+
+	row := GCPauseRow{Series: series, Mutators: mutators, Cycles: gcPauseCycles}
+	var wallPauses, wallMarks, modeled []float64
+	var maxReads, maxLines uint64
+	for c := 0; c < gcPauseCycles; c++ {
+		churn := func() error {
+			return forEachMutator(rt, mutators, func(g int, m *core.Mutator) error {
+				return runChurn(m, n, fmt.Sprintf("churn%d", g), churnOps, g, c)
+			})
+		}
+		var res pgc.Result
+		if series == "stw" {
+			// Quiescent baseline: churn completes, then the whole
+			// collection is one pause (and its device work is exactly
+			// reproducible, which is what CI gates on).
+			if err := churn(); err != nil {
+				return GCPauseRow{}, err
+			}
+			if res, err = rt.PersistentGC("gcpause"); err != nil {
+				return GCPauseRow{}, err
+			}
+		} else {
+			// Concurrent: churn overlaps the collection; the safepoint
+			// lock inside the runtime provides the handshakes.
+			churnErr := make(chan error, 1)
+			go func() { churnErr <- churn() }()
+			if res, err = rt.PersistentGCConcurrent("gcpause"); err != nil {
+				return GCPauseRow{}, err
+			}
+			if err := <-churnErr; err != nil {
+				return GCPauseRow{}, err
+			}
+		}
+		row.LiveObjects = res.LiveObjects
+		wallPauses = append(wallPauses, float64(res.PauseTime.Nanoseconds()))
+		wallMarks = append(wallMarks, float64(res.MarkTime.Nanoseconds()))
+		modeled = append(modeled, modeledPauseNs(res))
+		if res.PauseDeviceStats.Reads > maxReads {
+			maxReads = res.PauseDeviceStats.Reads
+		}
+		if res.PauseDeviceStats.FlushedLines > maxLines {
+			maxLines = res.PauseDeviceStats.FlushedLines
+		}
+	}
+	row.WallMaxPauseNs = maxOf(wallPauses)
+	row.WallAvgPauseNs = avgOf(wallPauses)
+	row.WallMaxMarkNs = maxOf(wallMarks)
+	row.ModeledMaxPauseNs = maxOf(modeled)
+	row.DevReadsInPause = float64(maxReads)
+	row.DevLinesInPause = float64(maxLines)
+	return row, nil
+}
+
+// runChurn performs one mutator's churn phase: prepend a node to its
+// churn chain, unlinking the second node every third op — each multi-step
+// sequence inside a Do scope so held references survive collector pauses.
+func runChurn(m *core.Mutator, n gcPauseNode, root string, ops, g, cycle int) error {
+	for i := 0; i < ops; i++ {
+		var opErr error
+		m.Do(func() {
+			head, _ := m.GetRoot(root)
+			ref, err := m.PNew(n.klass, 0)
+			if err != nil {
+				opErr = err
+				return
+			}
+			m.SetLongFast(ref, n.idF, int64(g*1_000_000+cycle*10_000+i))
+			if err := m.SetRefFast(ref, n.nextF, head); err != nil {
+				opErr = err
+				return
+			}
+			opErr = m.SetRoot(root, ref)
+		})
+		if opErr != nil {
+			return opErr
+		}
+		if i%3 == 2 {
+			m.Do(func() {
+				head, _ := m.GetRoot(root)
+				if head == layout.NullRef {
+					return
+				}
+				second := m.GetRefFast(head, n.nextF)
+				if second == layout.NullRef {
+					return
+				}
+				opErr = m.SetRefFast(head, n.nextF, m.GetRefFast(second, n.nextF))
+			})
+			if opErr != nil {
+				return opErr
+			}
+		}
+	}
+	return nil
+}
+
+// forEachMutator runs fn on count parallel mutator goroutines, each with
+// its own Mutator context, and joins them.
+func forEachMutator(rt *core.Runtime, count int, fn func(g int, m *core.Mutator) error) error {
+	errs := make([]error, count)
+	var wg sync.WaitGroup
+	for g := 0; g < count; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			m, err := rt.NewMutator()
+			if err != nil {
+				errs[g] = err
+				return
+			}
+			defer m.Release()
+			errs[g] = fn(g, m)
+		}(g)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func maxOf(xs []float64) float64 {
+	m := 0.0
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+func avgOf(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// PrintGCPause renders both series with the headline reduction.
+func PrintGCPause(w io.Writer, rows []GCPauseRow) {
+	fmt.Fprintln(w, "GC pause — stop-the-world vs concurrent SATB marking (pauses only: remark+compact)")
+	fmt.Fprintf(w, "  %-10s %4s %8s %14s %14s %14s %14s\n",
+		"series", "G", "live", "wall max", "wall avg", "wall mark", "modeled max")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-10s %4d %8d %14s %14s %14s %14s\n",
+			r.Series, r.Mutators, r.LiveObjects,
+			time.Duration(r.WallMaxPauseNs).Round(time.Microsecond),
+			time.Duration(r.WallAvgPauseNs).Round(time.Microsecond),
+			time.Duration(r.WallMaxMarkNs).Round(time.Microsecond),
+			time.Duration(r.ModeledMaxPauseNs).Round(time.Microsecond))
+	}
+	for _, r := range rows {
+		if r.Series == "concurrent" && r.PauseReduction > 0 {
+			fmt.Fprintf(w, "  max modeled STW pause reduced %.1fx by concurrent marking (ceiling %s)\n",
+				r.PauseReduction, time.Duration(r.ModeledCeiling).Round(time.Millisecond))
+		}
+	}
+}

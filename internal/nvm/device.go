@@ -21,8 +21,10 @@ package nvm
 import (
 	"encoding/binary"
 	"fmt"
+	"math/bits"
 	"sync/atomic"
 	"time"
+	"unsafe"
 )
 
 // LineSize is the cache line size in bytes. Flush granularity, like
@@ -70,6 +72,22 @@ type Stats struct {
 
 // ModeledFlushTime converts the accumulated modelled latency to a Duration.
 func (s Stats) ModeledFlushTime() time.Duration { return time.Duration(s.ModeledFlushNS) }
+
+// Add returns the sum s + other, counter by counter — used to combine
+// the traffic of disjoint measured intervals (e.g. the two pauses of a
+// concurrent collection).
+func (s Stats) Add(other Stats) Stats {
+	return Stats{
+		Writes:         s.Writes + other.Writes,
+		BytesWritten:   s.BytesWritten + other.BytesWritten,
+		Reads:          s.Reads + other.Reads,
+		BytesRead:      s.BytesRead + other.BytesRead,
+		Flushes:        s.Flushes + other.Flushes,
+		FlushedLines:   s.FlushedLines + other.FlushedLines,
+		Fences:         s.Fences + other.Fences,
+		ModeledFlushNS: s.ModeledFlushNS + other.ModeledFlushNS,
+	}
+}
 
 // Sub returns the difference s - prev, counter by counter. It is the usual
 // way to account a measured interval.
@@ -126,7 +144,7 @@ func New(cfg Config) *Device {
 	d := &Device{
 		size:  size,
 		mode:  cfg.Mode,
-		mem:   make([]byte, size),
+		mem:   alignedBytes(size),
 		latNS: uint64(cfg.WriteLatency.Nanoseconds()),
 	}
 	if cfg.Mode == Tracked {
@@ -211,6 +229,55 @@ func (d *Device) ReadU64(off int) uint64 {
 	d.check(off, 8)
 	d.countRead(8)
 	return binary.LittleEndian.Uint64(d.mem[off:])
+}
+
+// alignedBytes allocates a zero-filled byte slice whose backing array is
+// 8-byte aligned, so the word-atomic accessors below may point straight
+// into it. n is always a multiple of LineSize here.
+func alignedBytes(n int) []byte {
+	words := make([]uint64, n/8)
+	return unsafe.Slice((*byte)(unsafe.Pointer(&words[0])), n)
+}
+
+// hostLittleEndian reports the byte order of native integer stores, so the
+// atomic accessors can keep the device image little-endian on any host.
+var hostLittleEndian = func() bool {
+	x := uint16(1)
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// WriteU64Atomic stores v at the 8-aligned byte offset off with a single
+// atomic machine store. It is the word-store variant for slots that a
+// concurrent reader (the SATB marker) may load while the owning mutator
+// stores — the same pair of accesses an x86 CPU makes atomic for aligned
+// words. Accounting and dirty tracking match WriteU64.
+func (d *Device) WriteU64Atomic(off int, v uint64) {
+	d.check(off, 8)
+	if off%8 != 0 {
+		panic(fmt.Sprintf("nvm: unaligned atomic store at %d", off))
+	}
+	if !hostLittleEndian {
+		v = bits.ReverseBytes64(v)
+	}
+	atomic.StoreUint64((*uint64)(unsafe.Pointer(&d.mem[off])), v)
+	d.countWrite(8)
+	d.markDirty(off, 8)
+}
+
+// ReadU64Atomic loads the word at the 8-aligned byte offset off with a
+// single atomic machine load — never torn, even against a concurrent
+// WriteU64Atomic to the same word.
+func (d *Device) ReadU64Atomic(off int) uint64 {
+	d.check(off, 8)
+	if off%8 != 0 {
+		panic(fmt.Sprintf("nvm: unaligned atomic load at %d", off))
+	}
+	d.countRead(8)
+	v := atomic.LoadUint64((*uint64)(unsafe.Pointer(&d.mem[off])))
+	if !hostLittleEndian {
+		v = bits.ReverseBytes64(v)
+	}
+	return v
 }
 
 // WriteU32 stores v at byte offset off, little-endian.

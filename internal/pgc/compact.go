@@ -10,55 +10,89 @@ import (
 // region bitmap skips fully evacuated source regions, and the source-header
 // timestamp skips individual objects that already reached their
 // destination. cur is the collection's global timestamp.
-func compact(h *pheap.Heap, s *Summary, cur uint64) {
+//
+// cleanCard, when non-nil, reports cards (pheap.SATBCardBytes each)
+// whose objects provably hold no reference to any moved object (the
+// marker's outgoing-reference summary, vetoed by the write barrier's
+// dirty cards — see buildCleanCards). In-place objects of a clean card
+// need no fixing, no flush, and no stamp: redoing them is a no-op, so
+// recovery — which always runs with cleanCard nil and rescans
+// everything — remains sound; their headers simply keep a stale
+// timestamp, which the next cycle's fresh timestamp treats like any
+// other unprocessed object. Moved objects of a clean card still run the
+// full copy protocol, just without the reference scan. This is what
+// keeps the compaction pause proportional to the mutated and moved part
+// of the heap rather than to everything live.
+func compact(h *pheap.Heap, s *Summary, cur uint64, cleanCard []bool) {
 	dev := h.Device()
 	geo := h.Geo()
 	regionBm := h.RegionBitmap()
 	regionOf := func(off int) int { return (off - geo.DataOff) / layout.RegionSize }
+	cardOf := func(off int) int { return (off - geo.DataOff) / pheap.SATBCardBytes }
+	clean := func(c int) bool { return cleanCard != nil && c < len(cleanCard) && cleanCard[c] }
 
 	// Resolve klass records for reference iteration. During recovery,
 	// source regions whose bit is set may hold garbage, but those objects
-	// are skipped wholesale before any header read.
+	// are skipped wholesale before any header read. Moves ascend by src,
+	// so the region bit is read once per region, not once per move.
 	skipRegion := -1
+	bmRegion, bmSet := -1, false
 	for i, m := range s.Moves {
 		r := regionOf(m.Src)
-		if r == skipRegion || regionBm.Get(r) {
-			skipRegion = r
-			continue
+		if r != bmRegion {
+			bmRegion, bmSet = r, regionBm.Get(r)
 		}
-		srcMark := dev.ReadU64(m.Src + layout.MarkWordOff)
-		if layout.MarkTimestamp(srcMark) != cur {
-			if m.Dst == m.Src {
-				// In-place object (dense prefix or pinned): fix its
-				// references, persist, then stamp it processed. Its own
-				// header is authentic, so the timestamp gate is sound.
-				fixRefs(h, s, m.Dst, m.Size)
-				dev.Flush(m.Dst, m.Size)
-				dev.Fence()
-				dev.WriteU64(m.Src+layout.MarkWordOff, layout.WithTimestamp(srcMark, cur))
-				dev.Flush(m.Src+layout.MarkWordOff, 8)
-				dev.Fence()
-			} else {
-				// Evacuation: copy, fix references in the copy (the source
-				// stays pristine — it is the undo log), persist the copy,
-				// then stamp destination first, source second (§4.2 step 3).
-				dev.Move(m.Dst, m.Src, m.Size)
-				fixRefs(h, s, m.Dst, m.Size)
-				dev.Flush(m.Dst, m.Size)
-				dev.Fence()
-				dev.WriteU64(m.Dst+layout.MarkWordOff, layout.WithTimestamp(srcMark, cur))
-				dev.Flush(m.Dst+layout.MarkWordOff, 8)
-				dev.Fence()
-				dev.WriteU64(m.Src+layout.MarkWordOff, layout.WithTimestamp(srcMark, cur))
-				dev.Flush(m.Src+layout.MarkWordOff, 8)
-				dev.Fence()
+		switch {
+		case r == skipRegion || bmSet:
+			skipRegion = r
+		case m.Dst == m.Src && clean(cardOf(m.Src)):
+			// Clean in-place object: nothing to fix, nothing to persist,
+			// nothing to stamp — processing it is the empty operation.
+		default:
+			srcMark := dev.ReadU64(m.Src + layout.MarkWordOff)
+			if layout.MarkTimestamp(srcMark) != cur {
+				if m.Dst == m.Src {
+					// In-place object (dense prefix or pinned): fix its
+					// references, persist, then stamp it processed. Its own
+					// header is authentic, so the timestamp gate is sound.
+					// When the fix changes nothing, flush and stamp are
+					// skipped: redoing a no-op fix is free, so recovery
+					// (which sees the stale timestamp and reprocesses) is
+					// unaffected — and the pause stops paying two flushes
+					// and two fences per untouched live object.
+					if fixRefs(h, s, m.Dst, m.Size) {
+						dev.Flush(m.Dst, m.Size)
+						dev.Fence()
+						dev.WriteU64(m.Src+layout.MarkWordOff, layout.WithTimestamp(srcMark, cur))
+						dev.Flush(m.Src+layout.MarkWordOff, 8)
+						dev.Fence()
+					}
+				} else {
+					// Evacuation: copy, fix references in the copy (the source
+					// stays pristine — it is the undo log), persist the copy,
+					// then stamp destination first, source second (§4.2 step 3).
+					dev.Move(m.Dst, m.Src, m.Size)
+					if !clean(cardOf(m.Src)) {
+						fixRefs(h, s, m.Dst, m.Size)
+					}
+					dev.Flush(m.Dst, m.Size)
+					dev.Fence()
+					dev.WriteU64(m.Dst+layout.MarkWordOff, layout.WithTimestamp(srcMark, cur))
+					dev.Flush(m.Dst+layout.MarkWordOff, 8)
+					dev.Fence()
+					dev.WriteU64(m.Src+layout.MarkWordOff, layout.WithTimestamp(srcMark, cur))
+					dev.Flush(m.Src+layout.MarkWordOff, 8)
+					dev.Fence()
+				}
 			}
 		}
-		if i == s.RegionLastMove(r) {
+		if i == s.RegionLastMove(r) && !bmSet {
 			// The region is fully evacuated (or fully processed in place);
 			// from here on it may be overwritten as a destination, so the
-			// fact must be durable first.
+			// fact must be durable first. Regions whose bit was already set
+			// (recovery resuming past completed work) skip the re-persist.
 			regionBm.Set(r)
+			bmSet = true
 			dev.Flush(geo.RegionBmpOff, geo.RegionBmpSize)
 			dev.Fence()
 		}
@@ -67,26 +101,52 @@ func compact(h *pheap.Heap, s *Summary, cur uint64) {
 	writeGapFillers(h, s)
 }
 
+// buildCleanCards combines the marker's per-card outgoing-reference
+// maxima with the summary's moves (and, for a concurrent cycle, the
+// write barrier's dirty cards) into the compactor's skip set: card c is
+// clean when every reference any of its objects holds targets an offset
+// below the lowest moved source — so no slot in c can point at an
+// object that changes address — and no mutator stored into c after its
+// objects were traced.
+func buildCleanCards(s *Summary, maxOut []int, dirty []bool) []bool {
+	minMovedSrc := int(^uint(0) >> 1)
+	for _, m := range s.Moves {
+		if m.Dst != m.Src {
+			minMovedSrc = m.Src
+			break // moves ascend by src
+		}
+	}
+	clean := make([]bool, len(maxOut))
+	for c := range clean {
+		clean[c] = maxOut[c] < minMovedSrc && (dirty == nil || c >= len(dirty) || !dirty[c])
+	}
+	return clean
+}
+
 // fixRefs rewrites every reference slot of the object at device offset off
-// through the summary's forwarding relation. References outside the heap
-// (DRAM, other heaps) forward to themselves.
-func fixRefs(h *pheap.Heap, s *Summary, off, size int) {
+// through the summary's forwarding relation, reporting whether any slot
+// changed. References outside the heap (DRAM, other heaps) forward to
+// themselves.
+func fixRefs(h *pheap.Heap, s *Summary, off, size int) bool {
 	dev := h.Device()
 	kaddr := layout.Ref(dev.ReadU64(off + layout.KlassWordOff))
 	k, ok := h.KlassByAddr(kaddr)
 	if !ok {
 		// Unreachable by protocol; leaving the object untouched is safer
 		// than guessing a layout.
-		return
+		return false
 	}
+	changed := false
 	pheap.RefSlots(dev, off, k, func(slotBoff int) {
 		v := layout.Ref(dev.ReadU64(off + slotBoff))
 		if v != layout.NullRef && h.Contains(v) {
 			if f := s.Forward(v); f != v {
 				dev.WriteU64(off+slotBoff, uint64(f))
+				changed = true
 			}
 		}
 	})
+	return changed
 }
 
 // writeGapFillers plugs every hole below the new top with filler objects

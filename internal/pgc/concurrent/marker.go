@@ -1,0 +1,229 @@
+// Package concurrent implements the snapshot-at-the-beginning (SATB)
+// marking engine of the concurrent persistent collector.
+//
+// The marker is handed a snapshot of the per-region top table taken at a
+// brief initial handshake (with the world stopped) and traces the object
+// graph strictly below those snapshot tops while mutators keep running:
+// bump allocation only ever advances tops, so everything the mutators
+// create after the snapshot lies above it and is implicitly live
+// (allocate-black). Reachability can only be hidden from the marker by
+// overwriting a reference slot; the pre-write barrier (core.storeRef via
+// pheap's SATB buffers) records every overwritten referent, and the
+// marker drains those buffers as extra gray roots — first concurrently,
+// then once more at the final remark with the world stopped again.
+//
+// Race discipline: the marker reads reference slots with single atomic
+// machine loads (nvm.ReadU64Atomic) and mutators store them with single
+// atomic machine stores, so a concurrent load never tears; object
+// headers below the snapshot are immutable while marking runs, so plain
+// reads suffice there. The mark bitmap is written by the marker alone.
+//
+// The same engine runs the stop-the-world mark phase: with the snapshot
+// taken at the current tops and no mutators running, tracing degenerates
+// to the seed's mark loop, which is how pgc shares one tracer between
+// both collectors.
+package concurrent
+
+import (
+	"fmt"
+
+	"espresso/internal/layout"
+	"espresso/internal/nvm"
+	"espresso/internal/pheap"
+)
+
+// Marker is one collection cycle's tracing state. It is not safe for
+// concurrent use — one goroutine (the collector's) drives it; the
+// concurrency is with mutators, not within the marker.
+type Marker struct {
+	h    *pheap.Heap
+	snap []int // region-top snapshot (raw table encoding)
+
+	dataOff int
+	stack   []layout.Ref
+
+	// maxOut[c] is the highest device offset any traced object starting
+	// in card c (pheap.SATBCardBytes granularity) points at (NoOutgoing
+	// if none, ScanAlways if unknown — allocate-black objects are never
+	// scanned). The compactor uses it to skip pause-time reference fixing
+	// for cards that provably cannot reference a moved object; the
+	// write-barrier's dirty cards veto the skip for cards stored to after
+	// their objects were traced.
+	maxOut []int
+
+	liveObjects, liveBytes int
+}
+
+// maxOut sentinels.
+const (
+	// NoOutgoing marks a card none of whose traced objects holds an
+	// in-heap reference.
+	NoOutgoing = -1
+	// ScanAlways marks a card whose outgoing references are unknown (its
+	// objects were marked wholesale by the allocate-black sweep).
+	ScanAlways = int(^uint(0) >> 1)
+)
+
+// NewMarker prepares a marker over the given region-top snapshot. The
+// caller has already cleared the mark and region bitmaps (with the world
+// stopped, as part of the same handshake that took the snapshot).
+func NewMarker(h *pheap.Heap, snapTops []int) *Marker {
+	maxOut := make([]int, h.Geo().DataSize/pheap.SATBCardBytes)
+	for i := range maxOut {
+		maxOut[i] = NoOutgoing
+	}
+	return &Marker{h: h, snap: snapTops, dataOff: h.Geo().DataOff, maxOut: maxOut}
+}
+
+// Counts reports the live objects and bytes marked so far.
+func (m *Marker) Counts() (objects, bytes int) { return m.liveObjects, m.liveBytes }
+
+// MaxOutgoing exposes the per-card outgoing-reference summary (see the
+// Marker field docs). Valid once marking is complete.
+func (m *Marker) MaxOutgoing() []int { return m.maxOut }
+
+// belowSnapshot reports whether the object starting at device offset off
+// lies below its region's snapshot top. Humongous heads carry a top
+// beyond their region end, so the comparison covers them; interior
+// regions hold the sentinel and never start an object.
+func (m *Marker) belowSnapshot(off int) bool {
+	r := (off - m.dataOff) / layout.RegionSize
+	if r < 0 || r >= len(m.snap) {
+		return false
+	}
+	top := m.snap[r]
+	return pheap.IsRealTop(top) && off < top
+}
+
+// push grays ref if it is a heap object below the snapshot.
+func (m *Marker) push(ref layout.Ref) {
+	if ref != layout.NullRef && m.h.Contains(ref) && m.belowSnapshot(m.h.OffOf(ref)) {
+		m.stack = append(m.stack, ref)
+	}
+}
+
+// atomicU64 adapts the device's atomic word load to the ReadU64 interface
+// pheap.RefSlots walks, so slot enumeration under concurrent mutation
+// reuses the canonical iteration.
+type atomicU64 struct{ dev *nvm.Device }
+
+func (a atomicU64) ReadU64(off int) uint64 { return a.dev.ReadU64Atomic(off) }
+
+// MarkRoots grays the root set and traces to a fixpoint. Roots are the
+// snapshot-time root references, captured by the collector during the
+// initial handshake.
+func (m *Marker) MarkRoots(roots []layout.Ref) error {
+	for _, r := range roots {
+		m.push(r)
+	}
+	return m.trace()
+}
+
+// trace drains the gray stack, blackening each object: set its begin and
+// end mark bits, count it, and gray its below-snapshot referents.
+func (m *Marker) trace() error {
+	bm := m.h.MarkBitmap()
+	dev := m.h.Device()
+	slots := atomicU64{dev}
+	idx := func(off int) int { return (off - m.dataOff) / layout.WordSize }
+	for len(m.stack) > 0 {
+		ref := m.stack[len(m.stack)-1]
+		m.stack = m.stack[:len(m.stack)-1]
+		off := m.h.OffOf(ref)
+		if bm.Get(idx(off)) {
+			continue // already marked (object starts are never interior words)
+		}
+		k, size, err := m.h.SizeOfObjectAt(off)
+		if err != nil {
+			return fmt.Errorf("concurrent: marking %#x: %w", uint64(ref), err)
+		}
+		bm.Set(idx(off))
+		bm.Set(idx(off) + size/layout.WordSize - 1)
+		m.liveObjects++
+		m.liveBytes += size
+		srcCard := (off - m.dataOff) / pheap.SATBCardBytes
+		pheap.RefSlots(slots, off, k, func(slotBoff int) {
+			v := layout.Ref(dev.ReadU64Atomic(off + slotBoff))
+			if v != layout.NullRef && m.h.Contains(v) {
+				if tgt := m.h.OffOf(v); tgt > m.maxOut[srcCard] {
+					m.maxOut[srcCard] = tgt
+				}
+			}
+			m.push(v)
+		})
+	}
+	return nil
+}
+
+// DrainOnce empties every SATB buffer into the gray stack and traces,
+// reporting how many barrier records it consumed.
+func (m *Marker) DrainOnce() (int, error) {
+	n := m.h.DrainSATB(func(ref layout.Ref) { m.push(ref) })
+	return n, m.trace()
+}
+
+// maxDrainRounds bounds the concurrent drain: mutators that overwrite
+// references faster than the marker drains would otherwise postpone the
+// final pause forever. Whatever is still buffered after the cap is
+// simply remark work — correctness never depended on reaching an empty
+// drain, only the pause length does.
+const maxDrainRounds = 8
+
+// ConcurrentDrainLoop repeatedly drains the SATB buffers while mutators
+// run, returning once a drain delivers nothing (the natural quiescence
+// point to request the final pause at) or after maxDrainRounds.
+// Mutators may still append records afterwards; the final remark
+// collects those.
+func (m *Marker) ConcurrentDrainLoop() error {
+	for round := 0; round < maxDrainRounds; round++ {
+		n, err := m.DrainOnce()
+		if err != nil || n == 0 {
+			return err
+		}
+	}
+	return nil
+}
+
+// FinalRemark completes marking with the world stopped: one last SATB
+// drain plus trace, then the allocate-black sweep — every non-filler
+// object allocated since the snapshot (between each region's snapshot
+// top and its current top, curTops) is marked live wholesale, so the
+// summary phase sees exactly the SATB-live set. Fillers are skipped:
+// marking a retired PLAB's tail filler would pin dead space (or, past
+// HugeThreshold, whole regions) until the next cycle.
+func (m *Marker) FinalRemark(curTops []int) error {
+	if _, err := m.DrainOnce(); err != nil {
+		return err
+	}
+	bm := m.h.MarkBitmap()
+	geo := m.h.Geo()
+	idx := func(off int) int { return (off - m.dataOff) / layout.WordSize }
+	for r := 0; r < geo.DataRegions(); r++ {
+		cur := curTops[r]
+		if !pheap.IsRealTop(cur) {
+			continue
+		}
+		lo := geo.DataOff + r*layout.RegionSize
+		if r < len(m.snap) && pheap.IsRealTop(m.snap[r]) && m.snap[r] > lo {
+			lo = m.snap[r]
+		}
+		for off := lo; off < cur; {
+			k, size, err := m.h.SizeOfObjectAt(off)
+			if err != nil {
+				return fmt.Errorf("concurrent: allocate-black sweep at %d: %w", off, err)
+			}
+			if !pheap.IsFiller(k) {
+				bm.Set(idx(off))
+				bm.Set(idx(off) + size/layout.WordSize - 1)
+				m.liveObjects++
+				m.liveBytes += size
+				// Swept objects are never scanned, so their outgoing
+				// references are unknown: the compactor must rescan the
+				// card at fix-up time.
+				m.maxOut[(off-m.dataOff)/pheap.SATBCardBytes] = ScanAlways
+			}
+			off += size
+		}
+	}
+	return nil
+}

@@ -16,9 +16,22 @@ type Result struct {
 	MovedObjects int
 	MovedBytes   int
 	NewTop       int
-	Pause        time.Duration
-	DeviceStats  nvm.Stats // device traffic during the collection
-	Recovered    bool      // true when produced by Recover
+	// MarkTime is the wall time spent marking: inside the pause for the
+	// stop-the-world collector, overlapped with mutators for the
+	// concurrent one.
+	MarkTime time.Duration
+	// PauseTime is the stop-the-world portion. For Collect and Recover it
+	// equals the whole collection; for CollectConcurrent it is the sum of
+	// the initial handshake and the final remark+compaction pause.
+	PauseTime time.Duration
+	// DeviceStats is the device traffic of the whole collection;
+	// PauseDeviceStats is the subset issued inside the stop-the-world
+	// windows (they coincide for the STW collector). Under a concurrent
+	// collection DeviceStats also absorbs whatever traffic mutators issue
+	// while marking runs, since the device counters are shared.
+	DeviceStats      nvm.Stats
+	PauseDeviceStats nvm.Stats
+	Recovered        bool // true when produced by Recover
 }
 
 // Collect runs a full crash-consistent collection of h. ext supplies (and
@@ -26,6 +39,10 @@ type Result struct {
 // none exist. The world must be stopped: no allocation or mutation may run
 // concurrently, as with the JVM's stop-the-world old GC.
 func Collect(h *pheap.Heap, ext Rooter) (Result, error) {
+	if !h.TryBeginCollection() {
+		return Result{}, fmt.Errorf("pgc: another collection of this heap is already running")
+	}
+	defer h.EndCollection()
 	if h.GCActive() {
 		return Result{}, fmt.Errorf("pgc: heap is mid-collection; run Recover first")
 	}
@@ -34,6 +51,12 @@ func Collect(h *pheap.Heap, ext Rooter) (Result, error) {
 	}
 	start := time.Now()
 	statsBefore := h.Device().Stats()
+
+	// A persisted concurrent-mark phase from an aborted cycle is stale —
+	// the bitmap it announced is about to be rebuilt from scratch.
+	if h.GCPhase() != pheap.GCPhaseIdle {
+		h.SetGCPhase(pheap.GCPhaseIdle)
+	}
 
 	// Safepoint: detach every mutator's PLAB and recycled hole. Their
 	// region tops are already persisted (headers-before-top), so dropping
@@ -45,11 +68,14 @@ func Collect(h *pheap.Heap, ext Rooter) (Result, error) {
 	// pre-collection sketch of the heap; the cleared region bitmap must be
 	// durable before the heap is stamped active, or recovery could trust
 	// stale region bits from a previous collection.
-	liveObjects, liveBytes, err := mark(h, ext)
+	markStart := time.Now()
+	mk, err := mark(h, ext)
 	if err != nil {
 		return Result{}, err
 	}
-	h.MarkBitmap().Persist()
+	liveObjects, liveBytes := mk.Counts()
+	markTime := time.Since(markStart)
+	h.PersistMarkBitmapUsed()
 	h.RegionBitmap().Persist()
 
 	// Phase 2: stamp the heap mid-collection (timestamp first, flag second;
@@ -71,9 +97,12 @@ func Collect(h *pheap.Heap, ext Rooter) (Result, error) {
 	}
 
 	// Phase 4: compact. Recycling state refers to the pre-GC layout and
-	// must be dropped before anything moves.
+	// must be dropped before anything moves. The marker's outgoing-
+	// reference summary lets the compactor skip re-scanning regions that
+	// cannot reference moved objects (no dirty cards here: the world is
+	// stopped, so the trace saw every store).
 	h.ResetFreeHoles()
-	compact(h, s, cur)
+	compact(h, s, cur, buildCleanCards(s, mk.MaxOutgoing(), nil))
 
 	// Phase 5: finish atomically via the redo log, then patch DRAM roots
 	// and hand the filler-covered gaps back to the allocator.
@@ -81,14 +110,17 @@ func Collect(h *pheap.Heap, ext Rooter) (Result, error) {
 	ext.UpdateRoots(s.Forward)
 	h.SetFreeHoles(freeHolesOf(h, s))
 
+	stats := h.Device().Stats().Sub(statsBefore)
 	return Result{
-		LiveObjects:  s.LiveObjects,
-		LiveBytes:    s.LiveBytes,
-		MovedObjects: s.MovedObjects,
-		MovedBytes:   s.MovedBytes,
-		NewTop:       s.NewTop,
-		Pause:        time.Since(start),
-		DeviceStats:  h.Device().Stats().Sub(statsBefore),
+		LiveObjects:      s.LiveObjects,
+		LiveBytes:        s.LiveBytes,
+		MovedObjects:     s.MovedObjects,
+		MovedBytes:       s.MovedBytes,
+		NewTop:           s.NewTop,
+		MarkTime:         markTime,
+		PauseTime:        time.Since(start),
+		DeviceStats:      stats,
+		PauseDeviceStats: stats,
 	}, nil
 }
 
@@ -167,10 +199,20 @@ func freeHolesOf(h *pheap.Heap, s *Summary) []pheap.Hole {
 // (paper §4.3): refetch the mark bitmap, redo the summary, process the
 // regions the region bitmap and source timestamps report unfinished, and
 // rerun the atomic finish. It is a no-op on a heap that is not
-// mid-collection. Recovery itself may crash and be rerun: every step is
-// idempotent.
+// mid-collection — except that it clears a leftover concurrent-mark
+// phase word: with gcActive clear, that word means the crash interrupted
+// marking before anything moved, so the recovery is "discard the partial
+// mark, start the next cycle fresh" (the STW fallback). Recovery itself
+// may crash and be rerun: every step is idempotent.
 func Recover(h *pheap.Heap) (Result, error) {
+	if !h.TryBeginCollection() {
+		return Result{}, fmt.Errorf("pgc: another collection of this heap is already running")
+	}
+	defer h.EndCollection()
 	if !h.GCActive() {
+		if h.GCPhase() != pheap.GCPhaseIdle {
+			h.SetGCPhase(pheap.GCPhaseIdle)
+		}
 		return Result{}, nil
 	}
 	start := time.Now()
@@ -180,18 +222,29 @@ func Recover(h *pheap.Heap) (Result, error) {
 	if err != nil {
 		return Result{}, fmt.Errorf("pgc: recovery summary: %w", err)
 	}
+	// Recovery has no marker state (the outgoing-reference summary died
+	// with the crashed process), so it conservatively rescans everything.
 	h.ResetFreeHoles()
-	compact(h, s, h.GlobalTS())
+	compact(h, s, h.GlobalTS(), nil)
+	// The mark bitmap was fully persisted before gcActive was set, so a
+	// phase word still announcing the concurrent mark is stale — clear it
+	// before the finish batch retires gcActive. A crash in between leaves
+	// gcActive set and reruns this recovery.
+	if h.GCPhase() != pheap.GCPhaseIdle {
+		h.SetGCPhase(pheap.GCPhaseIdle)
+	}
 	finish(h, s)
 	h.SetFreeHoles(freeHolesOf(h, s))
+	stats := h.Device().Stats().Sub(statsBefore)
 	return Result{
-		LiveObjects:  s.LiveObjects,
-		LiveBytes:    s.LiveBytes,
-		MovedObjects: s.MovedObjects,
-		MovedBytes:   s.MovedBytes,
-		NewTop:       s.NewTop,
-		Pause:        time.Since(start),
-		DeviceStats:  h.Device().Stats().Sub(statsBefore),
-		Recovered:    true,
+		LiveObjects:      s.LiveObjects,
+		LiveBytes:        s.LiveBytes,
+		MovedObjects:     s.MovedObjects,
+		MovedBytes:       s.MovedBytes,
+		NewTop:           s.NewTop,
+		PauseTime:        time.Since(start),
+		DeviceStats:      stats,
+		PauseDeviceStats: stats,
+		Recovered:        true,
 	}, nil
 }

@@ -1,9 +1,8 @@
 package pgc
 
 import (
-	"fmt"
-
 	"espresso/internal/layout"
+	"espresso/internal/pgc/concurrent"
 	"espresso/internal/pheap"
 )
 
@@ -30,53 +29,37 @@ func (NoRoots) Roots(func(layout.Ref)) {}
 // UpdateRoots is a no-op: there are no external slots to patch.
 func (NoRoots) UpdateRoots(func(layout.Ref) layout.Ref) {}
 
-// mark traces the heap from the name-table roots plus ext's roots,
-// setting begin and end bits in the mark bitmap for every live object.
-// It returns the live object count and byte volume.
-func mark(h *pheap.Heap, ext Rooter) (int, int, error) {
-	bm := h.MarkBitmap()
-	bm.ClearAll()
-	h.RegionBitmap().ClearAll()
-
-	geo := h.Geo()
-	idx := func(off int) int { return (off - geo.DataOff) / layout.WordSize }
-
-	var stack []layout.Ref
-	pushRoot := func(ref layout.Ref) {
+// heapRoots collects the snapshot root set: name-table roots plus ext's
+// roots, filtered to references into h. Both collectors capture roots
+// through it with the world stopped.
+func heapRoots(h *pheap.Heap, ext Rooter) []layout.Ref {
+	var roots []layout.Ref
+	add := func(ref layout.Ref) {
 		if ref != layout.NullRef && h.Contains(ref) {
-			stack = append(stack, ref)
+			roots = append(roots, ref)
 		}
 	}
 	for _, r := range h.Roots() {
-		pushRoot(r.Ref)
+		add(r.Ref)
 	}
 	if ext != nil {
-		ext.Roots(pushRoot)
+		ext.Roots(add)
 	}
+	return roots
+}
 
-	liveObjects, liveBytes := 0, 0
-	dev := h.Device()
-	for len(stack) > 0 {
-		ref := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		off := h.OffOf(ref)
-		if bm.Get(idx(off)) {
-			continue // already marked (object starts are never interior words)
-		}
-		k, size, err := h.SizeOfObjectAt(off)
-		if err != nil {
-			return 0, 0, fmt.Errorf("pgc: marking %#x: %w", uint64(ref), err)
-		}
-		bm.Set(idx(off))
-		bm.Set(idx(off) + size/layout.WordSize - 1)
-		liveObjects++
-		liveBytes += size
-		pheap.RefSlots(dev, off, k, func(slotBoff int) {
-			v := layout.Ref(dev.ReadU64(off + slotBoff))
-			if v != layout.NullRef && h.Contains(v) {
-				stack = append(stack, v)
-			}
-		})
+// mark traces the heap from the name-table roots plus ext's roots,
+// setting begin and end bits in the mark bitmap for every live object,
+// and returns the marker (counts, outgoing-reference summary). The
+// tracer is the shared SATB engine run with the snapshot at the current
+// tops — with the world stopped that covers every object, so it
+// degenerates to the seed's stop-the-world mark.
+func mark(h *pheap.Heap, ext Rooter) (*concurrent.Marker, error) {
+	h.MarkBitmap().ClearAll()
+	h.RegionBitmap().ClearAll()
+	mk := concurrent.NewMarker(h, h.SnapshotRegionTops())
+	if err := mk.MarkRoots(heapRoots(h, ext)); err != nil {
+		return nil, err
 	}
-	return liveObjects, liveBytes, nil
+	return mk, nil
 }

@@ -228,7 +228,7 @@ func TestCollectAllGarbage(t *testing.T) {
 func TestSummaryIdempotent(t *testing.T) {
 	h, reg := newHeap(t, 4<<20)
 	buildGraph(t, h, reg, 7, 300, 4)
-	if _, _, err := mark(h, NoRoots{}); err != nil {
+	if _, err := mark(h, NoRoots{}); err != nil {
 		t.Fatal(err)
 	}
 	h.MarkBitmap().Persist()
@@ -254,7 +254,7 @@ func TestSummaryIdempotent(t *testing.T) {
 func TestSummaryInvariants(t *testing.T) {
 	h, reg := newHeap(t, 4<<20)
 	buildGraph(t, h, reg, 11, 400, 3)
-	if _, _, err := mark(h, NoRoots{}); err != nil {
+	if _, err := mark(h, NoRoots{}); err != nil {
 		t.Fatal(err)
 	}
 	s, err := Summarize(h)

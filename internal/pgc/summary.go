@@ -87,24 +87,35 @@ func Summarize(h *pheap.Heap) (*Summary, error) {
 		s.regionLastMove[i] = -1
 	}
 
-	// Decode (begin,end) mark-bit pairs into (src,size) runs. The size of
+	// Decode (begin,end) mark-bit pairs into (src,size) runs with one
+	// device read per bitmap word (ForEachSet), so the summary's cost is
+	// proportional to the bitmap, not to the object count. The size of
 	// every live object is recoverable from the bitmap alone, which is
 	// what makes this phase rerunnable after a crash even when source
 	// bytes have been overwritten.
+	// Mark bits never lie at or above the allocation tops, so the scan is
+	// bounded by the heap's used prefix — during recovery the tops come
+	// from the persisted region-top table, which the crashed collection
+	// had not yet republished.
 	bm := h.MarkBitmap()
+	usedBits := (h.Top() - geo.DataOff) / layout.WordSize
 	type liveObj struct{ src, size int }
 	var objs []liveObj
-	for b := bm.NextSet(0); b >= 0; {
-		e := bm.NextSet(b + 1)
-		if e < 0 {
-			return nil, errors.New("pgc: mark bitmap has unpaired begin bit")
+	begin := -1
+	bm.ForEachSetBelow(usedBits, func(b int) {
+		if begin < 0 {
+			begin = b
+			return
 		}
-		src := geo.DataOff + b*layout.WordSize
-		size := (e - b + 1) * layout.WordSize
+		src := geo.DataOff + begin*layout.WordSize
+		size := (b - begin + 1) * layout.WordSize
 		objs = append(objs, liveObj{src, size})
 		s.LiveObjects++
 		s.LiveBytes += size
-		b = bm.NextSet(e + 1)
+		begin = -1
+	})
+	if begin >= 0 {
+		return nil, errors.New("pgc: mark bitmap has unpaired begin bit")
 	}
 
 	regionOf := func(off int) int { return (off - geo.DataOff) / layout.RegionSize }

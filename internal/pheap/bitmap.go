@@ -87,6 +87,36 @@ func (b *Bitmap) NextSet(from int) int {
 	}
 }
 
+// ForEachSet invokes fn with every set bit index in ascending order,
+// reading each backing word exactly once — the bulk decode the summary
+// phase uses, where NextSet's per-bit word re-reads would multiply the
+// pause-time device traffic by the object count.
+func (b *Bitmap) ForEachSet(fn func(bit int)) { b.ForEachSetBelow(b.bits, fn) }
+
+// ForEachSetBelow is ForEachSet bounded to bits < limit, so a caller
+// that knows the bitmap's used prefix (mark bits never lie above the
+// allocation tops) pays for that prefix only, not the whole area.
+func (b *Bitmap) ForEachSetBelow(limit int, fn func(bit int)) {
+	if limit > b.bits {
+		limit = b.bits
+	}
+	if limit <= 0 {
+		return
+	}
+	lastW := (limit - 1) / 64
+	for wi := 0; wi <= lastW; wi++ {
+		w := b.dev.ReadU64(b.off + wi*8)
+		for w != 0 {
+			bit := wi*64 + tz64(w)
+			if bit >= limit {
+				return
+			}
+			fn(bit)
+			w &= w - 1
+		}
+	}
+}
+
 // CountSet reports the number of set bits (diagnostics, tests).
 func (b *Bitmap) CountSet() int {
 	n := 0
@@ -100,6 +130,34 @@ func (b *Bitmap) CountSet() int {
 func (b *Bitmap) Persist() {
 	b.dev.Flush(b.off, (b.bits+63)/64*8)
 	b.dev.Fence()
+}
+
+// PersistMarkBitmapUsed persists the mark bitmap's used prefix — the
+// words covering bits up to the allocation top — plus whatever earlier
+// prefix this process persisted (high-water), instead of the whole
+// area. The invariant is that the persisted view beyond the last
+// recorded prefix is all zeros: true at Create (the device is born
+// zeroed), re-established after every persist (ClearAll zeroes the
+// memory view before marking, and the flush covers the previous
+// prefix), and forced by a one-time full flush after Load, when an
+// earlier process's history is unknown. Collections over small live
+// sets in large heaps therefore stop paying a pause-time flush of the
+// entire bitmap area.
+func (h *Heap) PersistMarkBitmapUsed() {
+	usedBits := (h.Top() - h.geo.DataOff) / layout.WordSize
+	usedBytes := align((usedBits+7)/8, 64)
+	if usedBytes > h.geo.MarkBmpSize {
+		usedBytes = h.geo.MarkBmpSize
+	}
+	cover := usedBytes
+	if h.markBmpHi > cover {
+		cover = h.markBmpHi
+	}
+	if cover > 0 {
+		h.dev.Flush(h.geo.MarkBmpOff, cover)
+	}
+	h.dev.Fence()
+	h.markBmpHi = usedBytes
 }
 
 func tz64(w uint64) int {

@@ -1,0 +1,122 @@
+package pheap
+
+import (
+	"testing"
+
+	"espresso/internal/klass"
+	"espresso/internal/layout"
+	"espresso/internal/nvm"
+)
+
+// TestLoadV2ImageUpgradesInPlace: a heap image from the PLAB-era format
+// (version 2, no GC-phase word — the slot was zero metadata padding)
+// loads cleanly, reads as phase-idle, and is upgraded to version 3 in
+// place without touching the geometry or the data.
+func TestLoadV2ImageUpgradesInPlace(t *testing.T) {
+	reg := klass.NewRegistry()
+	h, err := Create(reg, Config{DataSize: 1 << 20, Mode: nvm.Tracked})
+	if err != nil {
+		t.Fatal(err)
+	}
+	node, err := reg.Define(klass.MustInstance("compat/Node", nil,
+		klass.Field{Name: "id", Type: layout.FTLong},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := h.Alloc(node, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.SetWord(ref, layout.FieldOff(0), 4242)
+	if err := h.SetRoot("keep", ref); err != nil {
+		t.Fatal(err)
+	}
+
+	// Forge the v2 format: old version number, phase slot back to the
+	// zero padding it was.
+	dev := h.Device()
+	dev.WriteU64(mVersion, heapVersionPLAB)
+	dev.WriteU64(mGCPhase, 0)
+	dev.FlushAll()
+	img := dev.CrashImage(nvm.CrashFlushedOnly, 0)
+
+	dev2 := nvm.FromImage(img, nvm.Config{Mode: nvm.Tracked})
+	h2, err := Load(dev2, klass.NewRegistry())
+	if err != nil {
+		t.Fatalf("v2 image did not load: %v", err)
+	}
+	if got := dev2.ReadU64(mVersion); got != heapVersion {
+		t.Fatalf("version after load = %d, want %d (in-place upgrade)", got, heapVersion)
+	}
+	if h2.GCPhase() != GCPhaseIdle {
+		t.Fatalf("phase = %d, want idle", h2.GCPhase())
+	}
+	if h2.Geo() != h.Geo() {
+		t.Fatalf("geometry changed across the upgrade: %+v vs %+v", h2.Geo(), h.Geo())
+	}
+	got, ok := h2.GetRoot("keep")
+	if !ok {
+		t.Fatal("root lost across upgrade")
+	}
+	if v := h2.GetWord(got, layout.FieldOff(0)); v != 4242 {
+		t.Fatalf("payload = %d, want 4242", v)
+	}
+	// The upgrade is durable: a re-crash reloads as v3 directly.
+	img2 := dev2.CrashImage(nvm.CrashFlushedOnly, 0)
+	if _, err := Load(nvm.FromImage(img2, nvm.Config{Mode: nvm.Tracked}), klass.NewRegistry()); err != nil {
+		t.Fatalf("upgraded image did not reload: %v", err)
+	}
+}
+
+// TestLoadRejectsCorruptPhaseWord: an out-of-range phase word is a
+// corrupt image, not a silently-misread one.
+func TestLoadRejectsCorruptPhaseWord(t *testing.T) {
+	reg := klass.NewRegistry()
+	h, err := Create(reg, Config{DataSize: 1 << 20, Mode: nvm.Tracked})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := h.Device()
+	dev.WriteU64(mGCPhase, 7)
+	dev.FlushAll()
+	img := dev.CrashImage(nvm.CrashFlushedOnly, 0)
+	if _, err := Load(nvm.FromImage(img, nvm.Config{Mode: nvm.Tracked}), klass.NewRegistry()); err == nil {
+		t.Fatal("corrupt phase word loaded without error")
+	}
+}
+
+// TestSATBBufferLifecycle: records survive a mid-mark buffer release by
+// migrating to the heap's shared buffer, and DrainSATB delivers every
+// record exactly once.
+func TestSATBBufferLifecycle(t *testing.T) {
+	reg := klass.NewRegistry()
+	h, err := Create(reg, Config{DataSize: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.BeginConcurrentMark(h.SnapshotRegionTops())
+	defer h.EndConcurrentMark()
+
+	b1 := h.NewSATBBuffer()
+	b2 := h.NewSATBBuffer()
+	b1.Record(layout.Ref(0x1000))
+	b2.Record(layout.Ref(0x2000))
+	h.ReleaseSATBBuffer(b1) // pending record must migrate, not vanish
+
+	var got []layout.Ref
+	n := h.DrainSATB(func(r layout.Ref) { got = append(got, r) })
+	if n != 2 || len(got) != 2 {
+		t.Fatalf("drained %d records (%v), want 2", n, got)
+	}
+	seen := map[layout.Ref]bool{}
+	for _, r := range got {
+		seen[r] = true
+	}
+	if !seen[0x1000] || !seen[0x2000] {
+		t.Fatalf("missing records: %v", got)
+	}
+	if n := h.DrainSATB(func(layout.Ref) {}); n != 0 {
+		t.Fatalf("second drain delivered %d records", n)
+	}
+}

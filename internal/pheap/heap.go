@@ -31,8 +31,23 @@ import (
 const (
 	heapMagic = 0x4553_5052_4845_4150 // "ESPRHEAP"
 	// Version 2 added the per-region top table (PLAB allocation) and
-	// retired the single global top word.
-	heapVersion = 2
+	// retired the single global top word. Version 3 added the GC-phase
+	// word in what was metadata padding, so v2 images (where that word
+	// reads zero = idle) load unchanged and are upgraded in place.
+	heapVersion     = 3
+	heapVersionPLAB = 2
+)
+
+// GC-phase word values (mGCPhase). The phase word records that a
+// concurrent mark was in flight: unlike gcActive — which is set only
+// after the mark bitmap is fully persisted and therefore promises a
+// resumable compaction — a persisted phase of GCPhaseConcurrentMark with
+// gcActive clear means the crash interrupted marking itself. Nothing has
+// moved then, so recovery simply clears the word and the next collection
+// starts a fresh cycle (STW or concurrent).
+const (
+	GCPhaseIdle           uint64 = 0
+	GCPhaseConcurrentMark uint64 = 1
 )
 
 // Metadata field offsets (device-relative). The whole block fits in four
@@ -66,7 +81,8 @@ const (
 	mScratchOff    = 184
 	mRegionTopOff  = 192
 	mRegionTopSize = 200
-	metadataBytes  = 208
+	mGCPhase       = 208 // v3; zero padding in v2 images, so idle by construction
+	metadataBytes  = 216
 )
 
 // Config sizes a new heap. Zero values select defaults.
@@ -148,9 +164,32 @@ type Heap struct {
 	// (PLAB bumps, field access) never take it.
 	mu        sync.Mutex
 	gcActive  atomic.Bool
+	gcPhase   atomic.Uint64 // mirror of the persisted GC-phase word
 	globalTS  atomic.Uint64
 	ksegUsed  int
 	arenaUsed int
+
+	// SATB concurrent-marking state (satb.go): the pre-write barrier's
+	// activation flag, the snapshotted region tops it filters against,
+	// and the registered per-mutator buffers the marker drains.
+	satbMu      sync.Mutex
+	satbBuffers []*SATBBuffer
+	satbDefault *SATBBuffer
+	satbActive  atomic.Bool
+	satbSnap    []int
+	satbDirty   []atomic.Bool
+
+	// markBmpHi is the byte length of the mark bitmap's last persisted
+	// used prefix (see PersistMarkBitmapUsed). Volatile: a fresh process
+	// starts conservative.
+	markBmpHi int
+
+	// collecting guards against overlapping collections of one heap: a
+	// second collector starting mid-cycle would clear the bitmap the
+	// first is writing and move objects out from under its snapshot.
+	// core serializes its GC entry points; this is the in-process
+	// defense for direct pgc callers.
+	collecting atomic.Bool
 
 	// kmu guards the klass-record address maps, which the allocation and
 	// parse fast paths read concurrently with EnsureKlass appends.
@@ -260,6 +299,7 @@ func Create(reg *klass.Registry, cfg Config) (*Heap, error) {
 	dev.WriteU64(mScratchOff, uint64(geo.ScratchOff))
 	dev.WriteU64(mRegionTopOff, uint64(geo.RegionTopOff))
 	dev.WriteU64(mRegionTopSize, uint64(geo.RegionTopSize))
+	dev.WriteU64(mGCPhase, GCPhaseIdle)
 	dev.Flush(0, metadataBytes)
 	dev.Fence()
 	h.globalTS.Store(1)
@@ -289,8 +329,21 @@ func Load(dev *nvm.Device, reg *klass.Registry) (*Heap, error) {
 	if dev.ReadU64(mMagic) != heapMagic {
 		return nil, fmt.Errorf("pheap: bad heap magic")
 	}
-	if v := dev.ReadU64(mVersion); v != heapVersion {
+	v := dev.ReadU64(mVersion)
+	if v != heapVersion && v != heapVersionPLAB {
 		return nil, fmt.Errorf("pheap: unsupported heap version %d", v)
+	}
+	if v == heapVersionPLAB {
+		// v2 → v3 upgrade in place: the phase word lives in what v2 kept
+		// as zero metadata padding (geometry is unchanged), so stamping
+		// the slot idle and bumping the version is the whole migration.
+		dev.WriteU64(mGCPhase, GCPhaseIdle)
+		dev.WriteU64(mVersion, heapVersion)
+		dev.Flush(0, metadataBytes)
+		dev.Fence()
+	}
+	if p := dev.ReadU64(mGCPhase); p > GCPhaseConcurrentMark {
+		return nil, fmt.Errorf("pheap: corrupt GC-phase word %d", p)
 	}
 	if sz := dev.ReadU64(mDeviceSize); int(sz) != dev.Size() {
 		return nil, fmt.Errorf("pheap: image size %d does not match metadata %d", dev.Size(), sz)
@@ -318,6 +371,10 @@ func Load(dev *nvm.Device, reg *klass.Registry) (*Heap, error) {
 	}
 	h.globalTS.Store(dev.ReadU64(mGlobalTS))
 	h.gcActive.Store(dev.ReadU64(mGCActive) != 0)
+	h.gcPhase.Store(dev.ReadU64(mGCPhase))
+	// An earlier process may have persisted mark bits anywhere in the
+	// bitmap area; the first persist of this process must cover it all.
+	h.markBmpHi = geo.MarkBmpSize
 	// Class re-initialization in place: cost ∝ number of Klasses, not
 	// objects — the property behind Figure 18's flat UG line.
 	if err := h.reinitKlasses(); err != nil {
@@ -460,6 +517,51 @@ func (h *Heap) SetGCState(ts uint64, active bool) {
 // GCActiveMetaOff exposes the metadata offset of the gcActive flag for
 // redo-log entries.
 func (h *Heap) GCActiveMetaOff() int { return mGCActive }
+
+// TryBeginCollection claims the heap's single-collector slot, reporting
+// false if another collection (or recovery) is already running in this
+// process. Pair with EndCollection.
+func (h *Heap) TryBeginCollection() bool { return h.collecting.CompareAndSwap(false, true) }
+
+// EndCollection releases the single-collector slot.
+func (h *Heap) EndCollection() { h.collecting.Store(false) }
+
+// GCPhase reports the persisted GC-phase word (volatile mirror).
+func (h *Heap) GCPhase() uint64 { return h.gcPhase.Load() }
+
+// SetGCPhase persists the GC-phase word (write + flush + fence — it is a
+// single word, so the store is atomic on the media) and updates the
+// mirror. The concurrent collector sets GCPhaseConcurrentMark before the
+// first trace step and clears it only once the collection has either
+// aborted or transitioned to the gcActive compaction protocol, so a
+// reloaded image can always tell an interrupted mark (discard, restart
+// fresh) from an interrupted compaction (resume via the mark bitmap).
+func (h *Heap) SetGCPhase(p uint64) {
+	h.persistU64(mGCPhase, p)
+	h.gcPhase.Store(p)
+}
+
+// GCPhaseMetaOff exposes the metadata offset of the GC-phase word for
+// crash tests.
+func (h *Heap) GCPhaseMetaOff() int { return mGCPhase }
+
+// SnapshotRegionTops copies the current region-top table mirrors — the
+// snapshot-at-the-beginning boundary the concurrent marker traces below
+// while mutators keep bump-allocating above (allocate-black). Entries
+// keep the table's raw encoding (0 untouched, 1 humongous interior,
+// otherwise a parse limit); IsRealTop distinguishes them. Callers take
+// the snapshot with the world stopped.
+func (h *Heap) SnapshotRegionTops() []int {
+	tops := make([]int, len(h.regionTops))
+	for i := range tops {
+		tops[i] = int(h.regionTops[i].Load())
+	}
+	return tops
+}
+
+// IsRealTop reports whether a region-top table value is a parse limit
+// (as opposed to the untouched or humongous-interior sentinels).
+func IsRealTop(top int) bool { return top > regionTopHumongousCont }
 
 // PrepareForCollection is the allocator side of the GC safepoint: every
 // registered allocator's PLAB and recycled hole is dropped (their region

@@ -13,6 +13,13 @@
 // Write protocol per mutated word: append (addr, old) to the log, flush
 // the entry, fence, bump and flush the count, then perform the store.
 // Commit flushes the mutated words, fences, and resets the count.
+//
+// ptx writes heap words directly (plain stores, no core write barrier),
+// so its transactions are compatible with the stop-the-world collector
+// only: a heap being mutated through ptx must not run
+// pgc.CollectConcurrent, whose SATB marker requires every reference
+// overwrite to pass core's pre-write barrier. Routing ptx stores through
+// a mutator-aware barrier is the ROADMAP's write-combining item.
 package ptx
 
 import (
