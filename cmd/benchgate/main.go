@@ -75,6 +75,7 @@ func main() {
 	curPath := flag.String("current", "", "freshly measured JSON")
 	tol := flag.Float64("tol", 0.10, "relative tolerance")
 	minSpeedup := flag.Float64("minspeedup", 0, "required modeled_speedup_vs_1 at the largest goroutine count (0 = off)")
+	speedupSeries := flag.String("speedupseries", "plab", "series whose largest-goroutine row -minspeedup applies to")
 	minPauseReduction := flag.Float64("minpausereduction", 0, "required pause_reduction_vs_stw on the concurrent gcpause row (0 = off)")
 	flag.Parse()
 	if *basePath == "" || *curPath == "" {
@@ -144,7 +145,7 @@ func main() {
 				}
 			}
 		}
-		if g, ok := cur["goroutines"].(float64); ok && cur["series"] == "plab" && g > bestG {
+		if g, ok := cur["goroutines"].(float64); ok && cur["series"] == *speedupSeries && g > bestG {
 			bestG = g
 			bestSpeedup, _ = cur["modeled_speedup_vs_1"].(float64)
 		}
@@ -154,15 +155,15 @@ func main() {
 	}
 	if *minSpeedup > 0 {
 		if bestG < 0 {
-			fmt.Printf("FAIL no plab scaling rows found for -minspeedup\n")
+			fmt.Printf("FAIL no %s scaling rows found for -minspeedup\n", *speedupSeries)
 			failures++
 		} else if bestSpeedup < *minSpeedup {
-			fmt.Printf("FAIL plab/%d modeled_speedup_vs_1 %.2f < required %.2f\n",
-				int(bestG), bestSpeedup, *minSpeedup)
+			fmt.Printf("FAIL %s/%d modeled_speedup_vs_1 %.2f < required %.2f\n",
+				*speedupSeries, int(bestG), bestSpeedup, *minSpeedup)
 			failures++
 		} else {
-			fmt.Printf("ok   plab/%d modeled_speedup_vs_1 %.2f ≥ %.2f\n",
-				int(bestG), bestSpeedup, *minSpeedup)
+			fmt.Printf("ok   %s/%d modeled_speedup_vs_1 %.2f ≥ %.2f\n",
+				*speedupSeries, int(bestG), bestSpeedup, *minSpeedup)
 		}
 	}
 	if *minPauseReduction > 0 {

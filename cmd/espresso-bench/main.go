@@ -11,6 +11,7 @@
 //	espresso-bench -exp fastpath resolved-handle / bulk-I/O / flush-coalescing costs
 //	espresso-bench -exp alloc    PLAB allocation scaling curve
 //	espresso-bench -exp gcpause  STW vs concurrent-marking GC pause times
+//	espresso-bench -exp kv       durable lock-free index (pindex) scaling curve
 //	espresso-bench -exp all      everything
 //
 // -scale N divides workload sizes by N for quick runs. -parallel N caps
@@ -30,15 +31,15 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig4|fig6|fig15|fig16|fig17|fig18|gcflush|fastpath|alloc|gcpause|all")
+	exp := flag.String("exp", "all", "experiment: fig4|fig6|fig15|fig16|fig17|fig18|gcflush|fastpath|alloc|gcpause|kv|all")
 	scale := flag.Int("scale", 1, "divide workload sizes by this factor")
 	gcMB := flag.Int("gcmb", 256, "live megabytes for the gcflush experiment")
-	parallel := flag.Int("parallel", 8, "top of the alloc goroutine curve / gcpause mutator count")
+	parallel := flag.Int("parallel", 8, "top of the alloc/kv goroutine curves / gcpause mutator count")
 	jsonPath := flag.String("json", "", "write fastpath/alloc/gcpause rows to this JSON file")
 	flag.Parse()
 
-	if *jsonPath != "" && *exp != "fastpath" && *exp != "alloc" && *exp != "gcpause" {
-		fmt.Fprintln(os.Stderr, "espresso-bench: -json requires -exp fastpath, -exp alloc, or -exp gcpause")
+	if *jsonPath != "" && *exp != "fastpath" && *exp != "alloc" && *exp != "gcpause" && *exp != "kv" {
+		fmt.Fprintln(os.Stderr, "espresso-bench: -json requires -exp fastpath, -exp alloc, -exp gcpause, or -exp kv")
 		os.Exit(2)
 	}
 
@@ -133,6 +134,17 @@ func main() {
 		}
 		experiments.PrintGCPause(w, rows)
 		if *exp == "gcpause" {
+			return writeJSON(rows)
+		}
+		return nil
+	})
+	run("kv", func() error {
+		rows, err := experiments.KVScaling(s, *parallel)
+		if err != nil {
+			return err
+		}
+		experiments.PrintKVScaling(w, rows)
+		if *exp == "kv" {
 			return writeJSON(rows)
 		}
 		return nil

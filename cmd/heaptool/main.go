@@ -3,6 +3,8 @@
 //	heaptool -heap /path/img.pjh info      geometry, klasses, roots
 //	heaptool -heap /path/img.pjh verify    parse the whole heap
 //	heaptool -heap /path/img.pjh gc        run (or resume) a collection
+//	heaptool -heap /path/img.pjh inspect   GC-phase word, format version,
+//	                                       per-region top table
 package main
 
 import (
@@ -12,6 +14,7 @@ import (
 	"os"
 
 	"espresso/internal/klass"
+	"espresso/internal/layout"
 	"espresso/internal/nvm"
 	"espresso/internal/pgc"
 	"espresso/internal/pheap"
@@ -22,7 +25,7 @@ func main() {
 	flag.Parse()
 	cmd := flag.Arg(0)
 	if *path == "" || cmd == "" {
-		fmt.Fprintln(os.Stderr, "usage: heaptool -heap <image.pjh> info|verify|gc")
+		fmt.Fprintln(os.Stderr, "usage: heaptool -heap <image.pjh> info|verify|gc|inspect")
 		os.Exit(2)
 	}
 	dev, err := nvm.LoadFile(*path, nvm.Config{Mode: nvm.Tracked})
@@ -80,6 +83,41 @@ func main() {
 		}
 		if err := dev.Save(*path); err != nil {
 			log.Fatal(err)
+		}
+	case "inspect":
+		// The GC/allocation state PRs 2–3 put into the image, surfaced:
+		// format version, the concurrent collector's phase word, and the
+		// PLAB allocator's per-region persisted top table.
+		g := h.Geo()
+		fmt.Printf("format version %d\n", h.FormatVersion())
+		phase := "idle"
+		if h.GCPhase() == pheap.GCPhaseConcurrentMark {
+			phase = "concurrent-mark (mark was in flight; next load discards it)"
+		}
+		fmt.Printf("gc phase       %s\n", phase)
+		fmt.Printf("gc active      %v\n", h.GCActive())
+		fmt.Printf("global ts      %d\n", h.GlobalTS())
+		fmt.Printf("redo pending   %v\n", h.RedoPending())
+		fmt.Printf("region top table (%d data regions of %d KB, stride %d B):\n",
+			g.DataRegions(), layout.RegionSize>>10, layout.RegionTopStride)
+		for r := 0; r < g.DataRegions(); r++ {
+			start := g.DataOff + r*layout.RegionSize
+			end := start + layout.RegionSize
+			top := h.RegionTop(r)
+			switch {
+			case top == 0:
+				fmt.Printf("  region %3d  untouched\n", r)
+			case !pheap.IsRealTop(top):
+				fmt.Printf("  region %3d  humongous interior\n", r)
+			case top > end:
+				fmt.Printf("  region %3d  humongous head, run parses to +%d (%d bytes)\n",
+					r, top, top-start)
+			case top == end:
+				fmt.Printf("  region %3d  full (top +%d)\n", r, top)
+			default:
+				fmt.Printf("  region %3d  partial: top +%d (%d/%d bytes used)\n",
+					r, top, top-start, layout.RegionSize)
+			}
 		}
 	default:
 		log.Fatalf("unknown command %q", cmd)

@@ -78,6 +78,20 @@
 //		m.SetRoot("list", n)
 //	})
 //
+// # Durable concurrent index
+//
+// OpenPMap returns a lock-free, resizable persistent hash map
+// (internal/pindex) whose operations are durable-linearizable: when Put
+// or Delete returns, the mutation is persisted — no FlushObject — and a
+// crash at any point reloads exactly the committed mappings:
+//
+//	m, _ := rt.OpenPMap("Jimmy", "sessions", espresso.PMapOptions{})
+//	m.Put(42, p)          // durable on return; safe from any goroutine
+//	v, ok := m.Get(42)
+//	m.Delete(42)
+//
+// # The facade
+//
 // The facade re-exports the runtime in internal/core with small
 // conveniences; the substrates (NVM device, heap, collectors, database,
 // providers) live under internal/.

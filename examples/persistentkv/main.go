@@ -1,6 +1,32 @@
-// Persistentkv builds a crash-safe key-value store on PJH collections:
-// a persistent hash map whose mutations run in undo-log transactions,
-// surviving a simulated power loss mid-update.
+// Persistentkv builds a crash-safe concurrent key-value store on the
+// durable lock-free persistent index (internal/pindex): several
+// goroutines insert and delete in parallel, the machine "loses power"
+// with NO shutdown flush at all, and the reloaded store contains exactly
+// the committed mappings.
+//
+// # The guarantee (durable linearizability)
+//
+// Every mutation publishes with one CAS whose slot carries a dirty mark
+// until the publishing thread — or any reader that observes it — flushes
+// the cache line and retires the mark. An operation returns only after
+// the link it depends on is persisted, so:
+//
+//   - when Put returns, the mapping survives any later crash (no
+//     FlushObject, no FlushAll — the adversarial CrashFlushedOnly image
+//     below keeps only explicitly flushed lines);
+//   - when Delete returns, the key can never resurrect;
+//   - an operation in flight at the crash lands atomically: the mapping
+//     is either entirely there or entirely absent, never torn.
+//
+// # Recovery semantics
+//
+// Reopening the index (pindex.Open / Runtime.OpenPMap) runs a one-pass
+// recovery walk: links whose dirty mark persisted are retired (the link
+// itself was already durable), nodes whose delete mark persisted are
+// physically unlinked, and the entry count is rebuilt. Nodes whose
+// publishing CAS never persisted are unreachable from the reloaded image
+// by construction — they are ordinary garbage for the next persistent
+// collection.
 //
 //	go run ./examples/persistentkv
 package main
@@ -8,11 +34,18 @@ package main
 import (
 	"fmt"
 	"log"
+	"sync"
 
 	"espresso/internal/klass"
+	"espresso/internal/layout"
 	"espresso/internal/nvm"
-	"espresso/internal/pcollections"
 	"espresso/internal/pheap"
+	"espresso/internal/pindex"
+)
+
+const (
+	goroutines = 4
+	perG       = 50
 )
 
 func main() {
@@ -23,59 +56,85 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	world, err := pcollections.NewWorld(heap)
+	ix, err := pindex.Open(heap, pindex.NoPin{}, "kvstore", pindex.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	boxK, err := heap.Registry().Define(klass.MustInstance("kv/Box", nil,
+		klass.Field{Name: "v", Type: layout.FTLong}))
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	kv, err := world.NewMap(64)
-	if err != nil {
-		log.Fatal(err)
+	// Four goroutines store their own key ranges concurrently — each with
+	// its own lock-free operation context — then delete every fourth key.
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c := ix.NewCtx()
+			defer c.Release()
+			for i := 0; i < perG; i++ {
+				key := int64(g*1000 + i)
+				// Value box on the mutator's own PLAB — the same lock-free
+				// allocation path the index's nodes take.
+				box, err := c.Allocator().Alloc(boxK, 0)
+				if err != nil {
+					log.Fatal(err)
+				}
+				heap.SetWord(box, layout.FieldOff(0), uint64(key*10))
+				heap.FlushRange(box, 0, boxK.SizeOf(0))
+				if err := c.Put(key, box); err != nil {
+					log.Fatal(err)
+				}
+				if i%4 == 3 {
+					if !c.Delete(key) {
+						log.Fatal("delete missed its own insert")
+					}
+				}
+			}
+		}(g)
 	}
-	if err := heap.SetRoot("kvstore", kv); err != nil {
-		log.Fatal(err)
-	}
+	wg.Wait()
+	fmt.Printf("committed %d entries from %d goroutines (no shutdown flush!)\n",
+		ix.Len(), goroutines)
 
-	// Store 100 committed entries.
-	for k := int64(0); k < 100; k++ {
-		box, err := world.NewLong(k * 10)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if err := world.MapPut(kv, k, box); err != nil {
-			log.Fatal(err)
-		}
-	}
-	fmt.Printf("committed %d entries\n", world.MapLen(kv))
-
-	// Power loss: take a crash image with an arbitrary subset of
-	// unflushed lines, as real NVM would keep.
-	img := heap.Device().CrashImage(nvm.CrashRandomEviction, 42)
+	// Power loss, worst case: only explicitly flushed lines survive.
+	img := heap.Device().CrashImage(nvm.CrashFlushedOnly, 0)
 	fmt.Println("simulated power loss; rebooting from the crash image")
 
 	reloaded, err := pheap.Load(nvm.FromImage(img, nvm.Config{Mode: nvm.Tracked}), klass.NewRegistry())
 	if err != nil {
 		log.Fatal(err)
 	}
-	world2, err := pcollections.NewWorld(reloaded) // rolls back any open tx
+	ix2, err := pindex.Open(reloaded, pindex.NoPin{}, "kvstore", pindex.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
-	kv2, ok := reloaded.GetRoot("kvstore")
-	if !ok {
-		log.Fatal("kv root lost")
-	}
-	good := 0
-	for k := int64(0); k < 100; k++ {
-		box, ok := world2.MapGet(kv2, k)
-		if ok && world2.LongValue(box) == k*10 {
-			good++
+	c := ix2.NewCtx()
+	defer c.Release()
+	good, want := 0, 0
+	for g := 0; g < goroutines; g++ {
+		for i := 0; i < perG; i++ {
+			key := int64(g*1000 + i)
+			box, ok := c.Get(key)
+			if i%4 == 3 {
+				if ok {
+					log.Fatalf("deleted key %d resurrected!", key)
+				}
+				continue
+			}
+			want++
+			if ok && int64(reloaded.GetWord(box, layout.FieldOff(0))) == key*10 {
+				good++
+			}
 		}
 	}
-	fmt.Printf("after reboot: %d/%d committed entries intact, map size %d\n",
-		good, 100, world2.MapLen(kv2))
-	if good != 100 {
+	fmt.Printf("after reboot: %d/%d committed entries intact, %d deletes honored, index size %d\n",
+		good, want, goroutines*perG-want, ix2.Len())
+	if good != want || ix2.Len() != want {
 		log.Fatal("data loss detected!")
 	}
-	fmt.Println("kv store survived the crash")
+	fmt.Println("kv store survived the crash with exactly the committed keys")
 }

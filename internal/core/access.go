@@ -203,16 +203,11 @@ func (rt *Runtime) storeRef(obj layout.Ref, boff int, val layout.Ref, satb *phea
 		// snapshot-reachable object could be hidden from the trace. Off
 		// the marking phase this costs one atomic flag load.
 		if h.ConcurrentMarkActive() {
-			if old := layout.Ref(h.GetWordAtomic(obj, boff)); h.SATBRecordNeeded(old) {
-				if satb == nil {
-					satb = h.DefaultSATBBuffer()
-				}
-				satb.Record(old)
-			}
-			// Card mark: the store may retarget this object at something
-			// the marker's outgoing-reference summary did not see, so its
-			// region must be rescanned in the compaction pause.
-			h.SATBMarkDirtyCard(obj)
+			// Record the untagged old referent and dirty the card: the
+			// store may retarget this object at something the marker's
+			// outgoing-reference summary did not see, so its card must be
+			// rescanned in the compaction pause.
+			h.SATBRecordBarrier(obj, h.GetWordAtomic(obj, boff), satb)
 		}
 		// The store itself is a single atomic machine store, so the
 		// concurrent marker's slot loads never tear against it.

@@ -189,7 +189,10 @@ func (rt *Runtime) scanObject(fw *flushState, h *pheap.Heap, ref layout.Ref) err
 	h.ReadBytesAt(ref, 0, body)
 	// Reuse the canonical ref-slot enumeration over the bulk buffer.
 	pheap.RefSlots(bufReader{body}, 0, k, func(slotBoff int) {
-		child := layout.Ref(binary.LittleEndian.Uint64(body[slotBoff:]))
+		// Slot values may carry low link-state tag bits (layout.RefTagMask,
+		// the persistent index's marks); strip them before treating the
+		// value as an address.
+		child := layout.UntagRef(layout.Ref(binary.LittleEndian.Uint64(body[slotBoff:])))
 		if child != layout.NullRef {
 			fw.stack = append(fw.stack, child)
 		}

@@ -169,6 +169,23 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 // Volatile exposes the volatile heap (tests, diagnostics).
 func (rt *Runtime) Volatile() *vheap.Heap { return rt.vol }
 
+// SafepointPin exposes the runtime's safepoint read lock as a Pin/Unpin
+// pair — the hook lock-free subsystems (internal/pindex) use to make
+// each of their operations a safepoint interval without going through a
+// Mutator. Pin must not be held across a call to any public Runtime or
+// Mutator accessor (they re-acquire the lock) nor nested.
+type SafepointPin struct{ rt *Runtime }
+
+// SafepointPinner returns the runtime's safepoint pin handle.
+func (rt *Runtime) SafepointPinner() SafepointPin { return SafepointPin{rt} }
+
+// Pin enters a safepoint interval: no collector pause can begin until
+// the matching Unpin.
+func (p SafepointPin) Pin() { p.rt.world.RLock() }
+
+// Unpin leaves the safepoint interval.
+func (p SafepointPin) Unpin() { p.rt.world.RUnlock() }
+
 // NameManager exposes the external name manager.
 func (rt *Runtime) NameManager() *namemgr.Manager { return rt.mgr }
 

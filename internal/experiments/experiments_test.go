@@ -97,6 +97,34 @@ func TestGCFlushCostPositive(t *testing.T) {
 	}
 }
 
+func TestKVScalingPIndex(t *testing.T) {
+	rows, err := KVScaling(Scale(50), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byG := map[int]KVRow{}
+	for _, r := range rows {
+		byG[r.Goroutines] = r
+	}
+	r1, ok1 := byG[1]
+	r8, ok8 := byG[8]
+	if !ok1 || !ok8 {
+		t.Fatalf("missing rows: %+v", rows)
+	}
+	// Per-op device costs must not grow with mutators (no shared
+	// persisted word on the hot path), within rounding.
+	if r8.FlushedLines > r1.FlushedLines*1.1+0.05 || r8.Fences > r1.Fences*1.1+0.05 {
+		t.Fatalf("per-op device cost grew with mutators: 1g=%+v 8g=%+v", r1, r8)
+	}
+	// The acceptance bar: ≥3x modeled throughput scaling at 8 mutators.
+	if r8.ModeledSpeedup < 3 {
+		t.Fatalf("modeled KV speedup at 8 mutators = %.2fx, want ≥3x", r8.ModeledSpeedup)
+	}
+	if r8.FinalEntries == 0 {
+		t.Fatal("kv run left an empty index")
+	}
+}
+
 func TestAllocScalingPLABs(t *testing.T) {
 	rows, err := AllocScaling(Scale(50), 8)
 	if err != nil {

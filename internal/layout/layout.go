@@ -62,6 +62,33 @@ const (
 	MetaKlassStride     = 64
 )
 
+// Reference tagging. ObjAlign leaves the low four bits of every real
+// object address zero; lock-free persistent structures (internal/pindex)
+// store their link-state marks there, HotSpot-tagged-pointer style. Any
+// code that interprets a reference slot's value as an object address —
+// the concurrent marker, the compactor's reference fixing, the SATB
+// barrier — must strip the tag first and, when rewriting the slot,
+// carry the tag over unchanged.
+const RefTagMask = Ref(ObjAlign - 1)
+
+// UntagRef strips the low tag bits, yielding the object address.
+func UntagRef(r Ref) Ref { return r &^ RefTagMask }
+
+// RefTag extracts the low tag bits of a reference slot value.
+func RefTag(r Ref) Ref { return r & RefTagMask }
+
+// MixHash64 is the shared 64-bit hash finalizer for persisted hash
+// structures: pcollections.PHashMap derives bucket placement from it
+// and pindex derives its split-order keys from it. Persisted layouts
+// depend on its output, so its definition must never change.
+func MixHash64(k int64) uint64 {
+	x := uint64(k)
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	return x
+}
+
 // Mark word encoding:
 //
 //	bits 0..7   flags (low bits kept free the way HotSpot reserves them)

@@ -264,6 +264,32 @@ func (d *Device) WriteU64Atomic(off int, v uint64) {
 	d.markDirty(off, 8)
 }
 
+// CompareAndSwapU64 atomically replaces the word at the 8-aligned byte
+// offset off with new if it currently equals old, reporting whether the
+// swap happened — the lock-free publication primitive (cmpxchg) under
+// the persistent index's link-and-persist protocol. The comparison and
+// store are one atomic machine operation against concurrent
+// ReadU64Atomic/WriteU64Atomic/CompareAndSwapU64 on the same word.
+// Accounting: every attempt counts one read; a successful swap
+// additionally counts one write and dirties the line.
+func (d *Device) CompareAndSwapU64(off int, old, new uint64) bool {
+	d.check(off, 8)
+	if off%8 != 0 {
+		panic(fmt.Sprintf("nvm: unaligned atomic cas at %d", off))
+	}
+	if !hostLittleEndian {
+		old = bits.ReverseBytes64(old)
+		new = bits.ReverseBytes64(new)
+	}
+	d.countRead(8)
+	if !atomic.CompareAndSwapUint64((*uint64)(unsafe.Pointer(&d.mem[off])), old, new) {
+		return false
+	}
+	d.countWrite(8)
+	d.markDirty(off, 8)
+	return true
+}
+
 // ReadU64Atomic loads the word at the 8-aligned byte offset off with a
 // single atomic machine load — never torn, even against a concurrent
 // WriteU64Atomic to the same word.

@@ -4,7 +4,10 @@
 // array list, and a hash map. They are ordinary Java-object graphs
 // allocated with pnew; each mutating operation runs in a ptx undo-log
 // transaction so both sides of the comparison offer the same ACID
-// guarantee.
+// guarantee. Reference stores go through ptx.Tx.WriteRefWord — the SATB
+// pre-write barrier plus a single atomic machine store — so these legacy
+// collections stay correct while pgc.CollectConcurrent marks; the
+// concurrent serving-oriented index lives in internal/pindex.
 package pcollections
 
 import (
@@ -145,7 +148,7 @@ func (w *World) NewTuple(elems ...layout.Ref) (layout.Ref, error) {
 	}
 	err = w.TX.Run(func(tx *ptx.Tx) error {
 		for i, e := range elems {
-			if err := tx.WriteWord(ref, layout.FieldOff(i), uint64(e)); err != nil {
+			if err := tx.WriteRefWord(ref, layout.FieldOff(i), e); err != nil {
 				return err
 			}
 		}
@@ -162,7 +165,7 @@ func (w *World) TupleGet(ref layout.Ref, i int) layout.Ref {
 // TupleSet writes tuple slot i transactionally.
 func (w *World) TupleSet(ref layout.Ref, i int, v layout.Ref) error {
 	return w.TX.Run(func(tx *ptx.Tx) error {
-		return tx.WriteWord(ref, layout.FieldOff(i), uint64(v))
+		return tx.WriteRefWord(ref, layout.FieldOff(i), v)
 	})
 }
 
@@ -181,7 +184,7 @@ func (w *World) ArrayGet(arr layout.Ref, i int) layout.Ref {
 // ArraySet writes element i transactionally.
 func (w *World) ArraySet(arr layout.Ref, i int, v layout.Ref) error {
 	return w.TX.Run(func(tx *ptx.Tx) error {
-		return tx.WriteWord(arr, layout.ElemOff(layout.FTRef, i), uint64(v))
+		return tx.WriteRefWord(arr, layout.ElemOff(layout.FTRef, i), v)
 	})
 }
 
@@ -204,7 +207,7 @@ func (w *World) NewList(capacity int) (layout.Ref, error) {
 		if err := tx.WriteWord(ref, w.listSizeOff, 0); err != nil {
 			return err
 		}
-		return tx.WriteWord(ref, w.listElemsOff, uint64(elems))
+		return tx.WriteRefWord(ref, w.listElemsOff, elems)
 	})
 	return ref, err
 }
@@ -230,14 +233,14 @@ func (w *World) ListAdd(list layout.Ref, v layout.Ref) error {
 		}
 		w.H.FlushRange(bigger, 0, w.objArrKlass.SizeOf(cap*2))
 		if err := w.TX.Run(func(tx *ptx.Tx) error {
-			return tx.WriteWord(list, w.listElemsOff, uint64(bigger))
+			return tx.WriteRefWord(list, w.listElemsOff, bigger)
 		}); err != nil {
 			return err
 		}
 		elems = bigger
 	}
 	return w.TX.Run(func(tx *ptx.Tx) error {
-		if err := tx.WriteWord(elems, layout.ElemOff(layout.FTRef, size), uint64(v)); err != nil {
+		if err := tx.WriteRefWord(elems, layout.ElemOff(layout.FTRef, size), v); err != nil {
 			return err
 		}
 		return tx.WriteWord(list, w.listSizeOff, uint64(size+1))
@@ -281,18 +284,12 @@ func (w *World) NewMap(buckets int) (layout.Ref, error) {
 		if err := tx.WriteWord(ref, w.mapSizeOff, 0); err != nil {
 			return err
 		}
-		return tx.WriteWord(ref, w.mapBucketsOff, uint64(arr))
+		return tx.WriteRefWord(ref, w.mapBucketsOff, arr)
 	})
 	return ref, err
 }
 
-func mixHash(k int64) uint64 {
-	x := uint64(k)
-	x ^= x >> 33
-	x *= 0xff51afd7ed558ccd
-	x ^= x >> 33
-	return x
-}
+func mixHash(k int64) uint64 { return layout.MixHash64(k) }
 
 // MapPut inserts or updates key → value.
 func (w *World) MapPut(m layout.Ref, key int64, value layout.Ref) error {
@@ -303,7 +300,7 @@ func (w *World) MapPut(m layout.Ref, key int64, value layout.Ref) error {
 	for e := head; e != layout.NullRef; e = layout.Ref(w.H.GetWord(e, w.entryNextOff)) {
 		if int64(w.H.GetWord(e, w.entryKeyOff)) == key {
 			return w.TX.Run(func(tx *ptx.Tx) error {
-				return tx.WriteWord(e, w.entryValOff, uint64(value))
+				return tx.WriteRefWord(e, w.entryValOff, value)
 			})
 		}
 	}
@@ -319,13 +316,13 @@ func (w *World) MapPut(m layout.Ref, key int64, value layout.Ref) error {
 		if err := tx.WriteWord(entry, w.entryKeyOff, uint64(key)); err != nil {
 			return err
 		}
-		if err := tx.WriteWord(entry, w.entryValOff, uint64(value)); err != nil {
+		if err := tx.WriteRefWord(entry, w.entryValOff, value); err != nil {
 			return err
 		}
-		if err := tx.WriteWord(entry, w.entryNextOff, uint64(head)); err != nil {
+		if err := tx.WriteRefWord(entry, w.entryNextOff, head); err != nil {
 			return err
 		}
-		if err := tx.WriteWord(buckets, layout.ElemOff(layout.FTRef, slot), uint64(entry)); err != nil {
+		if err := tx.WriteRefWord(buckets, layout.ElemOff(layout.FTRef, slot), entry); err != nil {
 			return err
 		}
 		return tx.WriteWord(m, w.mapSizeOff, uint64(size+1))
@@ -358,10 +355,10 @@ func (w *World) MapRemove(m layout.Ref, key int64) (bool, error) {
 			size := w.H.GetWord(m, w.mapSizeOff)
 			err := w.TX.Run(func(tx *ptx.Tx) error {
 				if prev == layout.NullRef {
-					if err := tx.WriteWord(buckets, layout.ElemOff(layout.FTRef, slot), next); err != nil {
+					if err := tx.WriteRefWord(buckets, layout.ElemOff(layout.FTRef, slot), layout.Ref(next)); err != nil {
 						return err
 					}
-				} else if err := tx.WriteWord(prev, nextOff, next); err != nil {
+				} else if err := tx.WriteRefWord(prev, nextOff, layout.Ref(next)); err != nil {
 					return err
 				}
 				return tx.WriteWord(m, w.mapSizeOff, size-1)

@@ -8,6 +8,7 @@ import (
 	"espresso/internal/klass"
 	"espresso/internal/layout"
 	"espresso/internal/nvm"
+	"espresso/internal/pgc"
 	"espresso/internal/pheap"
 )
 
@@ -193,5 +194,82 @@ func TestCollectionsSurviveReload(t *testing.T) {
 		if err != nil || w2.LongValue(b) != int64(i*11) {
 			t.Fatalf("reloaded elem %d wrong", i)
 		}
+	}
+}
+
+// midMarkWorld runs the queued callback when CollectConcurrent releases
+// the world after its initial handshake — i.e. with the SATB barrier
+// armed and the snapshot taken — so the mutations exercise exactly the
+// window where an unbarriered store could hide a snapshot-reachable
+// object from the marker.
+type midMarkWorld struct{ onStart []func() }
+
+func (w *midMarkWorld) StopWorld() {}
+func (w *midMarkWorld) StartWorld() {
+	if len(w.onStart) > 0 {
+		fn := w.onStart[0]
+		w.onStart = w.onStart[1:]
+		fn()
+	}
+}
+
+// TestLegacyCollectionsSafeDuringConcurrentGC mutates the map and list
+// mid-concurrent-mark (through the barrier-aware transactional stores)
+// and verifies nothing is lost or corrupted by the cycle's compaction.
+func TestLegacyCollectionsSafeDuringConcurrentGC(t *testing.T) {
+	w := world(t)
+	h := w.H
+	m, err := w.NewMap(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.SetRoot("map", m); err != nil {
+		t.Fatal(err)
+	}
+	for k := int64(0); k < 64; k++ {
+		b, _ := w.NewLong(k * 3)
+		if err := w.MapPut(m, k, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	world := &midMarkWorld{onStart: []func(){func() {
+		// Overwrites + removals mid-mark: each store's old referent must
+		// reach the marker through the SATB barrier or compaction would
+		// operate on a lost-object summary.
+		for k := int64(0); k < 32; k++ {
+			b, _ := w.NewLong(k * 1000)
+			if err := w.MapPut(m, k, b); err != nil {
+				panic(err)
+			}
+		}
+		for k := int64(48); k < 64; k++ {
+			if _, err := w.MapRemove(m, k); err != nil {
+				panic(err)
+			}
+		}
+	}}}
+	if _, err := pgc.CollectConcurrent(h, pgc.NoRoots{}, world); err != nil {
+		t.Fatal(err)
+	}
+	m, _ = h.GetRoot("map") // compaction may have moved everything
+	for k := int64(0); k < 64; k++ {
+		b, ok := w.MapGet(m, k)
+		switch {
+		case k < 32:
+			if !ok || w.LongValue(b) != k*1000 {
+				t.Fatalf("key %d: ok=%v val=%d, want %d", k, ok, w.LongValue(b), k*1000)
+			}
+		case k < 48:
+			if !ok || w.LongValue(b) != k*3 {
+				t.Fatalf("key %d: ok=%v, want untouched %d", k, ok, k*3)
+			}
+		default:
+			if ok {
+				t.Fatalf("removed key %d still present", k)
+			}
+		}
+	}
+	if w.MapLen(m) != 48 {
+		t.Fatalf("map len = %d, want 48", w.MapLen(m))
 	}
 }

@@ -138,10 +138,13 @@ func fixRefs(h *pheap.Heap, s *Summary, off, size int) bool {
 	}
 	changed := false
 	pheap.RefSlots(dev, off, k, func(slotBoff int) {
-		v := layout.Ref(dev.ReadU64(off + slotBoff))
+		raw := layout.Ref(dev.ReadU64(off + slotBoff))
+		v := layout.UntagRef(raw)
 		if v != layout.NullRef && h.Contains(v) {
 			if f := s.Forward(v); f != v {
-				dev.WriteU64(off+slotBoff, uint64(f))
+				// Low tag bits (the persistent index's link-state marks)
+				// are not part of the address; carry them over unchanged.
+				dev.WriteU64(off+slotBoff, uint64(f|layout.RefTag(raw)))
 				changed = true
 			}
 		}

@@ -95,8 +95,11 @@ func (m *Marker) belowSnapshot(off int) bool {
 	return pheap.IsRealTop(top) && off < top
 }
 
-// push grays ref if it is a heap object below the snapshot.
+// push grays ref if it is a heap object below the snapshot. Slot values
+// may carry low tag bits (the persistent index's link-state marks); the
+// tag is stripped before the value is treated as an address.
 func (m *Marker) push(ref layout.Ref) {
+	ref = layout.UntagRef(ref)
 	if ref != layout.NullRef && m.h.Contains(ref) && m.belowSnapshot(m.h.OffOf(ref)) {
 		m.stack = append(m.stack, ref)
 	}
@@ -143,7 +146,7 @@ func (m *Marker) trace() error {
 		m.liveBytes += size
 		srcCard := (off - m.dataOff) / pheap.SATBCardBytes
 		pheap.RefSlots(slots, off, k, func(slotBoff int) {
-			v := layout.Ref(dev.ReadU64Atomic(off + slotBoff))
+			v := layout.UntagRef(layout.Ref(dev.ReadU64Atomic(off + slotBoff)))
 			if v != layout.NullRef && m.h.Contains(v) {
 				if tgt := m.h.OffOf(v); tgt > m.maxOut[srcCard] {
 					m.maxOut[srcCard] = tgt

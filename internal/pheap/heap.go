@@ -184,6 +184,13 @@ type Heap struct {
 	// starts conservative.
 	markBmpHi int
 
+	// layoutEpoch counts the events that can move objects — collection
+	// finishes and rebases. Callers holding the safepoint read lock can
+	// validate cached object references with one atomic load instead of
+	// a locked name-table probe: the epoch cannot change inside their
+	// pinned interval.
+	layoutEpoch atomic.Uint64
+
 	// collecting guards against overlapping collections of one heap: a
 	// second collector starting mid-cycle would clear the bitmap the
 	// first is writing and move objects out from under its snapshot.
@@ -485,6 +492,11 @@ func (h *Heap) Top() int {
 // (fillers and retired tails included).
 func (h *Heap) UsedBytes() int { return h.Top() - h.geo.DataOff }
 
+// FormatVersion reports the persisted heap format version (diagnostics;
+// Load upgrades supported older versions in place, so a loaded heap
+// normally reads the current version).
+func (h *Heap) FormatVersion() uint64 { return h.dev.ReadU64(mVersion) }
+
 // GlobalTS reports the persisted global GC timestamp.
 func (h *Heap) GlobalTS() uint64 { return h.globalTS.Load() }
 
@@ -587,7 +599,18 @@ func (h *Heap) RefreshAfterRedo() {
 	h.gcActive.Store(h.dev.ReadU64(mGCActive) != 0)
 	h.globalTS.Store(h.dev.ReadU64(mGlobalTS))
 	h.rebuildRegionState(false)
+	h.layoutEpoch.Add(1)
 }
+
+// LayoutEpoch reports the heap's move-event counter: it advances
+// whenever a collection finishes or the heap rebases — the only times
+// an object's address can change. A reference cached together with the
+// epoch is still valid while the epoch matches and the caller is inside
+// a safepoint interval.
+func (h *Heap) LayoutEpoch() uint64 { return h.layoutEpoch.Load() }
+
+// BumpLayoutEpoch invalidates cached references (Rebase calls it).
+func (h *Heap) BumpLayoutEpoch() { h.layoutEpoch.Add(1) }
 
 // rebuildRegionState re-derives the volatile region mirrors and the
 // dispenser's free list from the persisted region-top table. With plug

@@ -154,9 +154,15 @@ func (h *Heap) ZeroingScan(keep func(layout.Ref) bool) (int, error) {
 			return true
 		}
 		RefSlots(h.dev, off, k, func(slotBoff int) {
-			v := layout.Ref(h.dev.ReadU64(off + slotBoff))
+			raw := layout.Ref(h.dev.ReadU64(off + slotBoff))
+			// Low link-state tag bits (layout.RefTagMask) are not part of
+			// the address: a tagged null (e.g. a persisted Harris delete
+			// mark over a nil link) is not a stale pointer, and nulling a
+			// tagged slot must preserve its marks — erasing a persisted
+			// delete mark would resurrect a committed delete.
+			v := layout.UntagRef(raw)
 			if v != layout.NullRef && !keep(v) {
-				h.dev.WriteU64(off+slotBoff, 0)
+				h.dev.WriteU64(off+slotBoff, uint64(layout.RefTag(raw)))
 				nulled++
 			}
 		})

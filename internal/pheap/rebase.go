@@ -41,9 +41,13 @@ func (h *Heap) Rebase(newBase layout.Ref) error {
 		kaddr := layout.Ref(h.dev.ReadU64(off + layout.KlassWordOff))
 		h.dev.WriteU64(off+layout.KlassWordOff, uint64(shift(kaddr)))
 		RefSlots(h.dev, off, k, func(slotBoff int) {
-			v := layout.Ref(h.dev.ReadU64(off + slotBoff))
+			// Slot values may carry low link-state tag bits
+			// (layout.RefTagMask); strip them before the range check and
+			// carry them over the shift unchanged.
+			raw := layout.Ref(h.dev.ReadU64(off + slotBoff))
+			v := layout.UntagRef(raw)
 			if v != layout.NullRef && inOld(v) {
-				h.dev.WriteU64(off+slotBoff, uint64(shift(v)))
+				h.dev.WriteU64(off+slotBoff, uint64(shift(v)|layout.RefTag(raw)))
 			}
 		})
 		return true
@@ -81,5 +85,6 @@ func (h *Heap) Rebase(newBase layout.Ref) error {
 
 	h.dev.FlushAll()
 	h.dev.Fence()
+	h.BumpLayoutEpoch()
 	return nil
 }

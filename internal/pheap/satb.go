@@ -193,6 +193,31 @@ func (h *Heap) DrainSATB(visit func(layout.Ref)) int {
 	return n
 }
 
+// SATBRecordBarrier runs the pre-write barrier for one overwritten
+// reference slot of the object at obj: the untagged old referent is
+// recorded (if the snapshot needs it) and the object's card dirtied.
+// raw is the slot's previous value, which may carry low tag bits
+// (layout.RefTagMask) that are not part of the address; buf nil selects
+// the heap's shared default buffer. Callers gate on
+// ConcurrentMarkActive, exactly like core.storeRef.
+func (h *Heap) SATBRecordBarrier(obj layout.Ref, raw uint64, buf *SATBBuffer) {
+	if old := layout.UntagRef(layout.Ref(raw)); h.SATBRecordNeeded(old) {
+		if buf == nil {
+			buf = h.DefaultSATBBuffer()
+		}
+		buf.Record(old)
+	}
+	h.SATBMarkDirtyCard(obj)
+}
+
+// CasWord atomically compares-and-swaps the 8-byte slot at byte offset
+// boff of the object at ref — the heap-level cmpxchg the lock-free
+// persistent index publishes through. The slot must be 8-aligned (all
+// field and element slots are).
+func (h *Heap) CasWord(ref layout.Ref, boff int, old, new uint64) bool {
+	return h.dev.CompareAndSwapU64(h.OffOf(ref)+boff, old, new)
+}
+
 // GetWordAtomic loads an 8-byte object slot with a single atomic machine
 // load; the concurrent marker reads reference slots this way while
 // mutators may be storing to them.

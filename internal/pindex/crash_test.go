@@ -1,0 +1,353 @@
+package pindex
+
+import (
+	"fmt"
+	"testing"
+
+	"espresso/internal/klass"
+	"espresso/internal/layout"
+	"espresso/internal/nvm"
+	"espresso/internal/pgc"
+	"espresso/internal/pheap"
+)
+
+// Crash-injection suites: drive the index through a crash at every flush
+// boundary (plus adversarial random eviction of unflushed lines) and
+// require the reloaded index to contain exactly the committed mappings —
+// every returned Put present with its value, every returned Delete
+// honored, and the single in-flight operation either fully applied or
+// fully absent, never torn.
+
+// kvOp is one scripted mutation.
+type kvOp struct {
+	del bool
+	key int64
+	val int64 // boxed value for puts
+}
+
+// script mixes fresh inserts, overwrites of seeded keys, and deletes of
+// both. Keys below 100 are the seeded population.
+func crashScript() []kvOp {
+	var ops []kvOp
+	for i := int64(0); i < 8; i++ {
+		ops = append(ops, kvOp{key: 200 + i, val: 2000 + i}) // fresh inserts
+	}
+	for i := int64(0); i < 6; i++ {
+		ops = append(ops, kvOp{key: i, val: 9000 + i}) // overwrites
+	}
+	for i := int64(10); i < 16; i++ {
+		ops = append(ops, kvOp{del: true, key: i}) // delete seeded
+	}
+	ops = append(ops,
+		kvOp{del: true, key: 203},     // delete a fresh insert
+		kvOp{key: 203, val: 3333},     // re-insert it
+		kvOp{key: 300, val: 4444},     // one more fresh
+		kvOp{del: true, key: 5},       // delete an overwritten key
+		kvOp{del: true, key: 999},     // delete a key never present
+		kvOp{key: 0, val: 9999},       // second overwrite of key 0
+	)
+	return ops
+}
+
+const absent = int64(-1)
+
+// apply plays op onto the model (value absent == deleted).
+func apply(model map[int64]int64, op kvOp) {
+	if op.del {
+		model[op.key] = absent
+	} else {
+		model[op.key] = op.val
+	}
+}
+
+func boxKlass(t *testing.T, h *pheap.Heap) *klass.Klass {
+	t.Helper()
+	k, err := h.Registry().Define(klass.MustInstance("pindex/crashBox", nil,
+		klass.Field{Name: "v", Type: layout.FTLong}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+// putBoxed allocates a fresh box holding v and puts it under key.
+func putBoxed(t *testing.T, h *pheap.Heap, c *Ctx, bk *klass.Klass, key, v int64) error {
+	box, err := h.Alloc(bk, 0)
+	if err != nil {
+		return err
+	}
+	h.SetWord(box, layout.FieldOff(0), uint64(v))
+	h.FlushRange(box, 0, bk.SizeOf(0))
+	return c.Put(key, box)
+}
+
+// buildCrashBase seeds a Tracked heap with keys 0..99 (value 10*key) and
+// returns its fully persisted image plus the model.
+func buildCrashBase(t *testing.T) ([]byte, map[int64]int64) {
+	t.Helper()
+	h, err := pheap.Create(klass.NewRegistry(), pheap.Config{DataSize: 4 << 20, Mode: nvm.Tracked})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := Open(h, NoPin{}, "kv", Options{InitialBuckets: 8, MaxLoadFactor: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bk := boxKlass(t, h)
+	c := ix.NewCtx()
+	model := map[int64]int64{}
+	for i := int64(0); i < 100; i++ {
+		if err := putBoxed(t, h, c, bk, i, i*10); err != nil {
+			t.Fatal(err)
+		}
+		model[i] = i * 10
+	}
+	c.Release()
+	h.Device().FlushAll()
+	return h.Device().CrashImage(nvm.CrashFlushedOnly, 0), model
+}
+
+// verifyExact checks the reloaded index against the model, with the
+// in-flight op (if any) allowed either its before or after state.
+func verifyExact(t *testing.T, tag string, h *pheap.Heap, model map[int64]int64, inflight *kvOp, before int64) {
+	t.Helper()
+	ix, err := Open(h, NoPin{}, "kv", Options{})
+	if err != nil {
+		t.Fatalf("%s: reopen: %v", tag, err)
+	}
+	c := ix.NewCtx()
+	defer c.Release()
+	read := func(key int64) int64 {
+		box, ok := c.Get(key)
+		if !ok {
+			return absent
+		}
+		if box == layout.NullRef {
+			t.Fatalf("%s: key %d has null box", tag, key)
+		}
+		return int64(h.GetWord(box, layout.FieldOff(0)))
+	}
+	live := 0
+	for key, want := range model {
+		if inflight != nil && key == inflight.key {
+			continue // checked below; may legitimately be either state
+		}
+		got := read(key)
+		if got != want {
+			t.Fatalf("%s: key %d = %d, want %d", tag, key, got, want)
+		}
+		if want != absent {
+			live++
+		}
+	}
+	if inflight != nil {
+		after := absent
+		if !inflight.del {
+			after = inflight.val
+		}
+		got := read(inflight.key)
+		if got != before && got != after {
+			t.Fatalf("%s: in-flight key %d = %d, want %d (before) or %d (after)",
+				tag, inflight.key, got, before, after)
+		}
+		if got != absent {
+			live++
+		}
+	}
+	if ix.Len() != live {
+		t.Fatalf("%s: Len = %d, want %d", tag, ix.Len(), live)
+	}
+}
+
+// TestCrashAtEveryFlushBoundary replays the mutation script against the
+// seeded image, crashing at flush boundary k for every k the script
+// reaches, rebooting from a random-eviction crash image, and requiring
+// exactly the committed mappings back.
+func TestCrashAtEveryFlushBoundary(t *testing.T) {
+	pristine, baseModel := buildCrashBase(t)
+	script := crashScript()
+
+	for k := uint64(1); ; k++ {
+		tag := fmt.Sprintf("k=%d", k)
+		img := make([]byte, len(pristine))
+		copy(img, pristine)
+		dev := nvm.FromImage(img, nvm.Config{Mode: nvm.Tracked})
+		h, err := pheap.Load(dev, klass.NewRegistry())
+		if err != nil {
+			t.Fatalf("%s: load: %v", tag, err)
+		}
+		ix, err := Open(h, NoPin{}, "kv", Options{})
+		if err != nil {
+			t.Fatalf("%s: open: %v", tag, err)
+		}
+		bk := boxKlass(t, h)
+		c := ix.NewCtx()
+
+		model := map[int64]int64{}
+		for key, v := range baseModel {
+			model[key] = v
+		}
+		base := dev.Stats().Flushes
+		dev.SetFlushHook(func(n uint64) {
+			if n == base+k {
+				panic("injected crash")
+			}
+		})
+		crashed := false
+		var inflight *kvOp
+		var beforeVal int64
+		func() {
+			defer func() {
+				if recover() != nil {
+					crashed = true
+				}
+			}()
+			for i := range script {
+				op := script[i]
+				inflight = &op
+				beforeVal = absent
+				if v, ok := model[op.key]; ok {
+					beforeVal = v
+				}
+				if op.del {
+					c.Delete(op.key)
+				} else if err := putBoxed(t, h, c, bk, op.key, op.val); err != nil {
+					t.Errorf("%s: put %d: %v", tag, op.key, err)
+					return
+				}
+				apply(model, op)
+				inflight = nil
+			}
+		}()
+		dev.SetFlushHook(nil)
+		if t.Failed() {
+			return
+		}
+		if !crashed {
+			// The whole script fit below boundary k: coverage is complete.
+			if k == 1 {
+				t.Fatal("script issued no flushes")
+			}
+			t.Logf("covered %d flush boundaries over %d ops", k-1, len(script))
+			return
+		}
+
+		after := nvm.FromImage(dev.CrashImage(nvm.CrashRandomEviction, int64(k)), nvm.Config{Mode: nvm.Tracked})
+		h2, err := pheap.Load(after, klass.NewRegistry())
+		if err != nil {
+			t.Fatalf("%s: reload: %v", tag, err)
+		}
+		verifyExact(t, tag, h2, model, inflight, beforeVal)
+	}
+}
+
+// phasedWorld lets the test run index mutations inside the concurrent
+// collection cycle: CollectConcurrent calls StartWorld right after the
+// initial handshake (snapshot taken, SATB barrier armed) and the queued
+// callback runs there — so its operations hit the armed barrier and the
+// allocate-black window, and the flush-hook crash can land anywhere in
+// op or collector work.
+type phasedWorld struct{ onStart []func() }
+
+func (w *phasedWorld) StopWorld() {}
+func (w *phasedWorld) StartWorld() {
+	if len(w.onStart) > 0 {
+		fn := w.onStart[0]
+		w.onStart = w.onStart[1:]
+		fn()
+	}
+}
+
+// TestCrashDuringConcurrentGCWithIndexTraffic crashes CollectConcurrent
+// at every flush boundary while index mutations run inside the cycle;
+// after pgc crash recovery plus the index recovery pass, the reloaded
+// index must hold exactly the committed mappings.
+func TestCrashDuringConcurrentGCWithIndexTraffic(t *testing.T) {
+	pristine, baseModel := buildCrashBase(t)
+	script := crashScript()
+
+	// Crash boundaries step by 3 to bound runtime; the alloc/link
+	// protocol repeats every few flushes, so stepped coverage still
+	// crosses every distinct protocol edge.
+	for k := uint64(1); ; k += 3 {
+		tag := fmt.Sprintf("k=%d", k)
+		img := make([]byte, len(pristine))
+		copy(img, pristine)
+		dev := nvm.FromImage(img, nvm.Config{Mode: nvm.Tracked})
+		h, err := pheap.Load(dev, klass.NewRegistry())
+		if err != nil {
+			t.Fatalf("%s: load: %v", tag, err)
+		}
+		ix, err := Open(h, NoPin{}, "kv", Options{})
+		if err != nil {
+			t.Fatalf("%s: open: %v", tag, err)
+		}
+		bk := boxKlass(t, h)
+		c := ix.NewCtx()
+
+		model := map[int64]int64{}
+		for key, v := range baseModel {
+			model[key] = v
+		}
+		var inflight *kvOp
+		var beforeVal int64
+		world := &phasedWorld{onStart: []func(){func() {
+			for i := range script {
+				op := script[i]
+				inflight = &op
+				beforeVal = absent
+				if v, ok := model[op.key]; ok {
+					beforeVal = v
+				}
+				if op.del {
+					c.Delete(op.key)
+				} else if err := putBoxed(t, h, c, bk, op.key, op.val); err != nil {
+					panic(fmt.Sprintf("put %d: %v", op.key, err))
+				}
+				apply(model, op)
+				inflight = nil
+			}
+		}}}
+
+		base := dev.Stats().Flushes
+		dev.SetFlushHook(func(n uint64) {
+			if n == base+k {
+				panic("injected crash")
+			}
+		})
+		crashed := false
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					if r != "injected crash" {
+						t.Fatalf("%s: unexpected panic: %v", tag, r)
+					}
+					crashed = true
+				}
+			}()
+			if _, err := pgc.CollectConcurrent(h, pgc.NoRoots{}, world); err != nil {
+				t.Fatalf("%s: collect: %v", tag, err)
+			}
+		}()
+		dev.SetFlushHook(nil)
+		if t.Failed() {
+			return
+		}
+		if !crashed {
+			t.Logf("covered flush boundaries up to %d (cycle complete)", k)
+			return
+		}
+
+		after := nvm.FromImage(dev.CrashImage(nvm.CrashRandomEviction, int64(k)), nvm.Config{Mode: nvm.Tracked})
+		h2, err := pheap.Load(after, klass.NewRegistry())
+		if err != nil {
+			t.Fatalf("%s: reload: %v", tag, err)
+		}
+		if h2.GCActive() || h2.GCPhase() != pheap.GCPhaseIdle {
+			if _, err := pgc.Recover(h2); err != nil {
+				t.Fatalf("%s: pgc recover: %v", tag, err)
+			}
+		}
+		verifyExact(t, tag, h2, model, inflight, beforeVal)
+	}
+}

@@ -1,0 +1,745 @@
+// Package pindex implements a durable, lock-free, resizable persistent
+// hash map over PJH — the concurrent crash-consistent index a server
+// built on the persistent heap needs, combining the split-ordered hash
+// map of Shalev & Shavit with the link-and-persist publication protocol
+// of Zuriel et al.'s durable lock-free sets.
+//
+// # Structure
+//
+// All entries live in one persistent linked list sorted by split-order
+// key (the bit-reversed hash); the bucket table holds shortcuts —
+// sentinel nodes spliced into the list — so a lookup walks only its own
+// bucket's segment. Doubling the bucket table never rehashes a node:
+// new buckets lazily splice their sentinel between existing nodes, which
+// is what makes the map resizable without locks.
+//
+// # Durability protocol (link-and-persist)
+//
+// Every mutation publishes with a single CAS on a reference slot. The
+// slot's low tag bits (free under the heap's 16-byte object alignment)
+// carry the link state:
+//
+//	bit 0 (deleted): Harris mark — the node owning this slot is
+//	  logically deleted; set by the same CAS that commits the delete.
+//	bit 1 (dirty):   the slot's current value has not been flushed yet.
+//
+// A CAS always installs the new value with the dirty bit set; the
+// publishing thread then flushes the slot's cache line, clears the bit
+// with a second CAS, and fences before returning. Any thread that
+// *observes* a dirty slot helps: it flushes the line and clears the bit
+// before acting on the value. Because no operation returns — and no
+// reader acts on a link — before that link is persisted, the map is
+// durable-linearizable with zero fences on the read path in steady
+// state and one flush+fence per update, instead of a fence per store.
+//
+// Node bodies (sort key, key, value, initial next) are written and
+// persisted, with one flush + fence, before the publishing CAS, so a
+// persisted link can never target a half-written node: crash recovery
+// (Recover) finds every durably linked node intact, prunes nodes whose
+// delete mark persisted, clears leftover dirty bits, and discards
+// half-linked nodes implicitly — an unpersisted link simply is not in
+// the reloaded image, and the orphan node body is unreachable garbage
+// for the next collection.
+//
+// # GC integration
+//
+// The index header is a named heap root, so both collectors trace the
+// whole structure; the concurrent marker and the compactor understand
+// the tag bits (layout.RefTagMask) and preserve them across moves.
+// Mutating operations run the SATB pre-write barrier on every link
+// overwrite (through the Ctx's own buffer), so lookups stay correct
+// while pgc.CollectConcurrent marks. Each operation runs as one
+// safepoint interval through the Pinner, so compaction never moves a
+// node out from under an operation's local references.
+package pindex
+
+import (
+	"fmt"
+	"math/bits"
+	"sync/atomic"
+
+	"espresso/internal/klass"
+	"espresso/internal/layout"
+	"espresso/internal/pheap"
+)
+
+// Link-state tag bits, stored in the low bits of reference slots (see
+// layout.RefTagMask; bits 2–3 stay free).
+const (
+	tagDel   = 1 // Harris deletion mark: the owning node is logically deleted
+	tagDirty = 2 // link-and-persist mark: slot value not yet known durable
+	tagMask  = tagDel | tagDirty
+)
+
+// Klass names of the index's persistent objects.
+const (
+	NodeKlassName   = "pindex/Node"
+	HeaderKlassName = "pindex/Index"
+)
+
+// Options sizes an index. Zero values select defaults.
+type Options struct {
+	// InitialBuckets is the starting bucket count (power of two,
+	// default 8).
+	InitialBuckets int
+	// MaxLoadFactor is the entries-per-bucket threshold past which the
+	// bucket table doubles (default 4).
+	MaxLoadFactor float64
+	// MaxBuckets caps the table (power of two, default 1<<16). The cap
+	// bounds the longest safepoint interval a table doubling can pin
+	// (the copy of the new table must complete inside one pin); larger
+	// key populations should shard across indexes — see the ROADMAP's
+	// range-partitioned multi-heap follow-on — rather than raise it far.
+	MaxBuckets int
+}
+
+func (o *Options) fillDefaults() error {
+	if o.InitialBuckets == 0 {
+		o.InitialBuckets = 8
+	}
+	if o.MaxLoadFactor == 0 {
+		o.MaxLoadFactor = 4
+	}
+	if o.MaxBuckets == 0 {
+		o.MaxBuckets = 1 << 16
+	}
+	if o.InitialBuckets&(o.InitialBuckets-1) != 0 || o.MaxBuckets&(o.MaxBuckets-1) != 0 {
+		return fmt.Errorf("pindex: bucket counts must be powers of two (got %d, max %d)",
+			o.InitialBuckets, o.MaxBuckets)
+	}
+	if o.MaxBuckets < o.InitialBuckets {
+		o.MaxBuckets = o.InitialBuckets
+	}
+	return nil
+}
+
+// Pinner makes each index operation a safepoint interval: Pin is held
+// for the operation's duration, so a concurrent collector's pause (which
+// moves objects and patches only the slots it can see, never Go locals)
+// waits for the operation to finish. core.Runtime's SafepointPinner
+// adapts the runtime's safepoint lock; callers whose heap never collects
+// concurrently with index traffic pass NoPin. Operations must not nest
+// on one goroutine (e.g. calling Get from inside a Scan callback): the
+// second Pin can deadlock behind a collector pause waiting on the
+// first.
+type Pinner interface {
+	Pin()
+	Unpin()
+}
+
+// NoPin is the Pinner for single-collector-free use (tests, tools, and
+// workloads that stop index traffic around collections themselves).
+type NoPin struct{}
+
+// Pin is a no-op.
+func (NoPin) Pin() {}
+
+// Unpin is a no-op.
+func (NoPin) Unpin() {}
+
+// Index is one opened persistent hash map. The persistent state lives
+// entirely in the heap (reachable from the named root); the Index value
+// holds only volatile bookkeeping and is safe for concurrent use —
+// operations go through per-goroutine Ctx handles.
+type Index struct {
+	h    *pheap.Heap
+	pin  Pinner
+	name string
+	opts Options
+
+	size    atomic.Int64 // approximate entry count (exact when quiescent)
+	growing atomic.Bool  // single-flight resize
+
+	// root caches the header ref together with the heap layout epoch it
+	// was fetched under, so the per-operation root re-fetch is one atomic
+	// load instead of a locked name-table probe. Compaction and rebase
+	// bump the epoch, which invalidates the pair.
+	root atomic.Pointer[rootCache]
+
+	nodeK, hdrK, arrK *klass.Klass
+	nodeSize          int
+	fSort, fKey       int // immutable node fields
+	fVal, fNext       int // CAS-published node fields
+	fBuckets          int // header field
+}
+
+// CtxStats counts the device work one Ctx performed on its own paths
+// (the allocator's counters are separate; see Ctx.AllocStats). The kv
+// scaling experiment uses FlushedLines for per-mutator critical paths.
+type CtxStats struct {
+	Puts, Gets, Deletes int
+	FlushedLines        int // cache lines this ctx flushed
+	Fences              int // fences this ctx issued
+	HelpFlushes         int // dirty links persisted on behalf of other threads
+	Retries             int // CAS publications that lost a race
+}
+
+// Ctx is a per-goroutine operation context: a PLAB allocator for node
+// bodies and a SATB buffer for the pre-write barrier, mirroring
+// core.Mutator. Not safe for concurrent use; give each goroutine its
+// own and Release it when done.
+type Ctx struct {
+	ix    *Index
+	alloc *pheap.Allocator
+	satb  *pheap.SATBBuffer
+	stats CtxStats
+}
+
+// Open attaches to (or creates) the persistent index registered under
+// name on h. Attaching runs the recovery pass — pruning committed
+// deletes, clearing leftover dirty marks, and recounting entries — so
+// an image that crashed mid-operation is consistent before the first
+// lookup. The heap must not be mid-collection (run pgc recovery first;
+// core.LoadHeap does).
+func Open(h *pheap.Heap, pin Pinner, name string, opts Options) (*Index, error) {
+	if err := opts.fillDefaults(); err != nil {
+		return nil, err
+	}
+	if pin == nil {
+		pin = NoPin{}
+	}
+	if h.GCActive() {
+		return nil, fmt.Errorf("pindex: heap is mid-collection; recover it first")
+	}
+	ix := &Index{h: h, pin: pin, name: name, opts: opts}
+	if err := ix.resolveKlasses(); err != nil {
+		return nil, err
+	}
+	pin.Pin()
+	defer pin.Unpin()
+	if _, ok := h.GetRoot(name); ok {
+		st, err := recoverLocked(h, name, ix)
+		if err != nil {
+			return nil, err
+		}
+		ix.size.Store(int64(st.Entries))
+		return ix, nil
+	}
+	if err := ix.create(); err != nil {
+		return nil, err
+	}
+	return ix, nil
+}
+
+func (ix *Index) resolveKlasses() error {
+	reg := ix.h.Registry()
+	var err error
+	if ix.nodeK, err = reg.Define(klass.MustInstance(NodeKlassName, nil,
+		klass.Field{Name: "sort", Type: layout.FTLong},
+		klass.Field{Name: "key", Type: layout.FTLong},
+		klass.Field{Name: "value", Type: layout.FTRef},
+		klass.Field{Name: "next", Type: layout.FTRef, RefKlass: NodeKlassName},
+	)); err != nil {
+		return err
+	}
+	if ix.hdrK, err = reg.Define(klass.MustInstance(HeaderKlassName, nil,
+		klass.Field{Name: "buckets", Type: layout.FTRef},
+	)); err != nil {
+		return err
+	}
+	ix.arrK = reg.ObjArray(NodeKlassName)
+	ix.nodeSize = ix.nodeK.SizeOf(0)
+	ix.fSort, ix.fKey, ix.fVal, ix.fNext =
+		layout.FieldOff(0), layout.FieldOff(1), layout.FieldOff(2), layout.FieldOff(3)
+	ix.fBuckets = layout.FieldOff(0)
+	return nil
+}
+
+// create builds the empty structure: bucket-0 sentinel, bucket table,
+// header — each fully persisted before the next references it — and
+// commits the whole thing by registering the named root (the name-table
+// entry is the atomic publication point; a crash before it leaves only
+// unreachable garbage, and the next Open re-creates from scratch).
+func (ix *Index) create() error {
+	h := ix.h
+	sent, err := h.Alloc(ix.nodeK, 0)
+	if err != nil {
+		return fmt.Errorf("pindex: creating %q: %w", ix.name, err)
+	}
+	// Bucket 0's sentinel has split-order key 0: the list head.
+	h.FlushRange(sent, 0, ix.nodeSize)
+	arr, err := h.Alloc(ix.arrK, ix.opts.InitialBuckets)
+	if err != nil {
+		return fmt.Errorf("pindex: creating %q: %w", ix.name, err)
+	}
+	h.SetWord(arr, layout.ElemOff(layout.FTRef, 0), uint64(sent))
+	h.FlushRange(arr, 0, ix.arrK.SizeOf(ix.opts.InitialBuckets))
+	hdr, err := h.Alloc(ix.hdrK, 0)
+	if err != nil {
+		return fmt.Errorf("pindex: creating %q: %w", ix.name, err)
+	}
+	h.SetWord(hdr, ix.fBuckets, uint64(arr))
+	h.FlushRange(hdr, 0, ix.hdrK.SizeOf(0))
+	if err := h.SetRoot(ix.name, hdr); err != nil {
+		return fmt.Errorf("pindex: creating %q: %w", ix.name, err)
+	}
+	return nil
+}
+
+// Heap reports the persistent heap the index lives in.
+func (ix *Index) Heap() *pheap.Heap { return ix.h }
+
+// Name reports the index's root name.
+func (ix *Index) Name() string { return ix.name }
+
+// Len reports the entry count. It is maintained with volatile atomics
+// (exact when no operation is in flight; recounted by recovery).
+func (ix *Index) Len() int { return int(ix.size.Load()) }
+
+// NewCtx attaches a per-goroutine operation context.
+func (ix *Index) NewCtx() *Ctx {
+	return &Ctx{ix: ix, alloc: ix.h.NewAllocator(), satb: ix.h.NewSATBBuffer()}
+}
+
+// Release retires the ctx: PLAB headroom returns to the dispenser and
+// pending barrier records are handed to the heap's shared buffer.
+func (c *Ctx) Release() {
+	c.ix.pin.Pin()
+	defer c.ix.pin.Unpin()
+	c.alloc.Release()
+	c.ix.h.ReleaseSATBBuffer(c.satb)
+	c.satb = nil
+}
+
+// Stats snapshots the ctx's own-path counters.
+func (c *Ctx) Stats() CtxStats { return c.stats }
+
+// AllocStats snapshots the ctx's allocator counters.
+func (c *Ctx) AllocStats() pheap.AllocatorStats { return c.alloc.Stats() }
+
+// Allocator exposes the ctx's PLAB allocator so callers can allocate
+// value objects on the same mutator-local path the index's nodes use.
+func (c *Ctx) Allocator() *pheap.Allocator { return c.alloc }
+
+// --- hashing and split ordering ---
+
+// mixHash is the shared persisted-layout hash finalizer.
+func mixHash(k int64) uint64 { return layout.MixHash64(k) }
+
+// dataSort is a data node's split-order key: the bit-reversed hash with
+// the top bit forced on, so every data key has bit 0 set — strictly
+// greater than its bucket's sentinel, strictly less than the next.
+func dataSort(hash uint64) uint64 { return bits.Reverse64(hash | 1<<63) }
+
+// sentSort is bucket b's sentinel split-order key (bit 0 always clear).
+func sentSort(b uint64) uint64 { return bits.Reverse64(b) }
+
+// parentBucket is the bucket whose segment bucket b splits off: b with
+// its highest set bit cleared.
+func parentBucket(b uint64) uint64 {
+	return b &^ (1 << (63 - uint(bits.LeadingZeros64(b))))
+}
+
+// soLess orders (sort, key) pairs — the list's total order.
+func soLess(aSort, aKey, bSort, bKey uint64) bool {
+	return aSort < bSort || (aSort == bSort && aKey < bKey)
+}
+
+// --- device helpers (stat-counted) ---
+
+// flushWord persists the slot's cache line and fences — the
+// link-and-persist flush, also used for helping.
+func (c *Ctx) flushWord(obj layout.Ref, boff int) {
+	c.ix.h.FlushRange(obj, boff, 8)
+	c.stats.FlushedLines++
+	c.stats.Fences++
+}
+
+// flushRange persists [boff, boff+n) of obj with one flush+fence.
+func (c *Ctx) flushRange(obj layout.Ref, boff, n int) {
+	h := c.ix.h
+	off := h.OffOf(obj) + boff
+	c.stats.FlushedLines += (off+n-1)/layout.LineSize - off/layout.LineSize + 1
+	c.stats.Fences++
+	h.FlushRange(obj, boff, n)
+}
+
+// loadClean returns the slot's current value with the dirty bit clear,
+// helping persist it first if some in-flight publication left it dirty —
+// the reader half of link-and-persist: no caller ever acts on a link
+// that is not durable.
+func (c *Ctx) loadClean(obj layout.Ref, boff int) uint64 {
+	h := c.ix.h
+	for {
+		w := h.GetWordAtomic(obj, boff)
+		if w&tagDirty == 0 {
+			return w
+		}
+		c.flushWord(obj, boff)
+		h.CasWord(obj, boff, w, w&^tagDirty)
+		c.stats.HelpFlushes++
+	}
+}
+
+// publish installs val into the slot with one CAS (dirty bit set), runs
+// the SATB pre-write barrier over the displaced value, persists the
+// link, and clears the dirty bit. False means the CAS lost a race and
+// nothing happened. val may carry the deleted tag (a logical-delete
+// publication); expect must be a clean word previously returned by
+// loadClean or find.
+func (c *Ctx) publish(obj layout.Ref, boff int, expect, val uint64) bool {
+	h := c.ix.h
+	if !h.CasWord(obj, boff, expect, val|tagDirty) {
+		c.stats.Retries++
+		return false
+	}
+	if h.ConcurrentMarkActive() {
+		h.SATBRecordBarrier(obj, expect, c.satb)
+	}
+	c.flushWord(obj, boff)
+	h.CasWord(obj, boff, val|tagDirty, val) // best effort: a helper may already have
+	return true
+}
+
+// --- traversal ---
+
+// find locates the insertion point for (sort, key) in the segment
+// starting at the sentinel head: pred is the last node strictly before
+// it, predW pred's clean next word (the CAS expectation), curr the first
+// node at or after it (NullRef at segment end), found whether curr
+// matches exactly. Logically deleted nodes encountered on the way are
+// helped out of the list (their delete mark is durable by then — a
+// loadClean preceded the unlink — so unlinking can never lose an
+// uncommitted delete).
+func (c *Ctx) find(head layout.Ref, sort, key uint64) (pred layout.Ref, predW uint64, curr layout.Ref, found bool) {
+	h := c.ix.h
+restart:
+	for {
+		pred = head
+		predW = c.loadClean(pred, c.ix.fNext)
+		if predW&tagDel != 0 {
+			// Sentinels are never deleted; a marked head means pred's next
+			// carried a mark we must not CAS over. Unreachable by protocol,
+			// but restarting is always safe.
+			continue restart
+		}
+		curr = layout.Ref(predW)
+		for curr != layout.NullRef {
+			cw := c.loadClean(curr, c.ix.fNext)
+			succ := uint64(layout.UntagRef(layout.Ref(cw)))
+			if cw&tagDel != 0 {
+				// curr is committed-deleted: unlink it. The displaced node
+				// stays reachable to the marker via the SATB record inside
+				// publish.
+				if !c.publish(pred, c.ix.fNext, predW, succ) {
+					continue restart
+				}
+				predW = c.loadClean(pred, c.ix.fNext)
+				if predW&tagDel != 0 {
+					continue restart
+				}
+				curr = layout.Ref(predW)
+				continue
+			}
+			cs := h.GetWord(curr, c.ix.fSort)
+			ck := h.GetWord(curr, c.ix.fKey)
+			if !soLess(cs, ck, sort, key) {
+				return pred, predW, curr, cs == sort && ck == key
+			}
+			pred, predW = curr, cw
+			curr = layout.Ref(succ)
+		}
+		return pred, predW, layout.NullRef, false
+	}
+}
+
+// insert splices a node with (sort, key, val) into the segment at head,
+// returning the resident node and whether it already existed. The node
+// body is fully persisted (one flush + fence) before the publishing CAS,
+// so a durable link always targets a durable node.
+func (c *Ctx) insert(head layout.Ref, sort, key uint64, val layout.Ref) (node layout.Ref, existed bool, err error) {
+	h := c.ix.h
+	node = layout.NullRef
+	for {
+		pred, predW, curr, found := c.find(head, sort, key)
+		if found {
+			return curr, true, nil
+		}
+		if node == layout.NullRef {
+			if node, err = c.alloc.Alloc(c.ix.nodeK, 0); err != nil {
+				return 0, false, fmt.Errorf("pindex: insert: %w", err)
+			}
+			h.SetWord(node, c.ix.fSort, sort)
+			h.SetWord(node, c.ix.fKey, key)
+			h.SetWord(node, c.ix.fVal, uint64(val))
+			h.SetWordAtomic(node, c.ix.fNext, uint64(curr))
+			c.flushRange(node, 0, c.ix.nodeSize)
+		} else {
+			// Retrying with a different successor: repoint and re-persist
+			// just the next word before republishing.
+			h.SetWordAtomic(node, c.ix.fNext, uint64(curr))
+			c.flushWord(node, c.ix.fNext)
+		}
+		if c.publish(pred, c.ix.fNext, predW, uint64(node)) {
+			return node, false, nil
+		}
+	}
+}
+
+// --- bucket table ---
+
+// rootCache pairs the header ref with the layout epoch it is valid for.
+type rootCache struct {
+	hdr   layout.Ref
+	epoch uint64
+}
+
+// header resolves the index header inside the caller's pin. The cached
+// (hdr, epoch) pair short-circuits the common case to one atomic load;
+// only after a collection or rebase (epoch bump) does the locked
+// name-table probe rerun — the root is the one slot the collector
+// always patches, and the epoch cannot advance inside a safepoint
+// interval, so a matching pair is always current. A missing root is a
+// structural invariant violation (Open validated it), so it panics
+// rather than masquerading as an empty map.
+func (c *Ctx) header() layout.Ref {
+	ix := c.ix
+	epoch := ix.h.LayoutEpoch()
+	if rc := ix.root.Load(); rc != nil && rc.epoch == epoch {
+		return rc.hdr
+	}
+	hdr, ok := ix.h.GetRoot(ix.name)
+	if !ok {
+		panic(fmt.Sprintf("pindex: root %q lost", ix.name))
+	}
+	ix.root.Store(&rootCache{hdr: hdr, epoch: epoch})
+	return hdr
+}
+
+// buckets returns the current bucket table and its size, helping persist
+// a mid-flight table publication.
+func (c *Ctx) buckets(hdr layout.Ref) (layout.Ref, int) {
+	w := c.loadClean(hdr, c.ix.fBuckets)
+	arr := layout.Ref(layout.UntagRef(layout.Ref(w)))
+	return arr, c.ix.h.ArrayLen(arr)
+}
+
+// bucketHead resolves bucket b's sentinel, lazily splicing it (and,
+// recursively, its parents') into the list on first use. The bucket-slot
+// store is idempotent — racing initializers insert the same sentinel
+// (the list dedupes by split-order key) and store the same ref — so it
+// needs no CAS protocol, and losing the store to a crash just means the
+// next process re-resolves it.
+func (c *Ctx) bucketHead(arr layout.Ref, b uint64) (layout.Ref, error) {
+	h := c.ix.h
+	boff := layout.ElemOff(layout.FTRef, int(b))
+	if w := h.GetWordAtomic(arr, boff); w != 0 {
+		return layout.Ref(layout.UntagRef(layout.Ref(w))), nil
+	}
+	parent, err := c.bucketHead(arr, parentBucket(b))
+	if err != nil {
+		return 0, err
+	}
+	sent, _, err := c.insert(parent, sentSort(b), b, layout.NullRef)
+	if err != nil {
+		return 0, err
+	}
+	h.SetWordAtomic(arr, boff, uint64(sent))
+	if h.ConcurrentMarkActive() {
+		h.SATBMarkDirtyCard(arr) // overwrites null: nothing to record
+	}
+	c.flushWord(arr, boff)
+	return sent, nil
+}
+
+// bucketHeadRead resolves the deepest already-spliced ancestor sentinel
+// of bucket b without allocating: a lookup or delete never needs to
+// create a sentinel, because searching from an ancestor just scans a
+// superset segment of the same sorted list. This keeps the read and
+// delete paths free of allocation failure on an exhausted heap. Bucket
+// 0's sentinel is persisted before the index root publishes, so the
+// walk always terminates.
+func (c *Ctx) bucketHeadRead(arr layout.Ref, b uint64) layout.Ref {
+	h := c.ix.h
+	for {
+		if w := h.GetWordAtomic(arr, layout.ElemOff(layout.FTRef, int(b))); w != 0 {
+			return layout.Ref(layout.UntagRef(layout.Ref(w)))
+		}
+		if b == 0 {
+			panic(fmt.Sprintf("pindex: %q head sentinel missing", c.ix.name))
+		}
+		b = parentBucket(b)
+	}
+}
+
+// grow doubles the bucket table once the load factor is exceeded. It
+// runs in its own safepoint interval — after the Put that tripped the
+// threshold has returned its pin — so the pinned window is only the
+// copy itself, and MaxBuckets bounds that window (the whole unpublished
+// table must be built inside one pin: it is unreachable from any root,
+// so a collection between chunks would reclaim it). The new table is
+// fully persisted before one CAS on the header's buckets field
+// publishes it; sentinels missing from the copied prefix (or lost to
+// the copy race) re-resolve lazily. Single-flight: growers that lose
+// the volatile flag skip — the next overloaded operation tries again.
+// Growth is purely advisory (a denser table is slower, never wrong), so
+// allocation failure is swallowed: the Put that triggered it has
+// already committed and must not report an error for a mapping that is
+// durably present.
+func (c *Ctx) grow() {
+	ix := c.ix
+	h := ix.h
+	if !ix.growing.CompareAndSwap(false, true) {
+		return
+	}
+	defer ix.growing.Store(false)
+	ix.pin.Pin()
+	defer ix.pin.Unpin()
+	hdr := c.header()
+	w := c.loadClean(hdr, ix.fBuckets)
+	arr := layout.Ref(layout.UntagRef(layout.Ref(w)))
+	n := h.ArrayLen(arr)
+	if float64(ix.size.Load()) <= ix.opts.MaxLoadFactor*float64(n) || 2*n > ix.opts.MaxBuckets {
+		return
+	}
+	bigger, err := c.alloc.Alloc(ix.arrK, 2*n)
+	if err != nil {
+		return // out of space: stay at the current table size
+	}
+	for i := 0; i < n; i++ {
+		boff := layout.ElemOff(layout.FTRef, i)
+		h.SetWord(bigger, boff, h.GetWordAtomic(arr, boff))
+	}
+	c.flushRange(bigger, 0, ix.arrK.SizeOf(2*n))
+	c.publish(hdr, ix.fBuckets, w, uint64(bigger))
+}
+
+// --- operations ---
+
+// Put inserts or updates key → val. val must be NullRef or reference an
+// object inside this index's persistent heap: index slots never pass
+// core's write barrier, so a volatile (DRAM) value would bypass the
+// NVM→DRAM remembered set and dangle after the next volatile collection
+// — it is rejected up front instead. On return the mapping is durable:
+// a crash at any later point preserves it. An error (heap exhaustion,
+// foreign value) means the mapping was not installed.
+func (c *Ctx) Put(key int64, val layout.Ref) error {
+	if val != layout.NullRef && !c.ix.h.Contains(val) {
+		return fmt.Errorf("pindex: value %#x is not an object in this persistent heap", uint64(val))
+	}
+	overloaded, err := c.putPinned(key, val)
+	if overloaded {
+		// Table doubling runs in its own safepoint interval so the Put's
+		// pin — which a waiting collector pause must drain — stays short.
+		c.grow()
+	}
+	return err
+}
+
+func (c *Ctx) putPinned(key int64, val layout.Ref) (overloaded bool, err error) {
+	ix := c.ix
+	ix.pin.Pin()
+	defer ix.pin.Unpin()
+	c.stats.Puts++
+	sort := dataSort(mixHash(key))
+	for {
+		hdr := c.header()
+		arr, n := c.buckets(hdr)
+		head, err := c.bucketHead(arr, mixHash(key)&uint64(n-1))
+		if err != nil {
+			return false, err
+		}
+		node, existed, err := c.insert(head, sort, uint64(key), val)
+		if err != nil {
+			return false, err
+		}
+		if !existed {
+			ix.size.Add(1)
+			return float64(ix.size.Load()) > ix.opts.MaxLoadFactor*float64(n), nil
+		}
+		// Existing key: publish the new value on its slot, then re-check
+		// the node was not deleted underneath — if it was, the delete
+		// linearized first and the put must re-insert.
+		for {
+			vw := c.loadClean(node, ix.fVal)
+			if layout.UntagRef(layout.Ref(vw)) == val {
+				break // already this value, and durable (loadClean persisted it)
+			}
+			if c.publish(node, ix.fVal, vw, uint64(val)) {
+				break
+			}
+		}
+		if c.loadClean(node, ix.fNext)&tagDel == 0 {
+			return false, nil
+		}
+	}
+}
+
+// Get looks key up. The answer is durable before it is returned: every
+// link and value it depends on has been persisted (helping if needed).
+// The read path never allocates (unspliced buckets are searched through
+// their deepest spliced ancestor), so a miss always means the key is
+// absent — never a masked failure.
+func (c *Ctx) Get(key int64) (layout.Ref, bool) {
+	ix := c.ix
+	ix.pin.Pin()
+	defer ix.pin.Unpin()
+	c.stats.Gets++
+	arr, n := c.buckets(c.header())
+	head := c.bucketHeadRead(arr, mixHash(key)&uint64(n-1))
+	_, _, curr, found := c.find(head, dataSort(mixHash(key)), uint64(key))
+	if !found {
+		return 0, false
+	}
+	vw := c.loadClean(curr, ix.fVal)
+	return layout.UntagRef(layout.Ref(vw)), true
+}
+
+// Delete removes key, reporting whether it was present. The delete is
+// committed — durable — by the flush of the logical delete mark; the
+// physical unlink is best-effort and finished by later traversals or by
+// recovery. Like Get, the path never allocates and so cannot fail.
+func (c *Ctx) Delete(key int64) bool {
+	ix := c.ix
+	ix.pin.Pin()
+	defer ix.pin.Unpin()
+	c.stats.Deletes++
+	sort := dataSort(mixHash(key))
+	for {
+		arr, n := c.buckets(c.header())
+		head := c.bucketHeadRead(arr, mixHash(key)&uint64(n-1))
+		pred, predW, curr, found := c.find(head, sort, uint64(key))
+		if !found {
+			return false
+		}
+		cw := c.loadClean(curr, ix.fNext)
+		if cw&tagDel != 0 {
+			return false // concurrently deleted: linearize after it
+		}
+		// Logical delete: one CAS sets the mark; its flush inside publish
+		// is the durable commit point.
+		if !c.publish(curr, ix.fNext, cw, cw|tagDel) {
+			continue // interference on curr: re-find
+		}
+		ix.size.Add(-1)
+		// Best-effort physical unlink (find/recovery mop up failures).
+		c.publish(pred, ix.fNext, predW, uint64(layout.UntagRef(layout.Ref(cw))))
+		return true
+	}
+}
+
+// Scan walks every entry in split-order, calling fn(key, value) until it
+// returns false. The walk is one safepoint interval (it pins the world;
+// prefer short scans while a concurrent collection runs) and observes a
+// consistent durable-helped view of each link it crosses, though
+// concurrent mutations before or behind the cursor may or may not be
+// seen — the usual weakly consistent lock-free iteration.
+func (c *Ctx) Scan(fn func(key int64, val layout.Ref) bool) {
+	ix := c.ix
+	ix.pin.Pin()
+	defer ix.pin.Unpin()
+	h := ix.h
+	arr, _ := c.buckets(c.header())
+	node := c.bucketHeadRead(arr, 0)
+	for node != layout.NullRef {
+		w := c.loadClean(node, ix.fNext)
+		isData := h.GetWord(node, ix.fSort)&1 == 1
+		if isData && w&tagDel == 0 {
+			vw := c.loadClean(node, ix.fVal)
+			if !fn(int64(h.GetWord(node, ix.fKey)), layout.UntagRef(layout.Ref(vw))) {
+				return
+			}
+		}
+		node = layout.Ref(layout.UntagRef(layout.Ref(w)))
+	}
+}

@@ -1,0 +1,306 @@
+package pindex
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"espresso/internal/klass"
+	"espresso/internal/layout"
+	"espresso/internal/nvm"
+	"espresso/internal/pheap"
+)
+
+func newHeap(t *testing.T, mode nvm.Mode, dataMB int) *pheap.Heap {
+	t.Helper()
+	h, err := pheap.Create(klass.NewRegistry(), pheap.Config{DataSize: dataMB << 20, Mode: mode})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+// val allocates a distinguishable persistent value object (a boxed long).
+func val(t *testing.T, h *pheap.Heap, v int64) layout.Ref {
+	t.Helper()
+	k, err := h.Registry().Define(klass.MustInstance("pindex/testVal", nil,
+		klass.Field{Name: "v", Type: layout.FTLong}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := h.Alloc(k, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.SetWord(ref, layout.FieldOff(0), uint64(v))
+	h.FlushRange(ref, 0, k.SizeOf(0))
+	return ref
+}
+
+func valOf(h *pheap.Heap, ref layout.Ref) int64 {
+	return int64(h.GetWord(ref, layout.FieldOff(0)))
+}
+
+func TestPutGetDeleteScan(t *testing.T) {
+	h := newHeap(t, nvm.Direct, 8)
+	ix, err := Open(h, NoPin{}, "kv", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := ix.NewCtx()
+	defer c.Release()
+
+	const n = 500
+	for i := int64(0); i < n; i++ {
+		if err := c.Put(i, val(t, h, i*10)); err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+	}
+	if got := ix.Len(); got != n {
+		t.Fatalf("Len = %d, want %d", got, n)
+	}
+	for i := int64(0); i < n; i++ {
+		v, ok := c.Get(i)
+		if !ok || valOf(h, v) != i*10 {
+			t.Fatalf("get %d: ok=%v val=%d", i, ok, valOf(h, v))
+		}
+	}
+	if _, ok := c.Get(n + 5); ok {
+		t.Fatal("found a key never inserted")
+	}
+
+	// Overwrite half, delete a third.
+	for i := int64(0); i < n; i += 2 {
+		if err := c.Put(i, val(t, h, i*100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := int64(0); i < n; i += 3 {
+		if !c.Delete(i) {
+			t.Fatalf("delete %d missed", i)
+		}
+	}
+	if c.Delete(3) {
+		t.Fatal("double delete reported present")
+	}
+	want := map[int64]int64{}
+	for i := int64(0); i < n; i++ {
+		if i%3 == 0 {
+			continue
+		}
+		if i%2 == 0 {
+			want[i] = i * 100
+		} else {
+			want[i] = i * 10
+		}
+	}
+	got := map[int64]int64{}
+	c.Scan(func(k int64, v layout.Ref) bool {
+		got[k] = valOf(h, v)
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("scan found %d entries, want %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("scan key %d = %d, want %d", k, got[k], v)
+		}
+	}
+	if ix.Len() != len(want) {
+		t.Fatalf("Len = %d, want %d", ix.Len(), len(want))
+	}
+}
+
+func TestResizeGrowsBucketTable(t *testing.T) {
+	h := newHeap(t, nvm.Direct, 8)
+	ix, err := Open(h, NoPin{}, "kv", Options{InitialBuckets: 8, MaxLoadFactor: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := ix.NewCtx()
+	defer c.Release()
+	for i := int64(0); i < 1000; i++ {
+		if err := c.Put(i, layout.NullRef); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, n := c.buckets(c.header())
+	if n <= 8 {
+		t.Fatalf("bucket table never grew: %d buckets for 1000 entries", n)
+	}
+	for i := int64(0); i < 1000; i++ {
+		if _, ok := c.Get(i); !ok {
+			t.Fatalf("key %d lost across resizes", i)
+		}
+	}
+}
+
+// TestDurableWithoutFlushAll is the durable-linearizability contract: a
+// CrashFlushedOnly image taken right after operations return — with NO
+// FlushAll — must contain every committed mapping.
+func TestDurableWithoutFlushAll(t *testing.T) {
+	h := newHeap(t, nvm.Tracked, 8)
+	ix, err := Open(h, NoPin{}, "kv", Options{InitialBuckets: 8, MaxLoadFactor: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := ix.NewCtx()
+	const n = 300
+	for i := int64(0); i < n; i++ {
+		if err := c.Put(i, val(t, h, i+7)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := int64(0); i < n; i += 4 {
+		c.Delete(i)
+	}
+	c.Release()
+
+	img := h.Device().CrashImage(nvm.CrashFlushedOnly, 0)
+	h2, err := pheap.Load(nvm.FromImage(img, nvm.Config{Mode: nvm.Tracked}), klass.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix2, err := Open(h2, NoPin{}, "kv", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2 := ix2.NewCtx()
+	defer c2.Release()
+	live := 0
+	for i := int64(0); i < n; i++ {
+		v, ok := c2.Get(i)
+		if i%4 == 0 {
+			if ok {
+				t.Fatalf("deleted key %d resurrected", i)
+			}
+			continue
+		}
+		if !ok || valOf(h2, v) != i+7 {
+			t.Fatalf("committed key %d lost (ok=%v)", i, ok)
+		}
+		live++
+	}
+	if ix2.Len() != live {
+		t.Fatalf("recovered Len = %d, want %d", ix2.Len(), live)
+	}
+}
+
+func TestRecoverPrunesAndClears(t *testing.T) {
+	h := newHeap(t, nvm.Tracked, 8)
+	ix, err := Open(h, NoPin{}, "kv", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := ix.NewCtx()
+	for i := int64(0); i < 50; i++ {
+		if err := c.Put(i, layout.NullRef); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Forge crash wreckage: a persisted-but-dirty link and a committed
+	// delete whose unlink never happened.
+	_, _, node, found := c.find(mustHead(t, c), dataSort(mixHash(7)), 7)
+	if !found {
+		t.Fatal("key 7 missing")
+	}
+	w := c.loadClean(node, ix.fNext)
+	h.SetWordAtomic(node, ix.fNext, w|tagDel|tagDirty)
+	h.FlushRange(node, ix.fNext, 8)
+	c.Release()
+	h.Device().FlushAll()
+
+	st, err := Recover(h, "kv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Pruned != 1 {
+		t.Fatalf("Pruned = %d, want 1", st.Pruned)
+	}
+	if st.DirtyCleared == 0 {
+		t.Fatal("dirty mark not cleared")
+	}
+	if st.Entries != 49 {
+		t.Fatalf("Entries = %d, want 49", st.Entries)
+	}
+	c2 := ix.NewCtx()
+	defer c2.Release()
+	if _, ok := c2.Get(7); ok {
+		t.Fatal("pruned key still visible")
+	}
+}
+
+func mustHead(t *testing.T, c *Ctx) layout.Ref {
+	t.Helper()
+	arr, _ := c.buckets(c.header())
+	head := layout.Ref(c.ix.h.GetWord(arr, layout.ElemOff(layout.FTRef, 0)))
+	if head == layout.NullRef {
+		t.Fatal("no head sentinel")
+	}
+	return head
+}
+
+// TestParallelMixedOps hammers the index from several goroutines with
+// disjoint key ranges and checks the final contents exactly.
+func TestParallelMixedOps(t *testing.T) {
+	h := newHeap(t, nvm.Direct, 16)
+	ix, err := Open(h, NoPin{}, "kv", Options{InitialBuckets: 8, MaxLoadFactor: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines = 8
+	const perG = 400
+	var wg sync.WaitGroup
+	errs := make([]error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c := ix.NewCtx()
+			defer c.Release()
+			base := int64(g) << 32
+			for i := int64(0); i < perG; i++ {
+				k := base + i
+				if err := c.Put(k, layout.NullRef); err != nil {
+					errs[g] = fmt.Errorf("put %d: %w", k, err)
+					return
+				}
+				if _, ok := c.Get(k); !ok {
+					errs[g] = fmt.Errorf("get-after-put %d missed", k)
+					return
+				}
+				if i%3 == 2 {
+					if !c.Delete(k) {
+						errs[g] = fmt.Errorf("delete %d missed", k)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := ix.NewCtx()
+	defer c.Release()
+	want := 0
+	for g := 0; g < goroutines; g++ {
+		base := int64(g) << 32
+		for i := int64(0); i < perG; i++ {
+			_, ok := c.Get(base + i)
+			if deleted := i%3 == 2; ok == deleted {
+				t.Fatalf("g=%d i=%d: present=%v, deleted=%v", g, i, ok, deleted)
+			}
+			if i%3 != 2 {
+				want++
+			}
+		}
+	}
+	if ix.Len() != want {
+		t.Fatalf("Len = %d, want %d", ix.Len(), want)
+	}
+}

@@ -1,0 +1,110 @@
+package pindex
+
+import (
+	"fmt"
+
+	"espresso/internal/layout"
+	"espresso/internal/pheap"
+)
+
+// RecoverStats reports what a recovery pass repaired.
+type RecoverStats struct {
+	Entries      int // live data nodes after the pass
+	Sentinels    int // bucket sentinels encountered
+	Pruned       int // committed-deleted nodes physically unlinked
+	DirtyCleared int // leftover dirty marks retired
+}
+
+// Recover repairs the index registered under name after a reload: it
+// walks the split-ordered list once, clearing dirty marks that an
+// in-flight publication left persisted (the link itself is durable —
+// only the "known durable" bit is missing), physically unlinking every
+// node whose delete mark persisted (the delete committed; the unlink
+// just had not happened yet), and recounting live entries. Nodes whose
+// link never persisted are not reachable from the reloaded image at all
+// — they are unreachable allocation garbage the next collection
+// reclaims — which is exactly the no-half-linked-nodes guarantee.
+//
+// The pass is idempotent and single-threaded: run it before index
+// traffic starts (Open does, on attach). It must run after pgc crash
+// recovery if the heap was mid-collection.
+func Recover(h *pheap.Heap, name string) (RecoverStats, error) {
+	if h.GCActive() {
+		return RecoverStats{}, fmt.Errorf("pindex: heap is mid-collection; recover it first")
+	}
+	ix := &Index{h: h, name: name, pin: NoPin{}}
+	if err := ix.resolveKlasses(); err != nil {
+		return RecoverStats{}, err
+	}
+	if _, ok := h.GetRoot(name); !ok {
+		return RecoverStats{}, fmt.Errorf("pindex: no index %q in this heap", name)
+	}
+	return recoverLocked(h, name, ix)
+}
+
+// cleanSlot strips a persisted dirty mark from the slot, persisting the
+// repair. Returns the slot's (clean) value.
+func cleanSlot(h *pheap.Heap, st *RecoverStats, obj layout.Ref, boff int) uint64 {
+	w := h.GetWord(obj, boff)
+	if w&tagDirty != 0 {
+		w &^= tagDirty
+		h.SetWord(obj, boff, w)
+		h.FlushRange(obj, boff, 8)
+		st.DirtyCleared++
+	}
+	return w
+}
+
+// recoverLocked is the shared walk behind Recover and Open-attach; ix
+// supplies resolved klasses and field offsets. The caller guarantees
+// quiescence (load time, or Open's pin).
+func recoverLocked(h *pheap.Heap, name string, ix *Index) (RecoverStats, error) {
+	var st RecoverStats
+	hdr, ok := h.GetRoot(name)
+	if !ok {
+		return st, fmt.Errorf("pindex: no index %q in this heap", name)
+	}
+	bw := cleanSlot(h, &st, hdr, ix.fBuckets)
+	arr := layout.Ref(layout.UntagRef(layout.Ref(bw)))
+	if arr == layout.NullRef || !h.Contains(arr) {
+		return st, fmt.Errorf("pindex: %q: header has no bucket table", name)
+	}
+	prev := layout.Ref(layout.UntagRef(layout.Ref(h.GetWord(arr, layout.ElemOff(layout.FTRef, 0)))))
+	if prev == layout.NullRef {
+		return st, fmt.Errorf("pindex: %q: head sentinel missing", name)
+	}
+	st.Sentinels++
+	lastSort, lastKey := h.GetWord(prev, ix.fSort), h.GetWord(prev, ix.fKey)
+	for {
+		w := cleanSlot(h, &st, prev, ix.fNext)
+		curr := layout.Ref(layout.UntagRef(layout.Ref(w)))
+		if curr == layout.NullRef {
+			break
+		}
+		if !h.Contains(curr) {
+			return st, fmt.Errorf("pindex: %q: link to %#x outside the heap", name, uint64(curr))
+		}
+		cw := cleanSlot(h, &st, curr, ix.fNext)
+		if cw&tagDel != 0 {
+			// The delete mark persisted: the delete committed before the
+			// crash. Finish its unlink so the key cannot resurrect.
+			h.SetWord(prev, ix.fNext, uint64(layout.UntagRef(layout.Ref(cw))))
+			h.FlushRange(prev, ix.fNext, 8)
+			st.Pruned++
+			continue
+		}
+		cs, ck := h.GetWord(curr, ix.fSort), h.GetWord(curr, ix.fKey)
+		if !soLess(lastSort, lastKey, cs, ck) {
+			return st, fmt.Errorf("pindex: %q: split order violated at %#x", name, uint64(curr))
+		}
+		if cs&1 == 1 {
+			cleanSlot(h, &st, curr, ix.fVal)
+			st.Entries++
+		} else {
+			st.Sentinels++
+		}
+		lastSort, lastKey = cs, ck
+		prev = curr
+	}
+	return st, nil
+}

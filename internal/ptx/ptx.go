@@ -14,12 +14,12 @@
 // the entry, fence, bump and flush the count, then perform the store.
 // Commit flushes the mutated words, fences, and resets the count.
 //
-// ptx writes heap words directly (plain stores, no core write barrier),
-// so its transactions are compatible with the stop-the-world collector
-// only: a heap being mutated through ptx must not run
-// pgc.CollectConcurrent, whose SATB marker requires every reference
-// overwrite to pass core's pre-write barrier. Routing ptx stores through
-// a mutator-aware barrier is the ROADMAP's write-combining item.
+// Primitive stores (WriteWord) write heap words directly; reference
+// stores go through WriteRefWord, which runs the SATB pre-write barrier
+// and a single atomic machine store, so ptx transactions — and the
+// legacy pcollections built on them — stay correct while
+// pgc.CollectConcurrent marks. Aborts and rollbacks re-run the barrier
+// for the reference entries they restore.
 package ptx
 
 import (
@@ -107,6 +107,8 @@ func (m *Manager) recover() error {
 type Tx struct {
 	m       *Manager
 	touched []layout.Ref // slot addresses to flush on commit
+	isRef   []bool       // parallel to the log: entry restores a reference slot
+	objs    []layout.Ref // parallel: owning object (the barrier's card target)
 	closed  bool
 }
 
@@ -120,8 +122,23 @@ func (m *Manager) Begin() *Tx {
 }
 
 // WriteWord performs a logged store of the 8-byte slot at byte offset
-// boff of the persistent object at obj.
+// boff of the persistent object at obj. For reference slots use
+// WriteRefWord, which adds the concurrent collector's write barrier.
 func (tx *Tx) WriteWord(obj layout.Ref, boff int, val uint64) error {
+	return tx.write(obj, boff, val, false)
+}
+
+// WriteRefWord is WriteWord for reference slots: the store runs through
+// the SATB pre-write barrier (the overwritten referent is recorded in
+// the heap's shared buffer and the object's card dirtied) and lands with
+// a single atomic machine store, so the concurrent marker never loses a
+// snapshot-reachable object to a transactional overwrite and never reads
+// a torn slot.
+func (tx *Tx) WriteRefWord(obj layout.Ref, boff int, val layout.Ref) error {
+	return tx.write(obj, boff, uint64(val), true)
+}
+
+func (tx *Tx) write(obj layout.Ref, boff int, val uint64, isRef bool) error {
 	m := tx.m
 	count := int(m.logLoad(1))
 	if count >= m.cap {
@@ -137,8 +154,17 @@ func (tx *Tx) WriteWord(obj layout.Ref, boff int, val uint64) error {
 	// transaction-library optimization §2.2 anticipates). Ordering within
 	// a line is preserved by the line-granular persistence model.
 	m.flushLogWordSpan(1, 2+2*count+1)
-	m.h.SetWord(obj, boff, val)
+	if isRef {
+		if m.h.ConcurrentMarkActive() {
+			m.h.SATBRecordBarrier(obj, old, nil)
+		}
+		m.h.SetWordAtomic(obj, boff, val)
+	} else {
+		m.h.SetWord(obj, boff, val)
+	}
 	tx.touched = append(tx.touched, slot)
+	tx.isRef = append(tx.isRef, isRef)
+	tx.objs = append(tx.objs, obj)
 	return nil
 }
 
@@ -162,15 +188,25 @@ func (tx *Tx) Commit() {
 	m.mu.Unlock()
 }
 
-// Abort rolls the transaction back.
+// Abort rolls the transaction back. Restored reference slots re-run the
+// SATB barrier (the value being rolled back over is the one the marker
+// could otherwise lose) and land atomically, like the forward stores.
 func (tx *Tx) Abort() {
 	m := tx.m
 	count := int(m.logLoad(1))
 	for i := count - 1; i >= 0; i-- {
 		addr := layout.Ref(m.logLoad(2 + 2*i))
 		old := m.logLoad(2 + 2*i + 1)
-		m.h.Device().WriteU64(m.h.OffOf(addr), old)
-		m.h.Device().Flush(m.h.OffOf(addr), 8)
+		off := m.h.OffOf(addr)
+		if i < len(tx.isRef) && tx.isRef[i] {
+			if m.h.ConcurrentMarkActive() {
+				m.h.SATBRecordBarrier(tx.objs[i], m.h.Device().ReadU64Atomic(off), nil)
+			}
+			m.h.Device().WriteU64Atomic(off, old)
+		} else {
+			m.h.Device().WriteU64(off, old)
+		}
+		m.h.Device().Flush(off, 8)
 	}
 	m.h.Device().Fence()
 	m.logStore(1, 0)

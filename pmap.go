@@ -1,0 +1,126 @@
+package espresso
+
+import (
+	"fmt"
+	"sync"
+
+	"espresso/internal/pindex"
+)
+
+// PMapOptions configures OpenPMap. Zero values select the pindex
+// defaults (8 initial buckets, load factor 4, 64K max buckets).
+type PMapOptions struct {
+	// InitialBuckets is the starting bucket-table size (power of two).
+	InitialBuckets int
+	// MaxLoadFactor is the entries-per-bucket threshold past which the
+	// table doubles.
+	MaxLoadFactor float64
+	// MaxBuckets caps the table (power of two).
+	MaxBuckets int
+}
+
+// PMap is a durable, lock-free, resizable persistent hash map — the
+// serving-style concurrent index over the persistent heap
+// (internal/pindex), opened by name like any other root object. All
+// methods are safe for concurrent use from any goroutine: each call
+// borrows a per-goroutine operation context (PLAB allocator + SATB
+// barrier buffer) from an internal pool, runs as one safepoint interval,
+// and is durable-linearizable — when Put or Delete returns, the mutation
+// has been persisted (no FlushObject call needed), and a reload after a
+// crash recovers exactly the committed mappings.
+//
+// Operations must not nest: code running inside a Scan callback (or
+// otherwise already inside a PMap or Mutator.Do safepoint interval on
+// the same goroutine) must not call other PMap or Runtime operations —
+// a collector pause waiting between the two lock acquisitions deadlocks
+// the process.
+type PMap struct {
+	ix *pindex.Index
+
+	// ctxs is a never-dropping free list of operation contexts (peak
+	// size = peak concurrency). sync.Pool would be the obvious choice,
+	// but it sheds entries on runtime GCs (and randomly under the race
+	// detector), and a shed Ctx leaks its attached PLAB region until
+	// the next persistent collection — a quarter-megabyte per drop.
+	mu   sync.Mutex
+	ctxs []*pindex.Ctx
+}
+
+// OpenPMap attaches to (or creates) the persistent map registered under
+// mapName in the named loaded heap. Attaching runs the index recovery
+// pass, so a map that crashed mid-operation is consistent before the
+// first lookup.
+func (rt *Runtime) OpenPMap(heapName, mapName string, opts PMapOptions) (*PMap, error) {
+	h, ok := rt.Heap(heapName)
+	if !ok {
+		return nil, fmt.Errorf("espresso: heap %q is not loaded", heapName)
+	}
+	ix, err := pindex.Open(h, rt.Runtime.SafepointPinner(), mapName, pindex.Options{
+		InitialBuckets: opts.InitialBuckets,
+		MaxLoadFactor:  opts.MaxLoadFactor,
+		MaxBuckets:     opts.MaxBuckets,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &PMap{ix: ix}, nil
+}
+
+// Index exposes the underlying pindex handle (per-goroutine Ctx access,
+// stats, tooling).
+func (m *PMap) Index() *pindex.Index { return m.ix }
+
+func (m *PMap) borrow() *pindex.Ctx {
+	m.mu.Lock()
+	if n := len(m.ctxs); n > 0 {
+		c := m.ctxs[n-1]
+		m.ctxs = m.ctxs[:n-1]
+		m.mu.Unlock()
+		return c
+	}
+	m.mu.Unlock()
+	return m.ix.NewCtx()
+}
+
+func (m *PMap) put(c *pindex.Ctx) {
+	m.mu.Lock()
+	m.ctxs = append(m.ctxs, c)
+	m.mu.Unlock()
+}
+
+// Put durably inserts or updates key → val. val must be 0 or reference
+// an object in the same persistent heap (volatile references are
+// rejected — see pindex.Ctx.Put).
+func (m *PMap) Put(key int64, val Ref) error {
+	c := m.borrow()
+	defer m.put(c)
+	return c.Put(key, val)
+}
+
+// Get looks key up; the answer is durable before it is returned.
+func (m *PMap) Get(key int64) (Ref, bool) {
+	c := m.borrow()
+	defer m.put(c)
+	return c.Get(key)
+}
+
+// Delete durably removes key, reporting whether it was present.
+func (m *PMap) Delete(key int64) bool {
+	c := m.borrow()
+	defer m.put(c)
+	return c.Delete(key)
+}
+
+// Scan walks every entry until fn returns false (weakly consistent, as
+// lock-free iteration always is). It pins the world for its duration;
+// prefer short scans while a concurrent collection runs, and never call
+// other PMap or Runtime operations from fn (see the type doc: nested
+// safepoint intervals can deadlock against a waiting collector pause).
+func (m *PMap) Scan(fn func(key int64, val Ref) bool) {
+	c := m.borrow()
+	defer m.put(c)
+	c.Scan(fn)
+}
+
+// Len reports the entry count (exact when quiescent).
+func (m *PMap) Len() int { return m.ix.Len() }
