@@ -12,6 +12,7 @@
 //	espresso-bench -exp alloc    PLAB allocation scaling curve
 //	espresso-bench -exp gcpause  STW vs concurrent-marking GC pause times
 //	espresso-bench -exp kv       durable lock-free index (pindex) scaling curve
+//	espresso-bench -exp refstore write-combining ref-store barrier scaling curve
 //	espresso-bench -exp all      everything
 //
 // -scale N divides workload sizes by N for quick runs. -parallel N caps
@@ -31,15 +32,15 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig4|fig6|fig15|fig16|fig17|fig18|gcflush|fastpath|alloc|gcpause|kv|all")
+	exp := flag.String("exp", "all", "experiment: fig4|fig6|fig15|fig16|fig17|fig18|gcflush|fastpath|alloc|gcpause|kv|refstore|all")
 	scale := flag.Int("scale", 1, "divide workload sizes by this factor")
 	gcMB := flag.Int("gcmb", 256, "live megabytes for the gcflush experiment")
-	parallel := flag.Int("parallel", 8, "top of the alloc/kv goroutine curves / gcpause mutator count")
+	parallel := flag.Int("parallel", 8, "top of the alloc/kv/refstore goroutine curves / gcpause mutator count")
 	jsonPath := flag.String("json", "", "write fastpath/alloc/gcpause rows to this JSON file")
 	flag.Parse()
 
-	if *jsonPath != "" && *exp != "fastpath" && *exp != "alloc" && *exp != "gcpause" && *exp != "kv" {
-		fmt.Fprintln(os.Stderr, "espresso-bench: -json requires -exp fastpath, -exp alloc, -exp gcpause, or -exp kv")
+	if *jsonPath != "" && *exp != "fastpath" && *exp != "alloc" && *exp != "gcpause" && *exp != "kv" && *exp != "refstore" {
+		fmt.Fprintln(os.Stderr, "espresso-bench: -json requires -exp fastpath, -exp alloc, -exp gcpause, -exp kv, or -exp refstore")
 		os.Exit(2)
 	}
 
@@ -145,6 +146,17 @@ func main() {
 		}
 		experiments.PrintKVScaling(w, rows)
 		if *exp == "kv" {
+			return writeJSON(rows)
+		}
+		return nil
+	})
+	run("refstore", func() error {
+		rows, err := experiments.RefStoreScaling(s, *parallel)
+		if err != nil {
+			return err
+		}
+		experiments.PrintRefStoreScaling(w, rows)
+		if *exp == "refstore" {
 			return writeJSON(rows)
 		}
 		return nil

@@ -86,8 +86,9 @@ func main() {
 		}
 	case "inspect":
 		// The GC/allocation state PRs 2–3 put into the image, surfaced:
-		// format version, the concurrent collector's phase word, and the
-		// PLAB allocator's per-region persisted top table.
+		// format version, the concurrent collector's phase word, the
+		// PLAB allocator's per-region persisted top table, and (PR 5)
+		// the remembered-set footprint of the write-combining barrier.
 		g := h.Geo()
 		fmt.Printf("format version %d\n", h.FormatVersion())
 		phase := "idle"
@@ -98,6 +99,43 @@ func main() {
 		fmt.Printf("gc active      %v\n", h.GCActive())
 		fmt.Printf("global ts      %d\n", h.GlobalTS())
 		fmt.Printf("redo pending   %v\n", h.RedoPending())
+		// Remembered-set footprint: slots whose persisted value points
+		// outside this heap. On a single-heap image these are exactly the
+		// slots the runtime's NVM→DRAM remembered set tracked (volatile
+		// references die with their process); a multi-heap deployment's
+		// image also counts legal cross-heap NVM references here, since
+		// one image cannot tell a sibling heap's address from a dead DRAM
+		// one — hence "candidates". Per-buffer pending-delta counts show
+		// the write-combining barrier's unpublished records (always zero
+		// on a cold image; meaningful when inspecting a live heap).
+		outRefs := 0
+		err := h.ForEachObject(func(off int, k *klass.Klass, size int) bool {
+			if pheap.IsFiller(k) {
+				return true
+			}
+			pheap.RefSlots(h.Device(), off, k, func(slotBoff int) {
+				v := layout.UntagRef(layout.Ref(h.Device().ReadU64(off + slotBoff)))
+				if v != layout.NullRef && !h.Contains(v) {
+					outRefs++
+				}
+			})
+			return true
+		})
+		if err != nil {
+			log.Fatalf("remset scan: %v", err)
+		}
+		fmt.Printf("remset slots   %d candidate(s) (out-of-heap refs; includes cross-heap refs on multi-heap images)\n", outRefs)
+		pending := h.RemsetDeltaStats()
+		total := 0
+		for _, n := range pending {
+			total += n
+		}
+		fmt.Printf("remset deltas  %d pending across %d buffers\n", total, len(pending))
+		for i, n := range pending {
+			if n > 0 {
+				fmt.Printf("  buffer %2d    %d pending deltas\n", i, n)
+			}
+		}
 		fmt.Printf("region top table (%d data regions of %d KB, stride %d B):\n",
 			g.DataRegions(), layout.RegionSize>>10, layout.RegionTopStride)
 		for r := 0; r < g.DataRegions(); r++ {

@@ -59,6 +59,13 @@
 //	defer m.Release()
 //	p, _ := m.PNew(person, 0)      // arrayLen 0: lock-free after first use of a class
 //
+// A Mutator's reference stores are lock-free too: SetRef/SetRefFast
+// through a Mutator record remembered-set maintenance in a
+// mutator-local delta buffer (created and registered automatically)
+// that merges into the shared set only at publication points —
+// transaction commit, GC safepoints, buffer overflow — so the hot
+// store path touches no shared lock or cache line.
+//
 // # Concurrent persistent GC
 //
 // PersistentGC stops the world for the whole collection; with

@@ -79,6 +79,92 @@ func BenchmarkFieldAccess(b *testing.B) {
 	})
 }
 
+// BenchmarkSetRefFast measures the reference-store write barrier: named
+// vs resolved-handle stores, and resolved stores routed through a
+// Mutator, whose remembered-set maintenance is an append to a
+// mutator-local delta buffer (no shared lock, no shared cache line; the
+// shared set learns about the stores at publication points). The
+// parallel variant runs one Mutator per goroutine — the lock-free hot
+// path the refstore experiment gates in CI. Every variant must cost
+// exactly one device write per store.
+func BenchmarkSetRefFast(b *testing.B) {
+	rt, dev := benchRT(b)
+	node := espresso.MustClass("bench/RefNode", nil,
+		espresso.RefTo("next", "bench/RefNode"), espresso.Long("v"))
+	nextF := rt.MustResolveField(node, "next")
+	a, err := rt.PNew(node)
+	if err != nil {
+		b.Fatal(err)
+	}
+	target, err := rt.PNew(node)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	report := func(b *testing.B, s0 nvm.Stats) {
+		d := dev.Stats().Sub(s0)
+		b.ReportMetric(float64(d.Writes)/float64(b.N), "devwrites/op")
+	}
+
+	b.Run("named-set-ref", func(b *testing.B) {
+		s0 := dev.Stats()
+		for i := 0; i < b.N; i++ {
+			if err := rt.SetRef(a, "next", target); err != nil {
+				b.Fatal(err)
+			}
+		}
+		report(b, s0)
+	})
+	b.Run("resolved-set-ref", func(b *testing.B) {
+		s0 := dev.Stats()
+		for i := 0; i < b.N; i++ {
+			if err := rt.SetRefFast(a, nextF, target); err != nil {
+				b.Fatal(err)
+			}
+		}
+		report(b, s0)
+	})
+	b.Run("mutator-set-ref", func(b *testing.B) {
+		m, err := rt.NewMutator()
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer m.Release()
+		s0 := dev.Stats()
+		for i := 0; i < b.N; i++ {
+			if err := m.SetRefFast(a, nextF, target); err != nil {
+				b.Fatal(err)
+			}
+		}
+		report(b, s0)
+	})
+	b.Run("mutator-set-ref-parallel", func(b *testing.B) {
+		s0 := dev.Stats()
+		b.RunParallel(func(pb *testing.PB) {
+			m, err := rt.NewMutator()
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			defer m.Release()
+			// Each goroutine stores into its own object: disjoint slots,
+			// disjoint delta buffers — the contention-free shape.
+			own, err := m.PNew(node, 0)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			for pb.Next() {
+				if err := m.SetRefFast(own, nextF, target); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		})
+		report(b, s0)
+	})
+}
+
 // BenchmarkStringRoundTrip writes and reads back persistent strings. The
 // device-op count per round trip must be O(1), not O(len): the payload
 // moves with one bulk write and one bulk read.

@@ -109,10 +109,10 @@ func (rt *Runtime) GetRef(ref layout.Ref, field string) (layout.Ref, error) {
 func (rt *Runtime) SetRef(ref layout.Ref, field string, val layout.Ref) error {
 	rt.world.RLock()
 	defer rt.world.RUnlock()
-	return rt.setRefNamed(ref, field, val, nil)
+	return rt.setRefNamed(ref, field, val, nil, nil)
 }
 
-func (rt *Runtime) setRefNamed(ref layout.Ref, field string, val layout.Ref, satb *pheap.SATBBuffer) error {
+func (rt *Runtime) setRefNamed(ref layout.Ref, field string, val layout.Ref, satb *pheap.SATBBuffer, rdelta *pheap.RemsetDeltaBuffer) error {
 	boff, k, err := rt.fieldOff(ref, field)
 	if err != nil {
 		return err
@@ -120,7 +120,7 @@ func (rt *Runtime) setRefNamed(ref layout.Ref, field string, val layout.Ref, sat
 	if i, _ := k.FieldIndex(field); k.FieldAt(i).Type != layout.FTRef {
 		return fmt.Errorf("core: field %s.%s is not a reference", k.Name, field)
 	}
-	return rt.storeRef(ref, boff, val, satb)
+	return rt.storeRef(ref, boff, val, satb, rdelta)
 }
 
 // GetElem reads element i of a reference array.
@@ -137,14 +137,14 @@ func (rt *Runtime) GetElem(arr layout.Ref, i int) (layout.Ref, error) {
 func (rt *Runtime) SetElem(arr layout.Ref, i int, val layout.Ref) error {
 	rt.world.RLock()
 	defer rt.world.RUnlock()
-	return rt.setElem(arr, i, val, nil)
+	return rt.setElem(arr, i, val, nil, nil)
 }
 
-func (rt *Runtime) setElem(arr layout.Ref, i int, val layout.Ref, satb *pheap.SATBBuffer) error {
+func (rt *Runtime) setElem(arr layout.Ref, i int, val layout.Ref, satb *pheap.SATBBuffer, rdelta *pheap.RemsetDeltaBuffer) error {
 	if err := rt.boundsCheck(arr, i); err != nil {
 		return err
 	}
-	return rt.storeRef(arr, layout.ElemOff(layout.FTRef, i), val, satb)
+	return rt.storeRef(arr, layout.ElemOff(layout.FTRef, i), val, satb, rdelta)
 }
 
 // GetLongElem reads element i of a long array.
@@ -183,20 +183,26 @@ func (rt *Runtime) boundsCheck(arr layout.Ref, i int) error {
 }
 
 // storeRef performs the reference store plus barrier bookkeeping. satb
-// selects the SATB buffer the pre-write barrier records into: the
-// calling mutator's own, or (nil) the heap's shared default buffer.
-func (rt *Runtime) storeRef(obj layout.Ref, boff int, val layout.Ref, satb *pheap.SATBBuffer) error {
+// and rdelta select the buffers the two barriers record into: the
+// calling mutator's own, or (nil) the heap's shared default buffers.
+func (rt *Runtime) storeRef(obj layout.Ref, boff int, val layout.Ref, satb *pheap.SATBBuffer, rdelta *pheap.RemsetDeltaBuffer) error {
 	slot := obj + layout.Ref(boff)
 	if h := rt.heapOf(obj); h != nil {
 		// Persistent object. The paper permits NVM→DRAM references at the
 		// language level (§3.2); type-based safety forbids them (§3.4).
-		if val != layout.NullRef && rt.vol.Contains(val) {
-			if rt.cfg.Safety == TypeBased {
-				return fmt.Errorf("core: type-based safety forbids storing a volatile reference into NVM")
-			}
-			rt.nvmToVol.Add(slot)
-		} else {
-			rt.nvmToVol.Remove(slot)
+		// Remembered-set maintenance is write-combined: the store appends
+		// one delta to a mutator-local buffer (before the device store,
+		// preserving the eager path's ordering) and the shared set learns
+		// about it at the next publication point — transaction commit,
+		// safepoint entry, or buffer overflow. See remset.go for the full
+		// lifecycle. The hot path therefore takes no shared lock and
+		// touches no shared cache line for the remembered set.
+		isVol := val != layout.NullRef && rt.vol.Contains(val)
+		if isVol && rt.cfg.Safety == TypeBased {
+			return fmt.Errorf("core: type-based safety forbids storing a volatile reference into NVM")
+		}
+		if rdelta == nil {
+			rdelta = h.DefaultRemsetDeltaBuffer(slot)
 		}
 		// SATB pre-write barrier: while a concurrent mark runs, the old
 		// referent must reach the marker before it is overwritten, or a
@@ -209,9 +215,13 @@ func (rt *Runtime) storeRef(obj layout.Ref, boff int, val layout.Ref, satb *phea
 			// rescanned in the compaction pause.
 			h.SATBRecordBarrier(obj, h.GetWordAtomic(obj, boff), satb)
 		}
-		// The store itself is a single atomic machine store, so the
-		// concurrent marker's slot loads never tear against it.
-		h.SetWordAtomic(obj, boff, uint64(val))
+		// The store (a single atomic machine store, so the concurrent
+		// marker's slot loads never tear against it) and its delta land
+		// as one drain-atomic step: no publication can consume the delta
+		// before the value it must re-derive from is on the device.
+		rdelta.RecordStore(slot, isVol, func() {
+			h.SetWordAtomic(obj, boff, uint64(val))
+		})
 		return nil
 	}
 	// Volatile object: old→young stores feed the scavenger's remset.
@@ -223,7 +233,22 @@ func (rt *Runtime) storeRef(obj layout.Ref, boff int, val layout.Ref, satb *phea
 }
 
 // NVMToVolSlots snapshots the persistent-to-volatile remembered set
-// (diagnostics and tests).
+// (diagnostics and tests). Pending per-mutator deltas are published
+// first, so the snapshot reflects every store issued before the call.
 func (rt *Runtime) NVMToVolSlots() []layout.Ref {
+	rt.world.RLock()
+	defer rt.world.RUnlock()
+	rt.publishRemsetDeltas()
 	return rt.nvmToVol.Snapshot()
+}
+
+// publishRemsetDeltas drains every heap's pending remembered-set deltas
+// into the shared set. Callers hold the safepoint read lock (a collector
+// drain is safe against concurrent owner appends: the per-buffer mutex
+// serializes them, and a store that has not yet appended its delta has
+// not yet hit the device either).
+func (rt *Runtime) publishRemsetDeltas() {
+	for _, h := range rt.heaps {
+		h.PublishRemsetDeltas()
+	}
 }

@@ -114,17 +114,20 @@ func (rt *Runtime) getRefFast(ref layout.Ref, f FieldRef) layout.Ref {
 
 // SetRefFast writes a reference field through a resolved handle, keeping
 // the full write barrier (remembered sets, type-based safety, SATB).
+// Remembered-set maintenance is a mutator-local delta append — no shared
+// lock, no shared cache line; route stores through a Mutator to give the
+// append a truly private buffer.
 func (rt *Runtime) SetRefFast(ref layout.Ref, f FieldRef, val layout.Ref) error {
 	rt.world.RLock()
 	defer rt.world.RUnlock()
-	return rt.setRefFast(ref, f, val, nil)
+	return rt.setRefFast(ref, f, val, nil, nil)
 }
 
-func (rt *Runtime) setRefFast(ref layout.Ref, f FieldRef, val layout.Ref, satb *pheap.SATBBuffer) error {
+func (rt *Runtime) setRefFast(ref layout.Ref, f FieldRef, val layout.Ref, satb *pheap.SATBBuffer, rdelta *pheap.RemsetDeltaBuffer) error {
 	if f.ftype != layout.FTRef {
 		return fmt.Errorf("core: SetRefFast through a %s field handle", f.ftype)
 	}
-	return rt.storeRef(ref, f.boff, val, satb)
+	return rt.storeRef(ref, f.boff, val, satb, rdelta)
 }
 
 // --- Bulk primitive-array transfer ---

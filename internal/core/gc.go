@@ -68,7 +68,14 @@ func (rt *Runtime) MinorGC() error {
 	return rt.minorGC()
 }
 
-func (rt *Runtime) minorGC() error { return rt.vol.MinorGC(volRoots{rt}) }
+// Volatile collections consume the NVM→DRAM remembered set as their
+// root set, so pending per-mutator deltas are published first — the
+// write-combining barrier's "drain before scavenging" obligation. (The
+// persistent collectors get the same drain from PrepareForCollection.)
+func (rt *Runtime) minorGC() error {
+	rt.publishRemsetDeltas()
+	return rt.vol.MinorGC(volRoots{rt})
+}
 
 // FullGC collects the whole volatile heap; see MinorGC for the
 // single-volatile-mutator contract.
@@ -78,7 +85,10 @@ func (rt *Runtime) FullGC() error {
 	return rt.fullGC()
 }
 
-func (rt *Runtime) fullGC() error { return rt.vol.FullGC(volRoots{rt}) }
+func (rt *Runtime) fullGC() error {
+	rt.publishRemsetDeltas()
+	return rt.vol.FullGC(volRoots{rt})
+}
 
 // persRoots adapts handles + a scan of the volatile heap to pgc.Rooter.
 type persRoots struct {

@@ -168,6 +168,9 @@ func (rt *Runtime) Heaps() []*pheap.Heap { return append([]*pheap.Heap(nil), rt.
 func (rt *Runtime) SyncHeap(name string) error { return rt.mgr.Sync(name) }
 
 func (rt *Runtime) attach(h *pheap.Heap) {
+	// The heap's reference stores feed the runtime's remembered set
+	// through per-mutator delta buffers; the sink is their drain target.
+	h.SetRemsetSink(remsetSink{rt})
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	rt.heaps = append(rt.heaps, h)

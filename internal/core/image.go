@@ -1,0 +1,112 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"espresso/internal/layout"
+)
+
+// Bulk object materialization: the coalesced-device-I/O discipline of
+// NewString extended to whole instance field areas. A provider (pjo)
+// assembles the object's image in a DRAM staging buffer and ships it
+// with bulk device writes for the primitive spans, one atomic word store
+// per reference slot, and one FlushRange — instead of a device word
+// store (and, on the flush side, a line flush) per dirty field. Device
+// cost per entity persist is O(1) in the dirty-field count: it depends
+// only on the schema's reference-column count, never on how many fields
+// a commit touched.
+//
+// Reference slots keep the full write barrier and the full access
+// discipline: each contributes a remembered-set delta landing
+// drain-atomically with its store (RecordStore — concurrent publications
+// re-read slots with atomic loads, which a bulk memmove over a reference
+// slot would tear against), plus a SATB pre-write record while a
+// concurrent mark runs, and type-based safety vets volatile values
+// before any byte lands.
+
+// ReadFieldImage fills dst with the object's field area — starting at
+// the first instance field — using a single bulk device read. The caller
+// sizes dst (nFields × WordSize for all-word layouts like pjo's
+// DBPersistables).
+func (rt *Runtime) ReadFieldImage(ref layout.Ref, dst []byte) error {
+	rt.world.RLock()
+	defer rt.world.RUnlock()
+	h := rt.heapOf(ref)
+	if h == nil {
+		return fmt.Errorf("core: ReadFieldImage of a non-persistent object %#x", uint64(ref))
+	}
+	h.ReadBytesAt(ref, layout.FieldOff(0), dst)
+	return nil
+}
+
+// WriteFieldImage stores img over the object's field area (starting at
+// the first instance field) and persists it with one FlushRange + fence.
+// refOffs lists the object-relative byte offsets of the reference-typed
+// slots inside the image; each gets the same barrier bookkeeping and
+// store discipline as storeRef — type-based safety, a drain-atomic
+// remembered-set delta, an atomic machine store (the concurrent marker
+// and delta publications read reference slots atomically; no bulk
+// memmove ever covers one), and the SATB pre-write barrier while marking
+// is active. The primitive spans between reference slots move with bulk
+// writes, so total device writes per call are bounded by the schema's
+// reference-column count plus its contiguous primitive runs — never by
+// the field count.
+func (rt *Runtime) WriteFieldImage(ref layout.Ref, img []byte, refOffs []int) error {
+	rt.world.RLock()
+	defer rt.world.RUnlock()
+	h := rt.heapOf(ref)
+	if h == nil {
+		return fmt.Errorf("core: WriteFieldImage of a non-persistent object %#x", uint64(ref))
+	}
+	base := layout.FieldOff(0)
+	if len(img)%layout.WordSize != 0 {
+		return fmt.Errorf("core: WriteFieldImage of %d bytes (not word-aligned)", len(img))
+	}
+	// Validate every ref slot before any barrier bookkeeping or byte
+	// lands: a failure must leave no recorded delta for a store that
+	// never happened, and no partially written image.
+	sorted := append([]int(nil), refOffs...)
+	sort.Ints(sorted)
+	for i, boff := range sorted {
+		if boff < base || boff+layout.WordSize > base+len(img) || (boff-base)%layout.WordSize != 0 {
+			return fmt.Errorf("core: WriteFieldImage ref slot offset %d outside image", boff)
+		}
+		if i > 0 && sorted[i-1] == boff {
+			return fmt.Errorf("core: WriteFieldImage duplicate ref slot offset %d", boff)
+		}
+		if rt.cfg.Safety == TypeBased {
+			val := layout.Ref(binary.LittleEndian.Uint64(img[boff-base:]))
+			if val != layout.NullRef && rt.vol.Contains(val) {
+				return fmt.Errorf("core: type-based safety forbids storing a volatile reference into NVM")
+			}
+		}
+	}
+	// Ship the image: bulk-write each primitive run, store each reference
+	// slot atomically with its drain-atomic delta (and the SATB barrier
+	// while marking — the armed flag cannot flip mid-call: marking arms
+	// only at a safepoint and this call holds the safepoint read lock).
+	marking := h.ConcurrentMarkActive()
+	run := base
+	writeRun := func(upto int) {
+		if upto > run {
+			h.WriteBytesAt(ref, run, img[run-base:upto-base])
+		}
+	}
+	for _, boff := range sorted {
+		writeRun(boff)
+		run = boff + layout.WordSize
+		val := layout.Ref(binary.LittleEndian.Uint64(img[boff-base:]))
+		if marking {
+			h.SATBRecordBarrier(ref, h.GetWordAtomic(ref, boff), nil)
+		}
+		slot := ref + layout.Ref(boff)
+		h.DefaultRemsetDeltaBuffer(slot).RecordStore(slot, val != layout.NullRef && rt.vol.Contains(val), func() {
+			h.SetWordAtomic(ref, boff, uint64(val))
+		})
+	}
+	writeRun(base + len(img))
+	h.FlushRange(ref, base, len(img))
+	return nil
+}

@@ -16,7 +16,11 @@ import (
 // the PLAB bump path persists only the mutator's own region top. Its
 // reference stores feed the pre-write barrier through its own SATB
 // buffer, so barrier records contend with nothing while the concurrent
-// marker runs.
+// marker runs, and remembered-set maintenance through its own delta
+// buffer, so the hot ref-store path takes no shared lock at all — the
+// shared NVM→DRAM set learns about the stores at the next publication
+// point (transaction commit, safepoint entry, or buffer overflow; see
+// remset.go).
 //
 // A Mutator is not safe for concurrent use; give each goroutine its own.
 // Class metadata work (Define, safety checks, constant-pool resolution,
@@ -46,6 +50,7 @@ type Mutator struct {
 	h        *pheap.Heap
 	alloc    *pheap.Allocator
 	satb     *pheap.SATBBuffer
+	rdelta   *pheap.RemsetDeltaBuffer
 	prepared map[*klass.Klass]bool
 	locked   bool // inside Do: safepoint lock already held
 }
@@ -61,6 +66,7 @@ func (rt *Runtime) NewMutator() (*Mutator, error) {
 		h:        h,
 		alloc:    h.NewAllocator(),
 		satb:     h.NewSATBBuffer(),
+		rdelta:   h.NewRemsetDeltaBuffer(),
 		prepared: make(map[*klass.Klass]bool),
 	}, nil
 }
@@ -147,7 +153,7 @@ func (m *Mutator) prepare(k *klass.Klass) error {
 func (m *Mutator) SetRef(ref layout.Ref, field string, val layout.Ref) error {
 	m.enter()
 	defer m.exit()
-	return m.rt.setRefNamed(ref, field, val, m.satb)
+	return m.rt.setRefNamed(ref, field, val, m.satb, m.rdelta)
 }
 
 // SetRefFast writes a reference field through a resolved handle, with
@@ -155,7 +161,7 @@ func (m *Mutator) SetRef(ref layout.Ref, field string, val layout.Ref) error {
 func (m *Mutator) SetRefFast(ref layout.Ref, f FieldRef, val layout.Ref) error {
 	m.enter()
 	defer m.exit()
-	return m.rt.setRefFast(ref, f, val, m.satb)
+	return m.rt.setRefFast(ref, f, val, m.satb, m.rdelta)
 }
 
 // SetElem stores element i of a reference array through the write
@@ -163,7 +169,18 @@ func (m *Mutator) SetRefFast(ref layout.Ref, f FieldRef, val layout.Ref) error {
 func (m *Mutator) SetElem(arr layout.Ref, i int, val layout.Ref) error {
 	m.enter()
 	defer m.exit()
-	return m.rt.setElem(arr, i, val, m.satb)
+	return m.rt.setElem(arr, i, val, m.satb, m.rdelta)
+}
+
+// GetElem reads element i of a reference array on this mutator's thread
+// (usable inside Do, unlike the Runtime accessor).
+func (m *Mutator) GetElem(arr layout.Ref, i int) (layout.Ref, error) {
+	m.enter()
+	defer m.exit()
+	if err := m.rt.boundsCheck(arr, i); err != nil {
+		return 0, err
+	}
+	return layout.Ref(m.rt.getWord(arr, layout.ElemOff(layout.FTRef, i))), nil
 }
 
 // GetRefFast reads a reference field through a resolved handle.
@@ -203,15 +220,22 @@ func (m *Mutator) SetRoot(name string, ref layout.Ref) error {
 	return m.rt.setRoot(name, ref)
 }
 
+// PendingRemsetDeltas reports how many remembered-set deltas this
+// mutator has recorded but not yet published (diagnostics, tests).
+func (m *Mutator) PendingRemsetDeltas() int { return m.rdelta.Pending() }
+
 // Release retires the mutator: its PLAB headroom and recycled hole go
 // back to the heap's dispenser for the next mutator to continue filling,
-// and its SATB buffer is unregistered (pending barrier records are
-// handed to the heap's shared buffer, so none are lost mid-mark). Like
-// every mutator operation it is a safepoint interval.
+// its SATB buffer is unregistered (pending barrier records are handed to
+// the heap's shared buffer, so none are lost mid-mark), and its
+// remembered-set delta buffer is unregistered after publishing anything
+// still pending. Like every mutator operation it is a safepoint interval.
 func (m *Mutator) Release() {
 	m.enter()
 	defer m.exit()
 	m.alloc.Release()
 	m.h.ReleaseSATBBuffer(m.satb)
 	m.satb = nil
+	m.h.ReleaseRemsetDeltaBuffer(m.rdelta)
+	m.rdelta = nil
 }

@@ -4,17 +4,72 @@ import (
 	"sync"
 
 	"espresso/internal/layout"
+	"espresso/internal/pheap"
 )
 
-// remset is the persistent-to-volatile remembered set: absolute addresses
-// of NVM slots currently holding DRAM references. It is sharded by slot
-// address so concurrent mutators storing refs into different objects do
-// not serialize on one lock — the write barrier is on every SetRef, and a
-// global mutex there is exactly the kind of per-call cost the fast path
-// removes.
+// The persistent-to-volatile remembered set and its write-combining
+// barrier lifecycle.
 //
-// Stop-the-world operations (GC root scans, rebuilds) still see a
-// consistent view: they run with mutators stopped, as in the JVM.
+// The shared set (remset below) holds the absolute addresses of NVM slots
+// currently believed to hold DRAM references. It is consulted by the
+// volatile collectors (those slots are scavenge roots and get patched
+// when DRAM objects move), rebuilt by the persistent collector after
+// compaction, and policed by the safety levels. It is sharded, but since
+// PR 5 no mutator-hot path touches it directly: a shard lock per
+// reference store was the last shared-memory contention point left on the
+// mutator fast path after PLABs and the lock-free index.
+//
+// The lifecycle of one reference store is instead:
+//
+//	store        core.storeRef classifies the new value (volatile or
+//	             not) and appends a RemsetDelta{slot, add} to a buffer
+//	             owned by the storing mutator (pheap.RemsetDeltaBuffer,
+//	             the same owner-append/collector-drain shape as the SATB
+//	             buffers; stores outside a Mutator use the heap's shared
+//	             default buffer). The append happens before the device
+//	             store, preserving the eager path's ordering.
+//
+//	delta        The record sits in the mutator-local buffer — invisible
+//	             to the shared set, touching no shared cache line.
+//
+//	publication  Deltas merge into the shared set at exactly three
+//	             points:
+//	               1. transaction commit — ptx.Tx.Commit publishes the
+//	                  transaction's batch (Abort replays corrective
+//	                  records for the rolled-back slots instead, exactly
+//	                  like it replays SATB barrier records, so the set
+//	                  returns to its pre-tx contents);
+//	               2. safepoint entry — pheap.PrepareForCollection drains
+//	                  every registered buffer with the world stopped, so
+//	                  both persistent collectors see a complete set
+//	                  before marking/compaction, and the runtime drains
+//	                  before every volatile collection for the same
+//	                  reason;
+//	               3. buffer overflow — the owner publishes its own
+//	                  buffer past RemsetDeltaOverflow records, amortized.
+//
+// A delta is a hint, not an instruction: membership is RE-DERIVED from
+// the slot's current device value when the delta is applied (see
+// applyRemsetDeltas). Within one buffer deltas arrive in program order,
+// but one slot can be stored through two buffers (a Runtime-routed store
+// and a Mutator-routed one, or a ptx transaction), and buffers drain in
+// registration order — trusting the hints alone could let an early
+// remove erase a later add and drop a live scavenge root. Re-derivation
+// makes publication order-independent and idempotent: after any full
+// drain the set equals exactly {slots whose current value is volatile}
+// among slots that ever saw a delta. The hints still pay their way by
+// gating the device read — a remove hint for a slot the set does not
+// contain is dropped without touching the device, so workloads that
+// never store a volatile reference (the common case) publish with zero
+// device traffic, matching the eager path's cost.
+//
+// Between publications the shared set can be stale for slots with
+// pending deltas; every consumer therefore publishes first (see
+// remsetSink and the publishRemsetDeltas calls in gc.go).
+
+// remset is sharded by slot address so publication batches from different
+// mutators do not serialize on one lock, and so the (rare) bufferless
+// paths stay cheap.
 const remsetShards = 64
 
 type remset struct {
@@ -84,6 +139,71 @@ func (r *remset) Snapshot() []layout.Ref {
 		s.mu.Unlock()
 	}
 	return out
+}
+
+// Contains reports whether slot is recorded.
+func (r *remset) Contains(slot layout.Ref) bool {
+	s := r.shard(slot)
+	s.mu.Lock()
+	_, ok := s.m[slot]
+	s.mu.Unlock()
+	return ok
+}
+
+// remsetSink adapts the runtime's remembered set to pheap.RemsetSink —
+// the hook heap-level publication points (safepoint drains, transaction
+// commits, buffer overflows) deliver deltas through. Installed on every
+// heap at attach time.
+type remsetSink struct{ rt *Runtime }
+
+func (s remsetSink) PublishRemsetDeltas(ds []pheap.RemsetDelta) { s.rt.applyRemsetDeltas(ds) }
+
+func (s remsetSink) RefIsVolatile(ref layout.Ref) bool { return s.rt.vol.Contains(ref) }
+
+// applyRemsetDeltas merges one published batch. Membership is re-derived
+// from the slot's current device value, which makes application
+// order-independent across buffers (see the package comment): an add
+// hint always re-reads; a remove hint re-reads only when the slot is
+// actually in the set (an absent remove is a guaranteed no-op, so the
+// pure NVM→NVM workload publishes without device traffic). The batch is
+// deduplicated by slot first — only its final record matters, and one
+// read per slot bounds the publication's device cost by the working set,
+// not the store count. Safe to run concurrently with mutators (overflow
+// publications race collector drains): the slot load is a single atomic
+// device read, exactly the discipline the concurrent marker uses.
+func (rt *Runtime) applyRemsetDeltas(ds []pheap.RemsetDelta) {
+	if len(ds) == 0 {
+		return
+	}
+	seen := make(map[layout.Ref]struct{}, len(ds))
+	for i := len(ds) - 1; i >= 0; i-- {
+		d := ds[i]
+		if _, dup := seen[d.Slot]; dup {
+			continue
+		}
+		seen[d.Slot] = struct{}{}
+		if !d.Add && !rt.nvmToVol.Contains(d.Slot) {
+			continue
+		}
+		if rt.slotHoldsVolatile(d.Slot) {
+			rt.nvmToVol.Add(d.Slot)
+		} else {
+			rt.nvmToVol.Remove(d.Slot)
+		}
+	}
+}
+
+// slotHoldsVolatile re-reads an NVM slot and reports whether its current
+// value points into the volatile heap. Tag bits (layout.RefTagMask) are
+// stripped, as everywhere slot values are interpreted as addresses.
+func (rt *Runtime) slotHoldsVolatile(slot layout.Ref) bool {
+	h := rt.heapOf(slot)
+	if h == nil {
+		return false
+	}
+	boff := int(slot) - int(h.Base())
+	v := layout.UntagRef(layout.Ref(h.Device().ReadU64Atomic(boff)))
+	return v != layout.NullRef && rt.vol.Contains(v)
 }
 
 // RemoveIf deletes every slot for which pred returns true.

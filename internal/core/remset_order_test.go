@@ -1,0 +1,73 @@
+package core
+
+import (
+	"testing"
+
+	"espresso/internal/klass"
+	"espresso/internal/layout"
+)
+
+// TestRemsetDeltaCrossBufferOrder pins the publication-order hazard: one
+// slot stored through two different delta buffers (a Runtime-routed
+// store uses the heap's default buffer, a Mutator-routed one its own),
+// where buffer drain order disagrees with store order. Publication
+// re-derives membership from the device, so the later store must win
+// regardless of which buffer drains first.
+func TestRemsetDeltaCrossBufferOrder(t *testing.T) {
+	rt, err := NewRuntime(Config{PJHDataSize: 8 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.CreateHeap("order", 0); err != nil {
+		t.Fatal(err)
+	}
+	node := klass.MustInstance("order/Node", nil,
+		klass.Field{Name: "ref", Type: layout.FTRef})
+	refF := rt.MustResolveField(node, "ref")
+	a, err := rt.PNew(node, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := rt.PNew(node, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vol, err := rt.NewString("dram", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := rt.NewMutator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Release()
+
+	// Mutator buffer registered first; default buffer registers lazily on
+	// the Runtime-routed store below, so it drains after the mutator's.
+	// Store order: Runtime (remove hint, default buffer) THEN Mutator
+	// (add hint, mutator buffer). A drain trusting hints in registration
+	// order would apply add-then-remove and drop the live edge.
+	if err := rt.SetRefFast(a, refF, b); err != nil { // NVM ref → remove hint
+		t.Fatal(err)
+	}
+	if err := m.SetRefFast(a, refF, vol); err != nil { // volatile → add hint
+		t.Fatal(err)
+	}
+	if got := rt.NVMToVolSlots(); len(got) != 1 {
+		t.Fatalf("remset = %v after NVM-then-vol mixed routing, want the live slot", got)
+	}
+
+	// And the mirror image: vol through the Runtime (add hint in the
+	// later-draining buffer), then NVM through the Mutator (remove hint
+	// in the earlier-draining one). The final store is NVM→NVM, so the
+	// slot must end absent even though the add hint drains last.
+	if err := rt.SetRefFast(a, refF, vol); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetRefFast(a, refF, b); err != nil {
+		t.Fatal(err)
+	}
+	if got := rt.NVMToVolSlots(); len(got) != 0 {
+		t.Fatalf("remset = %v after vol-then-NVM mixed routing, want empty", got)
+	}
+}

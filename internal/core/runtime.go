@@ -126,8 +126,10 @@ type Runtime struct {
 	// nvmToVol is the persistent-to-volatile remembered set: absolute
 	// addresses of NVM slots currently holding DRAM references. The
 	// volatile collectors treat these as roots and patch them; the
-	// zeroing scan and type-based safety police them. Sharded by slot
-	// address so the SetRef write barrier does not contend globally.
+	// zeroing scan and type-based safety police them. Mutator stores do
+	// not touch it directly: the write barrier appends to per-mutator
+	// delta buffers that merge here at publication points (see remset.go
+	// for the lifecycle), so consumers publish pending deltas first.
 	nvmToVol *remset
 
 	// flushWork is FlushTransitive/FlushBatch's reusable traversal state
@@ -335,7 +337,7 @@ func (rt *Runtime) pnewMulti(chain []*klass.Klass, dims []int) (layout.Ref, erro
 		if err != nil {
 			return 0, err
 		}
-		if err := rt.setElem(arr, i, sub, nil); err != nil {
+		if err := rt.setElem(arr, i, sub, nil, nil); err != nil {
 			return 0, err
 		}
 	}

@@ -125,6 +125,41 @@ func TestKVScalingPIndex(t *testing.T) {
 	}
 }
 
+func TestRefStoreScaling(t *testing.T) {
+	rows, err := RefStoreScaling(Scale(50), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[string]RefStoreRow{}
+	for _, r := range rows {
+		byKey[fmt.Sprintf("%s/%d", r.Series, r.Goroutines)] = r
+	}
+	r1, ok1 := byKey["refstore/1"]
+	r8, ok8 := byKey["refstore/8"]
+	s1, okS := byKey["shared/1"]
+	if !ok1 || !ok8 || !okS {
+		t.Fatalf("missing rows: %+v", rows)
+	}
+	// The delta-buffer barrier must add zero device traffic over the
+	// seed's eager-remset path: one word write, one line flush, one
+	// fence per durable ref store, regardless of routing.
+	if r1.DevWrites != s1.DevWrites || r1.FlushedLines != s1.FlushedLines || r1.Fences != s1.Fences {
+		t.Fatalf("refstore/1 device cost %+v != shared/1 %+v", r1, s1)
+	}
+	if r8.DevWrites > r1.DevWrites*1.1+0.05 || r8.FlushedLines > r1.FlushedLines*1.1+0.05 {
+		t.Fatalf("per-op device cost grew with mutators: 1g=%+v 8g=%+v", r1, r8)
+	}
+	// The acceptance bar: ≥3x modeled ref-store scaling at 8 mutators.
+	if r8.ModeledSpeedup < 3 {
+		t.Fatalf("modeled ref-store speedup at 8 mutators = %.2fx, want ≥3x", r8.ModeledSpeedup)
+	}
+	// Every run already self-checks its remset against the oracle; make
+	// sure the workload actually leaves NVM→vol edges behind.
+	if r8.RemsetSlots == 0 {
+		t.Fatal("refstore run left an empty remset — the NVM→vol mix did not exercise the barrier")
+	}
+}
+
 func TestAllocScalingPLABs(t *testing.T) {
 	rows, err := AllocScaling(Scale(50), 8)
 	if err != nil {

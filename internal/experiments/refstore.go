@@ -1,0 +1,268 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"espresso/internal/core"
+	"espresso/internal/klass"
+	"espresso/internal/layout"
+	"espresso/internal/nvm"
+)
+
+// The refstore experiment measures the write-combining reference-store
+// barrier: G mutator goroutines hammer NVM→NVM and NVM→volatile
+// reference stores (each made durable with a slot flush, the paper's
+// persistent write path) over disjoint object sets.
+//
+// Two series:
+//
+//   - "refstore": every goroutine routes stores through its own
+//     core.Mutator, so remembered-set maintenance is an append to a
+//     mutator-local delta buffer — no shared lock, no shared cache
+//     line; the shared set learns about the stores at publication
+//     points (here: buffer overflow and the final snapshot). Mutators
+//     flush disjoint slots, so their device time overlaps: the modeled
+//     critical path is the slowest mutator's flushed lines.
+//   - "shared": the same stores through the Runtime facade, which
+//     funnels every goroutine's remset maintenance through the heap's
+//     one shared default delta buffer — the serialized-protocol
+//     convention of the alloc experiment's "shared" series: its
+//     critical path is the sum of all lines, since every store's
+//     barrier bookkeeping queues behind one lock before the next flush
+//     can issue.
+//
+// Both report wall clock (scheduling noise on CI) and the deterministic
+// modeled device critical path (line counts × NVMWriteLatency) that CI
+// gates on: ≥3x modeled ref-store throughput scaling at 8 mutators on
+// the "refstore" series, with per-op device ops no worse than the
+// committed baseline — the delta append adds zero device traffic over
+// the eager-remset seed (one word write + one line flush + one fence
+// per durable ref store).
+//
+// Each run ends with a self-check: the published remembered set must
+// equal the single-threaded oracle (the slots whose last store was
+// volatile), proving no delta was lost or misordered on the way to the
+// shared set.
+
+// RefStoreRow is one (series, goroutine-count) measurement.
+type RefStoreRow struct {
+	Series         string  `json:"series"` // "refstore" or "shared"
+	Goroutines     int     `json:"goroutines"`
+	Ops            int     `json:"ops"`
+	WallNsPerOp    float64 `json:"wall_ns_per_op"`
+	ModeledNsPerOp float64 `json:"modeled_ns_per_op"`
+	ModeledSpeedup float64 `json:"modeled_speedup_vs_1"`
+	DevReads       float64 `json:"dev_reads_per_op"`
+	DevWrites      float64 `json:"dev_writes_per_op"`
+	FlushedLines   float64 `json:"flushed_lines_per_op"`
+	Fences         float64 `json:"fences_per_op"`
+	RemsetSlots    int     `json:"remset_slots"`
+}
+
+// RefStoreScaling runs the scaling curve for both series: goroutine
+// counts 1, 2, 4, … up to maxParallel.
+func RefStoreScaling(scale Scale, maxParallel int) ([]RefStoreRow, error) {
+	if maxParallel < 1 {
+		maxParallel = 1
+	}
+	n := scale.div(320000)
+	var gs []int
+	for g := 1; g < maxParallel; g *= 2 {
+		gs = append(gs, g)
+	}
+	gs = append(gs, maxParallel)
+
+	var rows []RefStoreRow
+	for _, series := range []string{"refstore", "shared"} {
+		var base float64
+		for _, g := range gs {
+			row, err := runRefStoreOnce(series, g, n)
+			if err != nil {
+				return nil, err
+			}
+			if g == 1 {
+				base = row.ModeledNsPerOp
+			}
+			if base > 0 && row.ModeledNsPerOp > 0 {
+				row.ModeledSpeedup = base / row.ModeledNsPerOp
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+func runRefStoreOnce(series string, goroutines, n int) (RefStoreRow, error) {
+	perG := n / goroutines
+	if perG < 1 {
+		perG = 1
+	}
+	total := perG * goroutines
+	const nodesPerG = 64
+
+	rt, err := core.NewRuntime(core.Config{
+		PJHDataSize: (goroutines + 4) * 4 * layout.RegionSize,
+		NVMMode:     nvm.Direct,
+	})
+	if err != nil {
+		return RefStoreRow{}, err
+	}
+	h, err := rt.CreateHeap("refstore", 0)
+	if err != nil {
+		return RefStoreRow{}, err
+	}
+	node := klass.MustInstance("refstore/Node", nil,
+		klass.Field{Name: "ref", Type: layout.FTRef},
+		klass.Field{Name: "pad", Type: layout.FTLong})
+	refF, err := rt.ResolveField(node, "ref")
+	if err != nil {
+		return RefStoreRow{}, err
+	}
+
+	// Disjoint working sets: each goroutine owns nodesPerG persistent
+	// nodes (allocated on its own PLAB, so they sit in its own regions
+	// and its slot flushes touch no other goroutine's lines) plus one
+	// volatile target allocated up front (vheap keeps the seed's
+	// single-volatile-mutator contract, so workers only store references
+	// to it, never mutate it).
+	muts := make([]*core.Mutator, goroutines)
+	nodes := make([][]layout.Ref, goroutines)
+	volTargets := make([]layout.Ref, goroutines)
+	for g := 0; g < goroutines; g++ {
+		m, err := rt.NewMutator()
+		if err != nil {
+			return RefStoreRow{}, err
+		}
+		muts[g] = m
+		nodes[g] = make([]layout.Ref, nodesPerG)
+		for j := range nodes[g] {
+			if nodes[g][j], err = m.PNew(node, 0); err != nil {
+				return RefStoreRow{}, err
+			}
+		}
+		if volTargets[g], err = rt.NewString(fmt.Sprintf("vol-%d", g), false); err != nil {
+			return RefStoreRow{}, err
+		}
+	}
+
+	dev := h.Device()
+	s0 := dev.Stats()
+	lines := make([]int, goroutines) // per-mutator flushed lines (disjoint by construction)
+	errs := make([]error, goroutines)
+	var wg sync.WaitGroup
+	t0 := time.Now()
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			m := muts[g]
+			own := nodes[g]
+			vol := volTargets[g]
+			boff := refF.Offset()
+			for i := 0; i < perG; i++ {
+				obj := own[i%nodesPerG]
+				// 4:1 NVM→NVM vs NVM→volatile mix. The mix period (5) is
+				// coprime with nodesPerG (64), so every slot genuinely
+				// alternates between volatile and persistent values over
+				// the run — the remset churns (adds and removes) through
+				// the delta buffers, and the oracle below would catch a
+				// lost or stale delta.
+				val := own[(i+1)%nodesPerG]
+				if i%5 == 4 {
+					val = vol
+				}
+				var err error
+				if series == "refstore" {
+					err = m.SetRefFast(obj, refF, val)
+				} else {
+					err = rt.SetRefFast(obj, refF, val)
+				}
+				if err != nil {
+					errs[g] = err
+					return
+				}
+				// Durability: persist the stored slot, as the paper's
+				// persistent write path requires (one line, one fence).
+				h.FlushRange(obj, boff, layout.WordSize)
+				lines[g]++
+			}
+		}(g)
+	}
+	wg.Wait()
+	wall := time.Since(t0)
+	for _, err := range errs {
+		if err != nil {
+			return RefStoreRow{}, fmt.Errorf("refstore %d goroutines: %w", goroutines, err)
+		}
+	}
+	d := dev.Stats().Sub(s0)
+
+	// Oracle self-check: the published remembered set must hold exactly
+	// the slots whose last store was volatile — per node, decided by the
+	// largest op index that targeted it.
+	expected := 0
+	for g := 0; g < goroutines; g++ {
+		for j := 0; j < nodesPerG && j < perG; j++ {
+			last := j + ((perG - 1 - j) / nodesPerG * nodesPerG) // largest i < perG with i%nodesPerG == j
+			if last%5 == 4 {
+				expected++
+			}
+		}
+	}
+	slots := rt.NVMToVolSlots()
+	if len(slots) != expected {
+		return RefStoreRow{}, fmt.Errorf("refstore %s/%d: remset holds %d slots, oracle says %d",
+			series, goroutines, len(slots), expected)
+	}
+	for _, m := range muts {
+		m.Release()
+	}
+
+	// Device-cost critical path: per-mutator slot flushes overlap for the
+	// mutator-local series; the shared series serializes every store's
+	// barrier bookkeeping behind one lock, so its lines sum.
+	critical := 0
+	for _, l := range lines {
+		if series == "shared" {
+			critical += l
+		} else if l > critical {
+			critical = l
+		}
+	}
+	modeled := time.Duration(critical) * NVMWriteLatency
+	return RefStoreRow{
+		Series:         series,
+		Goroutines:     goroutines,
+		Ops:            total,
+		WallNsPerOp:    float64(wall.Nanoseconds()) / float64(total),
+		ModeledNsPerOp: float64(modeled.Nanoseconds()) / float64(total),
+		DevReads:       float64(d.Reads) / float64(total),
+		DevWrites:      float64(d.Writes) / float64(total),
+		FlushedLines:   float64(d.FlushedLines) / float64(total),
+		Fences:         float64(d.Fences) / float64(total),
+		RemsetSlots:    len(slots),
+	}, nil
+}
+
+// PrintRefStoreScaling renders the scaling table with the headline ratio.
+func PrintRefStoreScaling(w io.Writer, rows []RefStoreRow) {
+	fmt.Fprintln(w, "Ref-store scaling — write-combining remset barrier (per-mutator delta buffers)")
+	fmt.Fprintf(w, "  %-9s %3s %10s %12s %12s %8s %8s %8s %8s\n",
+		"series", "G", "wall ns", "modeled ns", "speedup", "reads", "writes", "lines", "fences")
+	var best RefStoreRow
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-9s %3d %10.1f %12.1f %11.2fx %8.2f %8.2f %8.2f %8.2f\n",
+			r.Series, r.Goroutines, r.WallNsPerOp, r.ModeledNsPerOp, r.ModeledSpeedup,
+			r.DevReads, r.DevWrites, r.FlushedLines, r.Fences)
+		if r.Series == "refstore" && r.Goroutines > best.Goroutines {
+			best = r
+		}
+	}
+	if best.Goroutines > 1 {
+		fmt.Fprintf(w, "  modeled ref-store speedup at %d mutators: %.2fx (device critical path)\n",
+			best.Goroutines, best.ModeledSpeedup)
+	}
+}

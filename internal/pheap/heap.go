@@ -179,6 +179,14 @@ type Heap struct {
 	satbSnap    []int
 	satbDirty   []atomic.Bool
 
+	// Remembered-set delta state (remsetdelta.go): the write-combining
+	// reference-store barrier's per-mutator buffers and the sink core
+	// installs to receive them at publication points.
+	remsetMu      sync.Mutex
+	remsetBuffers []*RemsetDeltaBuffer
+	remsetDefault [remsetDefaultShards]atomic.Pointer[RemsetDeltaBuffer]
+	remsetSink    atomic.Pointer[RemsetSink]
+
 	// markBmpHi is the byte length of the mark bitmap's last persisted
 	// used prefix (see PersistMarkBitmapUsed). Volatile: a fresh process
 	// starts conservative.
@@ -575,13 +583,17 @@ func (h *Heap) SnapshotRegionTops() []int {
 // (as opposed to the untouched or humongous-interior sentinels).
 func IsRealTop(top int) bool { return top > regionTopHumongousCont }
 
-// PrepareForCollection is the allocator side of the GC safepoint: every
-// registered allocator's PLAB and recycled hole is dropped (their region
-// tops are already persisted, so nothing is lost), and the dispenser
+// PrepareForCollection is the mutator-state side of the GC safepoint:
+// every registered allocator's PLAB and recycled hole is dropped (their
+// region tops are already persisted, so nothing is lost), the dispenser
 // forgets its free list — the collector is about to rearrange the heap
-// and republish region tops through the redo log. The world must be
+// and republish region tops through the redo log — and every pending
+// remembered-set delta is published through the heap's sink, so the
+// collector that is about to run (either flavor; both call this first)
+// observes a complete NVM→DRAM remembered set. The world must be
 // stopped, as for the collection itself.
 func (h *Heap) PrepareForCollection() {
+	h.PublishRemsetDeltas()
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	for _, a := range h.allocators {

@@ -1,0 +1,120 @@
+package pjo
+
+import (
+	"fmt"
+	"testing"
+
+	"espresso/internal/jpa"
+	"espresso/internal/nvm"
+)
+
+// wideDef is an entity with many primitive columns, so dirty-field counts
+// can be swept without strings (whose payload allocations add their own
+// device writes) muddying the count.
+func wideDef(t *testing.T, cols int) *jpa.EntityDef {
+	t.Helper()
+	fields := make([]jpa.FieldDef, cols)
+	for i := range fields {
+		fields[i] = jpa.FieldDef{Name: fmt.Sprintf("c%02d", i), Kind: jpa.FInt}
+	}
+	return jpa.MustEntityDef(fmt.Sprintf("Wide%d", cols), nil, fields...)
+}
+
+// persistWrites commits an update dirtying n columns of e and returns the
+// device writes the commit cost.
+func persistWrites(t *testing.T, p *Provider, dev *nvm.Device, e *jpa.Entity, n int) int {
+	t.Helper()
+	p.Begin()
+	for i := 0; i < n; i++ {
+		e.SetInt(fmt.Sprintf("c%02d", i), int64(1000*n+i))
+	}
+	if err := p.Persist(e); err != nil {
+		t.Fatal(err)
+	}
+	s0 := dev.Stats()
+	if err := p.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	d := dev.Stats().Sub(s0)
+	return int(d.Writes)
+}
+
+// TestMaterializeDeviceWritesConstantInDirtyFields is the bulk-encoder
+// regression gate: an entity persist must cost O(1) device writes no
+// matter how many fields the commit dirties — the image is assembled in
+// DRAM and ships with one bulk write (plus the flushed range), not a
+// word store per dirty field.
+func TestMaterializeDeviceWritesConstantInDirtyFields(t *testing.T) {
+	const cols = 16
+	_, p := newProviders(t)
+	def := wideDef(t, cols)
+	if err := p.EnsureSchema(def); err != nil {
+		t.Fatal(err)
+	}
+	h := p.rt.Heaps()[0]
+	dev := h.Device()
+
+	// First persist (all fields dirty) establishes the DBPersistable.
+	e := def.NewEntity(7)
+	p.Begin()
+	e.SetInt("c00", 1)
+	if err := p.Persist(e); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Updates: 1 dirty field vs all 16 dirty fields must cost the same
+	// device writes.
+	w1 := persistWrites(t, p, dev, e, 1)
+	wAll := persistWrites(t, p, dev, e, cols)
+	if wAll != w1 {
+		t.Fatalf("device writes grew with dirty-field count: %d writes for 1 dirty field, %d for %d — materialize is not O(1)",
+			w1, wAll, cols)
+	}
+	// And the values all landed.
+	got, err := p.Find(def, 7)
+	if err != nil || got == nil {
+		t.Fatalf("find: %v %v", got, err)
+	}
+	for i := 0; i < cols; i++ {
+		name := fmt.Sprintf("c%02d", i)
+		if v := got.GetInt(name); v != int64(1000*cols+i) {
+			t.Fatalf("column %s = %d, want %d", name, v, 1000*cols+i)
+		}
+	}
+}
+
+// TestMaterializeFreshPersistBulk: the first persist of an entity (all
+// fields dirty) also ships as one image — its device-write cost must not
+// scale with the column count. A 16-column entity may cost at most a few
+// more writes than a 4-column one (allocation metadata), never one per
+// column.
+func TestMaterializeFreshPersistBulk(t *testing.T) {
+	writesFor := func(cols int) int {
+		_, p := newProviders(t)
+		def := wideDef(t, cols)
+		if err := p.EnsureSchema(def); err != nil {
+			t.Fatal(err)
+		}
+		dev := p.rt.Heaps()[0].Device()
+		e := def.NewEntity(1)
+		p.Begin()
+		for i := 0; i < cols; i++ {
+			e.SetInt(fmt.Sprintf("c%02d", i), int64(i))
+		}
+		if err := p.Persist(e); err != nil {
+			t.Fatal(err)
+		}
+		s0 := dev.Stats()
+		if err := p.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		return int(dev.Stats().Sub(s0).Writes)
+	}
+	w4, w16 := writesFor(4), writesFor(16)
+	if w16 > w4 {
+		t.Fatalf("fresh persist writes scale with columns: %d for 4 cols, %d for 16", w4, w16)
+	}
+}

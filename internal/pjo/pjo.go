@@ -17,6 +17,7 @@
 package pjo
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math"
 
@@ -42,6 +43,10 @@ type Provider struct {
 	// these handles instead of re-resolving field names per access.
 	klasses map[*jpa.EntityDef]*dbSchema
 
+	// stage is the reusable DRAM staging buffer materialize assembles
+	// DBPersistable images in before shipping them with one bulk write.
+	stage []byte
+
 	// Dedup and FieldTracking gate the §5 optimizations; both default on.
 	// The ablation benchmark switches them off individually.
 	Dedup         bool
@@ -52,6 +57,10 @@ type Provider struct {
 type dbSchema struct {
 	k      *klass.Klass
 	fields []core.FieldRef // one resolved handle per flattened column
+	// refOffs lists the object-relative byte offsets of the
+	// reference-typed (string) columns — the slots WriteFieldImage runs
+	// the write barrier for when a whole image ships in one device write.
+	refOffs []int
 }
 
 // NewProvider wires a PJO provider to a runtime (whose active heap holds
@@ -101,6 +110,9 @@ func (p *Provider) EnsureSchema(def *jpa.EntityDef) error {
 	for i, f := range def.AllFields() {
 		if s.fields[i], err = p.rt.ResolveField(k, f.Name); err != nil {
 			return err
+		}
+		if f.Kind == jpa.FStr {
+			s.refOffs = append(s.refOffs, s.fields[i].Offset())
 		}
 	}
 	p.klasses[def] = s
@@ -216,19 +228,10 @@ func (p *Provider) Commit() error {
 		}
 		ships = append(ships, shipment{e, ref, dirty})
 	}
-	// One coalesced persist for every DBPersistable shipped this commit —
-	// line flushes deduplicated, a single trailing fence — before the
-	// backend learns any of the references.
-	if len(ships) > 0 {
-		refs := make([]layout.Ref, len(ships))
-		for i, s := range ships {
-			refs[i] = s.ref
-		}
-		if err := p.rt.FlushBatch(refs); err != nil {
-			stopT()
-			return err
-		}
-	}
+	// Each shipment is already durable: materialize ships the image with
+	// one bulk write and one FlushRange (string payloads persist eagerly
+	// in NewString), so every reference the backend is about to learn
+	// points at persisted data — no second flush pass over the shipment.
 	stopT()
 
 	// Database: one backend transaction covering the whole commit.
@@ -269,53 +272,72 @@ func (p *Provider) Commit() error {
 	return nil
 }
 
-// materialize writes the entity's (dirty) fields into its DBPersistable,
-// allocating one with pnew on first persist. Only dirty fields are
-// written when field tracking is on and a copy already exists. The
-// stores are volatile here; Commit persists the whole shipment with one
-// FlushBatch.
+// materialize ships the entity's fields to its DBPersistable through the
+// bulk image encoder: the whole field area is assembled in a reusable
+// DRAM staging buffer — for updates, seeded by one bulk device read of
+// the existing image, so clean columns (including string references)
+// survive untouched — and lands through core.WriteFieldImage: bulk
+// writes for the primitive runs, one barriered atomic store per string
+// column, one FlushRange. Device cost per entity persist is O(1)
+// regardless of how many fields are dirty (it depends only on the
+// schema's column shape); only new string payloads add their own
+// (bulk, one-write) allocations.
 func (p *Provider) materialize(e *jpa.Entity) (layout.Ref, uint64, error) {
 	s := p.klasses[e.Def]
+	fields := e.Def.AllFields()
 	var ref layout.Ref
 	dirty := e.SM.Dirty
-	if e.SM.PJORef != 0 {
+	fresh := e.SM.PJORef == 0
+	if !fresh {
 		ref = layout.Ref(e.SM.PJORef)
 	} else {
 		var err error
 		if ref, err = p.rt.PNew(s.k, 0); err != nil {
 			return 0, 0, err
 		}
-		dirty = ^uint64(0) >> (64 - uint(len(e.Def.AllFields()))) // all fields
+		dirty = ^uint64(0) >> (64 - uint(len(fields))) // all fields
 	}
 	if !p.FieldTracking {
-		dirty = ^uint64(0) >> (64 - uint(len(e.Def.AllFields())))
+		dirty = ^uint64(0) >> (64 - uint(len(fields)))
 	}
-	for i, f := range e.Def.AllFields() {
+	size := len(fields) * layout.WordSize
+	if cap(p.stage) < size {
+		p.stage = make([]byte, size)
+	}
+	img := p.stage[:size]
+	if fresh {
+		clear(img)
+	} else if err := p.rt.ReadFieldImage(ref, img); err != nil {
+		return 0, 0, err
+	}
+	base := layout.FieldOff(0)
+	for i, f := range fields {
 		if dirty&(1<<uint(i)) == 0 {
 			continue
 		}
 		v := e.Value(i)
+		var bits uint64
 		switch f.Kind {
 		case jpa.FStr:
-			var sref layout.Ref
 			if v.Kind == h2.KStr {
-				var err error
-				if sref, err = p.rt.NewString(v.S, true); err != nil {
+				sref, err := p.rt.NewString(v.S, true)
+				if err != nil {
 					return 0, 0, err
 				}
-			}
-			if err := p.rt.SetRefFast(ref, s.fields[i], sref); err != nil {
-				return 0, 0, err
+				bits = uint64(sref)
 			}
 		case jpa.FFloat:
-			bits := int64(math.Float64bits(v.F))
+			bits = math.Float64bits(v.F)
 			if v.Kind == h2.KInt {
-				bits = v.I
+				bits = uint64(v.I)
 			}
-			p.rt.SetLongFast(ref, s.fields[i], bits)
 		default:
-			p.rt.SetLongFast(ref, s.fields[i], v.I)
+			bits = uint64(v.I)
 		}
+		binary.LittleEndian.PutUint64(img[s.fields[i].Offset()-base:], bits)
+	}
+	if err := p.rt.WriteFieldImage(ref, img, s.refOffs); err != nil {
+		return 0, 0, err
 	}
 	return ref, dirty, nil
 }

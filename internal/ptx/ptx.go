@@ -20,6 +20,19 @@
 // legacy pcollections built on them — stay correct while
 // pgc.CollectConcurrent marks. Aborts and rollbacks re-run the barrier
 // for the reference entries they restore.
+//
+// Reference stores also feed the runtime's NVM→DRAM remembered set when
+// the heap is attached to one (pheap.RemsetSink): each WriteRefWord
+// records a delta in the manager's registered remset-delta buffer —
+// registered so a GC safepoint mid-transaction still drains it and sees
+// every edge already on the device — and Commit, the transaction's
+// durable publication point, publishes whatever the safepoints have not
+// already taken. Abort replays corrective records for the rolled-back
+// reference slots (exactly as it replays SATB barrier records) and
+// publishes those, so the transaction's own deltas are never trusted
+// after a rollback and the shared set returns to its pre-transaction
+// contents; publication re-derives membership from the restored slot
+// values, which is what makes the replay exact.
 package ptx
 
 import (
@@ -44,12 +57,18 @@ type Manager struct {
 	h   *pheap.Heap
 	log layout.Ref // persistent long array
 	cap int
+
+	// rdelta is the manager's registered remset-delta buffer: WriteRefWord
+	// records into it, so a safepoint drain mid-transaction observes the
+	// transaction's NVM→DRAM edges (they are already on the device), and
+	// Commit/Abort publish it at their ends.
+	rdelta *pheap.RemsetDeltaBuffer
 }
 
 // NewManager creates (or re-attaches to) the heap's transaction log and
 // rolls back any transaction that was active when the heap last persisted.
 func NewManager(h *pheap.Heap) (*Manager, error) {
-	m := &Manager{h: h, cap: DefaultLogEntries}
+	m := &Manager{h: h, cap: DefaultLogEntries, rdelta: h.NewRemsetDeltaBuffer()}
 	if ref, ok := h.GetRoot(LogRootName); ok {
 		m.log = ref
 		if err := m.recover(); err != nil {
@@ -158,7 +177,20 @@ func (tx *Tx) write(obj layout.Ref, boff int, val uint64, isRef bool) error {
 		if m.h.ConcurrentMarkActive() {
 			m.h.SATBRecordBarrier(obj, old, nil)
 		}
-		m.h.SetWordAtomic(obj, boff, val)
+		// Remembered-set delta into the manager's registered buffer: a GC
+		// safepoint mid-transaction drains it, Commit publishes the rest.
+		// The sink classifies the new value (the heap itself cannot tell
+		// volatile from persistent); a heap outside any runtime has no
+		// sink and no remembered set. Store and delta land drain-atomically
+		// (RecordStore), as in core.storeRef.
+		if sink := m.h.RemsetSink(); sink != nil {
+			add := val != uint64(layout.NullRef) && sink.RefIsVolatile(layout.Ref(val))
+			m.rdelta.RecordStore(slot, add, func() {
+				m.h.SetWordAtomic(obj, boff, val)
+			})
+		} else {
+			m.h.SetWordAtomic(obj, boff, val)
+		}
 	} else {
 		m.h.SetWord(obj, boff, val)
 	}
@@ -173,7 +205,11 @@ func (m *Manager) flushLogWordSpan(lo, hi int) {
 	m.h.FlushRange(m.log, layout.ElemOff(layout.FTLong, lo), (hi-lo+1)*layout.WordSize)
 }
 
-// Commit flushes the transaction's stores and retires the log.
+// Commit flushes the transaction's stores, retires the log, and
+// publishes the transaction's remembered-set deltas — the durable commit
+// is the write-combining barrier's transaction-level publication point.
+// (A GC safepoint mid-transaction may already have drained some; the
+// re-derivation at publication makes the double coverage harmless.)
 func (tx *Tx) Commit() {
 	m := tx.m
 	for _, slot := range tx.touched {
@@ -184,6 +220,7 @@ func (tx *Tx) Commit() {
 	m.logStore(1, 0)
 	m.logStore(0, 1)
 	m.flushLogWords(0, 2)
+	m.rdelta.Publish()
 	tx.closed = true
 	m.mu.Unlock()
 }
@@ -191,8 +228,14 @@ func (tx *Tx) Commit() {
 // Abort rolls the transaction back. Restored reference slots re-run the
 // SATB barrier (the value being rolled back over is the one the marker
 // could otherwise lose) and land atomically, like the forward stores.
+// The transaction's own remembered-set deltas are never published as
+// truth: every restored reference slot gets a corrective record — the
+// same replay discipline as the SATB barrier records — and the final
+// publication re-derives membership from the restored values, so the
+// shared set leaves Abort exactly as it was before the transaction.
 func (tx *Tx) Abort() {
 	m := tx.m
+	sink := m.h.RemsetSink()
 	count := int(m.logLoad(1))
 	for i := count - 1; i >= 0; i-- {
 		addr := layout.Ref(m.logLoad(2 + 2*i))
@@ -202,7 +245,14 @@ func (tx *Tx) Abort() {
 			if m.h.ConcurrentMarkActive() {
 				m.h.SATBRecordBarrier(tx.objs[i], m.h.Device().ReadU64Atomic(off), nil)
 			}
-			m.h.Device().WriteU64Atomic(off, old)
+			if sink != nil {
+				add := layout.Ref(old) != layout.NullRef && sink.RefIsVolatile(layout.Ref(old))
+				m.rdelta.RecordStore(addr, add, func() {
+					m.h.Device().WriteU64Atomic(off, old)
+				})
+			} else {
+				m.h.Device().WriteU64Atomic(off, old)
+			}
 		} else {
 			m.h.Device().WriteU64(off, old)
 		}
@@ -212,6 +262,7 @@ func (tx *Tx) Abort() {
 	m.logStore(1, 0)
 	m.logStore(0, 1)
 	m.flushLogWords(0, 2)
+	m.rdelta.Publish()
 	tx.closed = true
 	m.mu.Unlock()
 }
