@@ -15,7 +15,11 @@
 // pause_reduction_vs_stw is gated only by the -minpausereduction floor:
 // the concurrent row's in-pause work varies with goroutine scheduling,
 // so a baseline-relative bound would flake where the absolute claim
-// ("≥ Nx") still holds.
+// ("≥ Nx") still holds. modeled_parallel_speedup (the GC worker-pool
+// critical-path claim) is floor-gated the same way, by
+// -minparallelspeedup on the largest-workers row: the per-worker maxima
+// behind it depend on how work stealing splits the object graph, which
+// the goroutine scheduler decides.
 //
 // Pause-time metrics additionally use an absolute-ceiling class: a
 // baseline field named X_ceiling bounds the current row's X by its
@@ -47,11 +51,12 @@ func load(path string) ([]row, error) {
 }
 
 // key builds the row identity from its non-numeric fields plus the
-// goroutine count, covering both the fastpath ({op}) and alloc
-// ({series, goroutines}) schemas.
+// goroutine, mutator, and GC-worker counts, covering the fastpath
+// ({op}), alloc ({series, goroutines}), and gcpause ({series, mutators,
+// workers}) schemas.
 func key(r row) string {
 	var parts []string
-	for _, f := range []string{"op", "series", "goroutines"} {
+	for _, f := range []string{"op", "series", "goroutines", "mutators", "workers"} {
 		if v, ok := r[f]; ok {
 			parts = append(parts, fmt.Sprint(v))
 		}
@@ -77,6 +82,7 @@ func main() {
 	minSpeedup := flag.Float64("minspeedup", 0, "required modeled_speedup_vs_1 at the largest goroutine count (0 = off)")
 	speedupSeries := flag.String("speedupseries", "plab", "series whose largest-goroutine row -minspeedup applies to")
 	minPauseReduction := flag.Float64("minpausereduction", 0, "required pause_reduction_vs_stw on the concurrent gcpause row (0 = off)")
+	minParallelSpeedup := flag.Float64("minparallelspeedup", 0, "required modeled_parallel_speedup at the largest GC worker count (0 = off)")
 	flag.Parse()
 	if *basePath == "" || *curPath == "" {
 		fmt.Fprintln(os.Stderr, "benchgate: -baseline and -current are required")
@@ -98,6 +104,7 @@ func main() {
 	const absSlack = 0.05 // forgives rounding on near-zero counts
 	failures := 0
 	bestG, bestSpeedup := -1.0, 0.0
+	bestW, bestParallel := -1.0, 0.0
 	pauseReduction, pauseRowSeen := 0.0, false
 	for _, base := range baseRows {
 		k := key(base)
@@ -152,6 +159,10 @@ func main() {
 		if r, ok := cur["pause_reduction_vs_stw"].(float64); ok {
 			pauseReduction, pauseRowSeen = r, true
 		}
+		if w, ok := cur["workers"].(float64); ok && cur["series"] == "parallel" && w > bestW {
+			bestW = w
+			bestParallel, _ = cur["modeled_parallel_speedup"].(float64)
+		}
 	}
 	if *minSpeedup > 0 {
 		if bestG < 0 {
@@ -177,6 +188,19 @@ func main() {
 		} else {
 			fmt.Printf("ok   pause_reduction_vs_stw %.2f ≥ %.2f\n",
 				pauseReduction, *minPauseReduction)
+		}
+	}
+	if *minParallelSpeedup > 0 {
+		if bestW < 0 {
+			fmt.Printf("FAIL no parallel GC rows found for -minparallelspeedup\n")
+			failures++
+		} else if bestParallel < *minParallelSpeedup {
+			fmt.Printf("FAIL parallel/%d modeled_parallel_speedup %.2f < required %.2f\n",
+				int(bestW), bestParallel, *minParallelSpeedup)
+			failures++
+		} else {
+			fmt.Printf("ok   parallel/%d modeled_parallel_speedup %.2f ≥ %.2f\n",
+				int(bestW), bestParallel, *minParallelSpeedup)
 		}
 	}
 	if failures > 0 {

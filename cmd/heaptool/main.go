@@ -136,25 +136,70 @@ func main() {
 				fmt.Printf("  buffer %2d    %d pending deltas\n", i, n)
 			}
 		}
+		// Mark-bitmap view: what the last (or in-flight) collection knew.
+		// The high-water mark is the device offset one past the highest
+		// mark bit — on a mid-collection image it bounds how far marking
+		// got; per-region live bytes decode the same begin/end bit pairs
+		// the summary phase uses, so they are estimates only in the sense
+		// that the bitmap may be stale on an idle image (a completed cycle
+		// leaves the bits of its own mark, aged by any allocation since).
+		liveByRegion := make([]int, g.DataRegions())
+		highWater, markBits := -1, 0
+		begin := -1
+		usedBits := (h.Top() - g.DataOff) / layout.WordSize
+		h.MarkBitmap().ForEachSetBelow(usedBits, func(b int) {
+			markBits++
+			if begin < 0 {
+				begin = b
+				return
+			}
+			src := g.DataOff + begin*layout.WordSize
+			size := (b - begin + 1) * layout.WordSize
+			highWater = src + size
+			for r := (src - g.DataOff) / layout.RegionSize; r <= (src+size-1-g.DataOff)/layout.RegionSize; r++ {
+				lo := g.DataOff + r*layout.RegionSize
+				hi := lo + layout.RegionSize
+				if src > lo {
+					lo = src
+				}
+				if src+size < hi {
+					hi = src + size
+				}
+				liveByRegion[r] += hi - lo
+			}
+			begin = -1
+		})
+		if begin >= 0 {
+			fmt.Printf("mark bitmap    UNPAIRED begin bit (truncated mark)\n")
+		}
+		if highWater < 0 {
+			fmt.Printf("mark bitmap    empty (no completed mark recorded)\n")
+		} else {
+			fmt.Printf("mark bitmap    %d bits set, high water +%#x\n", markBits, highWater)
+		}
 		fmt.Printf("region top table (%d data regions of %d KB, stride %d B):\n",
 			g.DataRegions(), layout.RegionSize>>10, layout.RegionTopStride)
 		for r := 0; r < g.DataRegions(); r++ {
 			start := g.DataOff + r*layout.RegionSize
 			end := start + layout.RegionSize
 			top := h.RegionTop(r)
+			live := ""
+			if liveByRegion[r] > 0 {
+				live = fmt.Sprintf(", ~%d live bytes marked", liveByRegion[r])
+			}
 			switch {
 			case top == 0:
-				fmt.Printf("  region %3d  untouched\n", r)
+				fmt.Printf("  region %3d  untouched%s\n", r, live)
 			case !pheap.IsRealTop(top):
-				fmt.Printf("  region %3d  humongous interior\n", r)
+				fmt.Printf("  region %3d  humongous interior%s\n", r, live)
 			case top > end:
-				fmt.Printf("  region %3d  humongous head, run parses to +%d (%d bytes)\n",
-					r, top, top-start)
+				fmt.Printf("  region %3d  humongous head, run parses to +%d (%d bytes)%s\n",
+					r, top, top-start, live)
 			case top == end:
-				fmt.Printf("  region %3d  full (top +%d)\n", r, top)
+				fmt.Printf("  region %3d  full (top +%d)%s\n", r, top, live)
 			default:
-				fmt.Printf("  region %3d  partial: top +%d (%d/%d bytes used)\n",
-					r, top, top-start, layout.RegionSize)
+				fmt.Printf("  region %3d  partial: top +%d (%d/%d bytes used)%s\n",
+					r, top, top-start, layout.RegionSize, live)
 			}
 		}
 	default:

@@ -71,7 +71,12 @@
 // PersistentGC stops the world for the whole collection; with
 // Options.ConcurrentGC (or PersistentGCConcurrent) marking runs
 // concurrently with mutators under a snapshot-at-the-beginning barrier,
-// and only final remark + compaction pause them. Compaction moves
+// and only final remark + compaction pause them. Both phases are also
+// parallel: marking fans out over Options.GCWorkers work-stealing
+// tracers (default GOMAXPROCS) that drain the SATB and remembered-set
+// delta buffers alongside tracing, and the compaction pause shards its
+// reference-fix and fill passes over the same pool — see docs/gc.md for
+// the pipeline and its crash rule. Compaction moves
 // objects and patches every root it can see — named roots, handles,
 // heap and volatile slots — but never Go local variables, so code that
 // mutates concurrently with collections must hold its references inside
@@ -170,6 +175,13 @@ type Options struct {
 	// final remark + compaction pause them. PersistentGCConcurrent
 	// selects the concurrent collector per call regardless.
 	ConcurrentGC bool
+	// GCWorkers sizes the parallel GC pool: concurrent marking fans out
+	// over this many work-stealing tracers, and the compaction pause
+	// shards its reference-fix and fill passes over the same count.
+	// Zero (the default) means GOMAXPROCS; 1 reproduces the serial
+	// collector exactly. The resulting heap image is identical for every
+	// value on a quiescent heap.
+	GCWorkers int
 	// VolatileHeap sizes the DRAM young/old generations.
 	VolatileHeap vheap.Config
 }
@@ -192,6 +204,7 @@ func Open(opts Options) (*Runtime, error) {
 		PJHDataSize:     opts.DefaultHeapSize,
 		StrictCast:      opts.StrictCast,
 		ConcurrentGC:    opts.ConcurrentGC,
+		GCWorkers:       opts.GCWorkers,
 	})
 	if err != nil {
 		return nil, err
@@ -268,6 +281,12 @@ func (rt *Runtime) PersistentGC(name string) (GCResult, error) {
 // portion, GCResult.MarkTime the overlapped marking.
 func (rt *Runtime) PersistentGCConcurrent(name string) (GCResult, error) {
 	return rt.Runtime.PersistentGCConcurrent(name)
+}
+
+// PersistentGCConcurrentWorkers is PersistentGCConcurrent with an
+// explicit GC pool size, overriding Options.GCWorkers for this cycle.
+func (rt *Runtime) PersistentGCConcurrentWorkers(name string, workers int) (GCResult, error) {
+	return rt.Runtime.PersistentGCConcurrentWorkers(name, workers)
 }
 
 // Heap exposes a loaded heap by name (diagnostics, tooling).

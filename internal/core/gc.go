@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 
 	"espresso/internal/klass"
 	"espresso/internal/layout"
@@ -176,15 +177,32 @@ func (rt *Runtime) PersistentGC(name string) (pgc.Result, error) {
 // marking: the object graph is traced while mutators keep running (the
 // pre-write barrier in storeRef keeps the snapshot consistent, and
 // allocation proceeds above the snapshotted region tops), and only final
-// remark + compaction + the redo-log finish stop the world.
+// remark + compaction + the redo-log finish stop the world. The GC pool
+// size comes from Config.GCWorkers (zero means GOMAXPROCS).
 func (rt *Runtime) PersistentGCConcurrent(name string) (pgc.Result, error) {
+	return rt.PersistentGCConcurrentWorkers(name, rt.gcWorkers())
+}
+
+// PersistentGCConcurrentWorkers is PersistentGCConcurrent with an
+// explicit GC pool size, overriding Config.GCWorkers for this cycle.
+// workers < 1 means 1.
+func (rt *Runtime) PersistentGCConcurrentWorkers(name string, workers int) (pgc.Result, error) {
 	h, ok := rt.heapByName[name]
 	if !ok {
 		return pgc.Result{}, fmt.Errorf("core: heap %q is not loaded", name)
 	}
 	rt.gcMu.Lock()
 	defer rt.gcMu.Unlock()
-	return pgc.CollectConcurrent(h, persRoots{rt, h}, worldLocker{rt})
+	return pgc.CollectConcurrentWorkers(h, persRoots{rt, h}, worldLocker{rt}, workers)
+}
+
+// gcWorkers resolves Config.GCWorkers: zero or negative means
+// GOMAXPROCS, the conventional "use the machine" default.
+func (rt *Runtime) gcWorkers() int {
+	if rt.cfg.GCWorkers > 0 {
+		return rt.cfg.GCWorkers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // rebuildNVMRemset rescans one heap's live objects for volatile

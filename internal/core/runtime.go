@@ -79,6 +79,13 @@ type Config struct {
 	// marking overlaps the mutators and only final remark + compaction
 	// pause the world. PersistentGCConcurrent selects it per call.
 	ConcurrentGC bool
+	// GCWorkers is the parallel GC pool size: marking fans out over this
+	// many work-stealing tracers and the compaction pause shards its
+	// reference-fix and fill passes over the same count. Zero or negative
+	// means GOMAXPROCS. One worker reproduces the serial collector
+	// exactly; the heap image is byte-identical for every value on a
+	// quiescent heap.
+	GCWorkers int
 }
 
 // Runtime is one simulated JVM instance.

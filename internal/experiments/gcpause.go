@@ -3,12 +3,14 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sync"
 	"time"
 
 	"espresso/internal/core"
 	"espresso/internal/klass"
 	"espresso/internal/layout"
+	"espresso/internal/nvm"
 	"espresso/internal/pgc"
 )
 
@@ -34,14 +36,18 @@ import (
 // pause metrics (3D-XPoint-class reads land in the 100–350 ns range).
 const NVMReadLatency = 100 * time.Nanosecond
 
-// GCPauseRow is one (series) measurement over several collection cycles.
-// The dev_* fields are emitted only for the stw series (deterministic:
-// its cycles run against a quiescent heap); the concurrent row carries
-// the absolute pause ceiling and the reduction ratio instead, both
-// gated by benchgate.
+// GCPauseRow is one (series, workers) measurement over several
+// collection cycles. The dev_* fields are emitted only for the stw
+// series (deterministic: its cycles run against a quiescent heap); the
+// concurrent row carries the absolute pause ceiling and the reduction
+// ratio instead, both gated by benchgate; the parallel rows carry the
+// modeled device critical path of mark+compact and (on the
+// largest-workers row) the speedup over one worker, floor-gated by
+// benchgate.
 type GCPauseRow struct {
-	Series            string  `json:"series"` // "stw" or "concurrent"
+	Series            string  `json:"series"` // "stw", "concurrent", or "parallel"
 	Mutators          int     `json:"mutators"`
+	Workers           int     `json:"workers,omitempty"` // GC pool size (parallel series)
 	Cycles            int     `json:"cycles"`
 	LiveObjects       int     `json:"live_objects"`
 	WallMaxPauseNs    float64 `json:"wall_max_pause_ns"`
@@ -54,6 +60,20 @@ type GCPauseRow struct {
 
 	PauseReduction float64 `json:"pause_reduction_vs_stw,omitempty"`
 	ModeledCeiling float64 `json:"modeled_max_pause_ns_ceiling,omitempty"`
+
+	// Parallel-series fields. The critical path models the device time a
+	// real NVM would charge the slowest worker: max over mark workers +
+	// max over compaction fix workers + the serial compaction residue
+	// (the evacuation pass is serial by design — contiguous destinations
+	// share cache lines, and each source region must stay intact until
+	// its evacuation is durable). The per-cycle totals (reads, flushed
+	// lines) are identical across worker counts — parallelism splits the
+	// work, it must not add device traffic — so the speedup is pure
+	// critical-path reduction.
+	ModeledCritPathNs      float64 `json:"modeled_critical_path_ns,omitempty"`
+	DevReadsPerCycle       float64 `json:"dev_reads_per_cycle,omitempty"`
+	DevLinesPerCycle       float64 `json:"dev_flushed_lines_per_cycle,omitempty"`
+	ModeledParallelSpeedup float64 `json:"modeled_parallel_speedup,omitempty"`
 }
 
 const gcPauseCycles = 3
@@ -75,7 +95,38 @@ func modeledPauseNs(s pgc.Result) float64 {
 		float64(s.PauseDeviceStats.FlushedLines)*float64(NVMWriteLatency.Nanoseconds())
 }
 
-// GCPause runs both series at the given mutator count.
+// statNs converts one accounting bucket to modeled device time: reads ×
+// read latency + flushed lines × write latency (the same model as the
+// pause metric).
+func statNs(s nvm.Stats) float64 {
+	return float64(s.Reads)*float64(NVMReadLatency.Nanoseconds()) +
+		float64(s.FlushedLines)*float64(NVMWriteLatency.Nanoseconds())
+}
+
+// modeledCritPathNs is the modeled device critical path of mark+compact:
+// the busiest mark worker, plus the busiest compaction fix worker, plus
+// the serial compaction residue. With one worker it degenerates to the
+// serial mark+compact device time.
+func modeledCritPathNs(res pgc.Result) float64 {
+	maxNs := func(ws []nvm.Stats) float64 {
+		m := 0.0
+		for _, s := range ws {
+			if v := statNs(s); v > m {
+				m = v
+			}
+		}
+		return m
+	}
+	return maxNs(res.MarkWorkerStats) + maxNs(res.CompactFixWorkerStats) + statNs(res.CompactSerialStats)
+}
+
+// gcPauseParallelWorkers are the GC pool sizes of the parallel series:
+// the serial baseline and the cores axis CI gates the speedup on.
+var gcPauseParallelWorkers = []int{1, 4}
+
+// GCPause runs the stw and concurrent series at the given mutator
+// count, then the parallel series (quiescent, mark-heavy) across
+// gcPauseParallelWorkers.
 func GCPause(scale Scale, mutators int) ([]GCPauseRow, error) {
 	if mutators < 1 {
 		mutators = 1
@@ -100,6 +151,26 @@ func GCPause(scale Scale, mutators int) ([]GCPauseRow, error) {
 			// deterministic enough to ratio-gate; drop them here.
 			row.DevReadsInPause = 0
 			row.DevLinesInPause = 0
+		}
+		rows = append(rows, row)
+	}
+
+	// Parallel series: same workload family but mark-heavy — a larger
+	// stable live set and lighter churn — because the parallelism claim
+	// is about the tracing-dominated device critical path (the serial
+	// evacuation pass is a fixed Amdahl residue that light churn keeps
+	// small). Cycles are quiescent so per-cycle device totals are exactly
+	// reproducible.
+	var critBase float64
+	for _, workers := range gcPauseParallelWorkers {
+		row, err := runGCPauseParallelSeries(mutators, workers, 2*live, scale.div(150))
+		if err != nil {
+			return nil, err
+		}
+		if workers == gcPauseParallelWorkers[0] {
+			critBase = row.ModeledCritPathNs
+		} else if row.ModeledCritPathNs > 0 {
+			row.ModeledParallelSpeedup = critBase / row.ModeledCritPathNs
 		}
 		rows = append(rows, row)
 	}
@@ -130,13 +201,20 @@ func runGCPauseSeries(series string, mutators, live, churnOps int) (GCPauseRow, 
 	)
 	n := gcPauseNode{klass: nk, idF: rt.MustResolveField(nk, "id"), nextF: rt.MustResolveField(nk, "next")}
 
-	// Build the stable live graph: the 8-mutator alloc workload — each
-	// mutator bump-allocates its own rooted chain through its PLAB.
+	// Build the stable live graph — each mutator bump-allocates its own
+	// rooted chain through its PLAB. The build runs the mutators
+	// sequentially: it is setup, not workload, and a concurrent build
+	// hands the initial region layout to the goroutine scheduler — the
+	// same run then measures one of two layout modes whose per-cycle
+	// compaction work differs by several ms (whether a low recycled hole
+	// ends up hosting a cyclically-replaced root-index node decides if
+	// the sliding compactor re-evacuates everything above it each
+	// cycle). The measured churn phases stay concurrent.
 	perM := live / mutators
 	if perM < 1 {
 		perM = 1
 	}
-	if err := forEachMutator(rt, mutators, func(g int, m *core.Mutator) error {
+	if err := forEachMutatorSeq(rt, mutators, func(g int, m *core.Mutator) error {
 		var head layout.Ref
 		for i := 0; i < perM; i++ {
 			ref, err := m.PNew(n.klass, 0)
@@ -162,33 +240,65 @@ func runGCPauseSeries(series string, mutators, live, churnOps int) (GCPauseRow, 
 	if _, err := rt.PersistentGC("gcpause"); err != nil {
 		return GCPauseRow{}, err
 	}
+	if err := warmupChurn(rt, n, mutators, churnOps); err != nil {
+		return GCPauseRow{}, err
+	}
 
 	row := GCPauseRow{Series: series, Mutators: mutators, Cycles: gcPauseCycles}
 	var wallPauses, wallMarks, modeled []float64
 	var maxReads, maxLines uint64
 	for c := 0; c < gcPauseCycles; c++ {
-		churn := func() error {
-			return forEachMutator(rt, mutators, func(g int, m *core.Mutator) error {
-				return runChurn(m, n, fmt.Sprintf("churn%d", g), churnOps, g, c)
-			})
+		churn := func(ops int) func() error {
+			return func() error {
+				return forEachMutator(rt, mutators, func(g int, m *core.Mutator) error {
+					return runChurn(m, n, fmt.Sprintf("churn%d", g), ops, g, c)
+				})
+			}
 		}
 		var res pgc.Result
 		if series == "stw" {
 			// Quiescent baseline: churn completes, then the whole
-			// collection is one pause (and its device work is exactly
-			// reproducible, which is what CI gates on).
-			if err := churn(); err != nil {
+			// collection is one pause. The churn runs sequentially — this
+			// row's in-pause device counters are the ones CI ratio-gates,
+			// and concurrent churn hands the heap layout to the goroutine
+			// scheduler (occasionally flipping how much the compactor
+			// slides per cycle, a ~30% swing in flushed lines).
+			// Concurrency lives in the concurrent and parallel series,
+			// whose gates are floors and ceilings, not ratios.
+			if err := forEachMutatorSeq(rt, mutators, func(g int, m *core.Mutator) error {
+				return runChurn(m, n, fmt.Sprintf("churn%d", g), churnOps, g, c)
+			}); err != nil {
 				return GCPauseRow{}, err
 			}
 			if res, err = rt.PersistentGC("gcpause"); err != nil {
 				return GCPauseRow{}, err
 			}
 		} else {
-			// Concurrent: churn overlaps the collection; the safepoint
-			// lock inside the runtime provides the handshakes.
+			// Concurrent: half the churn runs quiescently first — a
+			// mutator running between collections, refilling the holes
+			// the previous cycle published, which is what keeps the heap
+			// top (and hence the dead-wood budget) in steady state — and
+			// half overlaps the collection, exercising the SATB barrier,
+			// the dirty-card rescans, and the floating-garbage path.
+			// (Allocation during marking is allocate-black above the
+			// snapshot tops and cannot reuse holes, so a series that
+			// overlaps all of its churn measures an ever-growing top and
+			// the periodic slide that reclaims it, not the barrier.) The
+			// safepoint lock inside the runtime provides the handshakes.
+			// One tracer, pinned: this series isolates what the barrier
+			// buys over stop-the-world, so it keeps the seed's
+			// single-tracer shape. (On a host with fewer cores than the
+			// default pool, extra tracers competing with the mutators
+			// stretch the marking window, which inflates churn-driven
+			// remark work — the row would measure the host, not the
+			// collector. The workers axis lives in the parallel series
+			// below.)
+			if err := churn(churnOps / 2)(); err != nil {
+				return GCPauseRow{}, err
+			}
 			churnErr := make(chan error, 1)
-			go func() { churnErr <- churn() }()
-			if res, err = rt.PersistentGCConcurrent("gcpause"); err != nil {
+			go func() { churnErr <- churn(churnOps - churnOps/2)() }()
+			if res, err = rt.PersistentGCConcurrentWorkers("gcpause", 1); err != nil {
 				return GCPauseRow{}, err
 			}
 			if err := <-churnErr; err != nil {
@@ -215,14 +325,125 @@ func runGCPauseSeries(series string, mutators, live, churnOps int) (GCPauseRow, 
 	return row, nil
 }
 
+// runGCPauseParallelSeries measures one GC pool size on the mark-heavy
+// quiescent workload: churn completes, then the concurrent collector
+// runs with an explicit worker count (no mutators overlap it, so the
+// per-cycle device totals are exactly reproducible; only the split of
+// work across workers — and hence the critical path — depends on
+// stealing order).
+func runGCPauseParallelSeries(mutators, workers, live, churnOps int) (GCPauseRow, error) {
+	rt, err := core.NewRuntime(core.Config{
+		PJHDataSize: live*64 + mutators*(churnOps*64+2*layout.RegionSize) + (4 << 20),
+	})
+	if err != nil {
+		return GCPauseRow{}, err
+	}
+	if _, err := rt.CreateHeap("gcpause", 0); err != nil {
+		return GCPauseRow{}, err
+	}
+	nk := klass.MustInstance("gcpause/Node", nil,
+		klass.Field{Name: "id", Type: layout.FTLong},
+		klass.Field{Name: "next", Type: layout.FTRef, RefKlass: "gcpause/Node"},
+	)
+	n := gcPauseNode{klass: nk, idF: rt.MustResolveField(nk, "id"), nextF: rt.MustResolveField(nk, "next")}
+
+	perM := live / mutators
+	if perM < 1 {
+		perM = 1
+	}
+	// Sequential build for a deterministic region layout — see
+	// runGCPauseSeries.
+	if err := forEachMutatorSeq(rt, mutators, func(g int, m *core.Mutator) error {
+		var head layout.Ref
+		for i := 0; i < perM; i++ {
+			ref, err := m.PNew(n.klass, 0)
+			if err != nil {
+				return err
+			}
+			m.SetLongFast(ref, n.idF, int64(g*10_000_000+i))
+			if err := m.SetRefFast(ref, n.nextF, head); err != nil {
+				return err
+			}
+			head = ref
+		}
+		return m.SetRoot(fmt.Sprintf("stable%d", g), head)
+	}); err != nil {
+		return GCPauseRow{}, err
+	}
+	if _, err := rt.PersistentGC("gcpause"); err != nil { // warmup (see runGCPauseSeries)
+		return GCPauseRow{}, err
+	}
+	if err := warmupChurn(rt, n, mutators, churnOps); err != nil {
+		return GCPauseRow{}, err
+	}
+
+	// Give every worker a scheduling slot for the measured cycles. The
+	// series measures how the collector divides device work across the
+	// pool (the modeled critical path); on a host with fewer cores than
+	// workers, Go's coarse preemption would otherwise let min(cores,
+	// workers) tracers absorb most of the scanning and the row would
+	// measure the host's core count instead.
+	prevProcs := runtime.GOMAXPROCS(0)
+	if workers > prevProcs {
+		runtime.GOMAXPROCS(workers)
+		defer runtime.GOMAXPROCS(prevProcs)
+	}
+
+	row := GCPauseRow{Series: "parallel", Mutators: mutators, Workers: workers, Cycles: gcPauseCycles}
+	var wallPauses, wallMarks, modeled, crits []float64
+	var maxReads, maxLines uint64
+	for c := 0; c < gcPauseCycles; c++ {
+		if err := forEachMutator(rt, mutators, func(g int, m *core.Mutator) error {
+			return runChurn(m, n, fmt.Sprintf("churn%d", g), churnOps, g, c)
+		}); err != nil {
+			return GCPauseRow{}, err
+		}
+		res, err := rt.PersistentGCConcurrentWorkers("gcpause", workers)
+		if err != nil {
+			return GCPauseRow{}, err
+		}
+		row.LiveObjects = res.LiveObjects
+		wallPauses = append(wallPauses, float64(res.PauseTime.Nanoseconds()))
+		wallMarks = append(wallMarks, float64(res.MarkTime.Nanoseconds()))
+		modeled = append(modeled, modeledPauseNs(res))
+		crits = append(crits, modeledCritPathNs(res))
+		if res.DeviceStats.Reads > maxReads {
+			maxReads = res.DeviceStats.Reads
+		}
+		if res.DeviceStats.FlushedLines > maxLines {
+			maxLines = res.DeviceStats.FlushedLines
+		}
+	}
+	row.WallMaxPauseNs = maxOf(wallPauses)
+	row.WallAvgPauseNs = avgOf(wallPauses)
+	row.WallMaxMarkNs = maxOf(wallMarks)
+	row.ModeledMaxPauseNs = maxOf(modeled)
+	row.ModeledCritPathNs = maxOf(crits)
+	row.DevReadsPerCycle = float64(maxReads)
+	row.DevLinesPerCycle = float64(maxLines)
+	return row, nil
+}
+
 // runChurn performs one mutator's churn phase: prepend a node to its
 // churn chain, unlinking the second node every third op — each multi-step
 // sequence inside a Do scope so held references survive collector pauses.
+// The first op starts a fresh chain instead of linking to the previous
+// cycle's head, so overwriting the root drops the old chain wholesale.
+// That keeps the workload steady-state: each cycle's garbage is the prior
+// cycle's chain plus this cycle's unlinks, and per-cycle collection work
+// is constant. (Chaining across cycles instead lets survivors accumulate
+// into an ever-growing pile that any lower garbage — e.g. a root-index
+// node replaced in a recycled hole — forces the sliding compactor to
+// re-evacuate wholesale, every cycle, growing without bound; the series
+// would then measure the pile's age, not the pause.)
 func runChurn(m *core.Mutator, n gcPauseNode, root string, ops, g, cycle int) error {
 	for i := 0; i < ops; i++ {
 		var opErr error
 		m.Do(func() {
-			head, _ := m.GetRoot(root)
+			var head layout.Ref
+			if i > 0 {
+				head, _ = m.GetRoot(root)
+			}
 			ref, err := m.PNew(n.klass, 0)
 			if err != nil {
 				opErr = err
@@ -253,6 +474,44 @@ func runChurn(m *core.Mutator, n gcPauseNode, root string, ops, g, cycle int) er
 			if opErr != nil {
 				return opErr
 			}
+		}
+	}
+	return nil
+}
+
+// warmupChurn runs two unmeasured sequential churn+collect rounds. The
+// first churn epoch after the build is transitional: its garbage is a
+// solid block that exceeds the summary's dead-wood budget, so one more
+// near-full compaction follows before the heap settles into the
+// recycled-hole steady state (churn allocating into, and dying inside,
+// the holes the previous cycle published) that the measured cycles are
+// about. Sequential churn and stop-the-world collections keep the
+// resulting layout deterministic.
+func warmupChurn(rt *core.Runtime, n gcPauseNode, mutators, churnOps int) error {
+	for w := 0; w < 2; w++ {
+		if err := forEachMutatorSeq(rt, mutators, func(g int, m *core.Mutator) error {
+			return runChurn(m, n, fmt.Sprintf("churn%d", g), churnOps, g, w)
+		}); err != nil {
+			return err
+		}
+		if _, err := rt.PersistentGC("gcpause"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// forEachMutatorSeq runs fn for each mutator index in order on the
+// calling goroutine — deterministic allocation interleaving for setup
+// phases.
+func forEachMutatorSeq(rt *core.Runtime, count int, fn func(g int, m *core.Mutator) error) error {
+	for g := 0; g < count; g++ {
+		m, err := rt.NewMutator()
+		if err != nil {
+			return err
+		}
+		if err := fn(g, m); err != nil {
+			return err
 		}
 	}
 	return nil
@@ -306,23 +565,37 @@ func avgOf(xs []float64) float64 {
 	return s / float64(len(xs))
 }
 
-// PrintGCPause renders both series with the headline reduction.
+// PrintGCPause renders every series with the headline reduction and
+// parallel speedup.
 func PrintGCPause(w io.Writer, rows []GCPauseRow) {
 	fmt.Fprintln(w, "GC pause — stop-the-world vs concurrent SATB marking (pauses only: remark+compact)")
-	fmt.Fprintf(w, "  %-10s %4s %8s %14s %14s %14s %14s\n",
-		"series", "G", "live", "wall max", "wall avg", "wall mark", "modeled max")
+	fmt.Fprintf(w, "  %-10s %4s %3s %8s %14s %14s %14s %14s %14s\n",
+		"series", "G", "W", "live", "wall max", "wall avg", "wall mark", "modeled max", "crit path")
 	for _, r := range rows {
-		fmt.Fprintf(w, "  %-10s %4d %8d %14s %14s %14s %14s\n",
-			r.Series, r.Mutators, r.LiveObjects,
+		workers := "-"
+		if r.Workers > 0 {
+			workers = fmt.Sprintf("%d", r.Workers)
+		}
+		crit := "-"
+		if r.ModeledCritPathNs > 0 {
+			crit = time.Duration(r.ModeledCritPathNs).Round(time.Microsecond).String()
+		}
+		fmt.Fprintf(w, "  %-10s %4d %3s %8d %14s %14s %14s %14s %14s\n",
+			r.Series, r.Mutators, workers, r.LiveObjects,
 			time.Duration(r.WallMaxPauseNs).Round(time.Microsecond),
 			time.Duration(r.WallAvgPauseNs).Round(time.Microsecond),
 			time.Duration(r.WallMaxMarkNs).Round(time.Microsecond),
-			time.Duration(r.ModeledMaxPauseNs).Round(time.Microsecond))
+			time.Duration(r.ModeledMaxPauseNs).Round(time.Microsecond),
+			crit)
 	}
 	for _, r := range rows {
 		if r.Series == "concurrent" && r.PauseReduction > 0 {
 			fmt.Fprintf(w, "  max modeled STW pause reduced %.1fx by concurrent marking (ceiling %s)\n",
 				r.PauseReduction, time.Duration(r.ModeledCeiling).Round(time.Millisecond))
+		}
+		if r.Series == "parallel" && r.ModeledParallelSpeedup > 0 {
+			fmt.Fprintf(w, "  modeled mark+compact device critical path cut %.1fx by %d GC workers\n",
+				r.ModeledParallelSpeedup, r.Workers)
 		}
 	}
 }

@@ -216,19 +216,41 @@ func (d *Device) countRead(n int) {
 	d.stats.bytesRead.Add(uint64(n))
 }
 
-// WriteU64 stores v at byte offset off, little-endian.
-func (d *Device) WriteU64(off int, v uint64) {
+// The uncounted internals below perform the access (and dirty tracking)
+// without touching the shared traffic counters. They exist for
+// WorkerDevice: the counters live on one cache line, so per-access
+// atomic adds from a pool of GC workers would ping-pong that line on
+// every single device operation. Workers account locally through these
+// and fold the totals into the shared counters when their phase joins.
+
+func (d *Device) writeU64Uncounted(off int, v uint64) {
 	d.check(off, 8)
 	binary.LittleEndian.PutUint64(d.mem[off:], v)
-	d.countWrite(8)
 	d.markDirty(off, 8)
+}
+
+func (d *Device) readU64Uncounted(off int) uint64 {
+	d.check(off, 8)
+	return binary.LittleEndian.Uint64(d.mem[off:])
+}
+
+func (d *Device) moveUncounted(dst, src, n int) {
+	d.check(src, n)
+	d.check(dst, n)
+	copy(d.mem[dst:dst+n], d.mem[src:src+n])
+	d.markDirty(dst, n)
+}
+
+// WriteU64 stores v at byte offset off, little-endian.
+func (d *Device) WriteU64(off int, v uint64) {
+	d.writeU64Uncounted(off, v)
+	d.countWrite(8)
 }
 
 // ReadU64 loads the little-endian uint64 at byte offset off.
 func (d *Device) ReadU64(off int) uint64 {
-	d.check(off, 8)
 	d.countRead(8)
-	return binary.LittleEndian.Uint64(d.mem[off:])
+	return d.readU64Uncounted(off)
 }
 
 // alignedBytes allocates a zero-filled byte slice whose backing array is
@@ -290,15 +312,66 @@ func (d *Device) CompareAndSwapU64(off int, old, new uint64) bool {
 	return true
 }
 
+// OrU64Atomic atomically ORs mask into the word at the 8-aligned byte
+// offset off and returns the word's previous value — the bitmap
+// publication primitive under parallel GC marking, where N workers set
+// begin/end mark bits in shared bitmap words and a worker claims an
+// object by observing its begin bit clear in the returned value.
+// Accounting: one read per call; one write (and a dirtied line) only
+// when the stored value actually changed, so re-marking an already-set
+// bit costs exactly what the racing Get would have.
+func (d *Device) OrU64Atomic(off int, mask uint64) uint64 {
+	old, wrote := d.orU64AtomicUncounted(off, mask)
+	d.countRead(8)
+	if wrote {
+		d.countWrite(8)
+	}
+	return old
+}
+
+// orU64AtomicUncounted is OrU64Atomic minus the traffic counters; it
+// additionally reports whether the word changed, so a locally-accounting
+// caller can count the write itself.
+func (d *Device) orU64AtomicUncounted(off int, mask uint64) (old uint64, wrote bool) {
+	d.check(off, 8)
+	if off%8 != 0 {
+		panic(fmt.Sprintf("nvm: unaligned atomic or at %d", off))
+	}
+	if !hostLittleEndian {
+		mask = bits.ReverseBytes64(mask)
+	}
+	addr := (*uint64)(unsafe.Pointer(&d.mem[off]))
+	for {
+		old := atomic.LoadUint64(addr)
+		if old|mask == old {
+			if !hostLittleEndian {
+				old = bits.ReverseBytes64(old)
+			}
+			return old, false
+		}
+		if atomic.CompareAndSwapUint64(addr, old, old|mask) {
+			d.markDirty(off, 8)
+			if !hostLittleEndian {
+				old = bits.ReverseBytes64(old)
+			}
+			return old, true
+		}
+	}
+}
+
 // ReadU64Atomic loads the word at the 8-aligned byte offset off with a
 // single atomic machine load — never torn, even against a concurrent
 // WriteU64Atomic to the same word.
 func (d *Device) ReadU64Atomic(off int) uint64 {
+	d.countRead(8)
+	return d.readU64AtomicUncounted(off)
+}
+
+func (d *Device) readU64AtomicUncounted(off int) uint64 {
 	d.check(off, 8)
 	if off%8 != 0 {
 		panic(fmt.Sprintf("nvm: unaligned atomic load at %d", off))
 	}
-	d.countRead(8)
 	v := atomic.LoadUint64((*uint64)(unsafe.Pointer(&d.mem[off])))
 	if !hostLittleEndian {
 		v = bits.ReverseBytes64(v)

@@ -1,0 +1,128 @@
+package nvm
+
+// Per-worker device-stat accounting for parallel GC phases. The device's
+// own counters are shared atomics — correct under concurrency but unable
+// to say *which* worker issued the traffic, and the parallel-GC speedup
+// claim is exactly a statement about the busiest worker (the device-level
+// critical path). They are also all on one cache line, so a pool of
+// workers bumping them on every load would spend more time ping-ponging
+// that line between cores than reading the heap. A WorkerDevice wraps
+// the shared device for one worker: reads, writes, and moves perform the
+// access (including dirty tracking and the persisted view) through
+// uncounted internals and tally into a worker-local Stats — no shared
+// state touched — and Fold publishes the accumulated counts into the
+// shared counters when the phase joins. Flush and Fence still forward to
+// the counted device path: they are orders of magnitude rarer, and the
+// global flush ordinal must stay exact for crash-injection hooks.
+//
+// Consequence: while a parallel phase is in flight, Device.Stats()
+// lags the workers' read/write traffic until the coordinator calls
+// Fold on each worker. Every collector phase folds before the
+// enclosing measurement boundary, so interval accounting (pause
+// windows, whole-collection deltas) is exact.
+//
+// Only the operations the GC workers issue are wrapped; anything else
+// reaches the embedded Device and is accounted globally as usual.
+
+// WorkerDevice is a per-worker accounting view of a shared Device.
+// Not safe for concurrent use — each worker owns one.
+type WorkerDevice struct {
+	*Device
+	// Local is this worker's share of the traffic. FlushedLines and
+	// ModeledFlushNS mirror the device's noFlush gating so modeled
+	// critical paths stay comparable to the global counters.
+	Local Stats
+
+	// folded is the prefix of Local already published by Fold.
+	folded Stats
+}
+
+// NewWorkerDevice returns a worker-local accounting wrapper over d.
+func NewWorkerDevice(d *Device) *WorkerDevice { return &WorkerDevice{Device: d} }
+
+func (w *WorkerDevice) countLocalRead(n int) {
+	w.Local.Reads++
+	w.Local.BytesRead += uint64(n)
+}
+
+func (w *WorkerDevice) countLocalWrite(n int) {
+	w.Local.Writes++
+	w.Local.BytesWritten += uint64(n)
+}
+
+// ReadU64 performs a plain word load, tallying it locally only.
+func (w *WorkerDevice) ReadU64(off int) uint64 {
+	w.countLocalRead(8)
+	return w.Device.readU64Uncounted(off)
+}
+
+// ReadU64Atomic performs an atomic word load, tallying it locally only.
+func (w *WorkerDevice) ReadU64Atomic(off int) uint64 {
+	w.countLocalRead(8)
+	return w.Device.readU64AtomicUncounted(off)
+}
+
+// WriteU64 performs a plain word store, tallying it locally only.
+func (w *WorkerDevice) WriteU64(off int, v uint64) {
+	w.countLocalWrite(8)
+	w.Device.writeU64Uncounted(off, v)
+}
+
+// OrU64Atomic performs an atomic fetch-OR, accounted locally like the
+// device does globally: one read always, one write when the word
+// changed.
+func (w *WorkerDevice) OrU64Atomic(off int, mask uint64) uint64 {
+	w.countLocalRead(8)
+	old, wrote := w.Device.orU64AtomicUncounted(off, mask)
+	if wrote {
+		w.countLocalWrite(8)
+	}
+	return old
+}
+
+// Move performs a bulk copy, tallying one read and one write of n bytes
+// locally only.
+func (w *WorkerDevice) Move(dst, src, n int) {
+	w.countLocalRead(n)
+	w.countLocalWrite(n)
+	w.Device.moveUncounted(dst, src, n)
+}
+
+// Flush forwards a line write-back to the counted device path (the
+// global flush ordinal feeds crash-injection hooks and must stay
+// exact), additionally tallying the covered lines and modeled latency
+// locally, mirroring the device's no-flush gating.
+func (w *WorkerDevice) Flush(off, n int) {
+	if n > 0 {
+		first := off / LineSize
+		last := (off + n - 1) / LineSize
+		w.Local.Flushes++
+		if !w.Device.noFlush {
+			lines := uint64(last - first + 1)
+			w.Local.FlushedLines += lines
+			w.Local.ModeledFlushNS += lines * w.Device.latNS
+		}
+	}
+	w.Device.Flush(off, n)
+}
+
+// Fence forwards the ordering instruction, tallying it locally too.
+func (w *WorkerDevice) Fence() {
+	w.Local.Fences++
+	w.Device.Fence()
+}
+
+// Fold publishes the read/write traffic accumulated in Local since the
+// last Fold into the shared device counters. Flush and fence traffic is
+// excluded — it was counted globally as it happened. The coordinator
+// calls Fold after a parallel phase joins, making the shared counters
+// whole before the next measurement boundary; Local keeps the worker's
+// full running tally either way.
+func (w *WorkerDevice) Fold() {
+	delta := w.Local.Sub(w.folded)
+	w.Device.stats.writes.Add(delta.Writes)
+	w.Device.stats.bytesWritten.Add(delta.BytesWritten)
+	w.Device.stats.reads.Add(delta.Reads)
+	w.Device.stats.bytesRead.Add(delta.BytesRead)
+	w.folded = w.Local
+}

@@ -60,7 +60,25 @@ func (StoppedWorld) StartWorld() {}
 // The result's reachable post-GC heap is byte-identical to Collect's on
 // the same quiescent workload: both run the same tracer and the summary
 // is a pure function of the bitmap.
+//
+// CollectConcurrent runs with one GC worker; CollectConcurrentWorkers
+// fans marking and the parallel compaction passes over a pool.
 func CollectConcurrent(h *pheap.Heap, ext Rooter, w World) (Result, error) {
+	return CollectConcurrentWorkers(h, ext, w, 1)
+}
+
+// CollectConcurrentWorkers is CollectConcurrent with marking fanned over
+// workers work-stealing tracers (which also drain the SATB and
+// remset-delta buffers concurrently with tracing) and the compaction
+// pause's reference-fix and fill passes sharded over the same count.
+// The heap image it produces is byte-identical for every workers value
+// on a quiescent heap: marking publishes idempotent bitmap bits and a
+// commutative CAS-max card summary, and the compaction passes only
+// reorder operations on disjoint cache lines.
+func CollectConcurrentWorkers(h *pheap.Heap, ext Rooter, w World, workers int) (Result, error) {
+	if workers < 1 {
+		workers = 1
+	}
 	if !h.TryBeginCollection() {
 		return Result{}, fmt.Errorf("pgc: another collection of this heap is already running")
 	}
@@ -99,7 +117,7 @@ func CollectConcurrent(h *pheap.Heap, ext Rooter, w World) (Result, error) {
 	// Phase 2: concurrent mark. Any error aborts the cycle: disarm the
 	// barrier under a pause and clear the phase word — nothing has moved.
 	markStart := time.Now()
-	mk := concurrent.NewMarker(h, snap)
+	mk := concurrent.NewMarker(h, snap, workers)
 	abort := func(err error) (Result, error) {
 		w.StopWorld()
 		h.EndConcurrentMark()
@@ -156,23 +174,26 @@ func CollectConcurrent(h *pheap.Heap, ext Rooter, w World) (Result, error) {
 	// regions mutated after their objects were traced. This is what keeps
 	// the pause proportional to churn + moves, not to everything live.
 	h.ResetFreeHoles()
-	compact(h, s, cur, buildCleanCards(s, mk.MaxOutgoing(), dirtyRegions))
-	finish(h, s)
+	cr := compact(h, s, cur, buildCleanCards(s, mk.MaxOutgoing(), dirtyRegions), workers)
+	finish(h, s, cr.topEntries)
 	ext.UpdateRoots(s.Forward)
-	h.SetFreeHoles(freeHolesOf(h, s))
+	h.SetFreeHoles(cr.holes)
 	pauseStats = pauseStats.Add(dev.Stats().Sub(p2Before))
 	pause2 := time.Since(pause2Start)
 	w.StartWorld()
 
 	return Result{
-		LiveObjects:      s.LiveObjects,
-		LiveBytes:        s.LiveBytes,
-		MovedObjects:     s.MovedObjects,
-		MovedBytes:       s.MovedBytes,
-		NewTop:           s.NewTop,
-		MarkTime:         markTime,
-		PauseTime:        pause1 + pause2,
-		DeviceStats:      dev.Stats().Sub(statsBefore),
-		PauseDeviceStats: pauseStats,
+		LiveObjects:           s.LiveObjects,
+		LiveBytes:             s.LiveBytes,
+		MovedObjects:          s.MovedObjects,
+		MovedBytes:            s.MovedBytes,
+		NewTop:                s.NewTop,
+		MarkTime:              markTime,
+		PauseTime:             pause1 + pause2,
+		DeviceStats:           dev.Stats().Sub(statsBefore),
+		PauseDeviceStats:      pauseStats,
+		MarkWorkerStats:       mk.MarkWorkerStats(),
+		CompactFixWorkerStats: cr.fixWorkerStats,
+		CompactSerialStats:    cr.serialStats,
 	}, nil
 }

@@ -58,6 +58,7 @@ func TestCollectConcurrentRepeatedAndAllocateBetween(t *testing.T) {
 func TestCollectConcurrentMatchesSTWByteIdentical(t *testing.T) {
 	build := func() *pheap.Heap {
 		h, reg := newHeap(t, 4<<20)
+		buildGarbageBelt(t, h, reg, 250) // past the dead-wood budget: real moves
 		buildGraph(t, h, reg, 77, 600, 6)
 		return h
 	}
@@ -109,10 +110,13 @@ func TestCollectConcurrentMatchesSTWByteIdentical(t *testing.T) {
 func TestCollectConcurrentCrashAtEveryFlush(t *testing.T) {
 	const seed = 99
 	h0, reg0 := newHeap(t, 2<<20)
+	buildGarbageBelt(t, h0, reg0, 120) // past the dead-wood budget: real moves
 	m := buildGraph(t, h0, reg0, seed, 120, 4)
 	base := h0.Device().Stats().Flushes
-	if _, err := CollectConcurrent(h0, NoRoots{}, nil); err != nil {
+	if res, err := CollectConcurrent(h0, NoRoots{}, nil); err != nil {
 		t.Fatal(err)
+	} else if res.MovedObjects == 0 {
+		t.Fatal("workload compacted nothing; the sweep misses the move protocol")
 	}
 	totalFlushes := h0.Device().Stats().Flushes - base
 	if totalFlushes < 20 {
@@ -120,6 +124,7 @@ func TestCollectConcurrentCrashAtEveryFlush(t *testing.T) {
 	}
 
 	hSnap, regSnap := newHeap(t, 2<<20)
+	buildGarbageBelt(t, hSnap, regSnap, 120)
 	buildGraph(t, hSnap, regSnap, seed, 120, 4)
 	hSnap.Device().FlushAll()
 	pristine := hSnap.Device().CrashImage(nvm.CrashFlushedOnly, 0)

@@ -31,7 +31,20 @@ type Result struct {
 	// while marking runs, since the device counters are shared.
 	DeviceStats      nvm.Stats
 	PauseDeviceStats nvm.Stats
-	Recovered        bool // true when produced by Recover
+	// Per-worker device accounting for the parallel phases — index w is
+	// worker w's share. MarkWorkerStats covers tracing (the busiest
+	// worker bounds the marking wall clock on a real device);
+	// CompactFixWorkerStats covers the parallel reference-fix pass of
+	// compaction; CompactSerialStats is the rest of the compact phase
+	// (the serial move pass, region-bit publication, fillers). The
+	// modeled device critical path of mark+compact is
+	// max(MarkWorkerStats) + max(CompactFixWorkerStats) +
+	// CompactSerialStats, which the gcpause experiment's workers axis
+	// gates on.
+	MarkWorkerStats       []nvm.Stats
+	CompactFixWorkerStats []nvm.Stats
+	CompactSerialStats    nvm.Stats
+	Recovered             bool // true when produced by Recover
 }
 
 // Collect runs a full crash-consistent collection of h. ext supplies (and
@@ -69,7 +82,7 @@ func Collect(h *pheap.Heap, ext Rooter) (Result, error) {
 	// durable before the heap is stamped active, or recovery could trust
 	// stale region bits from a previous collection.
 	markStart := time.Now()
-	mk, err := mark(h, ext)
+	mk, err := mark(h, ext, 1)
 	if err != nil {
 		return Result{}, err
 	}
@@ -102,49 +115,48 @@ func Collect(h *pheap.Heap, ext Rooter) (Result, error) {
 	// cannot reference moved objects (no dirty cards here: the world is
 	// stopped, so the trace saw every store).
 	h.ResetFreeHoles()
-	compact(h, s, cur, buildCleanCards(s, mk.MaxOutgoing(), nil))
+	cr := compact(h, s, cur, buildCleanCards(s, mk.MaxOutgoing(), nil), 1)
 
 	// Phase 5: finish atomically via the redo log, then patch DRAM roots
 	// and hand the filler-covered gaps back to the allocator.
-	finish(h, s)
+	finish(h, s, cr.topEntries)
 	ext.UpdateRoots(s.Forward)
-	h.SetFreeHoles(freeHolesOf(h, s))
+	h.SetFreeHoles(cr.holes)
 
 	stats := h.Device().Stats().Sub(statsBefore)
 	return Result{
-		LiveObjects:      s.LiveObjects,
-		LiveBytes:        s.LiveBytes,
-		MovedObjects:     s.MovedObjects,
-		MovedBytes:       s.MovedBytes,
-		NewTop:           s.NewTop,
-		MarkTime:         markTime,
-		PauseTime:        time.Since(start),
-		DeviceStats:      stats,
-		PauseDeviceStats: stats,
+		LiveObjects:           s.LiveObjects,
+		LiveBytes:             s.LiveBytes,
+		MovedObjects:          s.MovedObjects,
+		MovedBytes:            s.MovedBytes,
+		NewTop:                s.NewTop,
+		MarkTime:              markTime,
+		PauseTime:             time.Since(start),
+		DeviceStats:           stats,
+		PauseDeviceStats:      stats,
+		MarkWorkerStats:       mk.MarkWorkerStats(),
+		CompactFixWorkerStats: cr.fixWorkerStats,
+		CompactSerialStats:    cr.serialStats,
 	}, nil
 }
 
 // finish commits the collection's metadata transition — forwarded root
-// entries, the republished per-region tops, gcActive=0 — through the
-// redo log so the whole batch is atomic and idempotently reapplicable.
+// entries, the republished per-region tops (topEntries, accumulated by
+// the compactor's fill workers in region order), gcActive=0 — through
+// the redo log so the whole batch is atomic and idempotently
+// reapplicable: however many workers produced pieces of the batch, it
+// becomes durable through ONE RedoCommit, whose count+state flush is the
+// single commit point (the single-publish invariant — see compact).
 // After compaction the heap is dense below NewTop (gap fillers included),
 // so every region below it parses to its end (or to NewTop in the last,
 // partial region — which the dispenser then resumes filling), and every
 // region above it is reset to untouched.
-func finish(h *pheap.Heap, s *Summary) {
+func finish(h *pheap.Heap, s *Summary, topEntries []pheap.RedoEntry) {
 	var entries []pheap.RedoEntry
 	for _, root := range h.Roots() {
 		entries = append(entries, pheap.RedoEntry{Off: root.ValueOff, Val: uint64(s.Forward(root.Ref))})
 	}
-	geo := h.Geo()
-	for r := 0; r < geo.DataRegions(); r++ {
-		start := geo.DataOff + r*layout.RegionSize
-		var top uint64
-		if start < s.NewTop {
-			top = uint64(min(start+layout.RegionSize, s.NewTop))
-		}
-		entries = append(entries, pheap.RedoEntry{Off: h.RegionTopMetaOff(r), Val: top})
-	}
+	entries = append(entries, topEntries...)
 	entries = append(entries, pheap.RedoEntry{Off: h.GCActiveMetaOff(), Val: 0})
 	h.RedoCommit(entries)
 	h.RedoApply()
@@ -177,24 +189,6 @@ func recyclableOf(lo, hi int) (pheap.Hole, bool) {
 	return pheap.Hole{Lo: alignedLo, Hi: alignedHi}, true
 }
 
-// freeHolesOf lists the recyclable line-aligned gaps below the new top —
-// exactly the middle fillers writeGapFillers plugged — so the allocator
-// can refill them.
-func freeHolesOf(h *pheap.Heap, s *Summary) []pheap.Hole {
-	geo := h.Geo()
-	var holes []pheap.Hole
-	for r := 0; geo.DataOff+r*layout.RegionSize < s.NewTop; r++ {
-		lo, hi := gapOf(h, s, r)
-		if lo >= hi {
-			continue
-		}
-		if hole, ok := recyclableOf(lo, hi); ok {
-			holes = append(holes, hole)
-		}
-	}
-	return holes
-}
-
 // Recover finishes an interrupted collection on a freshly loaded heap
 // (paper §4.3): refetch the mark bitmap, redo the summary, process the
 // regions the region bitmap and source timestamps report unfinished, and
@@ -223,9 +217,11 @@ func Recover(h *pheap.Heap) (Result, error) {
 		return Result{}, fmt.Errorf("pgc: recovery summary: %w", err)
 	}
 	// Recovery has no marker state (the outgoing-reference summary died
-	// with the crashed process), so it conservatively rescans everything.
+	// with the crashed process), so it conservatively rescans everything
+	// — and runs single-threaded: recovery is rare, and one worker keeps
+	// its flush ordering identical to the historical serial compactor.
 	h.ResetFreeHoles()
-	compact(h, s, h.GlobalTS(), nil)
+	cr := compact(h, s, h.GlobalTS(), nil, 1)
 	// The mark bitmap was fully persisted before gcActive was set, so a
 	// phase word still announcing the concurrent mark is stale — clear it
 	// before the finish batch retires gcActive. A crash in between leaves
@@ -233,8 +229,8 @@ func Recover(h *pheap.Heap) (Result, error) {
 	if h.GCPhase() != pheap.GCPhaseIdle {
 		h.SetGCPhase(pheap.GCPhaseIdle)
 	}
-	finish(h, s)
-	h.SetFreeHoles(freeHolesOf(h, s))
+	finish(h, s, cr.topEntries)
+	h.SetFreeHoles(cr.holes)
 	stats := h.Device().Stats().Sub(statsBefore)
 	return Result{
 		LiveObjects:      s.LiveObjects,

@@ -52,12 +52,12 @@ func heapRoots(h *pheap.Heap, ext Rooter) []layout.Ref {
 // setting begin and end bits in the mark bitmap for every live object,
 // and returns the marker (counts, outgoing-reference summary). The
 // tracer is the shared SATB engine run with the snapshot at the current
-// tops — with the world stopped that covers every object, so it
-// degenerates to the seed's stop-the-world mark.
-func mark(h *pheap.Heap, ext Rooter) (*concurrent.Marker, error) {
+// tops — with the world stopped that covers every object, so with one
+// worker it degenerates to the seed's stop-the-world mark.
+func mark(h *pheap.Heap, ext Rooter, workers int) (*concurrent.Marker, error) {
 	h.MarkBitmap().ClearAll()
 	h.RegionBitmap().ClearAll()
-	mk := concurrent.NewMarker(h, h.SnapshotRegionTops())
+	mk := concurrent.NewMarker(h, h.SnapshotRegionTops(), workers)
 	if err := mk.MarkRoots(heapRoots(h, ext)); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,45 @@
+package pgc
+
+import "sync"
+
+// runShards runs fn(worker) once per worker, worker 0 on the calling
+// goroutine and the rest on their own. It returns after every worker
+// finished; the first panic any worker raised is re-raised on the caller
+// once all have joined, so a device crash-injection hook firing on a
+// worker goroutine unwinds the collector exactly as it would
+// single-threaded. With workers=1 no goroutine is spawned.
+func runShards(workers int, fn func(worker int)) {
+	if workers <= 1 {
+		fn(0)
+		return
+	}
+	var (
+		wg sync.WaitGroup
+		mu sync.Mutex
+		pv any
+	)
+	catch := func(w int) {
+		defer func() {
+			if p := recover(); p != nil {
+				mu.Lock()
+				if pv == nil {
+					pv = p
+				}
+				mu.Unlock()
+			}
+		}()
+		fn(w)
+	}
+	wg.Add(workers - 1)
+	for w := 1; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			catch(w)
+		}(w)
+	}
+	catch(0)
+	wg.Wait()
+	if pv != nil {
+		panic(pv)
+	}
+}

@@ -227,8 +227,9 @@ func TestCollectAllGarbage(t *testing.T) {
 
 func TestSummaryIdempotent(t *testing.T) {
 	h, reg := newHeap(t, 4<<20)
+	buildGarbageBelt(t, h, reg, 150) // past the dead-wood budget: real moves
 	buildGraph(t, h, reg, 7, 300, 4)
-	if _, err := mark(h, NoRoots{}); err != nil {
+	if _, err := mark(h, NoRoots{}, 1); err != nil {
 		t.Fatal(err)
 	}
 	h.MarkBitmap().Persist()
@@ -253,13 +254,23 @@ func TestSummaryIdempotent(t *testing.T) {
 
 func TestSummaryInvariants(t *testing.T) {
 	h, reg := newHeap(t, 4<<20)
+	buildGarbageBelt(t, h, reg, 200) // past the dead-wood budget: real moves
 	buildGraph(t, h, reg, 11, 400, 3)
-	if _, err := mark(h, NoRoots{}); err != nil {
+	if _, err := mark(h, NoRoots{}, 1); err != nil {
 		t.Fatal(err)
 	}
 	s, err := Summarize(h)
 	if err != nil {
 		t.Fatal(err)
+	}
+	moved := 0
+	for _, mv := range s.Moves {
+		if mv.Dst != mv.Src {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no evacuations; the invariants below are vacuous")
 	}
 	destOverlap := map[int]int{} // dst offset → size (check non-overlap)
 	for i, mv := range s.Moves {
@@ -412,12 +423,17 @@ func TestRecoverNoopOnCleanHeap(t *testing.T) {
 // lines (CrashRandomEviction) to model arbitrary cache eviction.
 func TestCrashDuringGCAtEveryFlush(t *testing.T) {
 	const seed = 99
-	// First, a clean run to count flushes.
+	// First, a clean run to count flushes. The garbage belt keeps the
+	// workload past the dead-wood budget so the sweep crosses the full
+	// evacuation protocol, not just fixes and fillers.
 	h0, reg0 := newHeap(t, 2<<20)
+	buildGarbageBelt(t, h0, reg0, 120)
 	m := buildGraph(t, h0, reg0, seed, 120, 4)
 	base := h0.Device().Stats().Flushes
-	if _, err := Collect(h0, NoRoots{}); err != nil {
+	if res, err := Collect(h0, NoRoots{}); err != nil {
 		t.Fatal(err)
+	} else if res.MovedObjects == 0 {
+		t.Fatal("workload compacted nothing; the sweep misses the move protocol")
 	}
 	totalFlushes := h0.Device().Stats().Flushes - base
 	if totalFlushes < 20 {
@@ -426,6 +442,7 @@ func TestCrashDuringGCAtEveryFlush(t *testing.T) {
 
 	// Snapshot a pristine pre-GC image to restart from each iteration.
 	hSnap, regSnap := newHeap(t, 2<<20)
+	buildGarbageBelt(t, hSnap, regSnap, 120)
 	buildGraph(t, hSnap, regSnap, seed, 120, 4)
 	hSnap.Device().FlushAll()
 	pristine := hSnap.Device().CrashImage(nvm.CrashFlushedOnly, 0)

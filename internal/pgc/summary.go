@@ -42,6 +42,24 @@ import (
 // that no empty region is available as an evacuation destination.
 var ErrNoSpaceToCompact = errors.New("pgc: no empty region available for compaction")
 
+// deadWoodDenominator bounds the garbage tolerated inside the dense
+// prefix: the prefix extends while its cumulative dead wood stays within
+// 1/deadWoodDenominator of its span. The budget can be generous because
+// interior dead wood is not wasted space — the fill pass hands every
+// line-aligned gap back to the allocators as a recyclable hole, so
+// tolerated garbage becomes allocatable immediately (only the sub-line
+// edge slivers are true waste until the next slide). 3 keeps a
+// steadily-churning heap — including the floating garbage a concurrent
+// cycle necessarily retains — in the cheap hole-recycling regime, while
+// a heap more than a third dead still gets a real slide. Compare G1,
+// which never evacuates regions above ~85% liveness at all.
+const deadWoodDenominator = 3
+
+// GapSpan is one interior dead-wood gap [Lo, Hi) of the dense prefix,
+// contained in a single region. The fill pass plugs it like a region
+// tail: fillers, with the line-aligned middle recycled as a hole.
+type GapSpan struct{ Lo, Hi int }
+
 // Move describes one live object: its source, destination, and size, all
 // as device offsets. Dst == Src for objects that stay in place (dense
 // prefix and pinned humongous objects).
@@ -62,6 +80,8 @@ type Summary struct {
 	regionLastMove []int
 	// occ[r] is the final occupied prefix of region r in bytes.
 	occ []int
+	// interior[r] is region r's ascending interior dead-wood gaps.
+	interior [][]GapSpan
 
 	NewTop       int
 	LiveObjects  int
@@ -148,6 +168,30 @@ func Summarize(h *pheap.Heap) (*Summary, error) {
 		}
 	}
 
+	// Dead-wood dense prefix (as in ParallelScavenge, whose summary phase
+	// this derives from): an object stays in place not only when the heap
+	// below it is perfectly dense, but as long as the cumulative garbage
+	// below it remains a small fraction of the span it buys. Requiring
+	// exact density would let a single small death low in the heap force
+	// every live object above it through the serial evacuation pass; the
+	// budget caps the wasted space at 1/deadWoodDenominator of the prefix
+	// while keeping evacuation proportional to real fragmentation. The
+	// interior gaps are plugged by the fill pass (fillers, recyclable
+	// holes), so the prefix still parses and the space is allocatable.
+	// The cutoff is a pure function of the mark bitmap, so recovery
+	// recomputes it bit-identically.
+	densePrefixEnd := geo.DataOff
+	{
+		cursor, dead := geo.DataOff, 0
+		for _, o := range objs {
+			dead += o.src - cursor
+			cursor = o.src + o.size
+			if dead*deadWoodDenominator <= cursor-geo.DataOff {
+				densePrefixEnd = cursor
+			}
+		}
+	}
+
 	// Assign destinations in address order. The invariants that make the
 	// source-as-undo-log protocol sound:
 	//
@@ -157,8 +201,6 @@ func Summarize(h *pheap.Heap) (*Summary, error) {
 	//   - compaction executes moves in the same ascending order, so by the
 	//     time a destination is written, every object that lived there has
 	//     already been copied out.
-	dense := true
-	denseFill := geo.DataOff
 	inPlaceEnd := make([]int, regions) // prefix occupied by non-moving objects
 	destRegion, destFill := -1, 0
 	retireDest := func() {
@@ -171,21 +213,18 @@ func Summarize(h *pheap.Heap) (*Summary, error) {
 		srcRegion := regionOf(o.src)
 		var dst int
 		switch {
-		case dense && o.src == denseFill:
+		case o.src+o.size <= densePrefixEnd:
 			dst = o.src
-			denseFill += o.size
 		case o.size > pheap.HugeThreshold:
 			// Pinned humongous object: allocated on exclusive region-
 			// aligned runs, stays put; its final region's tail becomes
 			// destination space immediately (nothing else lives there).
-			dense = false
 			dst = o.src
 			tail := o.src + o.size
 			if tail%layout.RegionSize != 0 {
 				pool.push(tail)
 			}
 		default:
-			dense = false
 			if destRegion < 0 || destFill+o.size > regionStart(destRegion)+layout.RegionSize {
 				retireDest()
 				if pool.empty() {
@@ -225,6 +264,32 @@ func Summarize(h *pheap.Heap) (*Summary, error) {
 	}
 	retireDest()
 
+	// Collect the interior dead-wood gaps: garbage between in-place
+	// objects, clipped below each region's in-place prefix end. Space at
+	// or above inPlaceEnd[r] is pool-managed (it may have been handed out
+	// as destination space, or the region-tail fill covers it), so it is
+	// excluded — everything emitted here is provably never a destination
+	// and the fill pass may plug it. Gaps are split at region boundaries
+	// to keep the fill pass's per-region sharding line-disjoint.
+	s.interior = make([][]GapSpan, regions)
+	cursor := geo.DataOff
+	for _, m := range s.Moves {
+		if m.Dst != m.Src {
+			continue
+		}
+		for lo := cursor; lo < m.Src; {
+			r := regionOf(lo)
+			hi := min(m.Src, regionStart(r)+inPlaceEnd[r])
+			if hi > lo {
+				s.interior[r] = append(s.interior[r], GapSpan{Lo: lo, Hi: hi})
+			}
+			lo = regionStart(r) + layout.RegionSize
+		}
+		if e := m.Src + m.Size; e > cursor {
+			cursor = e
+		}
+	}
+
 	// New top: one past the highest finally-occupied byte.
 	s.NewTop = geo.DataOff
 	for r := 0; r < regions; r++ {
@@ -256,6 +321,9 @@ func (s *Summary) RegionLastMove(r int) int { return s.regionLastMove[r] }
 
 // Occupancy reports the final occupied prefix of region r.
 func (s *Summary) Occupancy(r int) int { return s.occ[r] }
+
+// InteriorGaps reports region r's interior dead-wood gaps, ascending.
+func (s *Summary) InteriorGaps(r int) []GapSpan { return s.interior[r] }
 
 // minIntHeap is a small binary min-heap of region indexes.
 type minIntHeap struct{ a []int }

@@ -11,14 +11,35 @@ import (
 // crash once flushed (paper §4.2: "the mark bitmap can be seen as a sketch
 // of the whole heap before the real collection").
 type Bitmap struct {
-	dev  *nvm.Device
+	dev  bitmapDevice
 	off  int // device offset of the first word
 	bits int
+}
+
+// bitmapDevice is the device surface a Bitmap needs — satisfied by both
+// *nvm.Device and the per-worker accounting wrapper *nvm.WorkerDevice,
+// so parallel GC workers can operate on the shared bitmap while their
+// word traffic is tallied per worker.
+type bitmapDevice interface {
+	ReadU64(off int) uint64
+	WriteU64(off int, v uint64)
+	OrU64Atomic(off int, mask uint64) uint64
+	Zero(off, n int)
+	Flush(off, n int)
+	Fence()
 }
 
 // MarkBitmap returns the heap's mark bitmap (one bit per data-heap word).
 func (h *Heap) MarkBitmap() *Bitmap {
 	return &Bitmap{dev: h.dev, off: h.geo.MarkBmpOff, bits: h.geo.DataSize / layout.WordSize}
+}
+
+// MarkBitmapOn is MarkBitmap with the word operations routed through dev
+// — a *nvm.WorkerDevice so each parallel marking worker's bitmap traffic
+// lands in its own Stats. All views share the one device-backed bit
+// array; only the accounting differs.
+func (h *Heap) MarkBitmapOn(dev *nvm.WorkerDevice) *Bitmap {
+	return &Bitmap{dev: dev, off: h.geo.MarkBmpOff, bits: h.geo.DataSize / layout.WordSize}
 }
 
 // RegionBitmap returns the heap's processed-region bitmap.
@@ -42,6 +63,22 @@ func (b *Bitmap) Len() int { return b.bits }
 func (b *Bitmap) Set(i int) {
 	woff := b.off + i/64*8
 	b.dev.WriteU64(woff, b.dev.ReadU64(woff)|1<<(uint(i)%64))
+}
+
+// SetAtomic sets bit i with an atomic fetch-OR on the backing word, safe
+// against concurrent setters of other bits in the same word (parallel
+// marking publishes end bits this way).
+func (b *Bitmap) SetAtomic(i int) {
+	b.dev.OrU64Atomic(b.off+i/64*8, 1<<(uint(i)%64))
+}
+
+// TrySetAtomic sets bit i and reports whether this call flipped it from
+// clear to set — the claim operation parallel marking dedups through: of
+// N workers racing to mark one object's begin bit, exactly one observes
+// it clear and owns scanning that object.
+func (b *Bitmap) TrySetAtomic(i int) bool {
+	bit := uint64(1) << (uint(i) % 64)
+	return b.dev.OrU64Atomic(b.off+i/64*8, bit)&bit == 0
 }
 
 // Clear clears bit i.

@@ -685,6 +685,34 @@ func (h *Heap) SetFreeHoles(holes []Hole) {
 // it starts rearranging the heap.
 func (h *Heap) ResetFreeHoles() { h.SetFreeHoles(nil) }
 
+// MergeHoleLists combines per-worker hole lists into one ascending list.
+// Parallel compaction shards gap discovery by region, so each worker's
+// list is already sorted and no two lists overlap; the merge is a k-way
+// pick of the smallest head. The result satisfies SetFreeHoles's
+// ascending contract.
+func MergeHoleLists(lists [][]Hole) []Hole {
+	n := 0
+	for _, l := range lists {
+		n += len(l)
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]Hole, 0, n)
+	idx := make([]int, len(lists))
+	for len(out) < n {
+		best := -1
+		for i, l := range lists {
+			if idx[i] < len(l) && (best < 0 || l[idx[i]].Lo < lists[best][idx[best]].Lo) {
+				best = i
+			}
+		}
+		out = append(out, lists[best][idx[best]])
+		idx[best]++
+	}
+	return out
+}
+
 // FreeBytes estimates the allocatable capacity: untouched frontier
 // regions, headroom in dispensable regions, and recycled holes. Space
 // inside currently attached PLABs counts as allocated.

@@ -218,6 +218,22 @@ func (h *Heap) PublishRemsetDeltas() {
 	}
 }
 
+// PublishRemsetDeltasShard drains the registered buffers whose registry
+// index ≡ worker (mod workers) — the parallel-marking analog of
+// PublishRemsetDeltas, letting the worker pool spread the publication
+// work the same way DrainSATBShard spreads the SATB buffers. Sound
+// because the sink contract requires concurrent safety and publication
+// re-derives membership per slot from the device, so shard order across
+// workers does not matter.
+func (h *Heap) PublishRemsetDeltasShard(worker, workers int) {
+	h.remsetMu.Lock()
+	buffers := append([]*RemsetDeltaBuffer(nil), h.remsetBuffers...)
+	h.remsetMu.Unlock()
+	for i := worker; i < len(buffers); i += workers {
+		buffers[i].Publish()
+	}
+}
+
 // RemsetDeltaStats reports, per registered buffer, the number of pending
 // deltas (diagnostics: heaptool inspect, tests).
 func (h *Heap) RemsetDeltaStats() []int {

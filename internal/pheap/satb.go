@@ -193,6 +193,28 @@ func (h *Heap) DrainSATB(visit func(layout.Ref)) int {
 	return n
 }
 
+// DrainSATBShard is DrainSATB restricted to the buffers whose registry
+// index ≡ worker (mod workers), so a parallel marking pool can drain all
+// buffers concurrently without two workers contending on one buffer:
+// shards partition the registry, and each buffer's own mutex orders the
+// drain against its mutator's appends. A buffer registered after the
+// snapshot is picked up by whichever worker owns its index on the next
+// round — and the final remark's serial full drain catches any
+// leftover records regardless.
+func (h *Heap) DrainSATBShard(worker, workers int, visit func(layout.Ref)) int {
+	h.satbMu.Lock()
+	buffers := append([]*SATBBuffer(nil), h.satbBuffers...)
+	h.satbMu.Unlock()
+	n := 0
+	for i := worker; i < len(buffers); i += workers {
+		for _, ref := range buffers[i].drain() {
+			visit(ref)
+			n++
+		}
+	}
+	return n
+}
+
 // SATBRecordBarrier runs the pre-write barrier for one overwritten
 // reference slot of the object at obj: the untagged old referent is
 // recorded (if the snapshot needs it) and the object's card dirtied.
