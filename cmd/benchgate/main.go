@@ -19,7 +19,9 @@
 // critical-path claim) is floor-gated the same way, by
 // -minparallelspeedup on the largest-workers row: the per-worker maxima
 // behind it depend on how work stealing splits the object graph, which
-// the goroutine scheduler decides.
+// the goroutine scheduler decides. recovery_speedup_vs_serial (the
+// sharded parallel-recovery claim) is floor-gated by -minrecoveryspeedup
+// on the largest-workers recovery-series row.
 //
 // Pause-time metrics additionally use an absolute-ceiling class: a
 // baseline field named X_ceiling bounds the current row's X by its
@@ -51,12 +53,13 @@ func load(path string) ([]row, error) {
 }
 
 // key builds the row identity from its non-numeric fields plus the
-// goroutine, mutator, and GC-worker counts, covering the fastpath
-// ({op}), alloc ({series, goroutines}), and gcpause ({series, mutators,
-// workers}) schemas.
+// shard, goroutine, mutator, and GC/recovery-worker counts, covering
+// the fastpath ({op}), alloc ({series, goroutines}), gcpause ({series,
+// mutators, workers}), and shardedkv ({series, shards, goroutines} and
+// {series, shards, workers}) schemas.
 func key(r row) string {
 	var parts []string
-	for _, f := range []string{"op", "series", "goroutines", "mutators", "workers"} {
+	for _, f := range []string{"op", "series", "shards", "goroutines", "mutators", "workers"} {
 		if v, ok := r[f]; ok {
 			parts = append(parts, fmt.Sprint(v))
 		}
@@ -83,6 +86,7 @@ func main() {
 	speedupSeries := flag.String("speedupseries", "plab", "series whose largest-goroutine row -minspeedup applies to")
 	minPauseReduction := flag.Float64("minpausereduction", 0, "required pause_reduction_vs_stw on the concurrent gcpause row (0 = off)")
 	minParallelSpeedup := flag.Float64("minparallelspeedup", 0, "required modeled_parallel_speedup at the largest GC worker count (0 = off)")
+	minRecoverySpeedup := flag.Float64("minrecoveryspeedup", 0, "required recovery_speedup_vs_serial at the largest recovery worker count (0 = off)")
 	flag.Parse()
 	if *basePath == "" || *curPath == "" {
 		fmt.Fprintln(os.Stderr, "benchgate: -baseline and -current are required")
@@ -103,8 +107,9 @@ func main() {
 
 	const absSlack = 0.05 // forgives rounding on near-zero counts
 	failures := 0
-	bestG, bestSpeedup := -1.0, 0.0
+	bestG, bestGShards, bestSpeedup := -1.0, -1.0, 0.0
 	bestW, bestParallel := -1.0, 0.0
+	bestRW, bestRecovery := -1.0, 0.0
 	pauseReduction, pauseRowSeen := 0.0, false
 	for _, base := range baseRows {
 		k := key(base)
@@ -152,9 +157,16 @@ func main() {
 				}
 			}
 		}
-		if g, ok := cur["goroutines"].(float64); ok && cur["series"] == *speedupSeries && g > bestG {
-			bestG = g
-			bestSpeedup, _ = cur["modeled_speedup_vs_1"].(float64)
+		if g, ok := cur["goroutines"].(float64); ok && cur["series"] == *speedupSeries {
+			// Prefer the largest goroutine count; among equal goroutine
+			// counts (the shardedkv series sweeps shards at a fixed mutator
+			// count) prefer the largest shard count, so the floor applies to
+			// the full-scale configuration.
+			sh, _ := cur["shards"].(float64)
+			if g > bestG || (g == bestG && sh > bestGShards) {
+				bestG, bestGShards = g, sh
+				bestSpeedup, _ = cur["modeled_speedup_vs_1"].(float64)
+			}
 		}
 		if r, ok := cur["pause_reduction_vs_stw"].(float64); ok {
 			pauseReduction, pauseRowSeen = r, true
@@ -163,18 +175,26 @@ func main() {
 			bestW = w
 			bestParallel, _ = cur["modeled_parallel_speedup"].(float64)
 		}
+		if w, ok := cur["workers"].(float64); ok && cur["series"] == "recovery" && w > bestRW {
+			bestRW = w
+			bestRecovery, _ = cur["recovery_speedup_vs_serial"].(float64)
+		}
 	}
 	if *minSpeedup > 0 {
+		label := *speedupSeries
+		if bestGShards > 0 {
+			label = fmt.Sprintf("%s/s%d", label, int(bestGShards))
+		}
 		if bestG < 0 {
 			fmt.Printf("FAIL no %s scaling rows found for -minspeedup\n", *speedupSeries)
 			failures++
 		} else if bestSpeedup < *minSpeedup {
 			fmt.Printf("FAIL %s/%d modeled_speedup_vs_1 %.2f < required %.2f\n",
-				*speedupSeries, int(bestG), bestSpeedup, *minSpeedup)
+				label, int(bestG), bestSpeedup, *minSpeedup)
 			failures++
 		} else {
 			fmt.Printf("ok   %s/%d modeled_speedup_vs_1 %.2f ≥ %.2f\n",
-				*speedupSeries, int(bestG), bestSpeedup, *minSpeedup)
+				label, int(bestG), bestSpeedup, *minSpeedup)
 		}
 	}
 	if *minPauseReduction > 0 {
@@ -201,6 +221,19 @@ func main() {
 		} else {
 			fmt.Printf("ok   parallel/%d modeled_parallel_speedup %.2f ≥ %.2f\n",
 				int(bestW), bestParallel, *minParallelSpeedup)
+		}
+	}
+	if *minRecoverySpeedup > 0 {
+		if bestRW < 0 {
+			fmt.Printf("FAIL no recovery rows found for -minrecoveryspeedup\n")
+			failures++
+		} else if bestRecovery < *minRecoverySpeedup {
+			fmt.Printf("FAIL recovery/%d recovery_speedup_vs_serial %.2f < required %.2f\n",
+				int(bestRW), bestRecovery, *minRecoverySpeedup)
+			failures++
+		} else {
+			fmt.Printf("ok   recovery/%d recovery_speedup_vs_serial %.2f ≥ %.2f\n",
+				int(bestRW), bestRecovery, *minRecoverySpeedup)
 		}
 	}
 	if failures > 0 {

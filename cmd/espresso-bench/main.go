@@ -13,13 +13,16 @@
 //	espresso-bench -exp gcpause  STW vs concurrent-marking GC pause times
 //	espresso-bench -exp kv       durable lock-free index (pindex) scaling curve
 //	espresso-bench -exp refstore write-combining ref-store barrier scaling curve
+//	espresso-bench -exp shardedkv range-partitioned sharding (pshard): throughput + parallel recovery
 //	espresso-bench -exp all      everything
 //
 // -scale N divides workload sizes by N for quick runs. -parallel N caps
 // the alloc experiment's goroutine curve (instead of hardcoding
-// GOMAXPROCS) and sets the gcpause experiment's mutator count. -json
-// FILE writes the fastpath, alloc, or gcpause rows as JSON (the
-// BENCH_*.json baselines that CI's bench gate compares against).
+// GOMAXPROCS), sets the gcpause experiment's mutator count, and the
+// shardedkv mutator count. -shards tops the shardedkv shard curve and
+// -recoverykeys sizes its restart population. -json FILE writes the
+// fastpath, alloc, gcpause, kv, refstore, or shardedkv rows as JSON
+// (the BENCH_*.json baselines that CI's bench gate compares against).
 package main
 
 import (
@@ -32,16 +35,22 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig4|fig6|fig15|fig16|fig17|fig18|gcflush|fastpath|alloc|gcpause|kv|refstore|all")
+	exp := flag.String("exp", "all", "experiment: fig4|fig6|fig15|fig16|fig17|fig18|gcflush|fastpath|alloc|gcpause|kv|refstore|shardedkv|all")
 	scale := flag.Int("scale", 1, "divide workload sizes by this factor")
 	gcMB := flag.Int("gcmb", 256, "live megabytes for the gcflush experiment")
-	parallel := flag.Int("parallel", 8, "top of the alloc/kv/refstore goroutine curves / gcpause mutator count")
-	jsonPath := flag.String("json", "", "write fastpath/alloc/gcpause rows to this JSON file")
+	parallel := flag.Int("parallel", 8, "top of the alloc/kv/refstore goroutine curves / gcpause and shardedkv mutator count")
+	shards := flag.Int("shards", 4, "top of the shardedkv shard curve")
+	recoveryKeys := flag.Int("recoverykeys", 1000000, "committed keys in the shardedkv restart series")
+	jsonPath := flag.String("json", "", "write fastpath/alloc/gcpause/kv/refstore/shardedkv rows to this JSON file")
 	flag.Parse()
 
-	if *jsonPath != "" && *exp != "fastpath" && *exp != "alloc" && *exp != "gcpause" && *exp != "kv" && *exp != "refstore" {
-		fmt.Fprintln(os.Stderr, "espresso-bench: -json requires -exp fastpath, -exp alloc, -exp gcpause, -exp kv, or -exp refstore")
-		os.Exit(2)
+	switch *exp {
+	case "fastpath", "alloc", "gcpause", "kv", "refstore", "shardedkv":
+	default:
+		if *jsonPath != "" {
+			fmt.Fprintln(os.Stderr, "espresso-bench: -json requires -exp fastpath, -exp alloc, -exp gcpause, -exp kv, -exp refstore, or -exp shardedkv")
+			os.Exit(2)
+		}
 	}
 
 	s := experiments.Scale(*scale)
@@ -158,6 +167,31 @@ func main() {
 		experiments.PrintRefStoreScaling(w, rows)
 		if *exp == "refstore" {
 			return writeJSON(rows)
+		}
+		return nil
+	})
+	run("shardedkv", func() error {
+		scaling, err := experiments.ShardedKVScaling(s, *shards, *parallel)
+		if err != nil {
+			return err
+		}
+		// The restart series is deliberately not divided by -scale: the
+		// recovery-speedup claim is about a population large enough that
+		// per-shard replay dominates fixed open cost (CI runs 1M keys).
+		recovery, err := experiments.ShardedRecovery(*shards, *recoveryKeys, []int{1, 2, 4})
+		if err != nil {
+			return err
+		}
+		experiments.PrintShardedKV(w, scaling, recovery)
+		if *exp == "shardedkv" {
+			all := make([]any, 0, len(scaling)+len(recovery))
+			for _, r := range scaling {
+				all = append(all, r)
+			}
+			for _, r := range recovery {
+				all = append(all, r)
+			}
+			return writeJSON(all)
 		}
 		return nil
 	})

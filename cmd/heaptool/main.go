@@ -5,6 +5,10 @@
 //	heaptool -heap /path/img.pjh gc        run (or resume) a collection
 //	heaptool -heap /path/img.pjh inspect   GC-phase word, format version,
 //	                                       per-region top table
+//
+// Pointing any command at a shard-set manifest (<base>-manifest.pjh)
+// prints the manifest — shard count, generation, hash-range table —
+// instead of attempting a heap parse.
 package main
 
 import (
@@ -18,6 +22,7 @@ import (
 	"espresso/internal/nvm"
 	"espresso/internal/pgc"
 	"espresso/internal/pheap"
+	"espresso/internal/pshard"
 )
 
 func main() {
@@ -31,6 +36,27 @@ func main() {
 	dev, err := nvm.LoadFile(*path, nvm.Config{Mode: nvm.Tracked})
 	if err != nil {
 		log.Fatal(err)
+	}
+	if pshard.IsManifest(dev) {
+		// A shard-set manifest is not a heap: describe it and point at the
+		// per-shard images instead of failing the pheap parse.
+		m, err := pshard.ReadManifest(dev)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("shard manifest (not a heap image)\n")
+		fmt.Printf("shards         %d\n", m.Shards)
+		fmt.Printf("generation     %d\n", m.Generation)
+		fmt.Printf("shard size     %d data bytes each\n", m.ShardDataSize)
+		for i, b := range m.Bounds {
+			hi := "max"
+			if i+1 < len(m.Bounds) {
+				hi = fmt.Sprintf("%#x", m.Bounds[i+1])
+			}
+			fmt.Printf("  shard %3d    hash range [%#x, %s)\n", i, b, hi)
+		}
+		fmt.Printf("inspect the per-shard heap images (<base>-s0.pjh ...) individually\n")
+		return
 	}
 	h, err := pheap.Load(dev, klass.NewRegistry())
 	if err != nil {

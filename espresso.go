@@ -102,6 +102,23 @@
 //	v, ok := m.Get(42)
 //	m.Delete(42)
 //
+// # Sharded maps
+//
+// When one heap's collector pauses or one device's flush chain becomes
+// the bottleneck, OpenSharded range-partitions a map over N independent
+// persistent heaps (internal/pshard). Each shard owns its own device,
+// region-top table, index, GC phase word, and safepoint domain, so
+// collections pause one shard at a time and nothing — no lock, no fence,
+// no cache line — is shared between shards. Reopening recovers all
+// shards in parallel; restart time tracks the slowest shard:
+//
+//	s, _ := rt.OpenSharded("sessions", espresso.ShardedPMapOptions{Shards: 4})
+//	s.Put(42, 1000)       // routed by hash range; durable on return
+//	v, ok := s.Get(42)
+//	s.GCShard(s.ShardOf(42))  // staggered pause: other shards keep serving
+//
+// See docs/sharding.md for the manifest format and crash rules.
+//
 // # The facade
 //
 // The facade re-exports the runtime in internal/core with small

@@ -90,10 +90,8 @@ func (rt *Runtime) LoadHeap(name string) (*pheap.Heap, error) {
 	// interrupted marking: Recover clears the word and the heap proceeds
 	// untouched (the STW-fallback contract — the next collection starts a
 	// fresh cycle).
-	if h.GCActive() || h.GCPhase() != pheap.GCPhaseIdle {
-		if _, err := pgc.Recover(h); err != nil {
-			return nil, fmt.Errorf("core: recovering %q: %w", name, err)
-		}
+	if _, _, err := pgc.RecoverIfNeeded(h); err != nil {
+		return nil, fmt.Errorf("core: recovering %q: %w", name, err)
 	}
 	if rt.cfg.Safety == Zeroing {
 		if _, err := h.ZeroingScan(func(ref layout.Ref) bool {

@@ -30,6 +30,9 @@ func TestFig6MetadataDominatesData(t *testing.T) {
 }
 
 func TestFig15EspressoWinsEverywhere(t *testing.T) {
+	if raceEnabled {
+		t.Skip("wall-clock provider comparison is meaningless under -race instrumentation")
+	}
 	rows, err := Fig15(tiny)
 	if err != nil {
 		t.Fatal(err)
@@ -122,6 +125,71 @@ func TestKVScalingPIndex(t *testing.T) {
 	}
 	if r8.FinalEntries == 0 {
 		t.Fatal("kv run left an empty index")
+	}
+}
+
+func TestShardedKVScaling(t *testing.T) {
+	rows, err := ShardedKVScaling(Scale(50), 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[string]ShardedKVRow{}
+	for _, r := range rows {
+		byKey[fmt.Sprintf("%d/%d", r.Shards, r.Goroutines)] = r
+	}
+	base, okB := byKey["1/2"]
+	top, okT := byKey["4/2"]
+	if _, ok1 := byKey["1/1"]; !ok1 || !okB || !okT {
+		t.Fatalf("missing rows: %+v", rows)
+	}
+	// The acceptance bar: ≥3x modeled throughput at 4 shards × 2
+	// mutators over the 1×1 baseline.
+	if top.ModeledSpeedup < 3 {
+		t.Fatalf("modeled sharded speedup at 4 shards × 2 mutators = %.2fx, want ≥3x", top.ModeledSpeedup)
+	}
+	// Sharding must beat the same mutator count on one shard: the win
+	// comes from independent devices, not just from more goroutines.
+	if top.ModeledSpeedup <= base.ModeledSpeedup {
+		t.Fatalf("4 shards (%.2fx) did not beat 1 shard (%.2fx) at 2 mutators",
+			top.ModeledSpeedup, base.ModeledSpeedup)
+	}
+	// Per-op device costs must not grow with shards (no shared persisted
+	// word between shards), within rounding.
+	if top.FlushedLines > base.FlushedLines*1.1+0.05 || top.Fences > base.Fences*1.1+0.05 {
+		t.Fatalf("per-op device cost grew with shards: 1s=%+v 4s=%+v", base, top)
+	}
+	if top.FinalEntries == 0 {
+		t.Fatal("sharded run left empty indexes")
+	}
+}
+
+func TestShardedRecoverySpeedup(t *testing.T) {
+	rows, err := ShardedRecovery(4, 6000, []int{1, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byW := map[int]ShardedRecoveryRow{}
+	for _, r := range rows {
+		byW[r.Workers] = r
+	}
+	if byW[1].RecoverySpeedup != 1 {
+		t.Fatalf("serial speedup = %.2f, want 1", byW[1].RecoverySpeedup)
+	}
+	// The acceptance bar: ≥2x modeled recovery speedup at 4 workers.
+	if byW[4].RecoverySpeedup < 2 {
+		t.Fatalf("modeled recovery speedup at 4 workers = %.2fx, want ≥2x", byW[4].RecoverySpeedup)
+	}
+	if byW[2].RecoverySpeedup > byW[4].RecoverySpeedup+1e-9 {
+		t.Fatalf("speedup not monotone in workers: %+v", rows)
+	}
+	// Determinism across worker counts: the images are the same, so the
+	// per-key recovery traffic must match exactly.
+	if byW[1].DevReadsPerKey != byW[4].DevReadsPerKey ||
+		byW[1].DevLinesPerKey != byW[4].DevLinesPerKey {
+		t.Fatalf("recovery traffic varies with workers: %+v vs %+v", byW[1], byW[4])
 	}
 }
 

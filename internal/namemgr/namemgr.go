@@ -35,6 +35,9 @@ func New(dir string, mode nvm.Mode) *Manager {
 	return &Manager{dir: dir, mem: make(map[string]*nvm.Device), mode: mode}
 }
 
+// Mode reports the NVM mode the manager creates and loads devices with.
+func (m *Manager) Mode() nvm.Mode { return m.mode }
+
 // CheckName validates a heap name.
 func CheckName(name string) error {
 	if !nameRe.MatchString(name) {

@@ -198,6 +198,19 @@ func recyclableOf(lo, hi int) (pheap.Hole, bool) {
 // marking before anything moved, so the recovery is "discard the partial
 // mark, start the next cycle fresh" (the STW fallback). Recovery itself
 // may crash and be rerun: every step is idempotent.
+// RecoverIfNeeded runs Recover only when the heap's persisted state says
+// a collection (or a stale concurrent-mark announcement) was interrupted,
+// reporting whether recovery ran. A clean image pays nothing: the check
+// is two word reads, no collection slot is taken. core.LoadHeap and
+// pshard's parallel recovery fan-out both gate on this.
+func RecoverIfNeeded(h *pheap.Heap) (Result, bool, error) {
+	if !h.GCActive() && h.GCPhase() == pheap.GCPhaseIdle {
+		return Result{}, false, nil
+	}
+	r, err := Recover(h)
+	return r, true, err
+}
+
 func Recover(h *pheap.Heap) (Result, error) {
 	if !h.TryBeginCollection() {
 		return Result{}, fmt.Errorf("pgc: another collection of this heap is already running")

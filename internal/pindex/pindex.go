@@ -88,8 +88,9 @@ type Options struct {
 	// MaxBuckets caps the table (power of two, default 1<<16). The cap
 	// bounds the longest safepoint interval a table doubling can pin
 	// (the copy of the new table must complete inside one pin); larger
-	// key populations should shard across indexes — see the ROADMAP's
-	// range-partitioned multi-heap follow-on — rather than raise it far.
+	// key populations should shard across indexes — internal/pshard
+	// routes one pindex per independent heap by hash range — rather
+	// than raise it far.
 	MaxBuckets int
 }
 
@@ -149,6 +150,7 @@ type Index struct {
 
 	size    atomic.Int64 // approximate entry count (exact when quiescent)
 	growing atomic.Bool  // single-flight resize
+	rec     RecoverStats // what Open's recovery pass repaired
 
 	// root caches the header ref together with the heap layout epoch it
 	// was fetched under, so the per-operation root re-fetch is one atomic
@@ -213,6 +215,7 @@ func Open(h *pheap.Heap, pin Pinner, name string, opts Options) (*Index, error) 
 			return nil, err
 		}
 		ix.size.Store(int64(st.Entries))
+		ix.rec = st
 		return ix, nil
 	}
 	if err := ix.create(); err != nil {
@@ -220,6 +223,11 @@ func Open(h *pheap.Heap, pin Pinner, name string, opts Options) (*Index, error) 
 	}
 	return ix, nil
 }
+
+// LastRecovery reports what the recovery pass Open ran repaired (the
+// zero value for a freshly created index). pshard aggregates these
+// per-shard during its parallel recovery fan-out.
+func (ix *Index) LastRecovery() RecoverStats { return ix.rec }
 
 func (ix *Index) resolveKlasses() error {
 	reg := ix.h.Registry()

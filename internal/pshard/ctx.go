@@ -1,0 +1,172 @@
+package pshard
+
+import (
+	"espresso/internal/layout"
+	"espresso/internal/pindex"
+)
+
+// Ctx is a per-goroutine operation handle over the whole set: one lazily
+// created pindex context per shard, each with its own PLAB allocator and
+// SATB buffer on that shard's heap. Not safe for concurrent use; give
+// each goroutine its own and Release it when done.
+//
+// Every operation is one safepoint interval on the owning shard (a read
+// lock on that shard's world), so a shard collection waits for in-flight
+// operations on *its* shard only and never touches a sibling's. The
+// interval covers the whole operation — for Put, the value-box
+// allocation, its persist, and the index publication — so the shard's
+// compactor can never move the box between those steps. Operations must
+// not nest (no Ctx or Set calls from inside a Scan callback): the
+// second pin can deadlock behind a waiting collector pause.
+type Ctx struct {
+	set      *Set
+	subs     []*pindex.Ctx
+	boxLines []int // value-box cache lines flushed, per shard
+}
+
+// NewCtx attaches a per-goroutine operation handle.
+func (s *Set) NewCtx() *Ctx {
+	return &Ctx{
+		set:      s,
+		subs:     make([]*pindex.Ctx, len(s.shards)),
+		boxLines: make([]int, len(s.shards)),
+	}
+}
+
+// sub returns (creating on first use) the ctx's handle for shard i.
+func (c *Ctx) sub(i int) *pindex.Ctx {
+	if c.subs[i] == nil {
+		c.subs[i] = c.set.shards[i].ix.NewCtx()
+	}
+	return c.subs[i]
+}
+
+// Put durably maps key → val: the value is boxed on the owning shard's
+// mutator-local PLAB, persisted, and published through that shard's
+// index — durable-linearizable like pindex.Put, per shard.
+func (c *Ctx) Put(key, val int64) error {
+	i := c.set.mani.ShardOf(key)
+	sh := c.set.shards[i]
+	sh.world.RLock()
+	defer sh.world.RUnlock()
+	sub := c.sub(i)
+	box, err := sub.Allocator().Alloc(sh.boxK, 0)
+	if err != nil {
+		return err
+	}
+	h := sh.heap
+	h.SetWord(box, layout.FieldOff(0), uint64(val))
+	n := sh.boxK.SizeOf(0)
+	off := h.OffOf(box)
+	c.boxLines[i] += (off+n-1)/layout.LineSize - off/layout.LineSize + 1
+	h.FlushRange(box, 0, n)
+	return sub.Put(key, box)
+}
+
+// Get looks key up on its owning shard; the answer is durable before it
+// is returned.
+func (c *Ctx) Get(key int64) (int64, bool) {
+	i := c.set.mani.ShardOf(key)
+	sh := c.set.shards[i]
+	sh.world.RLock()
+	defer sh.world.RUnlock()
+	box, ok := c.sub(i).Get(key)
+	if !ok || box == layout.NullRef {
+		return 0, false
+	}
+	return int64(sh.heap.GetWord(box, layout.FieldOff(0))), true
+}
+
+// Delete durably removes key from its owning shard, reporting whether it
+// was present.
+func (c *Ctx) Delete(key int64) bool {
+	i := c.set.mani.ShardOf(key)
+	sh := c.set.shards[i]
+	sh.world.RLock()
+	defer sh.world.RUnlock()
+	return c.sub(i).Delete(key)
+}
+
+// PutRef durably maps key → an object reference. The referent must live
+// in the owning shard's heap (pindex rejects anything else): shards
+// never hold cross-shard references, which is what keeps their recovery
+// and GC independent. Use ShardOf + Shard(i).Heap() to allocate in the
+// right shard, inside a Do interval.
+func (c *Ctx) PutRef(key int64, val layout.Ref) error {
+	i := c.set.mani.ShardOf(key)
+	sh := c.set.shards[i]
+	sh.world.RLock()
+	defer sh.world.RUnlock()
+	return c.sub(i).Put(key, val)
+}
+
+// GetRef looks up the raw reference mapped to key.
+func (c *Ctx) GetRef(key int64) (layout.Ref, bool) {
+	i := c.set.mani.ShardOf(key)
+	sh := c.set.shards[i]
+	sh.world.RLock()
+	defer sh.world.RUnlock()
+	return c.sub(i).Get(key)
+}
+
+// Do runs fn pinned on key's owning shard (no collection of that shard
+// can start), passing the shard index. References fn obtains are stable
+// for fn's duration only. fn must not call other Ctx or Set operations.
+func (c *Ctx) Do(key int64, fn func(shard int)) {
+	i := c.set.mani.ShardOf(key)
+	sh := c.set.shards[i]
+	sh.world.RLock()
+	defer sh.world.RUnlock()
+	fn(i)
+}
+
+// Scan walks every entry of every shard until fn returns false (weakly
+// consistent per shard, shards in range order). It pins one shard at a
+// time, so long scans block at most one shard's collector.
+func (c *Ctx) Scan(fn func(key, val int64) bool) {
+	for i, sh := range c.set.shards {
+		more := true
+		sh.world.RLock()
+		c.sub(i).Scan(func(key int64, box layout.Ref) bool {
+			v := int64(0)
+			if box != layout.NullRef {
+				v = int64(sh.heap.GetWord(box, layout.FieldOff(0)))
+			}
+			more = fn(key, v)
+			return more
+		})
+		sh.world.RUnlock()
+		if !more {
+			return
+		}
+	}
+}
+
+// ShardFlushedLines reports the cache lines this ctx flushed against
+// shard i — its index publications, help flushes, PLAB persists, and
+// value-box persists. The shardedkv experiment's modeled device critical
+// path is the slowest (ctx, shard) chain: chains flush disjoint lines on
+// disjoint devices, so their media time overlaps.
+func (c *Ctx) ShardFlushedLines(i int) int {
+	lines := c.boxLines[i]
+	if sub := c.subs[i]; sub != nil {
+		lines += sub.Stats().FlushedLines + sub.AllocStats().FlushedLines
+	}
+	return lines
+}
+
+// Release retires every shard handle the ctx created: PLAB headroom
+// returns to each shard's dispenser and pending barrier records hand off
+// to the shard's shared buffer.
+func (c *Ctx) Release() {
+	for i, sub := range c.subs {
+		if sub == nil {
+			continue
+		}
+		sh := c.set.shards[i]
+		sh.world.RLock()
+		sub.Release()
+		sh.world.RUnlock()
+		c.subs[i] = nil
+	}
+}

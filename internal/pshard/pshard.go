@@ -1,0 +1,324 @@
+package pshard
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"espresso/internal/klass"
+	"espresso/internal/layout"
+	"espresso/internal/nvm"
+	"espresso/internal/pgc"
+	"espresso/internal/pheap"
+	"espresso/internal/pindex"
+)
+
+// IndexRootName is the per-shard pindex root name. Every shard carries
+// the same root; the shard's heap device is what distinguishes them.
+const IndexRootName = "pshard-kv"
+
+// BoxKlassName is the per-shard boxed-value class (one long field) the
+// Long-value API stores under the index.
+const BoxKlassName = "pshard/Box"
+
+// shardAddressWindow spaces shard heap address hints so any subset of a
+// set's shards can be mapped into one address space (tooling, future
+// cross-shard debugging) without a rebase.
+const shardAddressWindow = layout.Ref(1) << 36
+
+// Options sizes a shard set. Zero values select defaults. Shards and
+// ShardDataSize matter only when the set is created; reopening reads
+// them from the manifest.
+type Options struct {
+	// Shards is the shard count for a newly created set (default 4,
+	// max MaxShards).
+	Shards int
+	// RecoveryWorkers bounds the recovery fan-out: how many shards
+	// load/recover concurrently during OpenSet (default: one worker per
+	// shard). The recovered images are byte-identical for every value —
+	// shards never share a device.
+	RecoveryWorkers int
+	// ShardDataSize is each shard's data-heap size for a newly created
+	// set (default 16 MB).
+	ShardDataSize int
+	// Index sizes each shard's pindex (per shard, not per set: a 4-shard
+	// set with InitialBuckets 1024 has 4096 buckets in total).
+	Index pindex.Options
+	// Mode and WriteLatency configure every device the set creates.
+	Mode         nvm.Mode
+	WriteLatency time.Duration
+}
+
+func (o *Options) fillDefaults() error {
+	if o.Shards == 0 {
+		o.Shards = 4
+	}
+	if o.Shards < 1 || o.Shards > MaxShards {
+		return fmt.Errorf("pshard: shard count %d outside [1, %d]", o.Shards, MaxShards)
+	}
+	if o.ShardDataSize == 0 {
+		o.ShardDataSize = 16 << 20
+	}
+	return nil
+}
+
+// Shard is one independent persistent heap plus its index. Nothing in a
+// Shard is shared with its siblings: the device, the klass registry, the
+// region-top table, the redo log, the GC phase word, and the safepoint
+// domain below are all per-shard.
+type Shard struct {
+	// world is the shard's safepoint lock: every Ctx operation on this
+	// shard runs under a read lock, and the shard's collector pauses
+	// take the write lock. Because each shard has its own, a collection
+	// of shard 3 never blocks — or shares so much as a cache line with —
+	// an operation on shard 5.
+	world sync.RWMutex
+
+	heap *pheap.Heap
+	ix   *pindex.Index
+	boxK *klass.Klass
+	rec  RecoveryStats
+}
+
+// Heap exposes the shard's persistent heap (tooling, experiments).
+func (sh *Shard) Heap() *pheap.Heap { return sh.heap }
+
+// Index exposes the shard's persistent index.
+func (sh *Shard) Index() *pindex.Index { return sh.ix }
+
+// Recovery reports what this shard's open-time recovery did.
+func (sh *Shard) Recovery() RecoveryStats { return sh.rec }
+
+// Set is an opened sharded map: the router plus its shards. Methods on
+// Set are safe for concurrent use; per-goroutine mutations go through
+// Ctx handles (NewCtx).
+type Set struct {
+	base    string
+	store   Store
+	opts    Options
+	mani    *Manifest
+	maniDev *nvm.Device
+	shards  []*Shard
+}
+
+// OpenSet opens (or creates) the sharded set registered under base in
+// store.
+//
+// Creation follows the manifest-first crash rule: the manifest device is
+// fully written, flushed, and fenced before any shard heap is
+// registered.
+//
+// Reopening re-derives the shard list from the manifest and fans
+// recovery out: per-shard heap loads, interrupted-collection recovery
+// (pgc.RecoverIfNeeded), and index recovery (pindex.Open) run in up to
+// RecoveryWorkers parallel goroutines, with per-shard errors joined — so
+// restart time scales with the slowest shard, not the sum. A shard image
+// missing from the store (a crash before set creation finished) is
+// recreated empty. A second OpenSet after a crash *during* recovery is
+// safe: every per-shard repair is idempotent, and the manifest's only
+// mutation is the single-word generation bump at the end.
+func OpenSet(store Store, base string, opts Options) (*Set, error) {
+	if err := opts.fillDefaults(); err != nil {
+		return nil, err
+	}
+	s := &Set{base: base, store: store, opts: opts}
+	if store.Exists(ManifestName(base)) {
+		return s, s.reopen()
+	}
+	return s, s.create()
+}
+
+// create builds a fresh set: manifest first (the crash rule), then the
+// shard heaps — creation also fans out, shards being independent.
+func (s *Set) create() error {
+	mani := &Manifest{
+		Shards:        s.opts.Shards,
+		ShardDataSize: s.opts.ShardDataSize,
+		Bounds:        EqualBounds(s.opts.Shards),
+	}
+	dev := nvm.New(nvm.Config{
+		Size:         ManifestDeviceSize,
+		Mode:         s.opts.Mode,
+		WriteLatency: s.opts.WriteLatency,
+	})
+	if err := WriteManifest(dev, mani); err != nil {
+		return err
+	}
+	if err := s.store.Register(ManifestName(s.base), dev); err != nil {
+		return err
+	}
+	s.mani, s.maniDev = mani, dev
+	s.shards = make([]*Shard, mani.Shards)
+	if err := fanOut(mani.Shards, s.opts.RecoveryWorkers, s.createShard); err != nil {
+		return err
+	}
+	bumpGeneration(s.maniDev, s.mani.Generation+1)
+	s.mani.Generation++
+	return nil
+}
+
+// createShard makes shard i from nothing and registers its device.
+func (s *Set) createShard(i int) error {
+	name := ShardHeapName(s.base, i)
+	h, err := pheap.Create(klass.NewRegistry(), pheap.Config{
+		Name:         name,
+		AddressHint:  layout.DefaultPJHBase + layout.Ref(i)*shardAddressWindow,
+		DataSize:     s.mani.ShardDataSize,
+		Mode:         s.opts.Mode,
+		WriteLatency: s.opts.WriteLatency,
+	})
+	if err != nil {
+		return fmt.Errorf("pshard: creating shard %d: %w", i, err)
+	}
+	if err := s.store.Register(name, h.Device()); err != nil {
+		return err
+	}
+	sh, err := attachShard(h, s.opts.Index)
+	if err != nil {
+		return fmt.Errorf("pshard: shard %d: %w", i, err)
+	}
+	sh.rec.Created = true
+	s.shards[i] = sh
+	return nil
+}
+
+// reopen recovers an existing set from its manifest.
+func (s *Set) reopen() error {
+	dev, err := s.store.Open(ManifestName(s.base))
+	if err != nil {
+		return err
+	}
+	mani, err := ReadManifest(dev)
+	if err != nil {
+		return err
+	}
+	s.mani, s.maniDev = mani, dev
+	s.shards = make([]*Shard, mani.Shards)
+	if err := fanOut(mani.Shards, s.opts.RecoveryWorkers, s.recoverShard); err != nil {
+		return err
+	}
+	bumpGeneration(s.maniDev, s.mani.Generation+1)
+	s.mani.Generation++
+	return nil
+}
+
+// recoverShard loads and repairs shard i, or recreates it if its image
+// never made it into the store (the partially-created-set tolerance).
+func (s *Set) recoverShard(i int) error {
+	name := ShardHeapName(s.base, i)
+	if !s.store.Exists(name) {
+		return s.createShard(i)
+	}
+	dev, err := s.store.Open(name)
+	if err != nil {
+		return err
+	}
+	t0 := time.Now()
+	s0 := dev.Stats()
+	h, err := pheap.Load(dev, klass.NewRegistry())
+	if err != nil {
+		return fmt.Errorf("pshard: loading shard %d: %w", i, err)
+	}
+	h.SetName(name)
+	_, gcRecovered, err := pgc.RecoverIfNeeded(h)
+	if err != nil {
+		return fmt.Errorf("pshard: recovering shard %d: %w", i, err)
+	}
+	sh, err := attachShard(h, s.opts.Index)
+	if err != nil {
+		return fmt.Errorf("pshard: shard %d: %w", i, err)
+	}
+	sh.rec = RecoveryStats{
+		GCRecovered: gcRecovered,
+		WallNS:      time.Since(t0).Nanoseconds(),
+		Dev:         dev.Stats().Sub(s0),
+		Index:       sh.ix.LastRecovery(),
+	}
+	s.shards[i] = sh
+	return nil
+}
+
+// attachShard opens the shard's index (running its recovery pass) and
+// resolves the boxed-value class. The index is opened with NoPin: Ctx
+// operations pin through the shard's own world lock, at whole-operation
+// granularity, so a value box allocated just before a Put can never be
+// moved out from under it by the shard's collector.
+func attachShard(h *pheap.Heap, iopts pindex.Options) (*Shard, error) {
+	ix, err := pindex.Open(h, pindex.NoPin{}, IndexRootName, iopts)
+	if err != nil {
+		return nil, err
+	}
+	boxK, err := h.Registry().Define(klass.MustInstance(BoxKlassName, nil,
+		klass.Field{Name: "v", Type: layout.FTLong}))
+	if err != nil {
+		return nil, err
+	}
+	return &Shard{heap: h, ix: ix, boxK: boxK}, nil
+}
+
+// Base reports the set's store base name.
+func (s *Set) Base() string { return s.base }
+
+// NumShards reports the shard count.
+func (s *Set) NumShards() int { return len(s.shards) }
+
+// Shard exposes shard i.
+func (s *Set) Shard(i int) *Shard { return s.shards[i] }
+
+// Manifest returns a copy of the decoded manifest.
+func (s *Set) Manifest() Manifest {
+	m := *s.mani
+	m.Bounds = append([]uint64(nil), s.mani.Bounds...)
+	return m
+}
+
+// ShardOf routes a key to its owning shard.
+func (s *Set) ShardOf(key int64) int { return s.mani.ShardOf(key) }
+
+// Len sums the shard entry counts (exact when quiescent).
+func (s *Set) Len() int {
+	n := 0
+	for _, sh := range s.shards {
+		n += sh.ix.Len()
+	}
+	return n
+}
+
+// GCShard runs a crash-consistent collection of one shard. Only that
+// shard's operations pause — its world lock is taken for the compaction,
+// while every other shard keeps serving. Collecting shards one at a time
+// is how a sharded deployment staggers its pauses.
+func (s *Set) GCShard(i int) (pgc.Result, error) {
+	sh := s.shards[i]
+	sh.world.Lock()
+	defer sh.world.Unlock()
+	return pgc.Collect(sh.heap, pgc.NoRoots{})
+}
+
+// GCAll collects every shard, one at a time (staggered pauses: at any
+// moment at most one shard is stopped).
+func (s *Set) GCAll() ([]pgc.Result, error) {
+	res := make([]pgc.Result, len(s.shards))
+	for i := range s.shards {
+		r, err := s.GCShard(i)
+		if err != nil {
+			return res, fmt.Errorf("pshard: collecting shard %d: %w", i, err)
+		}
+		res[i] = r
+	}
+	return res, nil
+}
+
+// Sync persists the manifest and every shard image to the store's
+// backing tier (meaningful for DirStore).
+func (s *Set) Sync() error {
+	if err := s.store.Sync(ManifestName(s.base)); err != nil {
+		return err
+	}
+	for i := range s.shards {
+		if err := s.store.Sync(ShardHeapName(s.base, i)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,89 @@
+package pshard
+
+import (
+	"fmt"
+	"sync"
+
+	"espresso/internal/namemgr"
+	"espresso/internal/nvm"
+)
+
+// Store is where a shard set's devices live: the manifest plus one heap
+// device per shard, addressed by name. The two tiers mirror namemgr's —
+// an in-memory store for single-process use (benchmarks, crash-image
+// tests) and a directory store whose images survive process restarts.
+type Store interface {
+	// Exists reports whether a device is registered under name.
+	Exists(name string) bool
+	// Register records a freshly created device; it is an error if the
+	// name is taken.
+	Register(name string, dev *nvm.Device) error
+	// Open returns the device registered under name.
+	Open(name string) (*nvm.Device, error)
+	// Sync persists the named device to the store's backing tier, if any.
+	Sync(name string) error
+}
+
+// MemStore is the in-memory tier: devices live exactly as long as the
+// process (or as long as a test keeps their crash images). The zero
+// value is not usable; call NewMemStore.
+type MemStore struct {
+	mu   sync.Mutex
+	devs map[string]*nvm.Device
+}
+
+// NewMemStore creates an empty in-memory store.
+func NewMemStore() *MemStore { return &MemStore{devs: make(map[string]*nvm.Device)} }
+
+// Exists reports whether name is registered.
+func (s *MemStore) Exists(name string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.devs[name]
+	return ok
+}
+
+// Register records dev under name.
+func (s *MemStore) Register(name string, dev *nvm.Device) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.devs[name]; dup {
+		return fmt.Errorf("pshard: device %q already exists", name)
+	}
+	s.devs[name] = dev
+	return nil
+}
+
+// Open returns the device registered under name.
+func (s *MemStore) Open(name string) (*nvm.Device, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	dev, ok := s.devs[name]
+	if !ok {
+		return nil, fmt.Errorf("pshard: device %q does not exist", name)
+	}
+	return dev, nil
+}
+
+// Sync is a no-op: memory is the only tier.
+func (s *MemStore) Sync(string) error { return nil }
+
+// DirStore adapts a namemgr.Manager (heap-name → image file mapping) as
+// a shard store, so sharded sets share the external name manager's
+// directory layout: <dir>/<name>.pjh per shard plus
+// <dir>/<base>-manifest.pjh.
+type DirStore struct{ Mgr *namemgr.Manager }
+
+// Exists reports whether the manager knows name (memory or disk).
+func (s DirStore) Exists(name string) bool { return s.Mgr.Exists(name) }
+
+// Register records dev under name with the manager.
+func (s DirStore) Register(name string, dev *nvm.Device) error {
+	return s.Mgr.Register(name, dev)
+}
+
+// Open returns the device backing name, loading its file if needed.
+func (s DirStore) Open(name string) (*nvm.Device, error) { return s.Mgr.Device(name) }
+
+// Sync writes the named device's persisted image to its file.
+func (s DirStore) Sync(name string) error { return s.Mgr.Sync(name) }

@@ -1,0 +1,74 @@
+package pshard
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestShardedParallelOps hammers the set from many goroutines — each
+// with its own Ctx, each owning a disjoint key range — while a collector
+// goroutine staggers collections across the shards. Run under -race in
+// CI (the race-index job); the property checked here is that per-shard
+// world locks are the only coordination the design needs.
+func TestShardedParallelOps(t *testing.T) {
+	set, err := OpenSet(NewMemStore(), "race", Options{Shards: 4, ShardDataSize: 4 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines = 8
+	const perG = 250
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c := set.NewCtx()
+			defer c.Release()
+			for i := 0; i < perG; i++ {
+				k := int64(g)*1_000_000 + int64(i)
+				if err := c.Put(k, k*3); err != nil {
+					t.Errorf("put %d: %v", k, err)
+					return
+				}
+				if v, ok := c.Get(k); !ok || v != k*3 {
+					t.Errorf("get %d = (%d, %v) right after put", k, v, ok)
+					return
+				}
+				if i%7 == 0 {
+					if !c.Delete(k) {
+						t.Errorf("delete %d: not present", k)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for round := 0; round < 3; round++ {
+			for i := 0; i < set.NumShards(); i++ {
+				if _, err := set.GCShard(i); err != nil {
+					t.Errorf("GCShard(%d): %v", i, err)
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	model := make(map[int64]int64)
+	for g := 0; g < goroutines; g++ {
+		for i := 0; i < perG; i++ {
+			if i%7 == 0 {
+				continue
+			}
+			k := int64(g)*1_000_000 + int64(i)
+			model[k] = k * 3
+		}
+	}
+	verifySet(t, "quiescent", set, model)
+}

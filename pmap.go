@@ -19,6 +19,15 @@ type PMapOptions struct {
 	MaxBuckets int
 }
 
+// maxIdleCtxs bounds every per-map (and, through ShardedPMap, per-shard)
+// idle operation-context pool. Each idle ctx pins a PLAB region
+// (layout.RegionSize, 256 KB) of its heap until the next persistent
+// collection, so an unbounded pool multiplied by N sharded heaps would
+// quietly pin N × peak-concurrency regions. 32 covers any plausible
+// serving concurrency per map while capping the idle footprint at
+// 8 MB per map (or per shard).
+const maxIdleCtxs = 32
+
 // PMap is a durable, lock-free, resizable persistent hash map — the
 // serving-style concurrent index over the persistent heap
 // (internal/pindex), opened by name like any other root object. All
@@ -37,11 +46,12 @@ type PMapOptions struct {
 type PMap struct {
 	ix *pindex.Index
 
-	// ctxs is a never-dropping free list of operation contexts (peak
-	// size = peak concurrency). sync.Pool would be the obvious choice,
-	// but it sheds entries on runtime GCs (and randomly under the race
-	// detector), and a shed Ctx leaks its attached PLAB region until
-	// the next persistent collection — a quarter-megabyte per drop.
+	// ctxs is a free list of operation contexts, capped at maxIdleCtxs.
+	// sync.Pool would be the obvious choice, but it sheds entries on
+	// runtime GCs (and randomly under the race detector), and a shed Ctx
+	// leaks its attached PLAB region until the next persistent collection
+	// — a quarter-megabyte per drop. Releasing past the cap is explicit
+	// instead: the ctx hands its PLAB headroom back to the heap first.
 	mu   sync.Mutex
 	ctxs []*pindex.Ctx
 }
@@ -84,8 +94,15 @@ func (m *PMap) borrow() *pindex.Ctx {
 
 func (m *PMap) put(c *pindex.Ctx) {
 	m.mu.Lock()
-	m.ctxs = append(m.ctxs, c)
+	if len(m.ctxs) < maxIdleCtxs {
+		m.ctxs = append(m.ctxs, c)
+		m.mu.Unlock()
+		return
+	}
 	m.mu.Unlock()
+	// Past the cap: retire the ctx properly so its PLAB region unpins now
+	// rather than at the next collection.
+	c.Release()
 }
 
 // Put durably inserts or updates key → val. val must be 0 or reference

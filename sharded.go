@@ -1,0 +1,158 @@
+package espresso
+
+import (
+	"sync"
+	"time"
+
+	"espresso/internal/pgc"
+	"espresso/internal/pindex"
+	"espresso/internal/pshard"
+)
+
+// ShardedPMapOptions configures OpenSharded. Zero values select the
+// pshard defaults (4 shards, 16 MB per shard, one recovery worker per
+// shard).
+type ShardedPMapOptions struct {
+	// Shards is the shard count for a newly created set; reopening reads
+	// the count from the persisted manifest and ignores this.
+	Shards int
+	// RecoveryWorkers bounds how many shards load and recover
+	// concurrently during OpenSharded (default: one per shard).
+	RecoveryWorkers int
+	// ShardDataSize is each shard's data-heap size at creation.
+	ShardDataSize int
+	// Index sizes each shard's hash index (per shard, not per set).
+	Index PMapOptions
+	// NVMWriteLatency models media write cost per flushed line on the
+	// set's devices.
+	NVMWriteLatency time.Duration
+}
+
+// ShardedPMap is a range-partitioned persistent map over N independent
+// persistent heaps (internal/pshard): keys route by hash range to a
+// shard that owns its own device, region-top table, index, GC phase
+// word, and safepoint domain — no lock or fence is shared between
+// shards. Collections run one shard at a time (staggered pauses), and
+// reopening recovers all shards in parallel, so restart time tracks the
+// slowest shard rather than the sum.
+//
+// All methods are safe for concurrent use; like PMap, each call borrows
+// a per-goroutine operation context from a bounded pool (maxIdleCtxs)
+// and is durable-linearizable. Operations must not nest (see PMap's
+// type doc).
+type ShardedPMap struct {
+	set *pshard.Set
+
+	mu   sync.Mutex
+	ctxs []*pshard.Ctx
+}
+
+// OpenSharded opens (or creates) the sharded persistent map registered
+// under base with the runtime's heap store (HeapDir when set, memory
+// otherwise). Creation persists a manifest before any shard exists;
+// reopening fans per-shard recovery out in parallel goroutines with
+// errors joined. See docs/sharding.md for the manifest format and crash
+// rules.
+//
+// The set's heaps are independent of the runtime's LoadHeap world: they
+// appear in the same name store (as "<base>-manifest" and "<base>-sN")
+// but are not loaded into the runtime's address map, and their
+// collections never pause runtime mutators.
+func (rt *Runtime) OpenSharded(base string, opts ShardedPMapOptions) (*ShardedPMap, error) {
+	mgr := rt.Runtime.NameManager()
+	set, err := pshard.OpenSet(pshard.DirStore{Mgr: mgr}, base, pshard.Options{
+		Shards:          opts.Shards,
+		RecoveryWorkers: opts.RecoveryWorkers,
+		ShardDataSize:   opts.ShardDataSize,
+		Index: pindex.Options{
+			InitialBuckets: opts.Index.InitialBuckets,
+			MaxLoadFactor:  opts.Index.MaxLoadFactor,
+			MaxBuckets:     opts.Index.MaxBuckets,
+		},
+		Mode:         mgr.Mode(),
+		WriteLatency: opts.NVMWriteLatency,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &ShardedPMap{set: set}, nil
+}
+
+// Set exposes the underlying shard set (per-shard stats, explicit Ctx
+// management, tooling).
+func (m *ShardedPMap) Set() *pshard.Set { return m.set }
+
+func (m *ShardedPMap) borrow() *pshard.Ctx {
+	m.mu.Lock()
+	if n := len(m.ctxs); n > 0 {
+		c := m.ctxs[n-1]
+		m.ctxs = m.ctxs[:n-1]
+		m.mu.Unlock()
+		return c
+	}
+	m.mu.Unlock()
+	return m.set.NewCtx()
+}
+
+func (m *ShardedPMap) putCtx(c *pshard.Ctx) {
+	m.mu.Lock()
+	if len(m.ctxs) < maxIdleCtxs {
+		m.ctxs = append(m.ctxs, c)
+		m.mu.Unlock()
+		return
+	}
+	m.mu.Unlock()
+	// Past the cap: a sharded ctx can hold one PLAB region per shard, so
+	// releasing promptly matters N times more here than on PMap.
+	c.Release()
+}
+
+// Put durably maps key → val on the key's owning shard.
+func (m *ShardedPMap) Put(key, val int64) error {
+	c := m.borrow()
+	defer m.putCtx(c)
+	return c.Put(key, val)
+}
+
+// Get looks key up; the answer is durable before it is returned.
+func (m *ShardedPMap) Get(key int64) (int64, bool) {
+	c := m.borrow()
+	defer m.putCtx(c)
+	return c.Get(key)
+}
+
+// Delete durably removes key, reporting whether it was present.
+func (m *ShardedPMap) Delete(key int64) bool {
+	c := m.borrow()
+	defer m.putCtx(c)
+	return c.Delete(key)
+}
+
+// Scan walks every entry of every shard until fn returns false (weakly
+// consistent per shard; shards visited in hash-range order). It pins one
+// shard at a time, and fn must not call other map operations.
+func (m *ShardedPMap) Scan(fn func(key, val int64) bool) {
+	c := m.borrow()
+	defer m.putCtx(c)
+	c.Scan(fn)
+}
+
+// Len sums the shard entry counts (exact when quiescent).
+func (m *ShardedPMap) Len() int { return m.set.Len() }
+
+// NumShards reports the shard count.
+func (m *ShardedPMap) NumShards() int { return m.set.NumShards() }
+
+// ShardOf reports which shard owns key (diagnostics, placement checks).
+func (m *ShardedPMap) ShardOf(key int64) int { return m.set.ShardOf(key) }
+
+// GCShard collects one shard: only operations routed to it pause.
+func (m *ShardedPMap) GCShard(i int) (GCResult, error) { return m.set.GCShard(i) }
+
+// GC collects every shard one at a time — the sharded deployment's
+// staggered-pause full collection.
+func (m *ShardedPMap) GC() ([]pgc.Result, error) { return m.set.GCAll() }
+
+// Sync persists the manifest and every shard image to the heap store's
+// backing tier (a no-op for memory-only runtimes).
+func (m *ShardedPMap) Sync() error { return m.set.Sync() }
