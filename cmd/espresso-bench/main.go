@@ -14,6 +14,7 @@
 //	espresso-bench -exp kv       durable lock-free index (pindex) scaling curve
 //	espresso-bench -exp refstore write-combining ref-store barrier scaling curve
 //	espresso-bench -exp shardedkv range-partitioned sharding (pshard): throughput + parallel recovery
+//	espresso-bench -exp telemetry telemetry overhead contract: device ops off vs on + GC span timeline
 //	espresso-bench -exp all      everything
 //
 // -scale N divides workload sizes by N for quick runs. -parallel N caps
@@ -21,8 +22,9 @@
 // GOMAXPROCS), sets the gcpause experiment's mutator count, and the
 // shardedkv mutator count. -shards tops the shardedkv shard curve and
 // -recoverykeys sizes its restart population. -json FILE writes the
-// fastpath, alloc, gcpause, kv, refstore, or shardedkv rows as JSON
-// (the BENCH_*.json baselines that CI's bench gate compares against).
+// fastpath, alloc, gcpause, kv, refstore, shardedkv, or telemetry rows
+// as JSON (the BENCH_*.json baselines that CI's bench gate compares
+// against).
 package main
 
 import (
@@ -35,20 +37,21 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig4|fig6|fig15|fig16|fig17|fig18|gcflush|fastpath|alloc|gcpause|kv|refstore|shardedkv|all")
+	exp := flag.String("exp", "all", "experiment: fig4|fig6|fig15|fig16|fig17|fig18|gcflush|fastpath|alloc|gcpause|kv|refstore|shardedkv|telemetry|all")
 	scale := flag.Int("scale", 1, "divide workload sizes by this factor")
 	gcMB := flag.Int("gcmb", 256, "live megabytes for the gcflush experiment")
 	parallel := flag.Int("parallel", 8, "top of the alloc/kv/refstore goroutine curves / gcpause and shardedkv mutator count")
 	shards := flag.Int("shards", 4, "top of the shardedkv shard curve")
 	recoveryKeys := flag.Int("recoverykeys", 1000000, "committed keys in the shardedkv restart series")
-	jsonPath := flag.String("json", "", "write fastpath/alloc/gcpause/kv/refstore/shardedkv rows to this JSON file")
+	jsonPath := flag.String("json", "", "write fastpath/alloc/gcpause/kv/refstore/shardedkv/telemetry rows to this JSON file")
+	snapPath := flag.String("snapshotjson", "", "write the telemetry experiment's folded metrics snapshot to this JSON file")
 	flag.Parse()
 
 	switch *exp {
-	case "fastpath", "alloc", "gcpause", "kv", "refstore", "shardedkv":
+	case "fastpath", "alloc", "gcpause", "kv", "refstore", "shardedkv", "telemetry":
 	default:
 		if *jsonPath != "" {
-			fmt.Fprintln(os.Stderr, "espresso-bench: -json requires -exp fastpath, -exp alloc, -exp gcpause, -exp kv, -exp refstore, or -exp shardedkv")
+			fmt.Fprintln(os.Stderr, "espresso-bench: -json requires -exp fastpath, -exp alloc, -exp gcpause, -exp kv, -exp refstore, -exp shardedkv, or -exp telemetry")
 			os.Exit(2)
 		}
 	}
@@ -192,6 +195,27 @@ func main() {
 				all = append(all, r)
 			}
 			return writeJSON(all)
+		}
+		return nil
+	})
+	run("telemetry", func() error {
+		rows, report, err := experiments.TelemetryOverhead(s)
+		if err != nil {
+			return err
+		}
+		experiments.PrintTelemetry(w, rows, report)
+		if *snapPath != "" {
+			b, err := json.MarshalIndent(report.Snapshot, "", "  ")
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(*snapPath, append(b, '\n'), 0o644); err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "wrote %s\n", *snapPath)
+		}
+		if *exp == "telemetry" {
+			return writeJSON(rows)
 		}
 		return nil
 	})

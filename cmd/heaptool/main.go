@@ -5,6 +5,8 @@
 //	heaptool -heap /path/img.pjh gc        run (or resume) a collection
 //	heaptool -heap /path/img.pjh inspect   GC-phase word, format version,
 //	                                       per-region top table
+//	heaptool -addr localhost:9180 top      live metrics: poll a running
+//	                                       runtime's telemetry endpoint
 //
 // Pointing any command at a shard-set manifest (<base>-manifest.pjh)
 // prints the manifest — shard count, generation, hash-range table —
@@ -16,6 +18,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"time"
 
 	"espresso/internal/klass"
 	"espresso/internal/layout"
@@ -27,10 +30,24 @@ import (
 
 func main() {
 	path := flag.String("heap", "", "heap image file (.pjh)")
+	addr := flag.String("addr", "", "telemetry endpoint for `top` (host:port of Options.TelemetryAddr)")
+	interval := flag.Duration("interval", 2*time.Second, "poll interval for `top`")
+	iters := flag.Int("n", 0, "number of `top` polls (0 = forever)")
 	flag.Parse()
 	cmd := flag.Arg(0)
+	if cmd == "top" {
+		// Live mode talks to a running runtime over HTTP; no image needed.
+		if *addr == "" {
+			fmt.Fprintln(os.Stderr, "usage: heaptool -addr <host:port> [-interval 2s] [-n 0] top")
+			os.Exit(2)
+		}
+		if err := runTop(*addr, *interval, *iters); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	if *path == "" || cmd == "" {
-		fmt.Fprintln(os.Stderr, "usage: heaptool -heap <image.pjh> info|verify|gc|inspect")
+		fmt.Fprintln(os.Stderr, "usage: heaptool -heap <image.pjh> info|verify|gc|inspect | heaptool -addr <host:port> top")
 		os.Exit(2)
 	}
 	dev, err := nvm.LoadFile(*path, nvm.Config{Mode: nvm.Tracked})

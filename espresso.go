@@ -135,6 +135,7 @@ import (
 	"espresso/internal/nvm"
 	"espresso/internal/pgc"
 	"espresso/internal/pheap"
+	"espresso/internal/telemetry"
 	"espresso/internal/vheap"
 )
 
@@ -148,7 +149,20 @@ type Class = klass.Klass
 type Field = klass.Field
 
 // Runtime is a simulated JVM instance with volatile and persistent heaps.
-type Runtime struct{ *core.Runtime }
+type Runtime struct {
+	*core.Runtime
+	telHTTP *telemetry.HTTPServer
+}
+
+// MetricsSnapshot is one folded view of the runtime's telemetry —
+// counters, gauges, histograms, and the retained GC/recovery span
+// timeline. Obtain one with Runtime.Metrics (or ShardedPMap.Metrics for
+// a sharded set's per-shard aggregate).
+type MetricsSnapshot = telemetry.Snapshot
+
+// SpanEvent is one timestamped phase event in a metrics snapshot's
+// timeline (GC phases, safepoint waits, recovery passes).
+type SpanEvent = telemetry.Span
 
 // FieldRef is a resolved field handle (klass identity + byte offset +
 // type), the fast-path alternative to name-resolving accessors. Resolve
@@ -201,6 +215,19 @@ type Options struct {
 	GCWorkers int
 	// VolatileHeap sizes the DRAM young/old generations.
 	VolatileHeap vheap.Config
+	// Telemetry enables the runtime's observability registry: per-mutator
+	// lock-free counter cells (allocation, barrier, index, and attributed
+	// device traffic), GC phase spans, and latency histograms, folded on
+	// demand by Runtime.Metrics. The mutator fast path stays free of
+	// atomics and fences whether this is on or off; see
+	// docs/observability.md for the metric catalog and overhead contract.
+	Telemetry bool
+	// TelemetryAddr additionally serves the metrics over HTTP on this
+	// listen address ("localhost:9180", or ":0" to pick a free port —
+	// read it back with Runtime.TelemetryAddr). GET /metrics renders
+	// Prometheus text, GET /vars the expvar-style JSON snapshot that
+	// `heaptool top` polls. Setting it implies Telemetry.
+	TelemetryAddr string
 }
 
 // Open boots a runtime.
@@ -222,11 +249,40 @@ func Open(opts Options) (*Runtime, error) {
 		StrictCast:      opts.StrictCast,
 		ConcurrentGC:    opts.ConcurrentGC,
 		GCWorkers:       opts.GCWorkers,
+		Telemetry:       opts.Telemetry || opts.TelemetryAddr != "",
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &Runtime{rt}, nil
+	r := &Runtime{Runtime: rt}
+	if opts.TelemetryAddr != "" {
+		srv, err := telemetry.StartHTTP(opts.TelemetryAddr, rt.Telemetry())
+		if err != nil {
+			return nil, err
+		}
+		r.telHTTP = srv
+	}
+	return r, nil
+}
+
+// TelemetryAddr reports the metrics listener's bound address (empty when
+// Options.TelemetryAddr was not set). With ":0" this is how callers
+// learn the picked port.
+func (rt *Runtime) TelemetryAddr() string {
+	if rt.telHTTP == nil {
+		return ""
+	}
+	return rt.telHTTP.Addr()
+}
+
+// Close shuts the runtime's exporter listener down (a no-op without
+// TelemetryAddr). Heap images need no teardown — durability is
+// per-operation — so this is the runtime's only lifecycle call.
+func (rt *Runtime) Close() error {
+	if rt.telHTTP == nil {
+		return nil
+	}
+	return rt.telHTTP.Close()
 }
 
 // NewClass declares a class. Use the Long/Str/RefTo field constructors.

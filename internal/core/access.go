@@ -5,7 +5,9 @@ import (
 
 	"espresso/internal/klass"
 	"espresso/internal/layout"
+	"espresso/internal/nvm"
 	"espresso/internal/pheap"
+	"espresso/internal/telemetry"
 )
 
 // Field and array access with the write barriers that maintain the two
@@ -109,10 +111,10 @@ func (rt *Runtime) GetRef(ref layout.Ref, field string) (layout.Ref, error) {
 func (rt *Runtime) SetRef(ref layout.Ref, field string, val layout.Ref) error {
 	rt.world.RLock()
 	defer rt.world.RUnlock()
-	return rt.setRefNamed(ref, field, val, nil, nil)
+	return rt.setRefNamed(ref, field, val, nil, nil, nil)
 }
 
-func (rt *Runtime) setRefNamed(ref layout.Ref, field string, val layout.Ref, satb *pheap.SATBBuffer, rdelta *pheap.RemsetDeltaBuffer) error {
+func (rt *Runtime) setRefNamed(ref layout.Ref, field string, val layout.Ref, satb *pheap.SATBBuffer, rdelta *pheap.RemsetDeltaBuffer, cell *telemetry.Cell) error {
 	boff, k, err := rt.fieldOff(ref, field)
 	if err != nil {
 		return err
@@ -120,7 +122,7 @@ func (rt *Runtime) setRefNamed(ref layout.Ref, field string, val layout.Ref, sat
 	if i, _ := k.FieldIndex(field); k.FieldAt(i).Type != layout.FTRef {
 		return fmt.Errorf("core: field %s.%s is not a reference", k.Name, field)
 	}
-	return rt.storeRef(ref, boff, val, satb, rdelta)
+	return rt.storeRef(ref, boff, val, satb, rdelta, cell)
 }
 
 // GetElem reads element i of a reference array.
@@ -137,14 +139,14 @@ func (rt *Runtime) GetElem(arr layout.Ref, i int) (layout.Ref, error) {
 func (rt *Runtime) SetElem(arr layout.Ref, i int, val layout.Ref) error {
 	rt.world.RLock()
 	defer rt.world.RUnlock()
-	return rt.setElem(arr, i, val, nil, nil)
+	return rt.setElem(arr, i, val, nil, nil, nil)
 }
 
-func (rt *Runtime) setElem(arr layout.Ref, i int, val layout.Ref, satb *pheap.SATBBuffer, rdelta *pheap.RemsetDeltaBuffer) error {
+func (rt *Runtime) setElem(arr layout.Ref, i int, val layout.Ref, satb *pheap.SATBBuffer, rdelta *pheap.RemsetDeltaBuffer, cell *telemetry.Cell) error {
 	if err := rt.boundsCheck(arr, i); err != nil {
 		return err
 	}
-	return rt.storeRef(arr, layout.ElemOff(layout.FTRef, i), val, satb, rdelta)
+	return rt.storeRef(arr, layout.ElemOff(layout.FTRef, i), val, satb, rdelta, cell)
 }
 
 // GetLongElem reads element i of a long array.
@@ -185,7 +187,10 @@ func (rt *Runtime) boundsCheck(arr layout.Ref, i int) error {
 // storeRef performs the reference store plus barrier bookkeeping. satb
 // and rdelta select the buffers the two barriers record into: the
 // calling mutator's own, or (nil) the heap's shared default buffers.
-func (rt *Runtime) storeRef(obj layout.Ref, boff int, val layout.Ref, satb *pheap.SATBBuffer, rdelta *pheap.RemsetDeltaBuffer) error {
+// cell is the calling mutator's telemetry cell (owner-counted, fence-free)
+// or nil — facade-routed stores then tally into the heap registry's
+// shared cell with atomic ops, so the op mix stays complete either way.
+func (rt *Runtime) storeRef(obj layout.Ref, boff int, val layout.Ref, satb *pheap.SATBBuffer, rdelta *pheap.RemsetDeltaBuffer, cell *telemetry.Cell) error {
 	slot := obj + layout.Ref(boff)
 	if h := rt.heapOf(obj); h != nil {
 		// Persistent object. The paper permits NVM→DRAM references at the
@@ -208,12 +213,14 @@ func (rt *Runtime) storeRef(obj layout.Ref, boff int, val layout.Ref, satb *phea
 		// referent must reach the marker before it is overwritten, or a
 		// snapshot-reachable object could be hidden from the trace. Off
 		// the marking phase this costs one atomic flag load.
+		var satbReads uint64
 		if h.ConcurrentMarkActive() {
 			// Record the untagged old referent and dirty the card: the
 			// store may retarget this object at something the marker's
 			// outgoing-reference summary did not see, so its card must be
 			// rescanned in the compaction pause.
 			h.SATBRecordBarrier(obj, h.GetWordAtomic(obj, boff), satb)
+			satbReads = 1
 		}
 		// The store (a single atomic machine store, so the concurrent
 		// marker's slot loads never tear against it) and its delta land
@@ -222,6 +229,15 @@ func (rt *Runtime) storeRef(obj layout.Ref, boff int, val layout.Ref, satb *phea
 		rdelta.RecordStore(slot, isVol, func() {
 			h.SetWordAtomic(obj, boff, uint64(val))
 		})
+		if cell != nil {
+			cell.Inc(telemetry.CtrRefStores)
+			cell.Add(telemetry.CtrSATBRecords, satbReads)
+			cell.Dev(nvm.SubRefstore, satbReads, 1, 0, 0)
+		} else if sc := h.Telemetry().Shared(); sc != nil {
+			sc.AtomicInc(telemetry.CtrRefStores)
+			sc.AtomicAdd(telemetry.CtrSATBRecords, satbReads)
+			sc.AtomicDev(nvm.SubRefstore, satbReads, 1, 0, 0)
+		}
 		return nil
 	}
 	// Volatile object: old→young stores feed the scavenger's remset.

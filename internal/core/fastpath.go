@@ -7,6 +7,7 @@ import (
 	"espresso/internal/klass"
 	"espresso/internal/layout"
 	"espresso/internal/pheap"
+	"espresso/internal/telemetry"
 )
 
 // The resolved-accessor fast path. GetLong/SetRef and friends re-resolve
@@ -120,14 +121,14 @@ func (rt *Runtime) getRefFast(ref layout.Ref, f FieldRef) layout.Ref {
 func (rt *Runtime) SetRefFast(ref layout.Ref, f FieldRef, val layout.Ref) error {
 	rt.world.RLock()
 	defer rt.world.RUnlock()
-	return rt.setRefFast(ref, f, val, nil, nil)
+	return rt.setRefFast(ref, f, val, nil, nil, nil)
 }
 
-func (rt *Runtime) setRefFast(ref layout.Ref, f FieldRef, val layout.Ref, satb *pheap.SATBBuffer, rdelta *pheap.RemsetDeltaBuffer) error {
+func (rt *Runtime) setRefFast(ref layout.Ref, f FieldRef, val layout.Ref, satb *pheap.SATBBuffer, rdelta *pheap.RemsetDeltaBuffer, cell *telemetry.Cell) error {
 	if f.ftype != layout.FTRef {
 		return fmt.Errorf("core: SetRefFast through a %s field handle", f.ftype)
 	}
-	return rt.storeRef(ref, f.boff, val, satb, rdelta)
+	return rt.storeRef(ref, f.boff, val, satb, rdelta, cell)
 }
 
 // --- Bulk primitive-array transfer ---

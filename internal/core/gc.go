@@ -147,10 +147,12 @@ func (r persRoots) UpdateRoots(fwd func(layout.Ref) layout.Ref) {
 
 // worldLocker adapts the runtime's safepoint lock to pgc.World: stopping
 // the world means waiting out every in-flight mutator operation and
-// holding new ones at the lock — the mutator handshake.
+// holding new ones at the lock — the mutator handshake. Each stop is
+// timed into the telemetry safepoint.wait histogram, so handshake delays
+// caused by long mutator ops are observable.
 type worldLocker struct{ rt *Runtime }
 
-func (w worldLocker) StopWorld()  { w.rt.world.Lock() }
+func (w worldLocker) StopWorld()  { w.rt.lockWorldCounted() }
 func (w worldLocker) StartWorld() { w.rt.world.Unlock() }
 
 // PersistentGC runs the crash-consistent collection of paper §4 on the
@@ -168,7 +170,7 @@ func (rt *Runtime) PersistentGC(name string) (pgc.Result, error) {
 	}
 	rt.gcMu.Lock()
 	defer rt.gcMu.Unlock()
-	rt.world.Lock()
+	rt.lockWorldCounted()
 	defer rt.world.Unlock()
 	return pgc.Collect(h, persRoots{rt, h})
 }

@@ -169,6 +169,9 @@ func (rt *Runtime) attach(h *pheap.Heap) {
 	// The heap's reference stores feed the runtime's remembered set
 	// through per-mutator delta buffers; the sink is their drain target.
 	h.SetRemsetSink(remsetSink{rt})
+	// And its allocators report into the runtime's telemetry registry
+	// (nil when disabled — pheap records nothing then).
+	h.SetTelemetry(rt.tel)
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	rt.heaps = append(rt.heaps, h)

@@ -6,6 +6,7 @@ import (
 	"espresso/internal/klass"
 	"espresso/internal/layout"
 	"espresso/internal/pheap"
+	"espresso/internal/telemetry"
 )
 
 // Mutator is a per-goroutine allocation and mutation context: the runtime
@@ -51,6 +52,7 @@ type Mutator struct {
 	alloc    *pheap.Allocator
 	satb     *pheap.SATBBuffer
 	rdelta   *pheap.RemsetDeltaBuffer
+	cell     *telemetry.Cell // the allocator's counter cell, shared across this mutator's paths
 	prepared map[*klass.Klass]bool
 	locked   bool // inside Do: safepoint lock already held
 }
@@ -61,12 +63,14 @@ func (rt *Runtime) NewMutator() (*Mutator, error) {
 	if h == nil {
 		return nil, fmt.Errorf("core: no persistent heap loaded")
 	}
+	alloc := h.NewAllocator()
 	return &Mutator{
 		rt:       rt,
 		h:        h,
-		alloc:    h.NewAllocator(),
+		alloc:    alloc,
 		satb:     h.NewSATBBuffer(),
 		rdelta:   h.NewRemsetDeltaBuffer(),
+		cell:     alloc.TelemetryCell(),
 		prepared: make(map[*klass.Klass]bool),
 	}, nil
 }
@@ -153,7 +157,7 @@ func (m *Mutator) prepare(k *klass.Klass) error {
 func (m *Mutator) SetRef(ref layout.Ref, field string, val layout.Ref) error {
 	m.enter()
 	defer m.exit()
-	return m.rt.setRefNamed(ref, field, val, m.satb, m.rdelta)
+	return m.rt.setRefNamed(ref, field, val, m.satb, m.rdelta, m.cell)
 }
 
 // SetRefFast writes a reference field through a resolved handle, with
@@ -161,7 +165,7 @@ func (m *Mutator) SetRef(ref layout.Ref, field string, val layout.Ref) error {
 func (m *Mutator) SetRefFast(ref layout.Ref, f FieldRef, val layout.Ref) error {
 	m.enter()
 	defer m.exit()
-	return m.rt.setRefFast(ref, f, val, m.satb, m.rdelta)
+	return m.rt.setRefFast(ref, f, val, m.satb, m.rdelta, m.cell)
 }
 
 // SetElem stores element i of a reference array through the write
@@ -169,7 +173,7 @@ func (m *Mutator) SetRefFast(ref layout.Ref, f FieldRef, val layout.Ref) error {
 func (m *Mutator) SetElem(arr layout.Ref, i int, val layout.Ref) error {
 	m.enter()
 	defer m.exit()
-	return m.rt.setElem(arr, i, val, m.satb, m.rdelta)
+	return m.rt.setElem(arr, i, val, m.satb, m.rdelta, m.cell)
 }
 
 // GetElem reads element i of a reference array on this mutator's thread
@@ -234,6 +238,7 @@ func (m *Mutator) Release() {
 	m.enter()
 	defer m.exit()
 	m.alloc.Release()
+	m.cell = nil // released with the allocator; counts folded into the registry
 	m.h.ReleaseSATBBuffer(m.satb)
 	m.satb = nil
 	m.h.ReleaseRemsetDeltaBuffer(m.rdelta)

@@ -23,6 +23,7 @@ import (
 	"espresso/internal/namemgr"
 	"espresso/internal/nvm"
 	"espresso/internal/pheap"
+	"espresso/internal/telemetry"
 	"espresso/internal/vheap"
 )
 
@@ -86,6 +87,12 @@ type Config struct {
 	// exactly; the heap image is byte-identical for every value on a
 	// quiescent heap.
 	GCWorkers int
+	// Telemetry enables the runtime's observability registry: per-mutator
+	// counter cells, GC phase spans, latency histograms. Off (the default)
+	// every instrumented path sees nil and records nothing; on, the mutator
+	// fast paths still take no lock, fence, or device op — counts are
+	// owner-local stores folded only when a snapshot asks.
+	Telemetry bool
 }
 
 // Runtime is one simulated JVM instance.
@@ -148,6 +155,12 @@ type Runtime struct {
 	cp *klass.ConstantPool
 
 	stringKlass *klass.Klass
+
+	// tel is the runtime's observability registry (nil unless
+	// Config.Telemetry): heaps report into it via pheap's cell
+	// registration, the collectors emit phase spans, and the safepoint
+	// machinery times pause handshakes.
+	tel *telemetry.Registry
 }
 
 // StringKlassName is the name of the built-in string class (a packed byte
@@ -167,6 +180,9 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 		cp:         klass.NewConstantPool(),
 		nextBase:   layout.DefaultPJHBase,
 	}
+	if cfg.Telemetry {
+		rt.tel = telemetry.New()
+	}
 	sk := &klass.Klass{Name: StringKlassName, Kind: klass.KindPrimArray, Elem: layout.FTByte, Persistent: true}
 	var err error
 	if rt.stringKlass, err = reg.Define(sk); err != nil {
@@ -177,6 +193,28 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 
 // Volatile exposes the volatile heap (tests, diagnostics).
 func (rt *Runtime) Volatile() *vheap.Heap { return rt.vol }
+
+// Telemetry returns the runtime's observability registry, nil when
+// Config.Telemetry is off. Every registry method is nil-receiver-safe.
+func (rt *Runtime) Telemetry() *telemetry.Registry { return rt.tel }
+
+// Metrics folds the runtime's telemetry into one snapshot (empty when
+// telemetry is disabled).
+func (rt *Runtime) Metrics() telemetry.Snapshot { return rt.tel.Snapshot() }
+
+// lockWorldCounted acquires the safepoint write lock — the collector
+// pause handshake — timing how long the world took to stop (mutators
+// drain their in-flight ops) and recording it as a safepoint.wait span.
+func (rt *Runtime) lockWorldCounted() {
+	if rt.tel == nil {
+		rt.world.Lock()
+		return
+	}
+	start := time.Now()
+	rt.world.Lock()
+	rt.tel.RecordSpan(telemetry.SpanSafepoint, -1, -1, start, time.Since(start))
+	rt.tel.Shared().AtomicInc(telemetry.CtrSafepointWaits)
+}
 
 // SafepointPin exposes the runtime's safepoint read lock as a Pin/Unpin
 // pair — the hook lock-free subsystems (internal/pindex) use to make
@@ -344,7 +382,7 @@ func (rt *Runtime) pnewMulti(chain []*klass.Klass, dims []int) (layout.Ref, erro
 		if err != nil {
 			return 0, err
 		}
-		if err := rt.setElem(arr, i, sub, nil, nil); err != nil {
+		if err := rt.setElem(arr, i, sub, nil, nil, nil); err != nil {
 			return 0, err
 		}
 	}

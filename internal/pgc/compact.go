@@ -1,6 +1,8 @@
 package pgc
 
 import (
+	"time"
+
 	"espresso/internal/layout"
 	"espresso/internal/nvm"
 	"espresso/internal/pheap"
@@ -27,6 +29,9 @@ type compactResult struct {
 	// critical path: max over workers of fix + serial.
 	fixWorkerStats []nvm.Stats
 	serialStats    nvm.Stats
+	// fixWorkerTimes[w] is worker w's wall time in the fix pass — the
+	// host-clock companion to fixWorkerStats for spotting worker skew.
+	fixWorkerTimes []time.Duration
 }
 
 // compact executes (or, after a crash, resumes) the compact phase
@@ -119,7 +124,9 @@ func compact(h *pheap.Heap, s *Summary, cur uint64, cleanCard []bool, workers in
 	// clean-card veto would force — is provably a no-op, so it is skipped
 	// outright.
 	fixStats := make([]nvm.Stats, workers)
+	fixTimes := make([]time.Duration, workers)
 	fixShard := func(w int) {
+		shardStart := time.Now()
 		wd := nvm.NewWorkerDevice(dev)
 		for si := w; si < len(spans); si += workers {
 			sp := spans[si]
@@ -153,6 +160,7 @@ func compact(h *pheap.Heap, s *Summary, cur uint64, cleanCard []bool, workers in
 			}
 		}
 		fixStats[w] = wd.Local
+		fixTimes[w] = time.Since(shardStart)
 		// Publish the locally-tallied traffic into the shared counters so
 		// the serial-stats subtraction below sees the whole phase.
 		wd.Fold()
@@ -261,6 +269,7 @@ func compact(h *pheap.Heap, s *Summary, cur uint64, cleanCard []bool, workers in
 		holes:          pheap.MergeHoleLists(holeLists),
 		fixWorkerStats: fixStats,
 		serialStats:    serial,
+		fixWorkerTimes: fixTimes,
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"espresso/internal/nvm"
 	"espresso/internal/pgc/concurrent"
 	"espresso/internal/pheap"
+	"espresso/internal/telemetry"
 )
 
 // World is the mutator-handshake hook the concurrent collector pauses
@@ -94,6 +95,7 @@ func CollectConcurrentWorkers(h *pheap.Heap, ext Rooter, w World, workers int) (
 	}
 	dev := h.Device()
 	statsBefore := dev.Stats()
+	tel := h.Telemetry() // nil when telemetry is disabled; every method no-ops
 	var pauseStats nvm.Stats
 
 	// Phase 1: initial handshake.
@@ -113,6 +115,7 @@ func CollectConcurrentWorkers(h *pheap.Heap, ext Rooter, w World, workers int) (
 	pauseStats = pauseStats.Add(dev.Stats().Sub(p1Before))
 	pause1 := time.Since(pause1Start)
 	w.StartWorld()
+	tel.RecordSpan(telemetry.SpanGCHandshake, -1, -1, pause1Start, pause1)
 
 	// Phase 2: concurrent mark. Any error aborts the cycle: disarm the
 	// barrier under a pause and clear the phase word — nothing has moved.
@@ -132,6 +135,17 @@ func CollectConcurrentWorkers(h *pheap.Heap, ext Rooter, w World, workers int) (
 		return abort(err)
 	}
 	markTime := time.Since(markStart)
+	tel.RecordSpan(telemetry.SpanGCMark, -1, -1, markStart, markTime)
+	// Snapshot the workers' locally-tallied device traffic now, while it
+	// covers exactly the concurrent phase: these reads and writes were
+	// folded into the shared counters between the pauses (or will be
+	// folded during pause 2, for the remark's share), so the pause-window
+	// deltas below miss precisely this amount. Mutator traffic during
+	// marking is attributed at its own call sites and never lands here.
+	var concStats nvm.Stats
+	for _, ws := range mk.MarkWorkerStats() {
+		concStats = concStats.Add(ws)
+	}
 
 	// Phase 3: final pause.
 	w.StopWorld()
@@ -145,9 +159,11 @@ func CollectConcurrentWorkers(h *pheap.Heap, ext Rooter, w World, workers int) (
 	h.PrepareForCollection() // mutators attached fresh PLABs while marking ran
 	h.EndConcurrentMark()
 	dirtyRegions := h.SATBDirtyCards()
+	remarkStart := time.Now()
 	if err := mk.FinalRemark(h.SnapshotRegionTops()); err != nil {
 		return finalErr(err)
 	}
+	tel.RecordSpan(telemetry.SpanGCRemark, -1, -1, remarkStart, time.Since(remarkStart))
 	liveObjects, liveBytes := mk.Counts()
 	h.PersistMarkBitmapUsed()
 	h.RegionBitmap().Persist()
@@ -159,11 +175,13 @@ func CollectConcurrentWorkers(h *pheap.Heap, ext Rooter, w World, workers int) (
 	cur := h.GlobalTS() + 1
 	h.SetGCState(cur, true)
 	h.SetGCPhase(pheap.GCPhaseIdle)
+	sumStart := time.Now()
 	s, err := Summarize(h)
 	if err != nil {
 		h.SetGCState(cur, false)
 		return finalErr(err)
 	}
+	sumTime := time.Since(sumStart)
 	if s.LiveObjects != liveObjects || s.LiveBytes != liveBytes {
 		h.SetGCState(cur, false)
 		return finalErr(fmt.Errorf("pgc: summary disagrees with concurrent marking: %d/%d objects, %d/%d bytes",
@@ -174,13 +192,40 @@ func CollectConcurrentWorkers(h *pheap.Heap, ext Rooter, w World, workers int) (
 	// regions mutated after their objects were traced. This is what keeps
 	// the pause proportional to churn + moves, not to everything live.
 	h.ResetFreeHoles()
+	compactStart := time.Now()
 	cr := compact(h, s, cur, buildCleanCards(s, mk.MaxOutgoing(), dirtyRegions), workers)
+	compactTime := time.Since(compactStart)
+	redoBefore := dev.Stats()
+	redoStart := time.Now()
 	finish(h, s, cr.topEntries)
+	redoStats := dev.Stats().Sub(redoBefore)
+	redoTime := time.Since(redoStart)
 	ext.UpdateRoots(s.Forward)
 	h.SetFreeHoles(cr.holes)
 	pauseStats = pauseStats.Add(dev.Stats().Sub(p2Before))
 	pause2 := time.Since(pause2Start)
 	w.StartWorld()
+
+	// Phase timeline + device attribution, recorded after the world
+	// restarts (the span ring is DRAM-only; nothing here holds the pause
+	// open). GC device traffic is the two pause windows plus the
+	// concurrent-phase worker traffic snapshotted above, minus the
+	// redo-log finish window, which gets its own subsystem.
+	tel.RecordSpan(telemetry.SpanGCSummarize, -1, -1, sumStart, sumTime)
+	tel.RecordSpan(telemetry.SpanGCCompact, -1, -1, compactStart, compactTime)
+	tel.RecordSpan(telemetry.SpanGCRedo, -1, -1, redoStart, redoTime)
+	tel.RecordSpan(telemetry.SpanGCFinalPause, -1, -1, pause2Start, pause2)
+	for i, d := range mk.MarkWorkerTimes() {
+		tel.RecordSpan(telemetry.SpanGCMarkWorker, -1, i, markStart, d)
+	}
+	for i, d := range cr.fixWorkerTimes {
+		tel.RecordSpan(telemetry.SpanGCFixWorker, -1, i, compactStart, d)
+	}
+	if sc := tel.Shared(); sc != nil {
+		sc.AtomicInc(telemetry.CtrGCCycles)
+		sc.AtomicDevStats(nvm.SubGC, pauseStats.Add(concStats).Sub(redoStats))
+		sc.AtomicDevStats(nvm.SubRedo, redoStats)
+	}
 
 	return Result{
 		LiveObjects:           s.LiveObjects,
@@ -195,5 +240,7 @@ func CollectConcurrentWorkers(h *pheap.Heap, ext Rooter, w World, workers int) (
 		MarkWorkerStats:       mk.MarkWorkerStats(),
 		CompactFixWorkerStats: cr.fixWorkerStats,
 		CompactSerialStats:    cr.serialStats,
+		MarkWorkerTimes:       mk.MarkWorkerTimes(),
+		CompactFixWorkerTimes: cr.fixWorkerTimes,
 	}, nil
 }

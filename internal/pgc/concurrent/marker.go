@@ -115,6 +115,12 @@ type workerState struct {
 	liveBytes   int
 	drainBudget int
 	scanTick    int // scans since the last voluntary yield
+	// busy is this worker's wall time inside workerLoop across every
+	// trace call of the cycle; parked is the portion spent in the idle
+	// barrier. busy − parked is the worker's productive time — the skew
+	// signal Result.MarkWorkerTimes reports (every worker's total wall
+	// time is roughly equal by construction: all retire together).
+	busy, parked time.Duration
 }
 
 // yieldEvery is how many scans a worker performs between voluntary
@@ -189,6 +195,20 @@ func (m *Marker) MarkWorkerStats() []nvm.Stats {
 		stats[i] = w.wd.Local
 	}
 	return stats
+}
+
+// MarkWorkerTimes reports each worker's productive tracing time — wall
+// time inside the worker loop minus time parked in the termination
+// barrier, accumulated over every trace call of the cycle (root mark,
+// concurrent drains, final remark). Skew across workers means uneven
+// work division; near-equal times with a long wall clock mean the graph
+// itself serialized the pool.
+func (m *Marker) MarkWorkerTimes() []time.Duration {
+	times := make([]time.Duration, m.workers)
+	for i, w := range m.ws {
+		times[i] = w.busy - w.parked
+	}
+	return times
 }
 
 // MaxOutgoing exposes the per-card outgoing-reference summary (see the
@@ -398,16 +418,20 @@ func (m *Marker) workerLoop(w *workerState) {
 		// could be using nor — the subtler failure — preempts the busy
 		// workers tens of thousands of times a second with its wakeups.
 		m.idle.Add(1)
+		parkStart := time.Now()
 		nap := 20 * time.Microsecond
 		for spins := 0; ; spins++ {
 			if m.idle.Load() == int64(m.workers) {
+				w.parked += time.Since(parkStart)
 				return
 			}
 			if m.failed.Load() {
+				w.parked += time.Since(parkStart)
 				return
 			}
 			if m.anyWork() {
 				m.idle.Add(-1)
+				w.parked += time.Since(parkStart)
 				break
 			}
 			if spins < 32 {
@@ -422,6 +446,15 @@ func (m *Marker) workerLoop(w *workerState) {
 	}
 }
 
+// runWorker is workerLoop plus wall-time accounting; the deferred
+// accumulate keeps busy consistent even when the loop unwinds through a
+// crash-injection panic.
+func (m *Marker) runWorker(w *workerState) {
+	start := time.Now()
+	defer func() { w.busy += time.Since(start) }()
+	m.workerLoop(w)
+}
+
 // trace runs the pool to termination over whatever the deques currently
 // hold, giving each worker drainBudget SATB-shard drain attempts. Worker
 // 0 runs on the calling goroutine; with workers=1 no goroutine is ever
@@ -432,7 +465,7 @@ func (m *Marker) trace(drainBudget int) error {
 		w.drainBudget = drainBudget
 	}
 	if m.workers == 1 {
-		m.workerLoop(m.ws[0]) // panics propagate natively
+		m.runWorker(m.ws[0]) // panics propagate natively
 	} else {
 		var wg sync.WaitGroup
 		wg.Add(m.workers - 1)
@@ -444,7 +477,7 @@ func (m *Marker) trace(drainBudget int) error {
 						m.notePanic(p)
 					}
 				}()
-				m.workerLoop(w)
+				m.runWorker(w)
 			}(w)
 		}
 		func() {
@@ -453,7 +486,7 @@ func (m *Marker) trace(drainBudget int) error {
 					m.notePanic(p)
 				}
 			}()
-			m.workerLoop(m.ws[0])
+			m.runWorker(m.ws[0])
 		}()
 		wg.Wait()
 		m.errMu.Lock()

@@ -7,6 +7,7 @@ import (
 	"espresso/internal/layout"
 	"espresso/internal/nvm"
 	"espresso/internal/pheap"
+	"espresso/internal/telemetry"
 )
 
 // Result reports what a collection (or recovery) did.
@@ -44,6 +45,18 @@ type Result struct {
 	MarkWorkerStats       []nvm.Stats
 	CompactFixWorkerStats []nvm.Stats
 	CompactSerialStats    nvm.Stats
+	// Per-worker wall times for the same parallel phases.
+	// MarkWorkerTimes is each mark worker's productive tracing time
+	// (loop wall time minus termination-barrier parking), accumulated
+	// over every trace round of the cycle; CompactFixWorkerTimes is each
+	// fix worker's shard wall time. Skew across a slice means uneven
+	// work division — the signal the device-stat splits above cannot
+	// show when the imbalance is in host work (deque contention,
+	// scheduling) rather than device traffic. Both are also emitted as
+	// gc.mark.worker / gc.fix.worker telemetry spans when the heap has a
+	// registry attached.
+	MarkWorkerTimes       []time.Duration
+	CompactFixWorkerTimes []time.Duration
 	Recovered             bool // true when produced by Recover
 }
 
@@ -64,6 +77,7 @@ func Collect(h *pheap.Heap, ext Rooter) (Result, error) {
 	}
 	start := time.Now()
 	statsBefore := h.Device().Stats()
+	tel := h.Telemetry() // nil when telemetry is disabled; every method no-ops
 
 	// A persisted concurrent-mark phase from an aborted cycle is stale —
 	// the bitmap it announced is about to be rebuilt from scratch.
@@ -97,6 +111,7 @@ func Collect(h *pheap.Heap, ext Rooter) (Result, error) {
 	h.SetGCState(cur, true)
 
 	// Phase 3: summary — idempotent, derived from the bitmap alone.
+	sumStart := time.Now()
 	s, err := Summarize(h)
 	if err != nil {
 		// Nothing has moved; un-stamp the heap and report.
@@ -114,16 +129,42 @@ func Collect(h *pheap.Heap, ext Rooter) (Result, error) {
 	// reference summary lets the compactor skip re-scanning regions that
 	// cannot reference moved objects (no dirty cards here: the world is
 	// stopped, so the trace saw every store).
+	sumTime := time.Since(sumStart)
 	h.ResetFreeHoles()
+	compactStart := time.Now()
 	cr := compact(h, s, cur, buildCleanCards(s, mk.MaxOutgoing(), nil), 1)
+	compactTime := time.Since(compactStart)
 
 	// Phase 5: finish atomically via the redo log, then patch DRAM roots
 	// and hand the filler-covered gaps back to the allocator.
+	redoBefore := h.Device().Stats()
+	redoStart := time.Now()
 	finish(h, s, cr.topEntries)
+	redoStats := h.Device().Stats().Sub(redoBefore)
+	redoTime := time.Since(redoStart)
 	ext.UpdateRoots(s.Forward)
 	h.SetFreeHoles(cr.holes)
 
 	stats := h.Device().Stats().Sub(statsBefore)
+	// Phase timeline + device attribution. The world is stopped for the
+	// whole cycle, so the full stats delta is GC traffic; the redo-log
+	// finish window is split out under its own subsystem.
+	tel.RecordSpan(telemetry.SpanGCMark, -1, -1, markStart, markTime)
+	tel.RecordSpan(telemetry.SpanGCSummarize, -1, -1, sumStart, sumTime)
+	tel.RecordSpan(telemetry.SpanGCCompact, -1, -1, compactStart, compactTime)
+	tel.RecordSpan(telemetry.SpanGCRedo, -1, -1, redoStart, redoTime)
+	tel.RecordSpan(telemetry.SpanGCSTW, -1, -1, start, time.Since(start))
+	for i, d := range mk.MarkWorkerTimes() {
+		tel.RecordSpan(telemetry.SpanGCMarkWorker, -1, i, markStart, d)
+	}
+	for i, d := range cr.fixWorkerTimes {
+		tel.RecordSpan(telemetry.SpanGCFixWorker, -1, i, compactStart, d)
+	}
+	if sc := tel.Shared(); sc != nil {
+		sc.AtomicInc(telemetry.CtrGCCycles)
+		sc.AtomicDevStats(nvm.SubGC, stats.Sub(redoStats))
+		sc.AtomicDevStats(nvm.SubRedo, redoStats)
+	}
 	return Result{
 		LiveObjects:           s.LiveObjects,
 		LiveBytes:             s.LiveBytes,
@@ -137,6 +178,8 @@ func Collect(h *pheap.Heap, ext Rooter) (Result, error) {
 		MarkWorkerStats:       mk.MarkWorkerStats(),
 		CompactFixWorkerStats: cr.fixWorkerStats,
 		CompactSerialStats:    cr.serialStats,
+		MarkWorkerTimes:       mk.MarkWorkerTimes(),
+		CompactFixWorkerTimes: cr.fixWorkerTimes,
 	}, nil
 }
 
@@ -245,6 +288,14 @@ func Recover(h *pheap.Heap) (Result, error) {
 	finish(h, s, cr.topEntries)
 	h.SetFreeHoles(cr.holes)
 	stats := h.Device().Stats().Sub(statsBefore)
+	// The whole replay is one recovery event: one span, all device
+	// traffic attributed to the recovery subsystem.
+	tel := h.Telemetry()
+	tel.RecordSpan(telemetry.SpanRecoveryGC, -1, -1, start, time.Since(start))
+	if sc := tel.Shared(); sc != nil {
+		sc.AtomicInc(telemetry.CtrGCRecoveries)
+		sc.AtomicDevStats(nvm.SubRecovery, stats)
+	}
 	return Result{
 		LiveObjects:      s.LiveObjects,
 		LiveBytes:        s.LiveBytes,

@@ -5,6 +5,8 @@ import (
 
 	"espresso/internal/klass"
 	"espresso/internal/layout"
+	"espresso/internal/nvm"
+	"espresso/internal/telemetry"
 )
 
 // Crash-consistent allocation (paper §4.1), scaled out with persistent
@@ -100,11 +102,19 @@ type Allocator struct {
 	kaddrs map[*klass.Klass]layout.Ref
 
 	stats AllocatorStats
+
+	// cell is this mutator's telemetry counter block (nil when the heap
+	// has no registry). Allocation counts and device attribution for the
+	// alloc subsystem are tallied here at the call sites where the op
+	// counts are deterministic — the same owner-counting discipline as
+	// stats above, so the fast path gains no lock, fence, or device op.
+	cell *telemetry.Cell
 }
 
 // NewAllocator creates and registers a mutator-local allocator.
 func (h *Heap) NewAllocator() *Allocator {
 	a := &Allocator{h: h, region: -1, kaddrs: make(map[*klass.Klass]layout.Ref)}
+	a.cell = h.tel.NewCell()
 	h.mu.Lock()
 	h.allocators = append(h.allocators, a)
 	h.mu.Unlock()
@@ -113,6 +123,12 @@ func (h *Heap) NewAllocator() *Allocator {
 
 // Stats returns a snapshot of the allocator's own-path counters.
 func (a *Allocator) Stats() AllocatorStats { return a.stats }
+
+// TelemetryCell returns the allocator's counter cell (nil when telemetry
+// is disabled). The owning mutator's other instrumented paths — the
+// ref-store barrier, index contexts — share this cell so one goroutine
+// owns exactly one cache-line-padded counter block.
+func (a *Allocator) TelemetryCell() *telemetry.Cell { return a.cell }
 
 // Alloc allocates an object of klass k. arrayLen is the element count for
 // array klasses and ignored for instance klasses. The object body is
@@ -164,6 +180,12 @@ func (a *Allocator) Alloc(k *klass.Klass, arrayLen int) (layout.Ref, error) {
 	a.stats.Allocs++
 	a.stats.FlushedLines += lineSpan(off, headerBytesOf(k)) + 1
 	a.stats.Fences += 2
+	if c := a.cell; c != nil {
+		c.Inc(telemetry.CtrAllocObjects)
+		c.Add(telemetry.CtrAllocBytes, uint64(size))
+		// Zero + header words + top word; header lines + top line; two fences.
+		c.Dev(nvm.SubAlloc, 0, 2+headerWrites(k), uint64(lineSpan(off, headerBytesOf(k))+1), 2)
+	}
 	return h.AddrOf(off), nil
 }
 
@@ -181,10 +203,13 @@ func (a *Allocator) allocInHole(k *klass.Klass, kaddr layout.Ref, arrayLen, size
 	h := a.h
 	off := a.holeCur
 	a.holeCur += size
+	var devW, devL, devF uint64
 	if tail := a.holeEnd - (off + size); tail > 0 {
 		h.fillGapRaw(off+size, tail)
 		a.stats.FlushedLines += lineSpan(off+size, layout.ArrayHdrBytes)
 		a.stats.Fences++
+		fw, fl := fillerCost(off+size, tail)
+		devW, devL, devF = fw, fl, 1
 	}
 	h.dev.Zero(off, size)
 	h.writeHeader(off, kaddr, k, arrayLen)
@@ -193,6 +218,13 @@ func (a *Allocator) allocInHole(k *klass.Klass, kaddr layout.Ref, arrayLen, size
 	a.stats.Allocs++
 	a.stats.FlushedLines += lineSpan(off, headerBytesOf(k))
 	a.stats.Fences++
+	if c := a.cell; c != nil {
+		c.Inc(telemetry.CtrAllocObjects)
+		c.Inc(telemetry.CtrHoleAllocs)
+		c.Add(telemetry.CtrAllocBytes, uint64(size))
+		c.Dev(nvm.SubAlloc, 0,
+			devW+1+headerWrites(k), devL+uint64(lineSpan(off, headerBytesOf(k))), devF+1)
+	}
 	return h.AddrOf(off)
 }
 
@@ -200,7 +232,7 @@ func (a *Allocator) allocInHole(k *klass.Klass, kaddr layout.Ref, arrayLen, size
 // size bytes of bump headroom from the dispenser.
 func (a *Allocator) refill(size int) error {
 	a.retirePLAB()
-	r, cur, err := a.h.dispense(size)
+	r, cur, err := a.h.dispense(size, a.cell)
 	if err != nil {
 		return err
 	}
@@ -208,6 +240,7 @@ func (a *Allocator) refill(size int) error {
 	a.cur = cur
 	a.end = a.h.geo.DataOff + (r+1)*layout.RegionSize
 	a.stats.Dispenses++
+	a.cell.Inc(telemetry.CtrPLABRefills)
 	return nil
 }
 
@@ -224,7 +257,12 @@ func (a *Allocator) retirePLAB() {
 		a.h.persistRegionTop(a.region, a.end)
 		a.stats.FlushedLines += lineSpan(a.cur, layout.ArrayHdrBytes) + 1
 		a.stats.Fences += 2
+		if c := a.cell; c != nil {
+			fw, fl := fillerCost(a.cur, gap)
+			c.Dev(nvm.SubAlloc, 0, fw+1, fl+1, 2)
+		}
 	}
+	a.cell.Inc(telemetry.CtrPLABRetires)
 	a.region = -1
 	a.cur, a.end = 0, 0
 }
@@ -238,6 +276,10 @@ func (a *Allocator) retirePLAB() {
 // collection re-reports it.
 func (a *Allocator) Release() {
 	h := a.h
+	// Fold the cell's counts into the registry's retired accumulator
+	// before unregistering, so totals stay monotonic across mutator churn.
+	h.tel.ReleaseCell(a.cell)
+	a.cell = nil
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if a.region >= 0 && a.cur < a.end {
@@ -301,7 +343,11 @@ func (h *Heap) dataLimit() int { return h.geo.ScratchOff }
 // that may still hold (and be concurrently flushed with) the previous
 // owner's last object. The one-time plug is the handoff cost; every
 // later write by the new owner lands on its own lines.
-func (h *Heap) dispense(size int) (region, cur int, err error) {
+//
+// cell is the requesting mutator's telemetry cell (nil when disabled):
+// the handoff plug is device traffic issued on the mutator's behalf, so
+// it is attributed to the requester even though the heap lock is held.
+func (h *Heap) dispense(size int, cell *telemetry.Cell) (region, cur int, err error) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if h.gcActive.Load() {
@@ -322,6 +368,10 @@ func (h *Heap) dispense(size int) (region, cur int, err error) {
 		if aligned > cur {
 			h.fillGapRaw(cur, aligned-cur)
 			h.persistRegionTop(r, aligned)
+			if cell != nil {
+				fw, fl := fillerCost(cur, aligned-cur)
+				cell.Dev(nvm.SubAlloc, 0, fw+1, fl+1, 2)
+			}
 			cur = aligned
 		}
 		return r, cur, nil
@@ -407,6 +457,20 @@ func (a *Allocator) allocHumongous(k *klass.Klass, kaddr layout.Ref, arrayLen, s
 	a.stats.Allocs++
 	a.stats.Fences += 2
 	a.stats.FlushedLines += lineSpan(start, headerBytesOf(k)) + nRegions
+	if c := a.cell; c != nil {
+		c.Inc(telemetry.CtrAllocObjects)
+		c.Inc(telemetry.CtrHumongous)
+		c.Add(telemetry.CtrAllocBytes, uint64(size))
+		var tw, tl uint64
+		if end > start+size {
+			tw, tl = fillerCost(start+size, end-start-size)
+		}
+		// Zero + header + tail filler + one top-table word per region;
+		// header lines + tail lines + one table line per region; two fences.
+		c.Dev(nvm.SubAlloc, 0,
+			1+headerWrites(k)+tw+uint64(nRegions),
+			uint64(lineSpan(start, headerBytesOf(k)))+tl+uint64(nRegions), 2)
+	}
 	return h.AddrOf(start), nil
 }
 
@@ -420,6 +484,27 @@ func headerBytesOf(k *klass.Klass) int {
 // lineSpan counts the cache lines covering [off, off+n).
 func lineSpan(off, n int) int {
 	return (off+n-1)/layout.LineSize - off/layout.LineSize + 1
+}
+
+// headerWrites counts the device write ops writeHeader issues for k.
+func headerWrites(k *klass.Klass) uint64 {
+	if k.IsArray() {
+		return 3
+	}
+	return 2
+}
+
+// fillerCost counts the device write ops and flushed lines fillGapRawNoFence
+// issues to plug [off, off+n) — the attribution mirror of that function's
+// two shapes (2-word filler vs byte-array filler).
+func fillerCost(off, n int) (writes, lines uint64) {
+	if n == 0 {
+		return 0, 0
+	}
+	if n == layout.HeaderBytes {
+		return 2, uint64(lineSpan(off, layout.HeaderBytes))
+	}
+	return 3, uint64(lineSpan(off, layout.ArrayHdrBytes))
 }
 
 func (h *Heap) writeHeader(off int, kaddr layout.Ref, k *klass.Klass, arrayLen int) {

@@ -26,6 +26,7 @@ import (
 	"espresso/internal/klass"
 	"espresso/internal/layout"
 	"espresso/internal/nvm"
+	"espresso/internal/telemetry"
 )
 
 const (
@@ -241,6 +242,12 @@ type Heap struct {
 	allocators []*Allocator
 	defMu      sync.Mutex // serializes the shared Alloc entry point
 	defAlloc   *Allocator
+
+	// tel is the observability domain this heap reports into (nil =
+	// telemetry disabled; every record call no-ops). Installed by the
+	// embedding runtime before mutators run; allocators created earlier
+	// (the default allocator) simply carry nil cells.
+	tel *telemetry.Registry
 }
 
 func align(n, a int) int { return (n + a - 1) &^ (a - 1) }
@@ -425,6 +432,18 @@ func (h *Heap) resolveFillers() {
 // Device exposes the backing device (benchmarks read its stats; the GC
 // flushes through it).
 func (h *Heap) Device() *nvm.Device { return h.dev }
+
+// SetTelemetry installs the heap's telemetry registry. Call before
+// mutators attach allocators; a nil registry (the default) disables
+// recording. The default allocator predates installation and keeps a nil
+// cell — its traffic stays unattributed, which is the honest reading of
+// facade-routed allocations.
+func (h *Heap) SetTelemetry(r *telemetry.Registry) { h.tel = r }
+
+// Telemetry returns the heap's registry (nil when disabled). All registry
+// and cell methods are nil-receiver-safe, so callers thread the result
+// without branching.
+func (h *Heap) Telemetry() *telemetry.Registry { return h.tel }
 
 // Registry returns the klass registry this heap resolves against.
 func (h *Heap) Registry() *klass.Registry { return h.reg }

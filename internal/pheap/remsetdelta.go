@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"espresso/internal/layout"
+	"espresso/internal/telemetry"
 )
 
 // Per-mutator remembered-set delta buffers — the write-combining half of
@@ -121,6 +122,13 @@ func (b *RemsetDeltaBuffer) Publish() {
 	ds := b.drain()
 	if len(ds) == 0 {
 		return
+	}
+	// Publication is a cold path (commit / safepoint / every-512 overflow)
+	// and may run on a collector draining another owner's buffer, so the
+	// counts go to the registry's shared cell with atomic ops.
+	if sc := b.h.tel.Shared(); sc != nil {
+		sc.AtomicInc(telemetry.CtrRemsetPublish)
+		sc.AtomicAdd(telemetry.CtrRemsetDeltas, uint64(len(ds)))
 	}
 	if sink := b.h.RemsetSink(); sink != nil {
 		sink.PublishRemsetDeltas(ds)

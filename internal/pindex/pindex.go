@@ -60,7 +60,9 @@ import (
 
 	"espresso/internal/klass"
 	"espresso/internal/layout"
+	"espresso/internal/nvm"
 	"espresso/internal/pheap"
+	"espresso/internal/telemetry"
 )
 
 // Link-state tag bits, stored in the low bits of reference slots (see
@@ -185,6 +187,11 @@ type Ctx struct {
 	alloc *pheap.Allocator
 	satb  *pheap.SATBBuffer
 	stats CtxStats
+	// cell is the allocator's telemetry counter cell (nil when the heap
+	// has no registry), shared across this ctx's paths like core.Mutator
+	// shares its allocator's cell. Owner-only ops — the ctx is
+	// single-goroutine by contract.
+	cell *telemetry.Cell
 }
 
 // Open attaches to (or creates) the persistent index registered under
@@ -296,7 +303,8 @@ func (ix *Index) Len() int { return int(ix.size.Load()) }
 
 // NewCtx attaches a per-goroutine operation context.
 func (ix *Index) NewCtx() *Ctx {
-	return &Ctx{ix: ix, alloc: ix.h.NewAllocator(), satb: ix.h.NewSATBBuffer()}
+	alloc := ix.h.NewAllocator()
+	return &Ctx{ix: ix, alloc: alloc, satb: ix.h.NewSATBBuffer(), cell: alloc.TelemetryCell()}
 }
 
 // Release retires the ctx: PLAB headroom returns to the dispenser and
@@ -305,6 +313,7 @@ func (c *Ctx) Release() {
 	c.ix.pin.Pin()
 	defer c.ix.pin.Unpin()
 	c.alloc.Release()
+	c.cell = nil // released with the allocator; counts folded into the registry
 	c.ix.h.ReleaseSATBBuffer(c.satb)
 	c.satb = nil
 }
@@ -351,15 +360,30 @@ func (c *Ctx) flushWord(obj layout.Ref, boff int) {
 	c.ix.h.FlushRange(obj, boff, 8)
 	c.stats.FlushedLines++
 	c.stats.Fences++
+	c.cell.Dev(nvm.SubIndex, 0, 0, 1, 1)
 }
 
 // flushRange persists [boff, boff+n) of obj with one flush+fence.
 func (c *Ctx) flushRange(obj layout.Ref, boff, n int) {
 	h := c.ix.h
 	off := h.OffOf(obj) + boff
-	c.stats.FlushedLines += (off+n-1)/layout.LineSize - off/layout.LineSize + 1
+	lines := (off+n-1)/layout.LineSize - off/layout.LineSize + 1
+	c.stats.FlushedLines += lines
 	c.stats.Fences++
+	c.cell.Dev(nvm.SubIndex, 0, 0, uint64(lines), 1)
 	h.FlushRange(obj, boff, n)
+}
+
+// cas is h.CasWord with index-subsystem device attribution, matching the
+// device's own accounting: one read per attempt, one write when the swap
+// lands.
+func (c *Ctx) cas(obj layout.Ref, boff int, old, new uint64) bool {
+	if c.ix.h.CasWord(obj, boff, old, new) {
+		c.cell.Dev(nvm.SubIndex, 1, 1, 0, 0)
+		return true
+	}
+	c.cell.Dev(nvm.SubIndex, 1, 0, 0, 0)
+	return false
 }
 
 // loadClean returns the slot's current value with the dirty bit clear,
@@ -370,12 +394,14 @@ func (c *Ctx) loadClean(obj layout.Ref, boff int) uint64 {
 	h := c.ix.h
 	for {
 		w := h.GetWordAtomic(obj, boff)
+		c.cell.Dev(nvm.SubIndex, 1, 0, 0, 0)
 		if w&tagDirty == 0 {
 			return w
 		}
 		c.flushWord(obj, boff)
-		h.CasWord(obj, boff, w, w&^tagDirty)
+		c.cas(obj, boff, w, w&^tagDirty)
 		c.stats.HelpFlushes++
+		c.cell.Inc(telemetry.CtrIndexHelpFlushes)
 	}
 }
 
@@ -387,7 +413,7 @@ func (c *Ctx) loadClean(obj layout.Ref, boff int) uint64 {
 // loadClean or find.
 func (c *Ctx) publish(obj layout.Ref, boff int, expect, val uint64) bool {
 	h := c.ix.h
-	if !h.CasWord(obj, boff, expect, val|tagDirty) {
+	if !c.cas(obj, boff, expect, val|tagDirty) {
 		c.stats.Retries++
 		return false
 	}
@@ -395,7 +421,7 @@ func (c *Ctx) publish(obj layout.Ref, boff int, expect, val uint64) bool {
 		h.SATBRecordBarrier(obj, expect, c.satb)
 	}
 	c.flushWord(obj, boff)
-	h.CasWord(obj, boff, val|tagDirty, val) // best effort: a helper may already have
+	c.cas(obj, boff, val|tagDirty, val) // best effort: a helper may already have
 	return true
 }
 
@@ -471,11 +497,13 @@ func (c *Ctx) insert(head layout.Ref, sort, key uint64, val layout.Ref) (node la
 			h.SetWord(node, c.ix.fKey, key)
 			h.SetWord(node, c.ix.fVal, uint64(val))
 			h.SetWordAtomic(node, c.ix.fNext, uint64(curr))
+			c.cell.Dev(nvm.SubIndex, 0, 4, 0, 0)
 			c.flushRange(node, 0, c.ix.nodeSize)
 		} else {
 			// Retrying with a different successor: repoint and re-persist
 			// just the next word before republishing.
 			h.SetWordAtomic(node, c.ix.fNext, uint64(curr))
+			c.cell.Dev(nvm.SubIndex, 0, 1, 0, 0)
 			c.flushWord(node, c.ix.fNext)
 		}
 		if c.publish(pred, c.ix.fNext, predW, uint64(node)) {
@@ -609,7 +637,9 @@ func (c *Ctx) grow() {
 		h.SetWord(bigger, boff, h.GetWordAtomic(arr, boff))
 	}
 	c.flushRange(bigger, 0, ix.arrK.SizeOf(2*n))
-	c.publish(hdr, ix.fBuckets, w, uint64(bigger))
+	if c.publish(hdr, ix.fBuckets, w, uint64(bigger)) {
+		c.cell.Inc(telemetry.CtrIndexGrows)
+	}
 }
 
 // --- operations ---
@@ -639,6 +669,7 @@ func (c *Ctx) putPinned(key int64, val layout.Ref) (overloaded bool, err error) 
 	ix.pin.Pin()
 	defer ix.pin.Unpin()
 	c.stats.Puts++
+	c.cell.Inc(telemetry.CtrIndexPuts)
 	sort := dataSort(mixHash(key))
 	for {
 		hdr := c.header()
@@ -683,6 +714,7 @@ func (c *Ctx) Get(key int64) (layout.Ref, bool) {
 	ix.pin.Pin()
 	defer ix.pin.Unpin()
 	c.stats.Gets++
+	c.cell.Inc(telemetry.CtrIndexGets)
 	arr, n := c.buckets(c.header())
 	head := c.bucketHeadRead(arr, mixHash(key)&uint64(n-1))
 	_, _, curr, found := c.find(head, dataSort(mixHash(key)), uint64(key))
@@ -702,6 +734,7 @@ func (c *Ctx) Delete(key int64) bool {
 	ix.pin.Pin()
 	defer ix.pin.Unpin()
 	c.stats.Deletes++
+	c.cell.Inc(telemetry.CtrIndexDeletes)
 	sort := dataSort(mixHash(key))
 	for {
 		arr, n := c.buckets(c.header())
@@ -736,6 +769,7 @@ func (c *Ctx) Scan(fn func(key int64, val layout.Ref) bool) {
 	ix := c.ix
 	ix.pin.Pin()
 	defer ix.pin.Unpin()
+	c.cell.Inc(telemetry.CtrIndexScans)
 	h := ix.h
 	arr, _ := c.buckets(c.header())
 	node := c.bucketHeadRead(arr, 0)

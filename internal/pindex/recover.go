@@ -2,9 +2,12 @@ package pindex
 
 import (
 	"fmt"
+	"time"
 
 	"espresso/internal/layout"
+	"espresso/internal/nvm"
 	"espresso/internal/pheap"
+	"espresso/internal/telemetry"
 )
 
 // RecoverStats reports what a recovery pass repaired.
@@ -59,6 +62,14 @@ func cleanSlot(h *pheap.Heap, st *RecoverStats, obj layout.Ref, boff int) uint64
 // supplies resolved klasses and field offsets. The caller guarantees
 // quiescence (load time, or Open's pin).
 func recoverLocked(h *pheap.Heap, name string, ix *Index) (RecoverStats, error) {
+	if tel := h.Telemetry(); tel != nil {
+		start := time.Now()
+		before := h.Device().Stats()
+		defer func() {
+			tel.RecordSpan(telemetry.SpanRecoveryIdx, -1, -1, start, time.Since(start))
+			tel.Shared().AtomicDevStats(nvm.SubRecovery, h.Device().Stats().Sub(before))
+		}()
+	}
 	var st RecoverStats
 	hdr, ok := h.GetRoot(name)
 	if !ok {

@@ -11,6 +11,7 @@ import (
 	"espresso/internal/pgc"
 	"espresso/internal/pheap"
 	"espresso/internal/pindex"
+	"espresso/internal/telemetry"
 )
 
 // IndexRootName is the per-shard pindex root name. Every shard carries
@@ -47,6 +48,12 @@ type Options struct {
 	// Mode and WriteLatency configure every device the set creates.
 	Mode         nvm.Mode
 	WriteLatency time.Duration
+	// Telemetry attaches a telemetry registry to each shard's heap (plus
+	// one set-level registry for whole-set events), making counters,
+	// phase spans, and device attribution observable per shard and — via
+	// Set.Metrics — aggregated. Off by default: the disabled state is a
+	// nil registry, which costs instrumented paths nothing.
+	Telemetry bool
 }
 
 func (o *Options) fillDefaults() error {
@@ -83,6 +90,10 @@ type Shard struct {
 // Heap exposes the shard's persistent heap (tooling, experiments).
 func (sh *Shard) Heap() *pheap.Heap { return sh.heap }
 
+// Telemetry exposes the shard's registry (nil when the set was opened
+// without Options.Telemetry).
+func (sh *Shard) Telemetry() *telemetry.Registry { return sh.heap.Telemetry() }
+
 // Index exposes the shard's persistent index.
 func (sh *Shard) Index() *pindex.Index { return sh.ix }
 
@@ -99,7 +110,14 @@ type Set struct {
 	mani    *Manifest
 	maniDev *nvm.Device
 	shards  []*Shard
+	// tel is the set-level registry (whole-set spans like shard.open and
+	// the facade's ctx-pool gauges); each shard's heap carries its own.
+	// Nil when Options.Telemetry is off.
+	tel *telemetry.Registry
 }
+
+// Telemetry exposes the set-level registry (nil when telemetry is off).
+func (s *Set) Telemetry() *telemetry.Registry { return s.tel }
 
 // OpenSet opens (or creates) the sharded set registered under base in
 // store.
@@ -122,10 +140,22 @@ func OpenSet(store Store, base string, opts Options) (*Set, error) {
 		return nil, err
 	}
 	s := &Set{base: base, store: store, opts: opts}
-	if store.Exists(ManifestName(base)) {
-		return s, s.reopen()
+	if opts.Telemetry {
+		s.tel = telemetry.New()
 	}
-	return s, s.create()
+	openStart := time.Now()
+	var err error
+	if store.Exists(ManifestName(base)) {
+		err = s.reopen()
+	} else {
+		err = s.create()
+	}
+	if err == nil {
+		// The whole open — all shards loaded, recovered, and attached,
+		// joined across the recovery fan-out.
+		s.tel.RecordSpan(telemetry.SpanShardOpen, -1, -1, openStart, time.Since(openStart))
+	}
+	return s, err
 }
 
 // create builds a fresh set: manifest first (the crash rule), then the
@@ -169,6 +199,9 @@ func (s *Set) createShard(i int) error {
 	})
 	if err != nil {
 		return fmt.Errorf("pshard: creating shard %d: %w", i, err)
+	}
+	if s.opts.Telemetry {
+		h.SetTelemetry(telemetry.New())
 	}
 	if err := s.store.Register(name, h.Device()); err != nil {
 		return err
@@ -220,6 +253,12 @@ func (s *Set) recoverShard(i int) error {
 		return fmt.Errorf("pshard: loading shard %d: %w", i, err)
 	}
 	h.SetName(name)
+	// The registry attaches before recovery so the pgc and pindex
+	// recovery spans (and their device attribution) land in this shard's
+	// telemetry, not nowhere.
+	if s.opts.Telemetry {
+		h.SetTelemetry(telemetry.New())
+	}
 	_, gcRecovered, err := pgc.RecoverIfNeeded(h)
 	if err != nil {
 		return fmt.Errorf("pshard: recovering shard %d: %w", i, err)
@@ -234,6 +273,7 @@ func (s *Set) recoverShard(i int) error {
 		Dev:         dev.Stats().Sub(s0),
 		Index:       sh.ix.LastRecovery(),
 	}
+	h.Telemetry().RecordSpan(telemetry.SpanShardRecover, i, -1, t0, time.Since(t0))
 	s.shards[i] = sh
 	return nil
 }
@@ -282,6 +322,31 @@ func (s *Set) Len() int {
 		n += sh.ix.Len()
 	}
 	return n
+}
+
+// ShardMetrics snapshots shard i's telemetry registry. The snapshot is
+// empty (all maps present, no data) when telemetry is off.
+func (s *Set) ShardMetrics(i int) telemetry.Snapshot {
+	return s.shards[i].Telemetry().Snapshot()
+}
+
+// Metrics folds the set-level registry and every shard's registry into
+// one aggregated snapshot: counters, gauges, and histogram buckets sum;
+// spans concatenate in start order. Spans a shard's collectors recorded
+// without a shard tag are stamped with their shard index here, so the
+// merged timeline still says which shard paused.
+func (s *Set) Metrics() telemetry.Snapshot {
+	agg := s.tel.Snapshot()
+	for i, sh := range s.shards {
+		snap := sh.Telemetry().Snapshot()
+		for j := range snap.Spans {
+			if snap.Spans[j].Shard < 0 {
+				snap.Spans[j].Shard = i
+			}
+		}
+		agg.Add(snap)
+	}
+	return agg
 }
 
 // GCShard runs a crash-consistent collection of one shard. Only that

@@ -1,0 +1,131 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Export surfaces. Two renderings of a Snapshot:
+//
+//   - Prometheus text exposition (WritePrometheus, served at /metrics):
+//     counters as espresso_<name>_total, gauges as espresso_<name>,
+//     histograms as _bucket/_sum/_count families;
+//   - expvar-style JSON (WriteJSON, served at /vars): the Snapshot
+//     marshalled verbatim, spans included — what heaptool top consumes.
+//
+// The HTTP listener is opt-in: nothing binds a port unless the embedder
+// asks (espresso.Options.TelemetryAddr).
+
+// promName converts a dotted metric name to a Prometheus-safe one.
+func promName(name string) string {
+	return "espresso_" + strings.NewReplacer(".", "_", "-", "_", "/", "_").Replace(name)
+}
+
+// WritePrometheus renders s in the Prometheus text exposition format.
+func WritePrometheus(w io.Writer, s Snapshot) {
+	names := make([]string, 0, len(s.Counters))
+	for name := range s.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(w, "# TYPE %s_total counter\n%s_total %d\n", promName(name), promName(name), s.Counters[name])
+	}
+	names = names[:0]
+	for name := range s.Gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", promName(name), promName(name), s.Gauges[name])
+	}
+	names = names[:0]
+	for name := range s.Hists {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := s.Hists[name]
+		p := promName(name) + "_seconds"
+		fmt.Fprintf(w, "# TYPE %s histogram\n", p)
+		var cum uint64
+		for i, b := range h.Buckets {
+			cum += b
+			if b == 0 && i < HistBuckets-1 {
+				continue // sparse rendering; cumulative counts stay correct
+			}
+			le := "+Inf"
+			if i < HistBuckets-1 {
+				le = fmt.Sprintf("%g", BucketBound(i).Seconds())
+			}
+			fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", p, le, cum)
+		}
+		fmt.Fprintf(w, "%s_sum %g\n%s_count %d\n", p, time.Duration(h.SumNS).Seconds(), p, h.Count)
+	}
+}
+
+// WriteJSON renders s as indented JSON.
+func WriteJSON(w io.Writer, s Snapshot) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// Source produces snapshots for an exporter — a single Registry, or an
+// aggregation like a sharded set.
+type Source interface{ Snapshot() Snapshot }
+
+// Handler serves /metrics (Prometheus text) and /vars (JSON snapshot)
+// from src.
+func Handler(src Source) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		WritePrometheus(w, src.Snapshot())
+	})
+	mux.HandleFunc("/vars", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = WriteJSON(w, src.Snapshot())
+	})
+	return mux
+}
+
+// HTTPServer is a live export endpoint.
+type HTTPServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// StartHTTP binds addr (host:port; port 0 picks a free one) and serves
+// the export endpoints from src in a background goroutine.
+func StartHTTP(addr string, src Source) (*HTTPServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	s := &HTTPServer{ln: ln, srv: &http.Server{Handler: Handler(src)}}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr reports the bound address (resolves port 0).
+func (s *HTTPServer) Addr() string {
+	if s == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops the listener.
+func (s *HTTPServer) Close() error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Close()
+}

@@ -1,0 +1,117 @@
+package telemetry
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// HistBuckets is the fixed bucket count: bucket i counts observations in
+// (2^(i-1), 2^i] microseconds, bucket 0 everything ≤ 1 µs, the last
+// bucket everything past ~8.9 s. Power-of-two bounds make Observe one
+// bit-length instruction — no search, no float math.
+const HistBuckets = 24
+
+// Histogram is a fixed-bucket latency histogram. Observe is lock-free
+// (three atomic adds) and allocation-free; it is meant for phase-level
+// latencies (pauses, waits, recoveries), not per-op hot paths.
+//
+// A nil *Histogram no-ops, matching the rest of the package.
+type Histogram struct {
+	buckets [HistBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sumNS   atomic.Uint64
+	maxNS   atomic.Uint64
+}
+
+// BucketIndex returns the bucket for a duration.
+func BucketIndex(d time.Duration) int {
+	us := uint64(d / time.Microsecond)
+	if us <= 1 {
+		return 0
+	}
+	i := bits.Len64(us - 1) // ceil(log2(us))
+	if i >= HistBuckets {
+		return HistBuckets - 1
+	}
+	return i
+}
+
+// BucketBound returns the inclusive upper bound of bucket i (the last
+// bucket reports the largest representable duration).
+func BucketBound(i int) time.Duration {
+	if i >= HistBuckets-1 {
+		return time.Duration(1<<63 - 1)
+	}
+	return time.Duration(uint64(1)<<uint(i)) * time.Microsecond
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	h.buckets[BucketIndex(d)].Add(1)
+	h.count.Add(1)
+	h.sumNS.Add(uint64(d))
+	for {
+		old := h.maxNS.Load()
+		if uint64(d) <= old || h.maxNS.CompareAndSwap(old, uint64(d)) {
+			break
+		}
+	}
+}
+
+// HistogramSnapshot is one folded histogram.
+type HistogramSnapshot struct {
+	Count   uint64              `json:"count"`
+	SumNS   uint64              `json:"sum_ns"`
+	MaxNS   uint64              `json:"max_ns"`
+	Buckets [HistBuckets]uint64 `json:"buckets"`
+}
+
+// Snapshot folds the histogram with atomic loads.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	if h == nil {
+		return s
+	}
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	s.Count = h.count.Load()
+	s.SumNS = h.sumNS.Load()
+	s.MaxNS = h.maxNS.Load()
+	return s
+}
+
+// Mean returns the mean observed duration (0 when empty).
+func (s HistogramSnapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return time.Duration(s.SumNS / s.Count)
+}
+
+// Quantile returns an upper bound for the q-quantile (0 ≤ q ≤ 1) from
+// the bucket counts — bucket-resolution, which is what fixed buckets buy.
+func (s HistogramSnapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	target := uint64(q * float64(s.Count))
+	if target >= s.Count {
+		target = s.Count - 1
+	}
+	var seen uint64
+	for i, b := range s.Buckets {
+		seen += b
+		if seen > target {
+			return BucketBound(i)
+		}
+	}
+	return BucketBound(HistBuckets - 1)
+}

@@ -1,0 +1,357 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"espresso/internal/nvm"
+)
+
+func TestCellFoldAndRetire(t *testing.T) {
+	r := New()
+	a, b := r.NewCell(), r.NewCell()
+	a.Inc(CtrAllocObjects)
+	a.Add(CtrAllocBytes, 64)
+	b.Add(CtrAllocObjects, 2)
+	b.Dev(nvm.SubAlloc, 1, 2, 3, 4)
+	s := r.Snapshot()
+	if got := s.Counter(CtrAllocObjects.Name()); got != 3 {
+		t.Fatalf("alloc.objects = %d, want 3", got)
+	}
+	if got := s.Counter(DevCounter(nvm.SubAlloc, 3).Name()); got != 4 {
+		t.Fatalf("dev.alloc.fences = %d, want 4", got)
+	}
+	// Releasing a cell folds it into the retired accumulator: totals must
+	// not regress.
+	r.ReleaseCell(a)
+	r.ReleaseCell(b)
+	s2 := r.Snapshot()
+	for name, v := range s.Counters {
+		if s2.Counters[name] != v {
+			t.Fatalf("%s regressed after release: %d -> %d", name, v, s2.Counters[name])
+		}
+	}
+	// A new cell keeps accumulating on top.
+	c := r.NewCell()
+	c.Inc(CtrAllocObjects)
+	if got := r.Snapshot().Counters[CtrAllocObjects.Name()]; got != 4 {
+		t.Fatalf("alloc.objects after churn = %d, want 4", got)
+	}
+}
+
+func TestSharedCellAtomics(t *testing.T) {
+	r := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Shared().AtomicInc(CtrGCCycles)
+				r.Shared().AtomicDevStats(nvm.SubGC, nvm.Stats{Reads: 1, Writes: 2})
+			}
+		}()
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	if got := s.Counter(CtrGCCycles.Name()); got != 8000 {
+		t.Fatalf("gc.cycles = %d, want 8000", got)
+	}
+	if got := s.Counter(DevCounter(nvm.SubGC, 1).Name()); got != 16000 {
+		t.Fatalf("dev.gc.writes = %d, want 16000", got)
+	}
+}
+
+func TestSnapshotMonotonicUnderChurn(t *testing.T) {
+	r := New()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.NewCell()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					r.ReleaseCell(c)
+					return
+				default:
+				}
+				c.Inc(CtrRefStores)
+				if i%100 == 99 { // churn owners too
+					r.ReleaseCell(c)
+					c = r.NewCell()
+				}
+			}
+		}()
+	}
+	prev := uint64(0)
+	for i := 0; i < 200; i++ {
+		v := r.Snapshot().Counters[CtrRefStores.Name()]
+		if v < prev {
+			t.Fatalf("snapshot %d: refstore.stores regressed %d -> %d", i, prev, v)
+		}
+		prev = v
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestCounterNamesUnique(t *testing.T) {
+	seen := map[string]Counter{}
+	for c := 0; c < NumCounters; c++ {
+		name := Counter(c).Name()
+		if name == "" {
+			t.Fatalf("counter %d has empty name", c)
+		}
+		if prev, dup := seen[name]; dup {
+			t.Fatalf("counters %d and %d share name %q", prev, c, name)
+		}
+		seen[name] = Counter(c)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	if BucketIndex(0) != 0 || BucketIndex(time.Microsecond) != 0 {
+		t.Fatal("sub-microsecond observations must land in bucket 0")
+	}
+	if BucketIndex(2*time.Microsecond) != 1 || BucketIndex(3*time.Microsecond) != 2 {
+		t.Fatalf("power-of-two bucketing broken: 2µs->%d 3µs->%d",
+			BucketIndex(2*time.Microsecond), BucketIndex(3*time.Microsecond))
+	}
+	if BucketIndex(time.Hour) != HistBuckets-1 {
+		t.Fatal("overflow must clamp to the last bucket")
+	}
+	var h Histogram
+	h.Observe(time.Microsecond)
+	h.Observe(8 * time.Microsecond)
+	h.Observe(100 * time.Millisecond)
+	s := h.Snapshot()
+	if s.Count != 3 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if got := s.Mean(); got != time.Duration(s.SumNS/3) {
+		t.Fatalf("mean = %v", got)
+	}
+	if q := s.Quantile(1); q < 100*time.Millisecond {
+		t.Fatalf("p100 bound %v < max observation", q)
+	}
+	if q := s.Quantile(0); q > 2*time.Microsecond {
+		t.Fatalf("p0 bound %v too high", q)
+	}
+	if s.MaxNS != uint64(100*time.Millisecond) {
+		t.Fatalf("max = %d", s.MaxNS)
+	}
+}
+
+func TestSpanRingWraps(t *testing.T) {
+	sr := NewSpanRecorder(4)
+	base := time.Now()
+	for i := 0; i < 10; i++ {
+		sr.Record("gc.mark", -1, i, base.Add(time.Duration(i)), time.Duration(i+1))
+	}
+	got := sr.Snapshot()
+	if len(got) != 4 {
+		t.Fatalf("ring holds %d, want 4", len(got))
+	}
+	for i, sp := range got {
+		if sp.Worker != 6+i {
+			t.Fatalf("slot %d holds worker %d, want %d (oldest-first)", i, sp.Worker, 6+i)
+		}
+	}
+	if sr.Dropped() != 6 {
+		t.Fatalf("dropped = %d, want 6", sr.Dropped())
+	}
+}
+
+func TestRegistrySpansAndHists(t *testing.T) {
+	r := New()
+	start := time.Now()
+	r.RecordSpan(SpanGCMark, 2, 1, start, 5*time.Millisecond)
+	r.Span(SpanGCCompact, -1, -1, func() {})
+	s := r.Snapshot()
+	if got := s.SpanTotal(SpanGCMark); got != 5*time.Millisecond {
+		t.Fatalf("SpanTotal = %v", got)
+	}
+	if len(s.Spans) != 2 {
+		t.Fatalf("spans = %d", len(s.Spans))
+	}
+	if s.Spans[0].Shard != 2 || s.Spans[0].Worker != 1 {
+		t.Fatalf("span tags lost: %+v", s.Spans[0])
+	}
+	// RecordSpan also observes the same-name histogram.
+	if h, ok := s.Hists[SpanGCMark]; !ok || h.Count != 1 {
+		t.Fatalf("histogram for %s missing or empty", SpanGCMark)
+	}
+}
+
+func TestGauges(t *testing.T) {
+	r := New()
+	v := int64(7)
+	r.RegisterGauge("pool.idle", func() int64 { return v })
+	if got := r.Snapshot().Gauges["pool.idle"]; got != 7 {
+		t.Fatalf("gauge = %d", got)
+	}
+	v = 9
+	if got := r.Snapshot().Gauges["pool.idle"]; got != 9 {
+		t.Fatalf("gauge resample = %d", got)
+	}
+	// A gauge callback that takes its own lock must not deadlock against
+	// the registry (gauges run outside the registry lock).
+	var mu sync.Mutex
+	r.RegisterGauge("locked", func() int64 {
+		mu.Lock()
+		defer mu.Unlock()
+		return 1
+	})
+	_ = r.Snapshot()
+	r.UnregisterGauge("pool.idle")
+	if _, ok := r.Snapshot().Gauges["pool.idle"]; ok {
+		t.Fatal("unregistered gauge still sampled")
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.NewCell()
+	if c != nil {
+		t.Fatal("nil registry must hand out nil cells")
+	}
+	c.Inc(CtrAllocObjects)
+	c.Add(CtrAllocBytes, 8)
+	c.Dev(nvm.SubAlloc, 1, 1, 1, 1)
+	c.AtomicInc(CtrGCCycles)
+	c.AtomicDevStats(nvm.SubGC, nvm.Stats{})
+	r.ReleaseCell(c)
+	if r.Shared() != nil {
+		t.Fatal("nil registry shared cell must be nil")
+	}
+	r.RegisterGauge("x", func() int64 { return 0 })
+	r.Hist("x").Observe(time.Second)
+	r.RecordSpan(SpanGCMark, -1, -1, time.Now(), time.Second)
+	ran := false
+	r.Span(SpanGCMark, -1, -1, func() { ran = true })
+	if !ran {
+		t.Fatal("nil registry Span must still run fn")
+	}
+	if got := r.Snapshot(); len(got.Counters) != 0 || len(got.Spans) != 0 {
+		t.Fatal("nil registry snapshot must be empty")
+	}
+	var sr *SpanRecorder
+	sr.Record("x", 0, 0, time.Now(), 0)
+	if sr.Snapshot() != nil || sr.Dropped() != 0 {
+		t.Fatal("nil recorder must no-op")
+	}
+	var h *Histogram
+	h.Observe(time.Second)
+	if h.Snapshot().Count != 0 {
+		t.Fatal("nil histogram must no-op")
+	}
+}
+
+func TestSnapshotAdd(t *testing.T) {
+	r1, r2 := New(), New()
+	r1.NewCell().Add(CtrIndexPuts, 3)
+	r2.NewCell().Add(CtrIndexPuts, 4)
+	r1.RegisterGauge("g", func() int64 { return 1 })
+	r2.RegisterGauge("g", func() int64 { return 2 })
+	r1.RecordSpan(SpanGCMark, 0, -1, time.Now(), time.Millisecond)
+	r2.RecordSpan(SpanGCMark, 1, -1, time.Now().Add(-time.Second), 2*time.Millisecond)
+	agg := r1.Snapshot()
+	agg.Add(r2.Snapshot())
+	if got := agg.Counter(CtrIndexPuts.Name()); got != 7 {
+		t.Fatalf("aggregated index.puts = %d", got)
+	}
+	if agg.Gauges["g"] != 3 {
+		t.Fatalf("aggregated gauge = %d", agg.Gauges["g"])
+	}
+	if got := agg.SpanTotal(SpanGCMark); got != 3*time.Millisecond {
+		t.Fatalf("aggregated span total = %v", got)
+	}
+	if !agg.Spans[0].Start.Before(agg.Spans[1].Start) {
+		t.Fatal("aggregated spans not start-ordered")
+	}
+}
+
+func TestExportRendering(t *testing.T) {
+	r := New()
+	r.NewCell().Add(CtrAllocObjects, 5)
+	r.RegisterGauge("pmap.users.ctx.idle", func() int64 { return 2 })
+	r.RecordSpan(SpanGCSTW, -1, -1, time.Now(), 3*time.Millisecond)
+	s := r.Snapshot()
+
+	var prom bytes.Buffer
+	WritePrometheus(&prom, s)
+	text := prom.String()
+	for _, want := range []string{
+		"espresso_alloc_objects_total 5",
+		"espresso_pmap_users_ctx_idle 2",
+		"espresso_gc_stw_seconds_count 1",
+		`espresso_gc_stw_seconds_bucket{le="+Inf"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("prometheus output missing %q in:\n%s", want, text)
+		}
+	}
+
+	var js bytes.Buffer
+	if err := WriteJSON(&js, s); err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(js.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Counter(CtrAllocObjects.Name()) != 5 || len(back.Spans) != 1 {
+		t.Fatalf("JSON round trip lost data: %+v", back)
+	}
+}
+
+func TestHTTPEndpoints(t *testing.T) {
+	r := New()
+	r.NewCell().Add(CtrIndexGets, 11)
+	srv, err := StartHTTP("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	get := func(path string) string {
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: %s", path, resp.Status)
+		}
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	if body := get("/metrics"); !strings.Contains(body, "espresso_index_gets_total 11") {
+		t.Fatalf("/metrics missing counter:\n%s", body)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(get("/vars")), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counter(CtrIndexGets.Name()) != 11 {
+		t.Fatalf("/vars counter = %d", snap.Counter(CtrIndexGets.Name()))
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get(fmt.Sprintf("http://%s/vars", srv.Addr())); err == nil {
+		t.Fatal("listener still serving after Close")
+	}
+}

@@ -3,8 +3,10 @@ package espresso
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"espresso/internal/pindex"
+	"espresso/internal/telemetry"
 )
 
 // PMapOptions configures OpenPMap. Zero values select the pindex
@@ -54,6 +56,29 @@ type PMap struct {
 	// instead: the ctx hands its PLAB headroom back to the heap first.
 	mu   sync.Mutex
 	ctxs []*pindex.Ctx
+
+	// Pool telemetry (gauges on the heap's registry when enabled):
+	// created counts every NewCtx, retired every release past the cap.
+	// created − retired − idle is the number checked out right now;
+	// retired > 0 flags a concurrency burst past maxIdleCtxs, each drop
+	// costing a PLAB detach/reattach on the next miss.
+	created atomic.Int64
+	retired atomic.Int64
+}
+
+// registerPoolGauges publishes the ctx pool's occupancy on reg under
+// prefix (e.g. "pmap.sessions.ctx"). idle is sampled at snapshot time —
+// gauge callbacks run outside the registry lock precisely so this can
+// take the pool lock.
+func (m *PMap) registerPoolGauges(reg *telemetry.Registry, prefix string) {
+	reg.RegisterGauge(prefix+".idle", func() int64 {
+		m.mu.Lock()
+		n := len(m.ctxs)
+		m.mu.Unlock()
+		return int64(n)
+	})
+	reg.RegisterGauge(prefix+".created", m.created.Load)
+	reg.RegisterGauge(prefix+".retired", m.retired.Load)
 }
 
 // OpenPMap attaches to (or creates) the persistent map registered under
@@ -73,7 +98,9 @@ func (rt *Runtime) OpenPMap(heapName, mapName string, opts PMapOptions) (*PMap, 
 	if err != nil {
 		return nil, err
 	}
-	return &PMap{ix: ix}, nil
+	m := &PMap{ix: ix}
+	m.registerPoolGauges(h.Telemetry(), "pmap."+mapName+".ctx")
+	return m, nil
 }
 
 // Index exposes the underlying pindex handle (per-goroutine Ctx access,
@@ -89,6 +116,7 @@ func (m *PMap) borrow() *pindex.Ctx {
 		return c
 	}
 	m.mu.Unlock()
+	m.created.Add(1)
 	return m.ix.NewCtx()
 }
 
@@ -102,6 +130,7 @@ func (m *PMap) put(c *pindex.Ctx) {
 	m.mu.Unlock()
 	// Past the cap: retire the ctx properly so its PLAB region unpins now
 	// rather than at the next collection.
+	m.retired.Add(1)
 	c.Release()
 }
 

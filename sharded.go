@@ -2,6 +2,7 @@ package espresso
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"espresso/internal/pgc"
@@ -26,6 +27,11 @@ type ShardedPMapOptions struct {
 	// NVMWriteLatency models media write cost per flushed line on the
 	// set's devices.
 	NVMWriteLatency time.Duration
+	// Telemetry gives every shard its own observability registry plus a
+	// set-level one; ShardedPMap.Metrics aggregates them with spans
+	// re-tagged by shard. Independent of Options.Telemetry on the
+	// runtime — a sharded set is its own safepoint/telemetry domain.
+	Telemetry bool
 }
 
 // ShardedPMap is a range-partitioned persistent map over N independent
@@ -45,6 +51,13 @@ type ShardedPMap struct {
 
 	mu   sync.Mutex
 	ctxs []*pshard.Ctx
+
+	// Pool telemetry, mirroring PMap's: created counts NewCtx calls,
+	// retired releases past maxIdleCtxs. A sharded ctx lazily holds up to
+	// one PLAB region per shard, so a high retired count here costs N
+	// detach/reattach cycles per drop.
+	created atomic.Int64
+	retired atomic.Int64
 }
 
 // OpenSharded opens (or creates) the sharded persistent map registered
@@ -71,12 +84,33 @@ func (rt *Runtime) OpenSharded(base string, opts ShardedPMapOptions) (*ShardedPM
 		},
 		Mode:         mgr.Mode(),
 		WriteLatency: opts.NVMWriteLatency,
+		Telemetry:    opts.Telemetry,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &ShardedPMap{set: set}, nil
+	m := &ShardedPMap{set: set}
+	if reg := set.Telemetry(); reg != nil {
+		reg.RegisterGauge("shardedpmap."+base+".ctx.idle", func() int64 {
+			m.mu.Lock()
+			n := len(m.ctxs)
+			m.mu.Unlock()
+			return int64(n)
+		})
+		reg.RegisterGauge("shardedpmap."+base+".ctx.created", m.created.Load)
+		reg.RegisterGauge("shardedpmap."+base+".ctx.retired", m.retired.Load)
+	}
+	return m, nil
 }
+
+// Metrics aggregates the set-level registry with every shard's —
+// counters and histograms summed, shard-local spans re-tagged with
+// their shard index so the merged timeline shows which shard paused.
+// Empty unless ShardedPMapOptions.Telemetry was set.
+func (m *ShardedPMap) Metrics() MetricsSnapshot { return m.set.Metrics() }
+
+// ShardMetrics folds one shard's registry only.
+func (m *ShardedPMap) ShardMetrics(i int) MetricsSnapshot { return m.set.ShardMetrics(i) }
 
 // Set exposes the underlying shard set (per-shard stats, explicit Ctx
 // management, tooling).
@@ -91,6 +125,7 @@ func (m *ShardedPMap) borrow() *pshard.Ctx {
 		return c
 	}
 	m.mu.Unlock()
+	m.created.Add(1)
 	return m.set.NewCtx()
 }
 
@@ -104,6 +139,7 @@ func (m *ShardedPMap) putCtx(c *pshard.Ctx) {
 	m.mu.Unlock()
 	// Past the cap: a sharded ctx can hold one PLAB region per shard, so
 	// releasing promptly matters N times more here than on PMap.
+	m.retired.Add(1)
 	c.Release()
 }
 

@@ -1,0 +1,305 @@
+package espresso
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"espresso/internal/pindex"
+)
+
+// TestTelemetryPoolGaugeBurst pins the ctx-pool gauges: a borrow burst
+// past maxIdleCtxs must be visible in the snapshot as created = burst,
+// idle = cap, retired = burst − cap.
+func TestTelemetryPoolGaugeBurst(t *testing.T) {
+	rt, err := Open(Options{Telemetry: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.CreateHeap("pool", 8<<20); err != nil {
+		t.Fatal(err)
+	}
+	m, err := rt.OpenPMap("pool", "burst", PMapOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const burst = maxIdleCtxs + 8
+	ctxs := make([]*pindex.Ctx, 0, burst)
+	for i := 0; i < burst; i++ {
+		ctxs = append(ctxs, m.borrow())
+	}
+	for _, c := range ctxs {
+		m.put(c)
+	}
+	snap := rt.Metrics()
+	if got := snap.Gauges["pmap.burst.ctx.created"]; got != burst {
+		t.Fatalf("created gauge = %d, want %d", got, burst)
+	}
+	if got := snap.Gauges["pmap.burst.ctx.idle"]; got != maxIdleCtxs {
+		t.Fatalf("idle gauge = %d, want %d", got, maxIdleCtxs)
+	}
+	if got := snap.Gauges["pmap.burst.ctx.retired"]; got != burst-maxIdleCtxs {
+		t.Fatalf("retired gauge = %d, want %d", got, burst-maxIdleCtxs)
+	}
+}
+
+// TestTelemetryConcurrentFoldExactTotals is the end-to-end race check of
+// the telemetry design: 8 mutators churn allocations, barriered ref
+// stores, and durable index puts while concurrent collections cycle and
+// a folding goroutine snapshots continuously, asserting every counter is
+// monotonic across folds. When the dust settles the deltas must equal
+// the oracle exactly — lock-free cells may not lose a single update.
+func TestTelemetryConcurrentFoldExactTotals(t *testing.T) {
+	rt, err := Open(Options{Telemetry: true, ConcurrentGC: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.CreateHeap("churn", 48<<20); err != nil {
+		t.Fatal(err)
+	}
+	// Big table + high load factor: no grows, so the entry-allocation
+	// oracle below stays exact (index.grows is asserted zero).
+	pm, err := rt.OpenPMap("churn", "ops", PMapOptions{InitialBuckets: 1024, MaxLoadFactor: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	node := MustClass("telemetry/Node", nil,
+		RefTo("next", "telemetry/Node"), Long("v"))
+	nextF := rt.MustResolveField(node, "next")
+
+	const goroutines = 8
+	const perG = 150
+
+	muts := make([]*Mutator, goroutines)
+	for g := range muts {
+		if muts[g], err = rt.NewMutator(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap0 := rt.Metrics()
+
+	done := make(chan struct{})
+	var gcWG sync.WaitGroup
+	gcWG.Add(1)
+	go func() {
+		defer gcWG.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			if _, err := rt.PersistentGCConcurrent("churn"); err != nil {
+				t.Errorf("concurrent GC: %v", err)
+				return
+			}
+		}
+	}()
+
+	foldDone := make(chan struct{})
+	var foldWG sync.WaitGroup
+	foldWG.Add(1)
+	go func() {
+		defer foldWG.Done()
+		prev := map[string]uint64{}
+		for {
+			select {
+			case <-foldDone:
+				return
+			default:
+			}
+			s := rt.Metrics()
+			for name, v := range s.Counters {
+				if v < prev[name] {
+					t.Errorf("counter %s went backwards: %d -> %d", name, prev[name], v)
+					return
+				}
+				prev[name] = v
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	errs := make([]error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			m := muts[g]
+			base := int64(g) << 32
+			for i := int64(0); i < perG; i++ {
+				var opErr error
+				m.Do(func() {
+					n1, err := m.PNew(node, 0)
+					if err != nil {
+						opErr = err
+						return
+					}
+					n2, err := m.PNew(node, 0)
+					if err != nil {
+						opErr = err
+						return
+					}
+					opErr = m.SetRefFast(n1, nextF, n2)
+				})
+				if opErr == nil {
+					opErr = pm.Put(base+i, 0)
+				}
+				if opErr != nil {
+					errs[g] = fmt.Errorf("iter %d: %w", i, opErr)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(done)
+	gcWG.Wait()
+	close(foldDone)
+	foldWG.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Fatalf("mutator %d: %v", g, err)
+		}
+	}
+	for _, m := range muts {
+		m.Release()
+	}
+
+	snap1 := rt.Metrics()
+	delta := func(name string) uint64 { return snap1.Counters[name] - snap0.Counters[name] }
+	const ops = goroutines * perG
+	if got := delta("refstore.stores"); got != ops {
+		t.Fatalf("refstore.stores delta = %d, want %d", got, ops)
+	}
+	if got := delta("index.puts"); got != ops {
+		t.Fatalf("index.puts delta = %d, want %d", got, ops)
+	}
+	if got := delta("index.grows"); got != 0 {
+		t.Fatalf("index.grows delta = %d, want 0 (oracle assumes no table growth)", got)
+	}
+	// Each iteration allocates two nodes plus at least one index entry.
+	// The entry count is a lower bound, not an equality: a Put that loses
+	// its link CAS under contention allocates a fresh entry for the retry,
+	// so the floor proves no update was lost without assuming a quiescent
+	// insert path.
+	if got := delta("alloc.objects"); got < 3*ops {
+		t.Fatalf("alloc.objects delta = %d, want >= %d", got, 3*ops)
+	}
+	if delta("gc.cycles") == 0 {
+		t.Fatal("no concurrent collection completed during the churn")
+	}
+}
+
+// TestShardedTelemetryAggregation pins ShardedPMap.Metrics: counters sum
+// across shard registries and shard-local spans come back re-tagged with
+// their shard index.
+func TestShardedTelemetryAggregation(t *testing.T) {
+	rt, err := Open(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := rt.OpenSharded("agg", ShardedPMapOptions{Shards: 2, Telemetry: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const keys = 100
+	for i := int64(0); i < keys; i++ {
+		if err := m.Put(i*7919, int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := m.GCShard(0); err != nil {
+		t.Fatal(err)
+	}
+	snap := m.Metrics()
+	if got := snap.Counters["index.puts"]; got != keys {
+		t.Fatalf("aggregated index.puts = %d, want %d", got, keys)
+	}
+	opens := 0
+	gcTagged := false
+	for _, sp := range snap.Spans {
+		if sp.Shard >= m.NumShards() {
+			t.Fatalf("span %s carries shard tag %d >= %d", sp.Name, sp.Shard, m.NumShards())
+		}
+		switch {
+		case sp.Name == "shard.open":
+			// One set-level span covering the whole joined open; set-level
+			// events keep Shard -1 through aggregation.
+			opens++
+			if sp.Shard != -1 {
+				t.Fatalf("shard.open span tagged %d, want -1 (set-level)", sp.Shard)
+			}
+		case sp.Shard < 0:
+			t.Fatalf("shard-local span %s survived aggregation untagged", sp.Name)
+		}
+		if strings.HasPrefix(sp.Name, "gc.") && sp.Shard == 0 {
+			gcTagged = true
+		}
+	}
+	if opens != 1 {
+		t.Fatalf("saw %d shard.open spans, want 1", opens)
+	}
+	if !gcTagged {
+		t.Fatal("GCShard(0) left no gc.* span tagged with shard 0")
+	}
+	if got := snap.Gauges["shardedpmap.agg.ctx.created"]; got < 1 {
+		t.Fatalf("ctx.created gauge = %d, want >= 1", got)
+	}
+	if s0 := m.ShardMetrics(0); s0.Counters["gc.cycles"] != 1 {
+		t.Fatalf("shard 0 gc.cycles = %d, want 1", s0.Counters["gc.cycles"])
+	}
+}
+
+// TestTelemetryHTTPFacade boots a runtime with the opt-in listener,
+// scrapes both endpoints through a real HTTP round trip, and verifies
+// Close tears the listener down.
+func TestTelemetryHTTPFacade(t *testing.T) {
+	rt, err := Open(Options{TelemetryAddr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := rt.TelemetryAddr()
+	if addr == "" {
+		t.Fatal("TelemetryAddr empty with TelemetryAddr option set")
+	}
+	if err := rt.CreateHeap("web", 8<<20); err != nil {
+		t.Fatal(err)
+	}
+	person := MustClass("telemetry/Person", nil, Long("id"))
+	if _, err := rt.PNew(person); err != nil {
+		t.Fatal(err)
+	}
+	get := func(path string) string {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	if body := get("/metrics"); !strings.Contains(body, "espresso_alloc_objects_total") {
+		t.Fatalf("/metrics misses espresso_alloc_objects_total:\n%s", body)
+	}
+	if body := get("/vars"); !strings.Contains(body, `"alloc.objects"`) {
+		t.Fatalf("/vars misses alloc.objects:\n%s", body)
+	}
+	if err := rt.Close(); err != nil {
+		t.Fatal(err)
+	}
+	client := http.Client{Timeout: 2 * time.Second}
+	if _, err := client.Get("http://" + addr + "/metrics"); err == nil {
+		t.Fatal("listener still serving after Close")
+	}
+}
