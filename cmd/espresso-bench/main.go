@@ -15,6 +15,7 @@
 //	espresso-bench -exp refstore write-combining ref-store barrier scaling curve
 //	espresso-bench -exp shardedkv range-partitioned sharding (pshard): throughput + parallel recovery
 //	espresso-bench -exp telemetry telemetry overhead contract: device ops off vs on + GC span timeline
+//	espresso-bench -exp blackbox flight recorder: crash sweep at every flush boundary + recorder overhead
 //	espresso-bench -exp all      everything
 //
 // -scale N divides workload sizes by N for quick runs. -parallel N caps
@@ -31,27 +32,29 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"espresso/internal/experiments"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig4|fig6|fig15|fig16|fig17|fig18|gcflush|fastpath|alloc|gcpause|kv|refstore|shardedkv|telemetry|all")
+	exp := flag.String("exp", "all", "experiment: fig4|fig6|fig15|fig16|fig17|fig18|gcflush|fastpath|alloc|gcpause|kv|refstore|shardedkv|telemetry|blackbox|all")
 	scale := flag.Int("scale", 1, "divide workload sizes by this factor")
 	gcMB := flag.Int("gcmb", 256, "live megabytes for the gcflush experiment")
 	parallel := flag.Int("parallel", 8, "top of the alloc/kv/refstore goroutine curves / gcpause and shardedkv mutator count")
 	shards := flag.Int("shards", 4, "top of the shardedkv shard curve")
 	recoveryKeys := flag.Int("recoverykeys", 1000000, "committed keys in the shardedkv restart series")
-	jsonPath := flag.String("json", "", "write fastpath/alloc/gcpause/kv/refstore/shardedkv/telemetry rows to this JSON file")
+	jsonPath := flag.String("json", "", "write fastpath/alloc/gcpause/kv/refstore/shardedkv/telemetry/blackbox rows to this JSON file")
 	snapPath := flag.String("snapshotjson", "", "write the telemetry experiment's folded metrics snapshot to this JSON file")
+	timelinePath := flag.String("timelinejson", "", "write the blackbox experiment's decoded journal timeline to this JSON file")
 	flag.Parse()
 
 	switch *exp {
-	case "fastpath", "alloc", "gcpause", "kv", "refstore", "shardedkv", "telemetry":
+	case "fastpath", "alloc", "gcpause", "kv", "refstore", "shardedkv", "telemetry", "blackbox":
 	default:
 		if *jsonPath != "" {
-			fmt.Fprintln(os.Stderr, "espresso-bench: -json requires -exp fastpath, -exp alloc, -exp gcpause, -exp kv, -exp refstore, -exp shardedkv, or -exp telemetry")
+			fmt.Fprintln(os.Stderr, "espresso-bench: -json requires -exp fastpath, -exp alloc, -exp gcpause, -exp kv, -exp refstore, -exp shardedkv, -exp telemetry, or -exp blackbox")
 			os.Exit(2)
 		}
 	}
@@ -219,4 +222,37 @@ func main() {
 		}
 		return nil
 	})
+	run("blackbox", func() error {
+		rows, report, err := experiments.Blackbox(s)
+		if err != nil {
+			// The decoded timeline is the failure evidence — write it even
+			// (especially) when the sweep or a gate fails.
+			writeTimeline(*timelinePath, w, report)
+			return err
+		}
+		experiments.PrintBlackbox(w, rows, report)
+		writeTimeline(*timelinePath, w, report)
+		if *exp == "blackbox" {
+			return writeJSON(rows)
+		}
+		return nil
+	})
+}
+
+// writeTimeline dumps the blackbox experiment's decoded journal to path
+// (no-op when unset). Failures here are secondary to the experiment's
+// own result, so they are reported but not fatal.
+func writeTimeline(path string, w io.Writer, report experiments.BlackboxReport) {
+	if path == "" {
+		return
+	}
+	b, err := json.MarshalIndent(report, "", "  ")
+	if err == nil {
+		err = os.WriteFile(path, append(b, '\n'), 0o644)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "espresso-bench: writing timeline: %v\n", err)
+		return
+	}
+	fmt.Fprintf(w, "wrote %s\n", path)
 }

@@ -5,6 +5,13 @@
 //	heaptool -heap /path/img.pjh gc        run (or resume) a collection
 //	heaptool -heap /path/img.pjh inspect   GC-phase word, format version,
 //	                                       per-region top table
+//	heaptool -heap /path/img.pjh postmortem   decode the flight-recorder
+//	                                       journal from a (possibly
+//	                                       crashed) image: event timeline,
+//	                                       GC cycle reconstruction,
+//	                                       recovery narrative. -last N
+//	                                       bounds the timeline, -json
+//	                                       emits the raw decoded events.
 //	heaptool -addr localhost:9180 top      live metrics: poll a running
 //	                                       runtime's telemetry endpoint
 //
@@ -33,6 +40,8 @@ func main() {
 	addr := flag.String("addr", "", "telemetry endpoint for `top` (host:port of Options.TelemetryAddr)")
 	interval := flag.Duration("interval", 2*time.Second, "poll interval for `top`")
 	iters := flag.Int("n", 0, "number of `top` polls (0 = forever)")
+	lastN := flag.Int("last", 0, "`postmortem`: show only the last N timeline events (0 = all)")
+	asJSON := flag.Bool("json", false, "`postmortem`: emit the decoded timeline as JSON instead of text")
 	flag.Parse()
 	cmd := flag.Arg(0)
 	if cmd == "top" {
@@ -47,7 +56,7 @@ func main() {
 		return
 	}
 	if *path == "" || cmd == "" {
-		fmt.Fprintln(os.Stderr, "usage: heaptool -heap <image.pjh> info|verify|gc|inspect | heaptool -addr <host:port> top")
+		fmt.Fprintln(os.Stderr, "usage: heaptool -heap <image.pjh> info|verify|gc|inspect|postmortem [-last N] [-json] | heaptool -addr <host:port> top")
 		os.Exit(2)
 	}
 	dev, err := nvm.LoadFile(*path, nvm.Config{Mode: nvm.Tracked})
@@ -73,6 +82,16 @@ func main() {
 			fmt.Printf("  shard %3d    hash range [%#x, %s)\n", i, b, hi)
 		}
 		fmt.Printf("inspect the per-shard heap images (<base>-s0.pjh ...) individually\n")
+		return
+	}
+	if cmd == "postmortem" {
+		// Post-mortem decodes straight off the raw device, before (and
+		// without) pheap.Load: loading repairs a torn image in place —
+		// clearing phase words, finishing redo — which is exactly the
+		// evidence a post-mortem wants intact.
+		if err := runPostmortem(dev, *lastN, *asJSON); err != nil {
+			log.Fatal(err)
+		}
 		return
 	}
 	h, err := pheap.Load(dev, klass.NewRegistry())

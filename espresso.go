@@ -226,8 +226,18 @@ type Options struct {
 	// listen address ("localhost:9180", or ":0" to pick a free port —
 	// read it back with Runtime.TelemetryAddr). GET /metrics renders
 	// Prometheus text, GET /vars the expvar-style JSON snapshot that
-	// `heaptool top` polls. Setting it implies Telemetry.
+	// `heaptool top` polls, and /debug/pprof/* the standard Go profiles
+	// (GC pool workers and shard recovery goroutines carry pprof labels).
+	// Setting it implies Telemetry.
 	TelemetryAddr string
+	// FlightRecorder journals every heap's publication points (create,
+	// load, GC phase transitions, recovery, redo commit, PLAB handoffs,
+	// safepoint aggregates) into the NVM ring each heap image carries, so
+	// `heaptool postmortem` can reconstruct what the runtime was doing
+	// from a crashed image alone. Each event is one 64-byte line write +
+	// flush riding an already-fenced publication point: recording adds
+	// zero fences to mutator fast paths.
+	FlightRecorder bool
 }
 
 // Open boots a runtime.
@@ -250,6 +260,7 @@ func Open(opts Options) (*Runtime, error) {
 		ConcurrentGC:    opts.ConcurrentGC,
 		GCWorkers:       opts.GCWorkers,
 		Telemetry:       opts.Telemetry || opts.TelemetryAddr != "",
+		FlightRecorder:  opts.FlightRecorder,
 	})
 	if err != nil {
 		return nil, err

@@ -8,6 +8,7 @@ import (
 	"espresso/internal/layout"
 	"espresso/internal/pgc"
 	"espresso/internal/pheap"
+	"espresso/internal/telemetry/blackbox"
 )
 
 // Stop-the-world GC orchestration. The runtime supplies each collector
@@ -149,10 +150,19 @@ func (r persRoots) UpdateRoots(fwd func(layout.Ref) layout.Ref) {
 // the world means waiting out every in-flight mutator operation and
 // holding new ones at the lock — the mutator handshake. Each stop is
 // timed into the telemetry safepoint.wait histogram, so handshake delays
-// caused by long mutator ops are observable.
-type worldLocker struct{ rt *Runtime }
+// caused by long mutator ops are observable, and journaled as an
+// EvSafepoint aggregate when h carries a flight recorder (the append
+// rides the pause's first persist fence).
+type worldLocker struct {
+	rt *Runtime
+	h  *pheap.Heap
+}
 
-func (w worldLocker) StopWorld()  { w.rt.lockWorldCounted() }
+func (w worldLocker) StopWorld() {
+	wait := w.rt.lockWorldCounted()
+	w.h.FlightRecorder().Append(blackbox.EvSafepoint,
+		w.rt.spWaits.Load(), w.rt.spWaitNS.Load(), uint64(wait))
+}
 func (w worldLocker) StartWorld() { w.rt.world.Unlock() }
 
 // PersistentGC runs the crash-consistent collection of paper §4 on the
@@ -170,8 +180,10 @@ func (rt *Runtime) PersistentGC(name string) (pgc.Result, error) {
 	}
 	rt.gcMu.Lock()
 	defer rt.gcMu.Unlock()
-	rt.lockWorldCounted()
+	wait := rt.lockWorldCounted()
 	defer rt.world.Unlock()
+	h.FlightRecorder().Append(blackbox.EvSafepoint,
+		rt.spWaits.Load(), rt.spWaitNS.Load(), uint64(wait))
 	return pgc.Collect(h, persRoots{rt, h})
 }
 
@@ -195,7 +207,7 @@ func (rt *Runtime) PersistentGCConcurrentWorkers(name string, workers int) (pgc.
 	}
 	rt.gcMu.Lock()
 	defer rt.gcMu.Unlock()
-	return pgc.CollectConcurrentWorkers(h, persRoots{rt, h}, worldLocker{rt}, workers)
+	return pgc.CollectConcurrentWorkers(h, persRoots{rt, h}, worldLocker{rt, h}, workers)
 }
 
 // gcWorkers resolves Config.GCWorkers: zero or negative means

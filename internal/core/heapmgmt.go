@@ -6,6 +6,7 @@ import (
 	"espresso/internal/layout"
 	"espresso/internal/pgc"
 	"espresso/internal/pheap"
+	"espresso/internal/telemetry/blackbox"
 )
 
 // The five heap-management APIs of paper Table 1, plus Sync/Unload
@@ -33,6 +34,13 @@ func (rt *Runtime) CreateHeap(name string, size int) (*pheap.Heap, error) {
 	}
 	if err := rt.mgr.Register(name, h.Device()); err != nil {
 		return nil, err
+	}
+	if rt.cfg.FlightRecorder {
+		if _, err := h.EnableFlightRecorder(); err != nil {
+			return nil, fmt.Errorf("core: flight recorder on %q: %w", name, err)
+		}
+		h.FlightRecorder().Append(blackbox.EvHeapCreate,
+			uint64(h.Geo().DataSize), uint64(h.Geo().DataRegions()), h.FormatVersion())
 	}
 	rt.attach(h)
 	return h, nil
@@ -84,6 +92,23 @@ func (rt *Runtime) LoadHeap(name string) (*pheap.Heap, error) {
 		if err := h.Rebase(rt.reserveBase()); err != nil {
 			return nil, fmt.Errorf("core: remapping %q away from %q: %w", name, clash.Name(), err)
 		}
+	}
+	// The flight recorder attaches before recovery runs so the recovery
+	// narrative itself lands in the journal — the whole point of a black
+	// box is seeing what happened around the crash.
+	if rt.cfg.FlightRecorder {
+		if _, err := h.EnableFlightRecorder(); err != nil {
+			return nil, fmt.Errorf("core: flight recorder on %q: %w", name, err)
+		}
+		fr := h.FlightRecorder()
+		if from := h.UpgradedFrom(); from != 0 {
+			fr.Append(blackbox.EvFormatUpgrade, from, h.FormatVersion(), 0)
+		}
+		active := uint64(0)
+		if h.GCActive() {
+			active = 1
+		}
+		fr.Append(blackbox.EvHeapLoad, h.GlobalTS(), active, uint64(h.GCPhase()))
 	}
 	// Crash recovery (paper §4.3) runs before the heap is used. A
 	// persisted concurrent-mark phase with gcActive clear means the crash

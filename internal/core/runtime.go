@@ -93,6 +93,14 @@ type Config struct {
 	// fast paths still take no lock, fence, or device op — counts are
 	// owner-local stores folded only when a snapshot asks.
 	Telemetry bool
+	// FlightRecorder enables the NVM-persisted event journal on every heap
+	// this runtime creates or loads: GC phase transitions, safepoint
+	// aggregates, recovery steps, redo commits, and PLAB handoffs are
+	// appended to a per-heap ring that survives crashes and is decoded by
+	// `heaptool postmortem`. Appends happen only at already-fenced
+	// publication points (one line write + flush each, never a fence), so
+	// mutator fast paths gain zero fences.
+	FlightRecorder bool
 }
 
 // Runtime is one simulated JVM instance.
@@ -161,6 +169,12 @@ type Runtime struct {
 	// registration, the collectors emit phase spans, and the safepoint
 	// machinery times pause handshakes.
 	tel *telemetry.Registry
+
+	// Safepoint aggregates for the flight recorder's EvSafepoint events:
+	// pauses begun and total stop-the-world wait. Kept on the runtime (not
+	// per heap) because the safepoint domain is the runtime.
+	spWaits  atomic.Uint64
+	spWaitNS atomic.Uint64
 }
 
 // StringKlassName is the name of the built-in string class (a packed byte
@@ -205,15 +219,24 @@ func (rt *Runtime) Metrics() telemetry.Snapshot { return rt.tel.Snapshot() }
 // lockWorldCounted acquires the safepoint write lock — the collector
 // pause handshake — timing how long the world took to stop (mutators
 // drain their in-flight ops) and recording it as a safepoint.wait span.
-func (rt *Runtime) lockWorldCounted() {
-	if rt.tel == nil {
+// It returns the wait so the flight recorder can journal the stop; the
+// runtime-level aggregates feed the same EvSafepoint event. With neither
+// telemetry nor the recorder enabled it is just the lock.
+func (rt *Runtime) lockWorldCounted() time.Duration {
+	if rt.tel == nil && !rt.cfg.FlightRecorder {
 		rt.world.Lock()
-		return
+		return 0
 	}
 	start := time.Now()
 	rt.world.Lock()
-	rt.tel.RecordSpan(telemetry.SpanSafepoint, -1, -1, start, time.Since(start))
-	rt.tel.Shared().AtomicInc(telemetry.CtrSafepointWaits)
+	wait := time.Since(start)
+	rt.spWaits.Add(1)
+	rt.spWaitNS.Add(uint64(wait))
+	if rt.tel != nil {
+		rt.tel.RecordSpan(telemetry.SpanSafepoint, -1, -1, start, wait)
+		rt.tel.Shared().AtomicInc(telemetry.CtrSafepointWaits)
+	}
+	return wait
 }
 
 // SafepointPin exposes the runtime's safepoint read lock as a Pin/Unpin

@@ -31,11 +31,15 @@ const (
 	// SubRecovery is crash recovery: redo replay, index recovery pruning,
 	// shard reopen scans.
 	SubRecovery
+	// SubBlackbox is the NVM flight recorder: event-journal appends into
+	// the per-heap ring region (one line write + flush per event, no
+	// fence — appends ride the publication fence of the emitting site).
+	SubBlackbox
 
 	NumSubsystems int = iota
 )
 
-var subsystemNames = [...]string{"other", "alloc", "refstore", "index", "gc", "redo", "recovery"}
+var subsystemNames = [...]string{"other", "alloc", "refstore", "index", "gc", "redo", "recovery", "blackbox"}
 
 func (s Subsystem) String() string {
 	if s >= 0 && int(s) < len(subsystemNames) {

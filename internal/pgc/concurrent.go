@@ -8,6 +8,7 @@ import (
 	"espresso/internal/pgc/concurrent"
 	"espresso/internal/pheap"
 	"espresso/internal/telemetry"
+	"espresso/internal/telemetry/blackbox"
 )
 
 // World is the mutator-handshake hook the concurrent collector pauses
@@ -96,6 +97,7 @@ func CollectConcurrentWorkers(h *pheap.Heap, ext Rooter, w World, workers int) (
 	dev := h.Device()
 	statsBefore := dev.Stats()
 	tel := h.Telemetry() // nil when telemetry is disabled; every method no-ops
+	fr := h.FlightRecorder()
 	var pauseStats nvm.Stats
 
 	// Phase 1: initial handshake.
@@ -112,6 +114,7 @@ func CollectConcurrentWorkers(h *pheap.Heap, ext Rooter, w World, workers int) (
 	roots := heapRoots(h, ext)
 	h.BeginConcurrentMark(snap)
 	h.SetGCPhase(pheap.GCPhaseConcurrentMark)
+	fr.Append(blackbox.EvGCBegin, 1, h.GlobalTS(), 0)
 	pauseStats = pauseStats.Add(dev.Stats().Sub(p1Before))
 	pause1 := time.Since(pause1Start)
 	w.StartWorld()
@@ -125,6 +128,7 @@ func CollectConcurrentWorkers(h *pheap.Heap, ext Rooter, w World, workers int) (
 		w.StopWorld()
 		h.EndConcurrentMark()
 		h.SetGCPhase(pheap.GCPhaseIdle)
+		fr.Append(blackbox.EvGCAbort, h.GlobalTS(), 0, 0)
 		w.StartWorld()
 		return Result{}, err
 	}
@@ -153,6 +157,7 @@ func CollectConcurrentWorkers(h *pheap.Heap, ext Rooter, w World, workers int) (
 	p2Before := dev.Stats()
 	finalErr := func(err error) (Result, error) {
 		h.SetGCPhase(pheap.GCPhaseIdle)
+		fr.Append(blackbox.EvGCAbort, h.GlobalTS(), 0, 0)
 		w.StartWorld()
 		return Result{}, err
 	}
@@ -167,6 +172,7 @@ func CollectConcurrentWorkers(h *pheap.Heap, ext Rooter, w World, workers int) (
 	liveObjects, liveBytes := mk.Counts()
 	h.PersistMarkBitmapUsed()
 	h.RegionBitmap().Persist()
+	fr.Append(blackbox.EvGCMarkDone, uint64(liveObjects), uint64(liveBytes), 0)
 
 	// From here the tail is the STW collector's: stamp, summarize,
 	// compact, finish. The phase word retires once gcActive carries the
@@ -175,6 +181,7 @@ func CollectConcurrentWorkers(h *pheap.Heap, ext Rooter, w World, workers int) (
 	cur := h.GlobalTS() + 1
 	h.SetGCState(cur, true)
 	h.SetGCPhase(pheap.GCPhaseIdle)
+	fr.Append(blackbox.EvGCStamp, cur, uint64(liveObjects), uint64(liveBytes))
 	sumStart := time.Now()
 	s, err := Summarize(h)
 	if err != nil {
@@ -195,6 +202,7 @@ func CollectConcurrentWorkers(h *pheap.Heap, ext Rooter, w World, workers int) (
 	compactStart := time.Now()
 	cr := compact(h, s, cur, buildCleanCards(s, mk.MaxOutgoing(), dirtyRegions), workers)
 	compactTime := time.Since(compactStart)
+	fr.Append(blackbox.EvGCCompactDone, uint64(s.MovedObjects), uint64(s.MovedBytes), 0)
 	redoBefore := dev.Stats()
 	redoStart := time.Now()
 	finish(h, s, cr.topEntries)
@@ -202,6 +210,8 @@ func CollectConcurrentWorkers(h *pheap.Heap, ext Rooter, w World, workers int) (
 	redoTime := time.Since(redoStart)
 	ext.UpdateRoots(s.Forward)
 	h.SetFreeHoles(cr.holes)
+	fr.Append(blackbox.EvGCEnd, uint64(s.LiveObjects), uint64(s.MovedObjects), uint64(s.NewTop))
+	snapCounters(h, fr)
 	pauseStats = pauseStats.Add(dev.Stats().Sub(p2Before))
 	pause2 := time.Since(pause2Start)
 	w.StartWorld()

@@ -8,7 +8,24 @@ import (
 	"espresso/internal/nvm"
 	"espresso/internal/pheap"
 	"espresso/internal/telemetry"
+	"espresso/internal/telemetry/blackbox"
 )
+
+// snapCounters journals a folded-counter snapshot at the end of a cycle
+// (rate context for post-mortems: how much work the process had done by
+// this point in the timeline). No-op without both a recorder and a
+// registry.
+func snapCounters(h *pheap.Heap, fr *blackbox.Recorder) {
+	tel := h.Telemetry()
+	if fr == nil || tel == nil {
+		return
+	}
+	snap := tel.Snapshot()
+	fr.Append(blackbox.EvCounterSnap,
+		snap.Counter(telemetry.CtrAllocObjects.Name()),
+		snap.Counter(telemetry.CtrRefStores.Name()),
+		snap.Counter(telemetry.CtrIndexPuts.Name()))
+}
 
 // Result reports what a collection (or recovery) did.
 type Result struct {
@@ -90,6 +107,8 @@ func Collect(h *pheap.Heap, ext Rooter) (Result, error) {
 	// the volatile bump state loses nothing; the finish step republishes
 	// all region tops from the summary.
 	h.PrepareForCollection()
+	fr := h.FlightRecorder()
+	fr.Append(blackbox.EvGCBegin, 0, h.GlobalTS(), 0)
 
 	// Phase 1: mark, then persist both bitmaps. The mark bitmap is the
 	// pre-collection sketch of the heap; the cleared region bitmap must be
@@ -104,11 +123,13 @@ func Collect(h *pheap.Heap, ext Rooter) (Result, error) {
 	markTime := time.Since(markStart)
 	h.PersistMarkBitmapUsed()
 	h.RegionBitmap().Persist()
+	fr.Append(blackbox.EvGCMarkDone, uint64(liveObjects), uint64(liveBytes), 0)
 
 	// Phase 2: stamp the heap mid-collection (timestamp first, flag second;
 	// see pheap.SetGCState for why the order matters).
 	cur := h.GlobalTS() + 1
 	h.SetGCState(cur, true)
+	fr.Append(blackbox.EvGCStamp, cur, uint64(liveObjects), uint64(liveBytes))
 
 	// Phase 3: summary — idempotent, derived from the bitmap alone.
 	sumStart := time.Now()
@@ -134,6 +155,7 @@ func Collect(h *pheap.Heap, ext Rooter) (Result, error) {
 	compactStart := time.Now()
 	cr := compact(h, s, cur, buildCleanCards(s, mk.MaxOutgoing(), nil), 1)
 	compactTime := time.Since(compactStart)
+	fr.Append(blackbox.EvGCCompactDone, uint64(s.MovedObjects), uint64(s.MovedBytes), 0)
 
 	// Phase 5: finish atomically via the redo log, then patch DRAM roots
 	// and hand the filler-covered gaps back to the allocator.
@@ -144,6 +166,8 @@ func Collect(h *pheap.Heap, ext Rooter) (Result, error) {
 	redoTime := time.Since(redoStart)
 	ext.UpdateRoots(s.Forward)
 	h.SetFreeHoles(cr.holes)
+	fr.Append(blackbox.EvGCEnd, uint64(s.LiveObjects), uint64(s.MovedObjects), uint64(s.NewTop))
+	snapCounters(h, fr)
 
 	stats := h.Device().Stats().Sub(statsBefore)
 	// Phase timeline + device attribution. The world is stopped for the
@@ -268,6 +292,8 @@ func Recover(h *pheap.Heap) (Result, error) {
 	start := time.Now()
 	statsBefore := h.Device().Stats()
 	h.PrepareForCollection()
+	fr := h.FlightRecorder()
+	fr.Append(blackbox.EvRecoveryGCBegin, h.GlobalTS(), 1, 0)
 	s, err := Summarize(h)
 	if err != nil {
 		return Result{}, fmt.Errorf("pgc: recovery summary: %w", err)
@@ -287,6 +313,7 @@ func Recover(h *pheap.Heap) (Result, error) {
 	}
 	finish(h, s, cr.topEntries)
 	h.SetFreeHoles(cr.holes)
+	fr.Append(blackbox.EvRecoveryGCEnd, uint64(s.LiveObjects), uint64(s.MovedObjects), uint64(s.NewTop))
 	stats := h.Device().Stats().Sub(statsBefore)
 	// The whole replay is one recovery event: one span, all device
 	// traffic attributed to the recovery subsystem.

@@ -1,13 +1,21 @@
 package pgc
 
-import "sync"
+import (
+	"context"
+	"runtime/pprof"
+	"strconv"
+	"sync"
+)
 
 // runShards runs fn(worker) once per worker, worker 0 on the calling
 // goroutine and the rest on their own. It returns after every worker
 // finished; the first panic any worker raised is re-raised on the caller
 // once all have joined, so a device crash-injection hook firing on a
 // worker goroutine unwinds the collector exactly as it would
-// single-threaded. With workers=1 no goroutine is spawned.
+// single-threaded. With workers=1 no goroutine is spawned (and no pprof
+// label is applied — the serial path stays allocation-free). Pool
+// workers run under a gc-worker pprof label so CPU profiles attribute
+// mark/fix time to the right worker.
 func runShards(workers int, fn func(worker int)) {
 	if workers <= 1 {
 		fn(0)
@@ -28,7 +36,9 @@ func runShards(workers int, fn func(worker int)) {
 				mu.Unlock()
 			}
 		}()
-		fn(w)
+		pprof.Do(context.Background(), pprof.Labels("gc-worker", strconv.Itoa(w)), func(context.Context) {
+			fn(w)
+		})
 	}
 	wg.Add(workers - 1)
 	for w := 1; w < workers; w++ {

@@ -7,6 +7,7 @@ import (
 	"espresso/internal/layout"
 	"espresso/internal/nvm"
 	"espresso/internal/telemetry"
+	"espresso/internal/telemetry/blackbox"
 )
 
 // Crash-consistent allocation (paper §4.1), scaled out with persistent
@@ -374,12 +375,17 @@ func (h *Heap) dispense(size int, cell *telemetry.Cell) (region, cur int, err er
 			}
 			cur = aligned
 		}
+		// Journal the handoff: one line write + flush, no fence — the
+		// record rides the new owner's first object-persist fence.
+		h.fr.Append(blackbox.EvPLABHandoff, uint64(r), uint64(cur), uint64(start+layout.RegionSize-cur))
 		return r, cur, nil
 	}
 	if next := h.geo.DataOff + (h.frontier+1)*layout.RegionSize; next <= h.dataLimit() {
 		r := h.frontier
 		h.frontier++
-		return r, h.geo.DataOff + r*layout.RegionSize, nil
+		cur := h.geo.DataOff + r*layout.RegionSize
+		h.fr.Append(blackbox.EvPLABHandoff, uint64(r), uint64(cur), uint64(layout.RegionSize))
+		return r, cur, nil
 	}
 	return 0, 0, ErrOutOfMemory
 }

@@ -69,6 +69,93 @@ func TestLoadV2ImageUpgradesInPlace(t *testing.T) {
 	}
 }
 
+// TestLoadV3ImageNoRing: a genuine pre-v4 image — version 3, zero
+// padding where the ring coordinates now live — upgrades in place to a
+// ring-less v4: the flight recorder stays absent (EnableFlightRecorder
+// is a no-op), BlackboxRegion refuses it, and the heap works.
+func TestLoadV3ImageNoRing(t *testing.T) {
+	reg := klass.NewRegistry()
+	h, err := Create(reg, Config{DataSize: 1 << 20, Mode: nvm.Tracked})
+	if err != nil {
+		t.Fatal(err)
+	}
+	node, err := reg.Define(klass.MustInstance("compat/V3Node", nil,
+		klass.Field{Name: "id", Type: layout.FTLong},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := h.Alloc(node, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.SetWord(ref, layout.FieldOff(0), 99)
+	if err := h.SetRoot("keep", ref); err != nil {
+		t.Fatal(err)
+	}
+
+	// Forge v3: old version, and the blackbox words back to the zero
+	// padding a real v3 image carries. (The ring bytes are still
+	// physically present in the layout, but an unadvertised ring is no
+	// ring — the metadata is the manifest.)
+	dev := h.Device()
+	dev.WriteU64(mVersion, heapVersionGCPhase)
+	dev.WriteU64(mBlackboxOff, 0)
+	dev.WriteU64(mBlackboxSize, 0)
+	dev.FlushAll()
+	img := dev.CrashImage(nvm.CrashFlushedOnly, 0)
+
+	rawDev := nvm.FromImage(img, nvm.Config{Mode: nvm.Tracked})
+	if _, _, err := BlackboxRegion(rawDev); err == nil {
+		t.Fatal("BlackboxRegion accepted a pre-recorder image")
+	}
+
+	dev2 := nvm.FromImage(img, nvm.Config{Mode: nvm.Tracked})
+	h2, err := Load(dev2, klass.NewRegistry())
+	if err != nil {
+		t.Fatalf("v3 image did not load: %v", err)
+	}
+	if got := dev2.ReadU64(mVersion); got != heapVersion {
+		t.Fatalf("version after load = %d, want %d", got, heapVersion)
+	}
+	if h2.UpgradedFrom() != heapVersionGCPhase {
+		t.Fatalf("UpgradedFrom = %d, want %d", h2.UpgradedFrom(), heapVersionGCPhase)
+	}
+	if h2.Geo().BlackboxSize != 0 {
+		t.Fatalf("upgraded image grew a ring: %+v", h2.Geo())
+	}
+	r, err := h2.EnableFlightRecorder()
+	if err != nil {
+		t.Fatalf("EnableFlightRecorder on ring-less heap: %v", err)
+	}
+	if r != nil {
+		t.Fatal("ring-less heap returned a recorder")
+	}
+	// Nil-recorder appends are free no-ops; the heap itself still works.
+	h2.FlightRecorder().Append(1, 2, 3, 4)
+	got, ok := h2.GetRoot("keep")
+	if !ok {
+		t.Fatal("root lost across upgrade")
+	}
+	if v := h2.GetWord(got, layout.FieldOff(0)); v != 99 {
+		t.Fatalf("payload = %d, want 99", v)
+	}
+	if _, err := h2.Alloc(node2(t, h2), 0); err != nil {
+		t.Fatalf("alloc on upgraded heap: %v", err)
+	}
+}
+
+func node2(t *testing.T, h *Heap) *klass.Klass {
+	t.Helper()
+	k, err := h.Registry().Define(klass.MustInstance("compat/V3Node2", nil,
+		klass.Field{Name: "id", Type: layout.FTLong},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
 // TestLoadRejectsCorruptPhaseWord: an out-of-range phase word is a
 // corrupt image, not a silently-misread one.
 func TestLoadRejectsCorruptPhaseWord(t *testing.T) {

@@ -27,6 +27,7 @@ import (
 	"espresso/internal/layout"
 	"espresso/internal/nvm"
 	"espresso/internal/telemetry"
+	"espresso/internal/telemetry/blackbox"
 )
 
 const (
@@ -35,8 +36,14 @@ const (
 	// retired the single global top word. Version 3 added the GC-phase
 	// word in what was metadata padding, so v2 images (where that word
 	// reads zero = idle) load unchanged and are upgraded in place.
-	heapVersion     = 3
-	heapVersionPLAB = 2
+	// Version 4 added the flight-recorder ring (two metadata words, still
+	// inside the padded metadata block, plus a carve-out between the Klass
+	// segment and the data heap on freshly created heaps); v2/v3 images
+	// upgrade in place with a zero-sized ring — their geometry has no room
+	// for one — and simply run without a recorder.
+	heapVersion        = 4
+	heapVersionGCPhase = 3
+	heapVersionPLAB    = 2
 )
 
 // GC-phase word values (mGCPhase). The phase word records that a
@@ -83,7 +90,9 @@ const (
 	mRegionTopOff  = 192
 	mRegionTopSize = 200
 	mGCPhase       = 208 // v3; zero padding in v2 images, so idle by construction
-	metadataBytes  = 216
+	mBlackboxOff   = 216 // v4; zero in upgraded pre-v4 images (no ring)
+	mBlackboxSize  = 224 // v4; zero = no flight-recorder ring
+	metadataBytes  = 232
 )
 
 // Config sizes a new heap. Zero values select defaults.
@@ -104,6 +113,12 @@ type Config struct {
 	NameTabCap int
 	// ArenaSize caps the name-string arena. Default 256 KB.
 	ArenaSize int
+	// BlackboxSize sizes the flight-recorder event ring (header + 64-byte
+	// records). Default 64 KB (1023 records). The ring is always carved
+	// and formatted — recording is enabled separately — so a heap image
+	// can be post-mortemed regardless of how the writing process was
+	// configured.
+	BlackboxSize int
 	// Mode and WriteLatency configure the backing nvm.Device.
 	Mode         nvm.Mode
 	WriteLatency time.Duration
@@ -125,6 +140,9 @@ func (c *Config) fillDefaults() {
 	if c.ArenaSize == 0 {
 		c.ArenaSize = 256 << 10
 	}
+	if c.BlackboxSize == 0 {
+		c.BlackboxSize = 64 << 10
+	}
 }
 
 // Geometry is the resolved component layout of a heap image.
@@ -136,6 +154,7 @@ type Geometry struct {
 	RegionBmpOff, RegionBmpSize int
 	RegionTopOff, RegionTopSize int
 	KsegOff, KsegSize           int
+	BlackboxOff, BlackboxSize   int // flight-recorder ring; size 0 = absent
 	DataOff, DataSize           int // includes the scratch region
 	ScratchOff                  int
 }
@@ -248,6 +267,16 @@ type Heap struct {
 	// embedding runtime before mutators run; allocators created earlier
 	// (the default allocator) simply carry nil cells.
 	tel *telemetry.Registry
+
+	// fr is the NVM flight recorder (nil = disabled; Append on nil
+	// no-ops, so emission sites never branch). Installed once by
+	// EnableFlightRecorder before mutators run.
+	fr *blackbox.Recorder
+
+	// upgradedFrom records an in-place format upgrade performed by this
+	// Load (0 = image was already current), so the embedding runtime can
+	// journal it once the recorder is attached.
+	upgradedFrom uint64
 }
 
 func align(n, a int) int { return (n + a - 1) &^ (a - 1) }
@@ -281,6 +310,9 @@ func Create(reg *klass.Registry, cfg Config) (*Heap, error) {
 	geo.KsegOff = off
 	geo.KsegSize = align(cfg.KsegSize, 64)
 	off += geo.KsegSize
+	geo.BlackboxOff = off
+	geo.BlackboxSize = align(cfg.BlackboxSize, 64)
+	off += geo.BlackboxSize
 	off = align(off, layout.RegionSize)
 	geo.DataOff = off
 	geo.DataSize = dataSize
@@ -322,8 +354,14 @@ func Create(reg *klass.Registry, cfg Config) (*Heap, error) {
 	dev.WriteU64(mRegionTopOff, uint64(geo.RegionTopOff))
 	dev.WriteU64(mRegionTopSize, uint64(geo.RegionTopSize))
 	dev.WriteU64(mGCPhase, GCPhaseIdle)
+	dev.WriteU64(mBlackboxOff, uint64(geo.BlackboxOff))
+	dev.WriteU64(mBlackboxSize, uint64(geo.BlackboxSize))
 	dev.Flush(0, metadataBytes)
 	dev.Fence()
+	// Ring header after the metadata that points at it (manifest-first).
+	if err := blackbox.Format(dev, geo.BlackboxOff, geo.BlackboxSize); err != nil {
+		return nil, err
+	}
 	h.globalTS.Store(1)
 
 	// Every heap carries the filler classes so allocation gaps parse.
@@ -352,17 +390,27 @@ func Load(dev *nvm.Device, reg *klass.Registry) (*Heap, error) {
 		return nil, fmt.Errorf("pheap: bad heap magic")
 	}
 	v := dev.ReadU64(mVersion)
-	if v != heapVersion && v != heapVersionPLAB {
+	if v < heapVersionPLAB || v > heapVersion {
 		return nil, fmt.Errorf("pheap: unsupported heap version %d", v)
 	}
-	if v == heapVersionPLAB {
-		// v2 → v3 upgrade in place: the phase word lives in what v2 kept
-		// as zero metadata padding (geometry is unchanged), so stamping
-		// the slot idle and bumping the version is the whole migration.
-		dev.WriteU64(mGCPhase, GCPhaseIdle)
+	upgradedFrom := uint64(0)
+	if v < heapVersion {
+		// In-place upgrade: every word added since v2 lives in what older
+		// versions kept as zero metadata padding, so the component
+		// geometry is unchanged. v2 gains the GC-phase word (stamped
+		// idle); pre-v4 images gain zero-sized flight-recorder ring
+		// coordinates — their layout has no ring region, so the recorder
+		// simply stays absent.
+		if v == heapVersionPLAB {
+			dev.WriteU64(mGCPhase, GCPhaseIdle)
+		}
+		// mBlackboxOff/Size are left as read: genuine pre-v4 images have
+		// zero padding there (= no ring), and a forged-downgrade image
+		// that physically carries a ring keeps it.
 		dev.WriteU64(mVersion, heapVersion)
 		dev.Flush(0, metadataBytes)
 		dev.Fence()
+		upgradedFrom = v
 	}
 	if p := dev.ReadU64(mGCPhase); p > GCPhaseConcurrentMark {
 		return nil, fmt.Errorf("pheap: corrupt GC-phase word %d", p)
@@ -378,18 +426,20 @@ func Load(dev *nvm.Device, reg *klass.Registry) (*Heap, error) {
 		RegionBmpOff: int(dev.ReadU64(mRegionBmpOff)), RegionBmpSize: int(dev.ReadU64(mRegionBmpSize)),
 		RegionTopOff: int(dev.ReadU64(mRegionTopOff)), RegionTopSize: int(dev.ReadU64(mRegionTopSize)),
 		KsegOff: int(dev.ReadU64(mKsegOff)), KsegSize: int(dev.ReadU64(mKsegSize)),
+		BlackboxOff: int(dev.ReadU64(mBlackboxOff)), BlackboxSize: int(dev.ReadU64(mBlackboxSize)),
 		DataOff: int(dev.ReadU64(mDataOff)), DataSize: int(dev.ReadU64(mDataSize)),
 		ScratchOff: int(dev.ReadU64(mScratchOff)),
 	}
 	h := &Heap{
 		dev: dev, reg: reg,
-		base:       layout.Ref(dev.ReadU64(mAddressHint)),
-		geo:        geo,
-		ksegUsed:   int(dev.ReadU64(mKsegUsed)),
-		arenaUsed:  int(dev.ReadU64(mArenaUsed)),
-		regionTops: make([]atomic.Int64, geo.Regions()),
-		segByAddr:  make(map[layout.Ref]*klass.Klass),
-		segByName:  make(map[string]layout.Ref),
+		base:         layout.Ref(dev.ReadU64(mAddressHint)),
+		geo:          geo,
+		upgradedFrom: upgradedFrom,
+		ksegUsed:     int(dev.ReadU64(mKsegUsed)),
+		arenaUsed:    int(dev.ReadU64(mArenaUsed)),
+		regionTops:   make([]atomic.Int64, geo.Regions()),
+		segByAddr:    make(map[layout.Ref]*klass.Klass),
+		segByName:    make(map[string]layout.Ref),
 	}
 	h.globalTS.Store(dev.ReadU64(mGlobalTS))
 	h.gcActive.Store(dev.ReadU64(mGCActive) != 0)
@@ -438,12 +488,67 @@ func (h *Heap) Device() *nvm.Device { return h.dev }
 // recording. The default allocator predates installation and keeps a nil
 // cell — its traffic stays unattributed, which is the honest reading of
 // facade-routed allocations.
-func (h *Heap) SetTelemetry(r *telemetry.Registry) { h.tel = r }
+func (h *Heap) SetTelemetry(r *telemetry.Registry) {
+	h.tel = r
+	h.fr.SetTelemetry(r)
+}
 
 // Telemetry returns the heap's registry (nil when disabled). All registry
 // and cell methods are nil-receiver-safe, so callers thread the result
 // without branching.
 func (h *Heap) Telemetry() *telemetry.Registry { return h.tel }
+
+// EnableFlightRecorder attaches the heap's NVM event journal for
+// appending. Call before mutators run (and before GC recovery, so
+// recovery steps are journaled). Returns (nil, nil) when the image
+// carries no ring — pre-v4 images upgraded in place — which simply
+// leaves the recorder disabled. Idempotent.
+func (h *Heap) EnableFlightRecorder() (*blackbox.Recorder, error) {
+	if h.fr != nil {
+		return h.fr, nil
+	}
+	if h.geo.BlackboxSize == 0 {
+		return nil, nil
+	}
+	r, err := blackbox.Attach(h.dev, h.geo.BlackboxOff, h.geo.BlackboxSize)
+	if err != nil {
+		return nil, fmt.Errorf("pheap: flight recorder: %w", err)
+	}
+	r.SetTelemetry(h.tel)
+	h.fr = r
+	return r, nil
+}
+
+// FlightRecorder returns the heap's recorder (nil when disabled). All
+// recorder methods are nil-receiver-safe, so callers append without
+// branching.
+func (h *Heap) FlightRecorder() *blackbox.Recorder { return h.fr }
+
+// UpgradedFrom reports the format version this Load upgraded the image
+// from, or 0 if it was already current.
+func (h *Heap) UpgradedFrom() uint64 { return h.upgradedFrom }
+
+// BlackboxRegion locates the flight-recorder ring on a raw heap image
+// without loading (or mutating) the heap — Load would apply redo
+// batches, plug regions, and upgrade formats, all wrong for a crashed
+// image being post-mortemed. Only the magic, version, and ring
+// coordinates are read.
+func BlackboxRegion(dev *nvm.Device) (off, size int, err error) {
+	if dev.Size() < metadataBytes {
+		return 0, 0, fmt.Errorf("pheap: image too small")
+	}
+	if dev.ReadU64(mMagic) != heapMagic {
+		return 0, 0, fmt.Errorf("pheap: bad heap magic")
+	}
+	if v := dev.ReadU64(mVersion); v < heapVersion {
+		return 0, 0, fmt.Errorf("pheap: image format v%d predates the flight recorder (v%d)", v, heapVersion)
+	}
+	off, size = int(dev.ReadU64(mBlackboxOff)), int(dev.ReadU64(mBlackboxSize))
+	if size == 0 {
+		return 0, 0, fmt.Errorf("pheap: image carries no flight-recorder ring (upgraded from an older format)")
+	}
+	return off, size, nil
+}
 
 // Registry returns the klass registry this heap resolves against.
 func (h *Heap) Registry() *klass.Registry { return h.reg }

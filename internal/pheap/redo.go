@@ -1,5 +1,7 @@
 package pheap
 
+import "espresso/internal/telemetry/blackbox"
+
 // The metadata redo log makes a batch of metadata updates atomic: the GC's
 // finish step (rewrite forwarded root addresses, set the new top, clear
 // the gcActive flag) must happen all-or-nothing, or a crash between the
@@ -46,6 +48,9 @@ func (h *Heap) RedoCommit(entries []RedoEntry) {
 	h.dev.WriteU64(base, 1)
 	h.dev.Flush(base, 16)
 	h.dev.Fence()
+	// Journal after the commit fence: the batch is durable, and the
+	// record rides the apply step's trailing fence.
+	h.fr.Append(blackbox.EvRedoCommit, uint64(len(entries)), 0, 0)
 }
 
 // RedoPending reports whether a committed, unapplied log exists.

@@ -8,6 +8,7 @@ import (
 	"espresso/internal/nvm"
 	"espresso/internal/pheap"
 	"espresso/internal/telemetry"
+	"espresso/internal/telemetry/blackbox"
 )
 
 // RecoverStats reports what a recovery pass repaired.
@@ -117,5 +118,9 @@ func recoverLocked(h *pheap.Heap, name string, ix *Index) (RecoverStats, error) 
 		lastSort, lastKey = cs, ck
 		prev = curr
 	}
+	// Journal the walk's verdict. Every repair above ended in its own
+	// flush; the append needs no fence of its own.
+	h.FlightRecorder().Append(blackbox.EvRecoveryIndex,
+		uint64(st.Entries), uint64(st.Pruned), uint64(st.DirtyCleared))
 	return st, nil
 }

@@ -12,6 +12,7 @@ import (
 	"espresso/internal/pheap"
 	"espresso/internal/pindex"
 	"espresso/internal/telemetry"
+	"espresso/internal/telemetry/blackbox"
 )
 
 // IndexRootName is the per-shard pindex root name. Every shard carries
@@ -54,6 +55,12 @@ type Options struct {
 	// Set.Metrics — aggregated. Off by default: the disabled state is a
 	// nil registry, which costs instrumented paths nothing.
 	Telemetry bool
+	// FlightRecorder enables the per-shard NVM flight recorder: each
+	// shard's heap journals its publication points (open, recovery, GC)
+	// into the ring its image always carries, and Set.FlightTimelines
+	// decodes them post-mortem. Off by default; the disabled state is a
+	// nil recorder, which appends nothing.
+	FlightRecorder bool
 }
 
 func (o *Options) fillDefaults() error {
@@ -203,6 +210,11 @@ func (s *Set) createShard(i int) error {
 	if s.opts.Telemetry {
 		h.SetTelemetry(telemetry.New())
 	}
+	if s.opts.FlightRecorder {
+		if _, err := h.EnableFlightRecorder(); err != nil {
+			return fmt.Errorf("pshard: shard %d flight recorder: %w", i, err)
+		}
+	}
 	if err := s.store.Register(name, h.Device()); err != nil {
 		return err
 	}
@@ -211,6 +223,7 @@ func (s *Set) createShard(i int) error {
 		return fmt.Errorf("pshard: shard %d: %w", i, err)
 	}
 	sh.rec.Created = true
+	h.FlightRecorder().Append(blackbox.EvShardOpen, uint64(i), 0, 0)
 	s.shards[i] = sh
 	return nil
 }
@@ -255,9 +268,15 @@ func (s *Set) recoverShard(i int) error {
 	h.SetName(name)
 	// The registry attaches before recovery so the pgc and pindex
 	// recovery spans (and their device attribution) land in this shard's
-	// telemetry, not nowhere.
+	// telemetry, not nowhere. Same for the flight recorder: recovery
+	// events are the journal's reason to exist.
 	if s.opts.Telemetry {
 		h.SetTelemetry(telemetry.New())
+	}
+	if s.opts.FlightRecorder {
+		if _, err := h.EnableFlightRecorder(); err != nil {
+			return fmt.Errorf("pshard: shard %d flight recorder: %w", i, err)
+		}
 	}
 	_, gcRecovered, err := pgc.RecoverIfNeeded(h)
 	if err != nil {
@@ -273,6 +292,12 @@ func (s *Set) recoverShard(i int) error {
 		Dev:         dev.Stats().Sub(s0),
 		Index:       sh.ix.LastRecovery(),
 	}
+	recovered := uint64(0)
+	if gcRecovered {
+		recovered = 1
+	}
+	h.FlightRecorder().Append(blackbox.EvShardOpen,
+		uint64(i), recovered, uint64(sh.rec.Index.Entries))
 	h.Telemetry().RecordSpan(telemetry.SpanShardRecover, i, -1, t0, time.Since(t0))
 	s.shards[i] = sh
 	return nil
@@ -349,6 +374,32 @@ func (s *Set) Metrics() telemetry.Snapshot {
 	return agg
 }
 
+// FlightTimelines decodes every shard's flight-recorder ring into one
+// merged, sequence-preserving view: each shard's timeline is returned in
+// shard order, with every event re-tagged with its shard index (the
+// on-media records carry no shard — the device identifies the shard, and
+// the re-tag keeps that identity once timelines leave their devices).
+// Decoding is read-only and works whether or not recording was enabled
+// this run; an all-zero ring simply decodes to an empty timeline.
+func (s *Set) FlightTimelines() ([]blackbox.Timeline, error) {
+	out := make([]blackbox.Timeline, len(s.shards))
+	for i, sh := range s.shards {
+		geo := sh.heap.Geo()
+		if geo.BlackboxSize == 0 {
+			continue // pre-flight-recorder image upgraded in place
+		}
+		tl, err := blackbox.Decode(sh.heap.Device(), geo.BlackboxOff, geo.BlackboxSize)
+		if err != nil {
+			return nil, fmt.Errorf("pshard: decoding shard %d journal: %w", i, err)
+		}
+		for j := range tl.Events {
+			tl.Events[j].Shard = i
+		}
+		out[i] = tl
+	}
+	return out, nil
+}
+
 // GCShard runs a crash-consistent collection of one shard. Only that
 // shard's operations pause — its world lock is taken for the compaction,
 // while every other shard keeps serving. Collecting shards one at a time
@@ -357,6 +408,10 @@ func (s *Set) GCShard(i int) (pgc.Result, error) {
 	sh := s.shards[i]
 	sh.world.Lock()
 	defer sh.world.Unlock()
+	// Journaled before the cycle so a crash mid-collection still shows
+	// which shard was collecting; the append's flush precedes the
+	// collection's first fence.
+	sh.heap.FlightRecorder().Append(blackbox.EvShardGC, uint64(i), 0, 0)
 	return pgc.Collect(sh.heap, pgc.NoRoots{})
 }
 

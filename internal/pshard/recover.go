@@ -1,8 +1,11 @@
 package pshard
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 
 	"espresso/internal/nvm"
@@ -50,7 +53,11 @@ func fanOut(n, workers int, fn func(i int) error) error {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			errs[i] = protect(fn, i)
+			// The shard label makes CPU profiles of a slow restart say
+			// which shard's recovery burned the time.
+			pprof.Do(context.Background(), pprof.Labels("shard", strconv.Itoa(i)), func(context.Context) {
+				errs[i] = protect(fn, i)
+			})
 		}(i)
 	}
 	wg.Wait()

@@ -1,0 +1,195 @@
+package blackbox
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// Describe renders a record's payload words with kind-specific field
+// names, for the human-readable timeline.
+func (r Record) Describe() string {
+	switch r.Kind {
+	case EvHeapCreate:
+		return fmt.Sprintf("data=%d regions=%d format=v%d", r.P0, r.P1, r.P2)
+	case EvHeapLoad:
+		return fmt.Sprintf("ts=%d gc_active=%d phase=%d", r.P0, r.P1, r.P2)
+	case EvFormatUpgrade:
+		return fmt.Sprintf("v%d -> v%d", r.P0, r.P1)
+	case EvGCBegin:
+		mode := "stw"
+		if r.P0 == 1 {
+			mode = "concurrent"
+		}
+		return fmt.Sprintf("mode=%s ts=%d", mode, r.P1)
+	case EvGCMarkDone:
+		return fmt.Sprintf("live=%d live_bytes=%d", r.P0, r.P1)
+	case EvGCStamp:
+		return fmt.Sprintf("stamp=%d live=%d live_bytes=%d", r.P0, r.P1, r.P2)
+	case EvGCCompactDone:
+		return fmt.Sprintf("moved=%d moved_bytes=%d", r.P0, r.P1)
+	case EvRedoCommit:
+		return fmt.Sprintf("entries=%d", r.P0)
+	case EvGCEnd:
+		return fmt.Sprintf("live=%d moved=%d top=%d", r.P0, r.P1, r.P2)
+	case EvGCAbort:
+		return fmt.Sprintf("ts=%d", r.P0)
+	case EvCounterSnap:
+		return fmt.Sprintf("alloc.objects=%d refstore.stores=%d index.puts=%d", r.P0, r.P1, r.P2)
+	case EvSafepoint:
+		return fmt.Sprintf("waits=%d wait_total=%s wait_last=%s", r.P0,
+			time.Duration(r.P1), time.Duration(r.P2))
+	case EvRecoveryGCBegin:
+		return fmt.Sprintf("stamp=%d gc_active=%d", r.P0, r.P1)
+	case EvRecoveryGCEnd:
+		return fmt.Sprintf("live=%d moved=%d top=%d", r.P0, r.P1, r.P2)
+	case EvRecoveryIndex:
+		return fmt.Sprintf("entries=%d pruned=%d dirty_cleared=%d", r.P0, r.P1, r.P2)
+	case EvShardOpen:
+		return fmt.Sprintf("shard=%d recovered=%d entries=%d", r.P0, r.P1, r.P2)
+	case EvShardGC:
+		return fmt.Sprintf("shard=%d", r.P0)
+	case EvPLABHandoff:
+		return fmt.Sprintf("region=%d base=%d bytes=%d", r.P0, r.P1, r.P2)
+	default:
+		return fmt.Sprintf("p0=%d p1=%d p2=%d", r.P0, r.P1, r.P2)
+	}
+}
+
+// WriteText renders the post-mortem report: the last lastN events
+// (lastN <= 0 means all), a GC cycle reconstruction, and a recovery
+// narrative — what an operator reads first off a crashed image.
+func WriteText(w io.Writer, tl Timeline, lastN int) {
+	fmt.Fprintf(w, "flight recorder: %d event(s) decoded (capacity %d, first seq %d",
+		len(tl.Events), tl.Capacity, tl.FirstSeq)
+	if tl.Wrapped() {
+		fmt.Fprintf(w, ", ring wrapped")
+	}
+	if tl.Discarded > 0 {
+		fmt.Fprintf(w, ", %d record(s) beyond a torn hole discarded", tl.Discarded)
+	}
+	fmt.Fprintf(w, ")\n")
+	if len(tl.Events) == 0 {
+		return
+	}
+
+	events := tl.Events
+	if lastN > 0 && len(events) > lastN {
+		fmt.Fprintf(w, "\ntimeline (last %d of %d):\n", lastN, len(events))
+		events = events[len(events)-lastN:]
+	} else {
+		fmt.Fprintf(w, "\ntimeline:\n")
+	}
+	base := tl.Events[0].TimeNS
+	for _, e := range events {
+		shard := ""
+		if e.Shard >= 0 {
+			shard = fmt.Sprintf(" [shard %d]", e.Shard)
+		}
+		fmt.Fprintf(w, "  #%-6d +%-12s %-18s %s%s\n",
+			e.Seq, sinceBase(e.TimeNS, base), e.KindName(), e.Describe(), shard)
+	}
+
+	writeGCCycles(w, tl.Events)
+	writeRecovery(w, tl.Events)
+}
+
+func sinceBase(ts, base uint64) string {
+	if ts < base {
+		// Events from before the decode window's first record (clock skew
+		// across reopen) — render as absolute-from-epoch.
+		return time.Duration(ts).Truncate(time.Microsecond).String()
+	}
+	return time.Duration(ts - base).Truncate(time.Microsecond).String()
+}
+
+// writeGCCycles reconstructs collection cycles from begin/phase/end
+// events: one line per cycle with phases in order, duration, and outcome.
+func writeGCCycles(w io.Writer, events []Record) {
+	type cycle struct {
+		begin   Record
+		phases  []Record
+		end     *Record
+		aborted bool
+	}
+	var cycles []cycle
+	var open *cycle
+	for _, e := range events {
+		switch e.Kind {
+		case EvGCBegin, EvRecoveryGCBegin:
+			if open != nil {
+				cycles = append(cycles, *open) // crashed mid-cycle: no end event
+			}
+			open = &cycle{begin: e}
+		case EvGCMarkDone, EvGCStamp, EvGCCompactDone, EvRedoCommit:
+			if open != nil {
+				open.phases = append(open.phases, e)
+			}
+		case EvGCEnd, EvRecoveryGCEnd:
+			if open != nil {
+				e := e
+				open.end = &e
+				cycles = append(cycles, *open)
+				open = nil
+			}
+		case EvGCAbort:
+			if open != nil {
+				open.aborted = true
+				cycles = append(cycles, *open)
+				open = nil
+			}
+		}
+	}
+	if open != nil {
+		cycles = append(cycles, *open)
+	}
+	if len(cycles) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "\ngc cycles:\n")
+	for i, c := range cycles {
+		fmt.Fprintf(w, "  cycle %d: %s (%s)", i+1, c.begin.KindName(), c.begin.Describe())
+		for _, p := range c.phases {
+			fmt.Fprintf(w, " -> %s", p.KindName())
+		}
+		switch {
+		case c.aborted:
+			fmt.Fprintf(w, " -> ABORTED")
+		case c.end != nil:
+			dur := time.Duration(c.end.TimeNS - c.begin.TimeNS).Truncate(time.Microsecond)
+			fmt.Fprintf(w, " -> %s (%s, %s)", c.end.KindName(), c.end.Describe(), dur)
+		default:
+			fmt.Fprintf(w, " -> INTERRUPTED (journal ends mid-cycle)")
+		}
+		fmt.Fprintf(w, "\n")
+	}
+}
+
+// writeRecovery narrates crash-recovery activity: heap loads, format
+// upgrades, GC and index recovery steps, shard reopens.
+func writeRecovery(w io.Writer, events []Record) {
+	var lines []string
+	for _, e := range events {
+		switch e.Kind {
+		case EvHeapLoad:
+			lines = append(lines, fmt.Sprintf("heap reopened (%s)", e.Describe()))
+		case EvFormatUpgrade:
+			lines = append(lines, fmt.Sprintf("format upgraded in place (%s)", e.Describe()))
+		case EvRecoveryGCBegin:
+			lines = append(lines, fmt.Sprintf("interrupted GC cycle found (%s)", e.Describe()))
+		case EvRecoveryGCEnd:
+			lines = append(lines, fmt.Sprintf("interrupted GC cycle completed by recovery (%s)", e.Describe()))
+		case EvRecoveryIndex:
+			lines = append(lines, fmt.Sprintf("index recovery walk (%s)", e.Describe()))
+		case EvShardOpen:
+			lines = append(lines, fmt.Sprintf("shard opened (%s)", e.Describe()))
+		}
+	}
+	if len(lines) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "\nrecovery narrative:\n")
+	for _, l := range lines {
+		fmt.Fprintf(w, "  - %s\n", l)
+	}
+}

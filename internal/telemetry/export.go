@@ -6,6 +6,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"sort"
 	"strings"
 	"time"
@@ -82,7 +83,10 @@ func WriteJSON(w io.Writer, s Snapshot) error {
 type Source interface{ Snapshot() Snapshot }
 
 // Handler serves /metrics (Prometheus text) and /vars (JSON snapshot)
-// from src.
+// from src, plus the standard Go profiles under /debug/pprof/ — GC pool
+// workers and shard recovery goroutines carry pprof labels (gc-worker,
+// shard), so CPU profiles scraped here attribute time per worker and
+// per shard.
 func Handler(src Source) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
@@ -93,6 +97,11 @@ func Handler(src Source) http.Handler {
 		w.Header().Set("Content-Type", "application/json")
 		_ = WriteJSON(w, src.Snapshot())
 	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
 }
 

@@ -1,0 +1,129 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestSpansDroppedCounterExported: overflowing the span ring surfaces as
+// the spans.dropped counter in both export formats, so a consumer can
+// tell a complete history from a retained suffix.
+func TestSpansDroppedCounterExported(t *testing.T) {
+	r := New()
+	start := time.Now()
+	for i := 0; i < DefaultSpanDepth+7; i++ {
+		r.RecordSpan(SpanSafepoint, -1, -1, start, time.Microsecond)
+	}
+	snap := r.Snapshot()
+	if got := snap.Counter("spans.dropped"); got != 7 {
+		t.Fatalf("spans.dropped = %d, want 7", got)
+	}
+
+	var prom bytes.Buffer
+	WritePrometheus(&prom, snap)
+	if !strings.Contains(prom.String(), "espresso_spans_dropped_total 7") {
+		t.Fatalf("Prometheus export missing spans.dropped:\n%s", prom.String())
+	}
+
+	var js bytes.Buffer
+	if err := WriteJSON(&js, snap); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Counters map[string]uint64 `json:"counters"`
+	}
+	if err := json.Unmarshal(js.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Counters["spans.dropped"] != 7 {
+		t.Fatalf("JSON export spans.dropped = %d, want 7", decoded.Counters["spans.dropped"])
+	}
+
+	// A fresh registry exports the counter at zero rather than omitting
+	// it — absence and emptiness must not be confused.
+	fresh := New().Snapshot()
+	if got := fresh.Counter("spans.dropped"); got != 0 {
+		t.Fatalf("fresh registry spans.dropped = %d, want 0", got)
+	}
+}
+
+// TestPrometheusHistogramScrapeFormat: the histogram families render as
+// cumulative _bucket series with an +Inf terminal, plus _sum and _count,
+// exactly as a Prometheus scraper expects.
+func TestPrometheusHistogramScrapeFormat(t *testing.T) {
+	r := New()
+	// Two observations into the same histogram, far enough apart to land
+	// in different buckets.
+	start := time.Now()
+	r.RecordSpan(SpanGCCompact, -1, -1, start, 5*time.Microsecond)
+	r.RecordSpan(SpanGCCompact, -1, -1, start, 3*time.Millisecond)
+	var buf bytes.Buffer
+	WritePrometheus(&buf, r.Snapshot())
+	out := buf.String()
+
+	if !strings.Contains(out, "# TYPE espresso_gc_compact_seconds histogram\n") {
+		t.Fatalf("missing histogram TYPE line:\n%s", out)
+	}
+	if !strings.Contains(out, `espresso_gc_compact_seconds_bucket{le="+Inf"} 2`) {
+		t.Fatalf("missing +Inf bucket with total count:\n%s", out)
+	}
+	if !strings.Contains(out, "espresso_gc_compact_seconds_count 2") {
+		t.Fatalf("missing _count:\n%s", out)
+	}
+	if !strings.Contains(out, "espresso_gc_compact_seconds_sum ") {
+		t.Fatalf("missing _sum:\n%s", out)
+	}
+
+	// Bucket counts must be cumulative: each le series ≥ the previous.
+	var last uint64
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "espresso_gc_compact_seconds_bucket") {
+			continue
+		}
+		var n uint64
+		if _, err := fmt.Sscanf(line[strings.LastIndex(line, " ")+1:], "%d", &n); err != nil {
+			t.Fatalf("unparseable bucket line %q: %v", line, err)
+		}
+		if n < last {
+			t.Fatalf("bucket counts not cumulative at %q (%d after %d)", line, n, last)
+		}
+		last = n
+	}
+	if last != 2 {
+		t.Fatalf("final cumulative bucket = %d, want 2", last)
+	}
+}
+
+// TestPprofEndpointsServed: the telemetry listener serves the standard
+// Go profile endpoints alongside /metrics and /vars.
+func TestPprofEndpointsServed(t *testing.T) {
+	srv, err := StartHTTP("localhost:0", New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	for _, path := range []string{
+		"/debug/pprof/",
+		"/debug/pprof/goroutine?debug=1",
+		"/debug/pprof/cmdline",
+	} {
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		if len(body) == 0 {
+			t.Fatalf("GET %s: empty body", path)
+		}
+	}
+}

@@ -192,6 +192,10 @@ func (r *Registry) Snapshot() Snapshot {
 		s.Gauges[name] = fns[i]()
 	}
 	s.Spans = r.spans.Snapshot()
+	// The span ring's overwrite count rides along as a counter so both
+	// export formats say when the retained spans are a suffix, not the
+	// whole history.
+	s.Counters["spans.dropped"] = r.spans.Dropped()
 	return s
 }
 

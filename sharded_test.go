@@ -142,7 +142,9 @@ func TestPMapCtxPoolBounded(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := rt.CreateHeap("kv", 8<<20); err != nil {
+	// 48 bursting ctxs each pin a PLAB region; the v4 format's flight-
+	// recorder ring carve-out shaved the old 8MB size's last margin.
+	if err := rt.CreateHeap("kv", 16<<20); err != nil {
 		t.Fatal(err)
 	}
 	m, err := rt.OpenPMap("kv", "users", PMapOptions{})
