@@ -16,6 +16,7 @@
 //	espresso-bench -exp shardedkv range-partitioned sharding (pshard): throughput + parallel recovery
 //	espresso-bench -exp telemetry telemetry overhead contract: device ops off vs on + GC span timeline
 //	espresso-bench -exp blackbox flight recorder: crash sweep at every flush boundary + recorder overhead
+//	espresso-bench -exp faults   media-fault matrix: fault kind × metadata structure vs a DRAM oracle
 //	espresso-bench -exp all      everything
 //
 // -scale N divides workload sizes by N for quick runs. -parallel N caps
@@ -39,7 +40,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig4|fig6|fig15|fig16|fig17|fig18|gcflush|fastpath|alloc|gcpause|kv|refstore|shardedkv|telemetry|blackbox|all")
+	exp := flag.String("exp", "all", "experiment: fig4|fig6|fig15|fig16|fig17|fig18|gcflush|fastpath|alloc|gcpause|kv|refstore|shardedkv|telemetry|blackbox|faults|all")
 	scale := flag.Int("scale", 1, "divide workload sizes by this factor")
 	gcMB := flag.Int("gcmb", 256, "live megabytes for the gcflush experiment")
 	parallel := flag.Int("parallel", 8, "top of the alloc/kv/refstore goroutine curves / gcpause and shardedkv mutator count")
@@ -48,10 +49,11 @@ func main() {
 	jsonPath := flag.String("json", "", "write fastpath/alloc/gcpause/kv/refstore/shardedkv/telemetry/blackbox rows to this JSON file")
 	snapPath := flag.String("snapshotjson", "", "write the telemetry experiment's folded metrics snapshot to this JSON file")
 	timelinePath := flag.String("timelinejson", "", "write the blackbox experiment's decoded journal timeline to this JSON file")
+	faultDir := flag.String("faultdir", "", "faults experiment: also dump golden + corrupted images here for heaptool scrub checks")
 	flag.Parse()
 
 	switch *exp {
-	case "fastpath", "alloc", "gcpause", "kv", "refstore", "shardedkv", "telemetry", "blackbox":
+	case "fastpath", "alloc", "gcpause", "kv", "refstore", "shardedkv", "telemetry", "blackbox", "faults":
 	default:
 		if *jsonPath != "" {
 			fmt.Fprintln(os.Stderr, "espresso-bench: -json requires -exp fastpath, -exp alloc, -exp gcpause, -exp kv, -exp refstore, -exp shardedkv, -exp telemetry, or -exp blackbox")
@@ -233,6 +235,17 @@ func main() {
 		experiments.PrintBlackbox(w, rows, report)
 		writeTimeline(*timelinePath, w, report)
 		if *exp == "blackbox" {
+			return writeJSON(rows)
+		}
+		return nil
+	})
+	run("faults", func() error {
+		rows, err := experiments.FaultsWithImages(s, *faultDir)
+		if err != nil {
+			return err
+		}
+		experiments.PrintFaults(w, rows)
+		if *exp == "faults" {
 			return writeJSON(rows)
 		}
 		return nil

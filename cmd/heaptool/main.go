@@ -14,10 +14,23 @@
 //	                                       emits the raw decoded events.
 //	heaptool -addr localhost:9180 top      live metrics: poll a running
 //	                                       runtime's telemetry endpoint
+//	heaptool -heap /path/img.pjh scrub     read-only integrity walk:
+//	                                       verify metadata checksums
+//	                                       (GC-phase word, redo batch,
+//	                                       region-top table, manifest)
+//	                                       without repairing anything
 //
 // Pointing any command at a shard-set manifest (<base>-manifest.pjh)
-// prints the manifest — shard count, generation, hash-range table —
-// instead of attempting a heap parse.
+// prints (or scrubs) the manifest — shard count, generation, hash-range
+// table — instead of attempting a heap parse.
+//
+// Exit codes (scripts and CI key off these):
+//
+//	0  success; for scrub, every verifiable structure verified
+//	1  runtime error (I/O, collection failure, telemetry endpoint down)
+//	2  usage error (bad flags, unknown command)
+//	3  image unreadable (bad magic, unsupported version, insane geometry)
+//	4  image corrupt (readable, but integrity checks failed)
 package main
 
 import (
@@ -25,6 +38,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 	"time"
 
 	"espresso/internal/klass"
@@ -34,6 +48,33 @@ import (
 	"espresso/internal/pheap"
 	"espresso/internal/pshard"
 )
+
+// Exit codes: distinct classes so scripts can tell a broken image from a
+// broken invocation (the table in the package doc is the contract).
+const (
+	exitErr        = 1 // runtime/tooling error
+	exitUsage      = 2 // bad flags or command
+	exitUnreadable = 3 // image cannot be interpreted at all
+	exitCorrupt    = 4 // image readable, integrity checks failed
+)
+
+func fatalf(code int, format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "heaptool: "+format+"\n", args...)
+	os.Exit(code)
+}
+
+func usage(code int) {
+	fmt.Fprintln(os.Stderr, `usage: heaptool -heap <image.pjh> info|verify|gc|inspect|postmortem|scrub [-last N] [-json]
+       heaptool -addr <host:port> [-interval 2s] [-n 0] top
+
+exit codes:
+  0  success (scrub: every verifiable structure verified)
+  1  runtime error (I/O, collection failure, endpoint down)
+  2  usage error (bad flags, unknown command)
+  3  image unreadable (bad magic, unsupported version, insane geometry)
+  4  image corrupt (readable, but integrity checks failed)`)
+	os.Exit(code)
+}
 
 func main() {
 	path := flag.String("heap", "", "heap image file (.pjh)")
@@ -47,8 +88,7 @@ func main() {
 	if cmd == "top" {
 		// Live mode talks to a running runtime over HTTP; no image needed.
 		if *addr == "" {
-			fmt.Fprintln(os.Stderr, "usage: heaptool -addr <host:port> [-interval 2s] [-n 0] top")
-			os.Exit(2)
+			usage(exitUsage)
 		}
 		if err := runTop(*addr, *interval, *iters); err != nil {
 			log.Fatal(err)
@@ -56,19 +96,24 @@ func main() {
 		return
 	}
 	if *path == "" || cmd == "" {
-		fmt.Fprintln(os.Stderr, "usage: heaptool -heap <image.pjh> info|verify|gc|inspect|postmortem [-last N] [-json] | heaptool -addr <host:port> top")
-		os.Exit(2)
+		usage(exitUsage)
 	}
 	dev, err := nvm.LoadFile(*path, nvm.Config{Mode: nvm.Tracked})
 	if err != nil {
-		log.Fatal(err)
+		fatalf(exitErr, "%v", err)
 	}
 	if pshard.IsManifest(dev) {
-		// A shard-set manifest is not a heap: describe it and point at the
-		// per-shard images instead of failing the pheap parse.
+		// A shard-set manifest is not a heap: describe (or scrub) it and
+		// point at the per-shard images instead of failing the pheap parse.
 		m, err := pshard.ReadManifest(dev)
 		if err != nil {
-			log.Fatal(err)
+			// The magic matched, so the device *is* a manifest — a parse
+			// failure past that point is corruption, not unreadability.
+			fatalf(exitCorrupt, "corrupt manifest: %v", err)
+		}
+		if cmd == "scrub" {
+			fmt.Printf("manifest OK: %d shards, generation %d\n", m.Shards, m.Generation)
+			return
 		}
 		fmt.Printf("shard manifest (not a heap image)\n")
 		fmt.Printf("shards         %d\n", m.Shards)
@@ -94,9 +139,36 @@ func main() {
 		}
 		return
 	}
+	if cmd == "scrub" {
+		// Scrub, like postmortem, works on the raw device: Load would
+		// upgrade formats, replay redo, and plug regions — all mutations
+		// an image under investigation must not suffer.
+		rep, err := pheap.Scrub(dev)
+		if err != nil {
+			fatalf(exitUnreadable, "unreadable image: %v", err)
+		}
+		fmt.Printf("format version %d (checksummed: %v)\n", rep.FormatVersion, rep.Checksummed)
+		fmt.Printf("gc active      %v\n", rep.GCActive)
+		fmt.Printf("redo pending   %v\n", rep.RedoPending)
+		fmt.Printf("regions checked %d\n", rep.RegionsChecked)
+		for _, f := range rep.Findings {
+			fmt.Printf("CORRUPT: %s\n", f)
+		}
+		if rep.Corrupt() {
+			fatalf(exitCorrupt, "%d corruption finding(s)", len(rep.Findings))
+		}
+		fmt.Printf("OK: no corruption detected\n")
+		return
+	}
 	h, err := pheap.Load(dev, klass.NewRegistry())
 	if err != nil {
-		log.Fatal(err)
+		// Load's errors carry their class: geometry/magic/version failures
+		// say "unreadable", checksum and structural failures say "corrupt".
+		code := exitUnreadable
+		if strings.Contains(err.Error(), "corrupt") {
+			code = exitCorrupt
+		}
+		fatalf(code, "%v", err)
 	}
 
 	switch cmd {
@@ -124,7 +196,7 @@ func main() {
 			return true
 		})
 		if err != nil {
-			log.Fatalf("heap does not parse: %v", err)
+			fatalf(exitCorrupt, "heap does not parse: %v", err)
 		}
 		fmt.Printf("OK: %d objects, %d fillers, %d bytes parseable\n", objects, fillers, bytes)
 	case "gc":
@@ -265,6 +337,7 @@ func main() {
 			}
 		}
 	default:
-		log.Fatalf("unknown command %q", cmd)
+		fmt.Fprintf(os.Stderr, "heaptool: unknown command %q\n", cmd)
+		usage(exitUsage)
 	}
 }

@@ -91,16 +91,17 @@ func TestStringRoundTripDeviceTraffic(t *testing.T) {
 
 		// Write: header init is 3 word stores + 1 zeroing store, the
 		// payload is ONE bulk store, and the eager persist is one header
-		// flush + one top flush + one whole-object flush — all constant
-		// in op count regardless of length.
+		// flush + one top flush (top + its same-line checksum) + one
+		// whole-object flush — all constant in op count regardless of
+		// length.
 		dev.ResetStats()
 		ref, err := rt.NewString(s, true)
 		if err != nil {
 			t.Fatal(err)
 		}
 		st := dev.Stats()
-		if st.Writes != 6 {
-			t.Fatalf("len %d: NewString writes = %d (want 6: zero, 3 header words, payload, top)", n, st.Writes)
+		if st.Writes != 7 {
+			t.Fatalf("len %d: NewString writes = %d (want 7: zero, 3 header words, payload, top, top sum)", n, st.Writes)
 		}
 		if st.Flushes != 3 || st.Fences != 3 {
 			t.Fatalf("len %d: NewString flushes/fences = %d/%d (want 3/3)", n, st.Flushes, st.Fences)

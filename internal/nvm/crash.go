@@ -54,6 +54,29 @@ func (d *Device) CrashImage(policy CrashPolicy, seed int64) []byte {
 	return img
 }
 
+// CrashImageTorn is CrashImage with one additional torn line: within the
+// cache line containing off, the first keep bytes of the line read as
+// the newest stores (the memory view) while the remainder reads as
+// whatever the policy produced — modelling a line whose writeback was
+// cut mid-transfer by power loss. Real NVDIMM failure-atomicity is only
+// 8 bytes, not a line, so protocols that persist a {value, checksum}
+// pair in one line must detect the half-written state; this is the
+// primitive that manufactures it deterministically. keep is clamped to
+// [0, LineSize].
+func (d *Device) CrashImageTorn(policy CrashPolicy, seed int64, off, keep int) []byte {
+	img := d.CrashImage(policy, seed)
+	d.check(off, 1)
+	if keep < 0 {
+		keep = 0
+	}
+	if keep > LineSize {
+		keep = LineSize
+	}
+	lo := off / LineSize * LineSize
+	copy(img[lo:lo+keep], d.mem[lo:lo+keep])
+	return img
+}
+
 func (d *Device) forEachDirtyLine(fn func(line int)) {
 	for wi := range d.dirty {
 		for w := atomic.LoadUint64(&d.dirty[wi]); w != 0; w &= w - 1 {

@@ -132,6 +132,12 @@ type Device struct {
 	// count. Crash-injection tests use it to panic at a chosen boundary.
 	flushHook func(flushCount uint64)
 	noFlush   bool
+
+	// readFault / flushFault are the media-fault hooks (see fault.go):
+	// readFault returning true fails a read with a *MediaError panic;
+	// flushFault returning true silently drops a flush's writeback.
+	readFault  func(off, n int) bool
+	flushFault func(off, n int, flushCount uint64) bool
 }
 
 // New creates a device of cfg.Size bytes, zero-filled (fresh NVM DIMMs and
@@ -249,6 +255,7 @@ func (d *Device) WriteU64(off int, v uint64) {
 
 // ReadU64 loads the little-endian uint64 at byte offset off.
 func (d *Device) ReadU64(off int) uint64 {
+	d.failRead(off, 8)
 	d.countRead(8)
 	return d.readU64Uncounted(off)
 }
@@ -363,6 +370,7 @@ func (d *Device) orU64AtomicUncounted(off int, mask uint64) (old uint64, wrote b
 // single atomic machine load — never torn, even against a concurrent
 // WriteU64Atomic to the same word.
 func (d *Device) ReadU64Atomic(off int) uint64 {
+	d.failRead(off, 8)
 	d.countRead(8)
 	return d.readU64AtomicUncounted(off)
 }
@@ -390,6 +398,7 @@ func (d *Device) WriteU32(off int, v uint32) {
 // ReadU32 loads the little-endian uint32 at byte offset off.
 func (d *Device) ReadU32(off int) uint32 {
 	d.check(off, 4)
+	d.failRead(off, 4)
 	d.countRead(4)
 	return binary.LittleEndian.Uint32(d.mem[off:])
 }
@@ -405,6 +414,7 @@ func (d *Device) WriteU16(off int, v uint16) {
 // ReadU16 loads the little-endian uint16 at byte offset off.
 func (d *Device) ReadU16(off int) uint16 {
 	d.check(off, 2)
+	d.failRead(off, 2)
 	d.countRead(2)
 	return binary.LittleEndian.Uint16(d.mem[off:])
 }
@@ -420,6 +430,7 @@ func (d *Device) WriteByteAt(off int, v byte) {
 // ReadByteAt loads one byte at off.
 func (d *Device) ReadByteAt(off int) byte {
 	d.check(off, 1)
+	d.failRead(off, 1)
 	d.countRead(1)
 	return d.mem[off]
 }
@@ -435,6 +446,7 @@ func (d *Device) WriteBytes(off int, p []byte) {
 // ReadBytes fills p from the memory view starting at off.
 func (d *Device) ReadBytes(off int, p []byte) {
 	d.check(off, len(p))
+	d.failRead(off, len(p))
 	copy(p, d.mem[off:])
 	d.countRead(len(p))
 }
@@ -444,6 +456,7 @@ func (d *Device) ReadBytes(off int, p []byte) {
 // methods for stores. It exists for hot read paths (heap parsing, marking).
 func (d *Device) View(off, n int) []byte {
 	d.check(off, n)
+	d.failRead(off, n)
 	return d.mem[off : off+n : off+n]
 }
 
@@ -478,10 +491,15 @@ func (d *Device) Flush(off, n int) {
 	last := (off + n - 1) / LineSize
 	lines := uint64(last - first + 1)
 	count := d.stats.flushes.Add(1)
+	// A dropped flush still accounts like an honest one: the CPU issued
+	// the clflush instructions, the loss happens downstream. Only the
+	// persisted-view copy (and dirty-bit clearing) is skipped, so the
+	// fault is observable solely through a later crash image.
+	dropped := d.flushFault != nil && d.flushFault(off, n, count)
 	if !d.noFlush {
 		d.stats.flushedLines.Add(lines)
 		d.stats.modeledNS.Add(lines * d.latNS)
-		if d.mode == Tracked {
+		if d.mode == Tracked && !dropped {
 			lo, hi := first*LineSize, (last+1)*LineSize
 			copy(d.persisted[lo:hi], d.mem[lo:hi])
 			for l := first; l <= last; l++ {

@@ -1,0 +1,179 @@
+// Package faultdev injects deterministic media faults into an
+// nvm.Device and provides the shared crash-sweep kit the crash suites
+// are built on.
+//
+// The fault model extends the simulator's crash-stop semantics with the
+// failure classes real NVM adds on top of "a line either persisted or
+// didn't":
+//
+//   - TornLine: power loss cuts a line's writeback mid-transfer, so a
+//     crash image holds a half-new, half-old line (8-byte atomicity
+//     only, as on real NVDIMMs);
+//   - BitFlip: in-place media rot — a bit differs in both the memory
+//     and persisted views, with no volatile state masking it;
+//   - ReadError: an uncorrectable (but possibly transient) read error
+//     over a byte range, surfaced as an *nvm.MediaError panic, with an
+//     error budget after which the range reads clean again;
+//   - DroppedFlush: a flush acknowledged by the CPU but lost in the
+//     memory controller's queue — counters advance normally, the lines
+//     silently never persist.
+//
+// Every plan is deterministic: the same plan against the same workload
+// produces the same fault, so failures reproduce from their seed.
+package faultdev
+
+import (
+	"math/rand"
+	"sync/atomic"
+
+	"espresso/internal/nvm"
+)
+
+// Kind selects a fault class.
+type Kind int
+
+const (
+	// BitFlip flips bit Bit of the byte at Off immediately on Install.
+	BitFlip Kind = iota
+	// ReadError fails reads overlapping [Off, Off+N) with a media error
+	// until Budget failures have been delivered; the range then reads
+	// clean (a transient error), or forever if Budget is 0 (hard rot).
+	ReadError
+	// DroppedFlush silently drops the writeback of the FlushIndex-th
+	// flush issued after Install (1-based). FlushIndex 0 drops every
+	// flush that covers [Off, Off+N).
+	DroppedFlush
+	// TornLine does nothing while running; at CrashImage time the line
+	// containing Off is torn, persisting only its first Keep bytes of
+	// the newest stores.
+	TornLine
+)
+
+// String names the fault class the way the experiment tables do.
+func (k Kind) String() string {
+	switch k {
+	case BitFlip:
+		return "bit-flip"
+	case ReadError:
+		return "read-error"
+	case DroppedFlush:
+		return "dropped-flush"
+	case TornLine:
+		return "torn-line"
+	}
+	return "unknown"
+}
+
+// Plan describes one deterministic fault.
+type Plan struct {
+	Kind Kind
+	Off  int // target byte offset (all kinds)
+	N    int // range length (ReadError, DroppedFlush with FlushIndex 0)
+
+	Bit        uint   // BitFlip: which bit of the byte at Off
+	Budget     int    // ReadError: failures delivered before healing; 0 = never heals
+	FlushIndex uint64 // DroppedFlush: which flush after Install (1-based); 0 = match by range
+	Keep       int    // TornLine: new bytes persisted from the line's start
+}
+
+// Injector is an installed Plan. Remove it before installing another on
+// the same device; hooks are not stacked.
+type Injector struct {
+	dev   *nvm.Device
+	plan  Plan
+	base  uint64       // flush count at install (DroppedFlush)
+	fired atomic.Int64 // times the fault has been delivered
+}
+
+// Install arms plan on dev and returns the injector. BitFlip corrupts
+// immediately; the other kinds arm hooks (or, for TornLine, only affect
+// a later Injector.CrashImage call).
+func Install(dev *nvm.Device, plan Plan) *Injector {
+	in := &Injector{dev: dev, plan: plan, base: dev.Stats().Flushes}
+	switch plan.Kind {
+	case BitFlip:
+		dev.CorruptBit(plan.Off, plan.Bit)
+		in.fired.Add(1)
+	case ReadError:
+		dev.SetReadFault(func(off, n int) bool {
+			if off >= plan.Off+plan.N || off+n <= plan.Off {
+				return false
+			}
+			if plan.Budget > 0 && in.fired.Load() >= int64(plan.Budget) {
+				return false
+			}
+			in.fired.Add(1)
+			return true
+		})
+	case DroppedFlush:
+		dev.SetFlushFault(func(off, n int, count uint64) bool {
+			if plan.FlushIndex != 0 {
+				if count != in.base+plan.FlushIndex {
+					return false
+				}
+			} else if off >= plan.Off+plan.N || off+n <= plan.Off {
+				return false
+			}
+			in.fired.Add(1)
+			return true
+		})
+	case TornLine:
+		// Delivered by CrashImage below.
+	default:
+		panic("faultdev: unknown fault kind")
+	}
+	return in
+}
+
+// Passthrough installs read and flush hooks that always decline — the
+// zero-fault injector the overhead contract measures against: with it
+// attached, every device counter must stay bit-identical to an
+// unhooked run.
+func Passthrough(dev *nvm.Device) *Injector {
+	in := &Injector{dev: dev}
+	dev.SetReadFault(func(off, n int) bool { return false })
+	dev.SetFlushFault(func(off, n int, count uint64) bool { return false })
+	return in
+}
+
+// Fired reports how many times the fault has been delivered.
+func (in *Injector) Fired() int { return int(in.fired.Load()) }
+
+// Remove disarms the injector's hooks. BitFlip damage stays — rot does
+// not heal on its own.
+func (in *Injector) Remove() {
+	in.dev.SetReadFault(nil)
+	in.dev.SetFlushFault(nil)
+}
+
+// CrashImage takes a crash image through the plan's crash-time
+// transform: for TornLine the target line is torn at Keep bytes; other
+// kinds delegate to the device unchanged.
+func (in *Injector) CrashImage(policy nvm.CrashPolicy, seed int64) []byte {
+	if in.plan.Kind == TornLine {
+		in.fired.Add(1)
+		return in.dev.CrashImageTorn(policy, seed, in.plan.Off, in.plan.Keep)
+	}
+	return in.dev.CrashImage(policy, seed)
+}
+
+// FlipBitInImage flips one bit of a raw crash image in place — the
+// offline (image-at-rest) form of BitFlip, for corrupting golden images
+// without a device.
+func FlipBitInImage(img []byte, off int, bit uint) {
+	img[off] ^= 1 << (bit % 8)
+}
+
+// CorruptLineInImage overwrites the cache line containing off with
+// seed-deterministic garbage — a whole line gone bad at rest.
+func CorruptLineInImage(img []byte, off int, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	lo := off / nvm.LineSize * nvm.LineSize
+	hi := lo + nvm.LineSize
+	if hi > len(img) {
+		hi = len(img)
+	}
+	for i := lo; i < hi; i++ {
+		img[i] = byte(rng.Intn(256))
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"espresso/internal/klass"
 	"espresso/internal/layout"
 	"espresso/internal/nvm"
+	"espresso/internal/nvm/faultdev"
 	"espresso/internal/pheap"
 )
 
@@ -141,24 +142,14 @@ func TestCollectConcurrentCrashAtEveryFlush(t *testing.T) {
 		if err != nil {
 			t.Fatalf("k=%d: load pristine: %v", k, err)
 		}
-		start := dev.Stats().Flushes
-		dev.SetFlushHook(func(n uint64) {
-			if n == start+k {
-				panic("concurrent gc crash")
-			}
+		faultdev.CrashIn(dev, k)
+		crashed, err := faultdev.Run(dev, func() error {
+			_, err := CollectConcurrent(h, NoRoots{}, nil)
+			return err
 		})
-		crashed := false
-		func() {
-			defer func() {
-				if recover() != nil {
-					crashed = true
-				}
-			}()
-			if _, err := CollectConcurrent(h, NoRoots{}, nil); err != nil {
-				t.Fatalf("k=%d: collect: %v", k, err)
-			}
-		}()
-		dev.SetFlushHook(nil)
+		if err != nil {
+			t.Fatalf("k=%d: collect: %v", k, err)
+		}
 
 		after := nvm.FromImage(dev.CrashImage(nvm.CrashRandomEviction, int64(k)), nvm.Config{Mode: nvm.Tracked})
 		h2, err := pheap.Load(after, klass.NewRegistry())

@@ -7,6 +7,7 @@ import (
 	"espresso/internal/klass"
 	"espresso/internal/layout"
 	"espresso/internal/nvm"
+	"espresso/internal/nvm/faultdev"
 	"espresso/internal/pgc/concurrent"
 	"espresso/internal/pheap"
 )
@@ -306,24 +307,14 @@ func TestCollectParallelCrashAtEveryFlush(t *testing.T) {
 		if err != nil {
 			t.Fatalf("k=%d: load pristine: %v", k, err)
 		}
-		start := dev.Stats().Flushes
-		dev.SetFlushHook(func(n uint64) {
-			if n == start+k {
-				panic("parallel gc crash")
-			}
+		faultdev.CrashIn(dev, k)
+		crashed, err := faultdev.Run(dev, func() error {
+			_, err := CollectConcurrentWorkers(h, NoRoots{}, nil, 4)
+			return err
 		})
-		crashed := false
-		func() {
-			defer func() {
-				if recover() != nil {
-					crashed = true
-				}
-			}()
-			if _, err := CollectConcurrentWorkers(h, NoRoots{}, nil, 4); err != nil {
-				t.Fatalf("k=%d: collect: %v", k, err)
-			}
-		}()
-		dev.SetFlushHook(nil)
+		if err != nil {
+			t.Fatalf("k=%d: collect: %v", k, err)
+		}
 
 		after := nvm.FromImage(dev.CrashImage(nvm.CrashRandomEviction, int64(k)), nvm.Config{Mode: nvm.Tracked})
 		h2, err := pheap.Load(after, klass.NewRegistry())
@@ -411,24 +402,14 @@ func TestRecoverSplitFinishBatch(t *testing.T) {
 		if err != nil {
 			t.Fatalf("k=%d: load pristine: %v", k, err)
 		}
-		start := dev.Stats().Flushes
-		dev.SetFlushHook(func(n uint64) {
-			if n == start+k {
-				panic("finish crash")
-			}
+		faultdev.CrashIn(dev, k)
+		crashed, err := faultdev.Run(dev, func() error {
+			_, err := CollectConcurrentWorkers(h, NoRoots{}, nil, 4)
+			return err
 		})
-		crashed := false
-		func() {
-			defer func() {
-				if recover() != nil {
-					crashed = true
-				}
-			}()
-			if _, err := CollectConcurrentWorkers(h, NoRoots{}, nil, 4); err != nil {
-				t.Fatalf("k=%d: collect: %v", k, err)
-			}
-		}()
-		dev.SetFlushHook(nil)
+		if err != nil {
+			t.Fatalf("k=%d: collect: %v", k, err)
+		}
 
 		// Inspect the raw crash image before any recovery runs. With no
 		// committed log pending, the metadata must be all-old (collection

@@ -8,6 +8,7 @@ import (
 	"espresso/internal/klass"
 	"espresso/internal/layout"
 	"espresso/internal/nvm"
+	"espresso/internal/nvm/faultdev"
 	"espresso/internal/pheap"
 )
 
@@ -459,25 +460,14 @@ func TestCrashDuringGCAtEveryFlush(t *testing.T) {
 		if err != nil {
 			t.Fatalf("k=%d: load pristine: %v", k, err)
 		}
-		start := dev.Stats().Flushes
-		dev.SetFlushHook(func(n uint64) {
-			if n == start+k {
-				panic("gc crash")
-			}
-		})
-		crashed := false
-		func() {
-			defer func() {
-				if recover() != nil {
-					crashed = true
-				}
-			}()
+		faultdev.CrashIn(dev, k)
+		crashed, err := faultdev.Run(dev, func() error {
 			_, err := Collect(h, NoRoots{})
-			if err != nil {
-				t.Fatalf("k=%d: collect: %v", k, err)
-			}
-		}()
-		dev.SetFlushHook(nil)
+			return err
+		})
+		if err != nil {
+			t.Fatalf("k=%d: collect: %v", k, err)
+		}
 
 		// Power loss: arbitrary subset of dirty lines survives.
 		after := nvm.FromImage(dev.CrashImage(nvm.CrashRandomEviction, int64(k)), nvm.Config{Mode: nvm.Tracked})
@@ -505,17 +495,13 @@ func TestCrashDuringRecoveryItself(t *testing.T) {
 	// Build and crash a GC mid-compact.
 	h, reg := newHeap(t, 2<<20)
 	m := buildGraph(t, h, reg, seed, 100, 3)
-	base := h.Device().Stats().Flushes
-	h.Device().SetFlushHook(func(n uint64) {
-		if n == base+40 {
-			panic("first crash")
-		}
-	})
-	func() {
-		defer func() { recover() }()
-		Collect(h, NoRoots{})
-	}()
-	h.Device().SetFlushHook(nil)
+	faultdev.CrashIn(h.Device(), 40)
+	if _, err := faultdev.Run(h.Device(), func() error {
+		_, err := Collect(h, NoRoots{})
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
 	crashImg := h.Device().CrashImage(nvm.CrashRandomEviction, 1)
 
 	for k := uint64(1); k < 60; k += 3 {
@@ -526,17 +512,13 @@ func TestCrashDuringRecoveryItself(t *testing.T) {
 		if err != nil {
 			t.Fatalf("k=%d: load: %v", k, err)
 		}
-		start := dev.Stats().Flushes
-		dev.SetFlushHook(func(n uint64) {
-			if n == start+k {
-				panic("recovery crash")
-			}
-		})
-		func() {
-			defer func() { recover() }()
-			Recover(h2)
-		}()
-		dev.SetFlushHook(nil)
+		faultdev.CrashIn(dev, k)
+		if _, err := faultdev.Run(dev, func() error {
+			_, err := Recover(h2)
+			return err
+		}); err != nil {
+			t.Fatalf("k=%d: recover: %v", k, err)
+		}
 
 		dev2 := nvm.FromImage(dev.CrashImage(nvm.CrashRandomEviction, int64(k)), nvm.Config{Mode: nvm.Tracked})
 		h3, err := pheap.Load(dev2, klass.NewRegistry())

@@ -451,8 +451,10 @@ func (a *Allocator) allocHumongous(k *klass.Klass, kaddr layout.Ref, arrayLen, s
 
 	r0 := (start - h.geo.DataOff) / layout.RegionSize
 	h.dev.WriteU64(h.RegionTopMetaOff(r0), uint64(end))
+	h.dev.WriteU64(h.RegionTopMetaOff(r0)+8, regionTopSum(r0, uint64(end)))
 	for r := r0 + 1; r < r0+nRegions; r++ {
 		h.dev.WriteU64(h.RegionTopMetaOff(r), regionTopHumongousCont)
+		h.dev.WriteU64(h.RegionTopMetaOff(r)+8, regionTopSum(r, regionTopHumongousCont))
 	}
 	h.dev.Flush(h.RegionTopMetaOff(r0), nRegions*layout.RegionTopStride)
 	h.dev.Fence()
@@ -471,10 +473,11 @@ func (a *Allocator) allocHumongous(k *klass.Klass, kaddr layout.Ref, arrayLen, s
 		if end > start+size {
 			tw, tl = fillerCost(start+size, end-start-size)
 		}
-		// Zero + header + tail filler + one top-table word per region;
-		// header lines + tail lines + one table line per region; two fences.
+		// Zero + header + tail filler + one top-table {value, checksum}
+		// pair per region; header lines + tail lines + one table line per
+		// region; two fences.
 		c.Dev(nvm.SubAlloc, 0,
-			1+headerWrites(k)+tw+uint64(nRegions),
+			1+headerWrites(k)+tw+2*uint64(nRegions),
 			uint64(lineSpan(start, headerBytesOf(k)))+tl+uint64(nRegions), 2)
 	}
 	return h.AddrOf(start), nil

@@ -1,0 +1,84 @@
+package pheap
+
+import (
+	"espresso/internal/layout"
+	"espresso/internal/nvm"
+)
+
+// Metadata checksums (heap format v5). Coverage is deliberately narrow:
+// only the words whose misinterpretation is *silent* — a rotted
+// region-top line changes where parsing stops, a rotted redo entry
+// rewrites an arbitrary word, a rotted GC-phase word changes which
+// recovery runs. Payload data stays checksum-free: object headers are
+// already structurally validated by parsing, and guarding every field
+// store would put fences back on the fast paths this codebase exists to
+// keep clean. Each checksum lives in the same cache line as the words
+// it covers, so persisting it rides the flush the protocol already
+// issues — zero extra fences anywhere.
+
+// sumInit / sumMix form a seeded xor-multiply-shift mixer (the same
+// construction as the flight recorder's record checksum): cheap, and a
+// single flipped bit avalanches through the remaining width.
+const sumMult = 0x9E3779B97F4A7C15
+
+func sumMix(s, w uint64) uint64 {
+	s ^= w
+	s *= sumMult
+	s ^= s >> 29
+	return s
+}
+
+// gcPhaseSum covers the GC-phase word. Seeded with the word's metadata
+// offset so a word copied from elsewhere in the line cannot validate.
+func gcPhaseSum(phase uint64) uint64 {
+	return sumMix(heapMagic^mGCPhase, phase)
+}
+
+// regionTopSum covers region r's top-table value. Salted with the
+// region index so a line block-copied between regions fails — a top is
+// only meaningful for the region it bounds.
+func regionTopSum(r int, top uint64) uint64 {
+	return sumMix(sumMix(heapMagic, uint64(r)), top)
+}
+
+// regionTopLineValid applies the top-line rule: an all-zero line is an
+// untouched region (fresh NVM reads zero, and salvage resets
+// quarantined lines to it); anything else must carry its checksum.
+func regionTopLineValid(r int, top, sum uint64) bool {
+	return (top == 0 && sum == 0) || sum == regionTopSum(r, top)
+}
+
+// redoSeed seeds the redo-batch checksum ("REDO" ^ heap magic).
+const redoSeed = heapMagic ^ 0x5245444F
+
+// redoSumAt computes the committed-batch checksum over the entry count
+// and the first count {off, val} pairs as currently stored in the redo
+// area. RedoCommit calls it after writing the entries (so the sum
+// provably covers the committed bytes); validation calls it on load,
+// and the format upgrade uses it to stamp a pending pre-v5 batch.
+func redoSumAt(dev *nvm.Device, geo Geometry, count int) uint64 {
+	base := geo.RedoOff
+	s := sumMix(redoSeed, uint64(count))
+	for i := 0; i < count; i++ {
+		s = sumMix(s, dev.ReadU64(base+16+i*16))
+		s = sumMix(s, dev.ReadU64(base+16+i*16+8))
+	}
+	return s
+}
+
+func (h *Heap) redoSumFromDevice(count int) uint64 { return redoSumAt(h.dev, h.geo, count) }
+
+// redoSumOff is the device offset of the redo-batch checksum: the last
+// word of the redo area, outside the entry array.
+func (h *Heap) redoSumOff() int { return h.geo.RedoOff + h.geo.RedoSize - 8 }
+
+// regionTopIndex reports whether off is a region-top table value slot,
+// and for which region — RedoApply uses it to refresh the line checksum
+// whenever a batch republishes a top.
+func (h *Heap) regionTopIndex(off int) (int, bool) {
+	rel := off - h.geo.RegionTopOff
+	if rel < 0 || rel >= h.geo.RegionTopSize || rel%layout.RegionTopStride != 0 {
+		return 0, false
+	}
+	return rel / layout.RegionTopStride, true
+}

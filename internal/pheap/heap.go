@@ -41,9 +41,19 @@ const (
 	// segment and the data heap on freshly created heaps); v2/v3 images
 	// upgrade in place with a zero-sized ring — their geometry has no room
 	// for one — and simply run without a recorder.
-	heapVersion        = 4
-	heapVersionGCPhase = 3
-	heapVersionPLAB    = 2
+	// Version 5 added metadata checksums: a checksum word beside each
+	// region-top table value (same cache line), a committed-batch
+	// checksum in the redo area's trailing word, and a GC-phase checksum
+	// in former metadata padding. All live inside space older formats
+	// kept zero or spare, so pre-v5 images upgrade in place: their
+	// checksums are stamped from the values as read (detection starts
+	// with the upgrade — rot that predates it is indistinguishable from
+	// data).
+	heapVersion         = 5
+	heapVersionChecksum = 5
+	heapVersionBlackbox = 4
+	heapVersionGCPhase  = 3
+	heapVersionPLAB     = 2
 )
 
 // GC-phase word values (mGCPhase). The phase word records that a
@@ -92,7 +102,8 @@ const (
 	mGCPhase       = 208 // v3; zero padding in v2 images, so idle by construction
 	mBlackboxOff   = 216 // v4; zero in upgraded pre-v4 images (no ring)
 	mBlackboxSize  = 224 // v4; zero = no flight-recorder ring
-	metadataBytes  = 232
+	mGCPhaseSum    = 232 // v5; checksum over mGCPhase, same cache line as it
+	metadataBytes  = 240
 )
 
 // Config sizes a new heap. Zero values select defaults.
@@ -277,6 +288,13 @@ type Heap struct {
 	// Load (0 = image was already current), so the embedding runtime can
 	// journal it once the recorder is attached.
 	upgradedFrom uint64
+
+	// quarantined marks data regions amputated by LoadSalvage (nil on a
+	// strict or clean load). Quarantined regions were zeroed and their
+	// top lines reset, so the heap itself needs no further guard; the
+	// slice exists for the index layer's never-fabricate walk and for
+	// reporting.
+	quarantined []bool
 }
 
 func align(n, a int) int { return (n + a - 1) &^ (a - 1) }
@@ -356,6 +374,9 @@ func Create(reg *klass.Registry, cfg Config) (*Heap, error) {
 	dev.WriteU64(mGCPhase, GCPhaseIdle)
 	dev.WriteU64(mBlackboxOff, uint64(geo.BlackboxOff))
 	dev.WriteU64(mBlackboxSize, uint64(geo.BlackboxSize))
+	dev.WriteU64(mGCPhaseSum, gcPhaseSum(GCPhaseIdle))
+	// The region-top table needs no stamping: all-zero lines are the
+	// valid untouched-region state (see regionTopLineValid).
 	dev.Flush(0, metadataBytes)
 	dev.Fence()
 	// Ring header after the metadata that points at it (manifest-first).
@@ -382,7 +403,20 @@ func Create(reg *klass.Registry, cfg Config) (*Heap, error) {
 // image, half-open PLAB regions — per-region tops strictly inside their
 // region — are plugged with fillers and sealed, so the reloaded data heap
 // parses region by region exactly up to each persisted top.
+//
+// Load is strict: any metadata checksum failure is an error. LoadSalvage
+// (salvage.go) opens such images by quarantining what cannot be
+// repaired.
 func Load(dev *nvm.Device, reg *klass.Registry) (*Heap, error) {
+	return load(dev, reg, nil)
+}
+
+// load is the shared open path. salv == nil selects strict mode;
+// otherwise corruption is repaired or quarantined into the report where
+// the salvage rules allow.
+func load(dev *nvm.Device, reg *klass.Registry, salv *SalvageReport) (*Heap, error) {
+	// Unreadable-image checks first: these reject images we cannot even
+	// interpret, and apply identically in both modes.
 	if dev.Size() < metadataBytes {
 		return nil, fmt.Errorf("pheap: image too small")
 	}
@@ -392,28 +426,6 @@ func Load(dev *nvm.Device, reg *klass.Registry) (*Heap, error) {
 	v := dev.ReadU64(mVersion)
 	if v < heapVersionPLAB || v > heapVersion {
 		return nil, fmt.Errorf("pheap: unsupported heap version %d", v)
-	}
-	upgradedFrom := uint64(0)
-	if v < heapVersion {
-		// In-place upgrade: every word added since v2 lives in what older
-		// versions kept as zero metadata padding, so the component
-		// geometry is unchanged. v2 gains the GC-phase word (stamped
-		// idle); pre-v4 images gain zero-sized flight-recorder ring
-		// coordinates — their layout has no ring region, so the recorder
-		// simply stays absent.
-		if v == heapVersionPLAB {
-			dev.WriteU64(mGCPhase, GCPhaseIdle)
-		}
-		// mBlackboxOff/Size are left as read: genuine pre-v4 images have
-		// zero padding there (= no ring), and a forged-downgrade image
-		// that physically carries a ring keeps it.
-		dev.WriteU64(mVersion, heapVersion)
-		dev.Flush(0, metadataBytes)
-		dev.Fence()
-		upgradedFrom = v
-	}
-	if p := dev.ReadU64(mGCPhase); p > GCPhaseConcurrentMark {
-		return nil, fmt.Errorf("pheap: corrupt GC-phase word %d", p)
 	}
 	if sz := dev.ReadU64(mDeviceSize); int(sz) != dev.Size() {
 		return nil, fmt.Errorf("pheap: image size %d does not match metadata %d", dev.Size(), sz)
@@ -429,6 +441,46 @@ func Load(dev *nvm.Device, reg *klass.Registry) (*Heap, error) {
 		BlackboxOff: int(dev.ReadU64(mBlackboxOff)), BlackboxSize: int(dev.ReadU64(mBlackboxSize)),
 		DataOff: int(dev.ReadU64(mDataOff)), DataSize: int(dev.ReadU64(mDataSize)),
 		ScratchOff: int(dev.ReadU64(mScratchOff)),
+	}
+	if err := geo.sanity(dev.Size()); err != nil {
+		return nil, err
+	}
+	upgradedFrom := uint64(0)
+	if v < heapVersion {
+		// In-place upgrade: every word added since v2 lives in what older
+		// versions kept as zero metadata padding, so the component
+		// geometry is unchanged. v2 gains the GC-phase word (stamped
+		// idle); pre-v4 images gain zero-sized flight-recorder ring
+		// coordinates — their layout has no ring region, so the recorder
+		// simply stays absent. Pre-v5 images gain checksums stamped from
+		// the metadata as read.
+		if v == heapVersionPLAB {
+			dev.WriteU64(mGCPhase, GCPhaseIdle)
+		}
+		// mBlackboxOff/Size are left as read: genuine pre-v4 images have
+		// zero padding there (= no ring), and a forged-downgrade image
+		// that physically carries a ring keeps it.
+		if v < heapVersionChecksum {
+			stampChecksums(dev, geo)
+		}
+		dev.WriteU64(mVersion, heapVersion)
+		dev.Flush(0, metadataBytes)
+		dev.Fence()
+		upgradedFrom = v
+	}
+	if p := dev.ReadU64(mGCPhase); p > GCPhaseConcurrentMark || dev.ReadU64(mGCPhaseSum) != gcPhaseSum(p) {
+		if salv == nil {
+			return nil, fmt.Errorf("pheap: corrupt GC-phase word %d", p)
+		}
+		// Resetting to idle is always sound: an interrupted concurrent
+		// mark is discardable by design, and an interrupted compaction
+		// re-announces itself through the gcActive flag regardless of
+		// the phase word.
+		dev.WriteU64(mGCPhase, GCPhaseIdle)
+		dev.WriteU64(mGCPhaseSum, gcPhaseSum(GCPhaseIdle))
+		dev.Flush(mGCPhase, 8) // the sum shares the phase word's line
+		dev.Fence()
+		salv.GCPhaseRepaired = true
 	}
 	h := &Heap{
 		dev: dev, reg: reg,
@@ -453,11 +505,23 @@ func Load(dev *nvm.Device, reg *klass.Registry) (*Heap, error) {
 		return nil, err
 	}
 	h.resolveFillers()
+	// Redo-log state validation: a committed batch must carry its
+	// checksum, and the state word must decode. Strict mode errors;
+	// salvage discards an unusable batch (see redoValidate for why that
+	// is sound in every reachable state).
+	if err := h.redoValidate(salv); err != nil {
+		return nil, err
+	}
 	// A committed-but-unapplied GC finish means the collection logically
 	// completed; reapplying the redo log is idempotent.
 	if h.RedoPending() {
 		h.RedoApply()
 		h.gcActive.Store(dev.ReadU64(mGCActive) != 0)
+	}
+	// Region-top checksums, after redo processing so a batch that
+	// republished tops has already repaired the lines it covers.
+	if err := h.verifyRegionTops(salv); err != nil {
+		return nil, err
 	}
 	// Region recovery: rebuild the volatile mirrors and the dispenser.
 	// Mid-collection images keep their raw tops — pgc.Recover rewrites
@@ -465,6 +529,72 @@ func Load(dev *nvm.Device, reg *klass.Registry) (*Heap, error) {
 	h.rebuildRegionState(!h.gcActive.Load())
 	h.defAlloc = h.NewAllocator()
 	return h, nil
+}
+
+// sanity rejects geometry words that point outside the device — the
+// line between "an image we can validate" and "not an image": checksum
+// validation itself walks these areas, so they must be in bounds first.
+func (g Geometry) sanity(size int) error {
+	check := func(name string, off, n int) error {
+		if off < 0 || n < 0 || off+n > size {
+			return fmt.Errorf("pheap: unreadable image: %s [%d,%d) outside device of %d bytes", name, off, off+n, size)
+		}
+		return nil
+	}
+	for _, s := range []struct {
+		name   string
+		off, n int
+	}{
+		{"name table", g.NameTabOff, g.NameTabCap * nameEntryBytes},
+		{"arena", g.ArenaOff, g.ArenaSize},
+		{"redo log", g.RedoOff, g.RedoSize},
+		{"mark bitmap", g.MarkBmpOff, g.MarkBmpSize},
+		{"region bitmap", g.RegionBmpOff, g.RegionBmpSize},
+		{"region-top table", g.RegionTopOff, g.RegionTopSize},
+		{"klass segment", g.KsegOff, g.KsegSize},
+		{"blackbox ring", g.BlackboxOff, g.BlackboxSize},
+		{"data heap", g.DataOff, g.DataSize},
+	} {
+		if err := check(s.name, s.off, s.n); err != nil {
+			return err
+		}
+	}
+	if g.DataSize%layout.RegionSize != 0 || g.RegionTopSize < g.Regions()*layout.RegionTopStride {
+		return fmt.Errorf("pheap: unreadable image: inconsistent region geometry")
+	}
+	if g.ScratchOff < g.DataOff || g.ScratchOff+layout.RegionSize > g.DataOff+g.DataSize {
+		return fmt.Errorf("pheap: unreadable image: scratch region outside data heap")
+	}
+	if g.RedoSize < 24 {
+		return fmt.Errorf("pheap: unreadable image: redo area too small")
+	}
+	return nil
+}
+
+// stampChecksums writes the v5 checksums onto a pre-v5 image from its
+// metadata as read: region-top line checksums for every touched line,
+// and the committed-batch checksum if a redo batch is pending. The
+// GC-phase checksum is stamped by the caller's metadata flush path.
+func stampChecksums(dev *nvm.Device, geo Geometry) {
+	dev.WriteU64(mGCPhaseSum, gcPhaseSum(dev.ReadU64(mGCPhase)))
+	for r := 0; r < geo.Regions(); r++ {
+		off := geo.RegionTopOff + r*layout.RegionTopStride
+		top := dev.ReadU64(off)
+		if top == 0 {
+			continue // the all-zero line is already valid
+		}
+		dev.WriteU64(off+8, regionTopSum(r, top))
+		dev.Flush(off, 16)
+	}
+	if dev.ReadU64(geo.RedoOff) == 1 {
+		count := int(dev.ReadU64(geo.RedoOff + 8))
+		if count >= 0 && count <= (geo.RedoSize-24)/16 {
+			dev.WriteU64(geo.RedoOff+geo.RedoSize-8, redoSumAt(dev, geo, count))
+			dev.Flush(geo.RedoOff+geo.RedoSize-8, 8)
+		}
+		// An out-of-range count is left as-is: validation will reject
+		// it, exactly as it would a corrupt v5 batch.
+	}
 }
 
 // resolveFillers caches the filler klass records so gap plugging never
@@ -540,8 +670,8 @@ func BlackboxRegion(dev *nvm.Device) (off, size int, err error) {
 	if dev.ReadU64(mMagic) != heapMagic {
 		return 0, 0, fmt.Errorf("pheap: bad heap magic")
 	}
-	if v := dev.ReadU64(mVersion); v < heapVersion {
-		return 0, 0, fmt.Errorf("pheap: image format v%d predates the flight recorder (v%d)", v, heapVersion)
+	if v := dev.ReadU64(mVersion); v < heapVersionBlackbox {
+		return 0, 0, fmt.Errorf("pheap: image format v%d predates the flight recorder (v%d)", v, heapVersionBlackbox)
 	}
 	off, size = int(dev.ReadU64(mBlackboxOff)), int(dev.ReadU64(mBlackboxSize))
 	if size == 0 {
@@ -597,11 +727,14 @@ func (h *Heap) RegionTop(r int) int { return int(h.regionTops[r].Load()) }
 
 // persistRegionTop advances region r's persisted top and its mirror. The
 // caller must already have persisted every object header below the new
-// top — this store is the publication point.
+// top — this store is the publication point. The line checksum rides
+// the same flush (value and checksum share the 64-byte table line), so
+// detection costs one extra store and zero extra flushes or fences.
 func (h *Heap) persistRegionTop(r, top int) {
 	off := h.RegionTopMetaOff(r)
 	h.dev.WriteU64(off, uint64(top))
-	h.dev.Flush(off, 8)
+	h.dev.WriteU64(off+8, regionTopSum(r, uint64(top)))
+	h.dev.Flush(off, 16)
 	h.dev.Fence()
 	h.regionTops[r].Store(int64(top))
 }
@@ -681,13 +814,23 @@ func (h *Heap) GCPhase() uint64 { return h.gcPhase.Load() }
 // reloaded image can always tell an interrupted mark (discard, restart
 // fresh) from an interrupted compaction (resume via the mark bitmap).
 func (h *Heap) SetGCPhase(p uint64) {
-	h.persistU64(mGCPhase, p)
+	h.dev.WriteU64(mGCPhase, p)
+	h.dev.WriteU64(mGCPhaseSum, gcPhaseSum(p))
+	// One flush covers both: the checksum word lives in the phase
+	// word's cache line by construction.
+	h.dev.Flush(mGCPhase, 8)
+	h.dev.Fence()
 	h.gcPhase.Store(p)
 }
 
 // GCPhaseMetaOff exposes the metadata offset of the GC-phase word for
 // crash tests.
 func (h *Heap) GCPhaseMetaOff() int { return mGCPhase }
+
+// GCPhaseSumMetaOff exposes the metadata offset of the GC-phase
+// checksum word (same cache line as the phase word) for fault-injection
+// tests and the faults experiment.
+func (h *Heap) GCPhaseSumMetaOff() int { return mGCPhaseSum }
 
 // SnapshotRegionTops copies the current region-top table mirrors — the
 // snapshot-at-the-beginning boundary the concurrent marker traces below

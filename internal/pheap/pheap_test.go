@@ -9,6 +9,7 @@ import (
 	"espresso/internal/klass"
 	"espresso/internal/layout"
 	"espresso/internal/nvm"
+	"espresso/internal/nvm/faultdev"
 )
 
 func testHeap(t testing.TB, cfg Config) (*Heap, *klass.Registry) {
@@ -148,20 +149,17 @@ func TestParseInvariantUnderRandomCrash(t *testing.T) {
 		func() {
 			h, reg := testHeap(t, Config{DataSize: 1 << 20})
 			p := definePerson(t, reg)
-			h.Device().SetFlushHook(func(n uint64) {
-				if n == crashAt {
-					panic("crash")
-				}
-			})
-			func() {
-				defer func() { recover() }()
+			faultdev.CrashAtFlush(h.Device(), crashAt)
+			if _, err := faultdev.Run(h.Device(), func() error {
 				for i := 0; i < 100; i++ {
 					if _, err := h.Alloc(p, 0); err != nil {
-						return
+						return nil
 					}
 				}
-			}()
-			h.Device().SetFlushHook(nil)
+				return nil
+			}); err != nil {
+				t.Fatalf("crashAt=%d: %v", crashAt, err)
+			}
 			img := h.Device().CrashImage(nvm.CrashRandomEviction, int64(crashAt))
 			re, err := Load(nvm.FromImage(img, nvm.Config{}), klass.NewRegistry())
 			if err != nil {
@@ -337,17 +335,12 @@ func TestInterruptedSetRootInvisible(t *testing.T) {
 		h, reg := testHeap(t, Config{})
 		p := definePerson(t, reg)
 		ref, _ := h.Alloc(p, 0)
-		base := h.Device().Stats().Flushes
-		h.Device().SetFlushHook(func(n uint64) {
-			if n == base+crashAt {
-				panic("crash")
-			}
-		})
-		func() {
-			defer func() { recover() }()
-			_ = h.SetRoot("maybe", ref)
-		}()
-		h.Device().SetFlushHook(nil)
+		faultdev.CrashIn(h.Device(), crashAt)
+		if _, err := faultdev.Run(h.Device(), func() error {
+			return h.SetRoot("maybe", ref)
+		}); err != nil {
+			t.Fatalf("crashAt=%d: %v", crashAt, err)
+		}
 		img := h.Device().CrashImage(nvm.CrashFlushedOnly, int64(crashAt))
 		re, err := Load(nvm.FromImage(img, nvm.Config{}), klass.NewRegistry())
 		if err != nil {

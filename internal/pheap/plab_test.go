@@ -8,6 +8,7 @@ import (
 	"espresso/internal/klass"
 	"espresso/internal/layout"
 	"espresso/internal/nvm"
+	"espresso/internal/nvm/faultdev"
 )
 
 // PLAB allocator tests: parallel-allocation stress (the race job's
@@ -123,23 +124,19 @@ func TestPLABCrashAtEveryFlushDuringHandoff(t *testing.T) {
 		}
 		a := h.NewAllocator()
 		var recorded []layout.Ref
-		base := h.Device().Stats().Flushes
-		h.Device().SetFlushHook(func(n uint64) {
-			if n == base+crashAt {
-				panic("crash")
-			}
-		})
-		func() {
-			defer func() { recover() }()
+		faultdev.CrashIn(h.Device(), crashAt)
+		if _, err := faultdev.Run(h.Device(), func() error {
 			for i := 0; i < 3*layout.RegionSize/big.SizeOf(0); i++ {
 				ref, err := a.Alloc(big, 0)
 				if err != nil {
-					return
+					return nil
 				}
 				recorded = append(recorded, ref)
 			}
-		}()
-		h.Device().SetFlushHook(nil)
+			return nil
+		}); err != nil {
+			t.Fatalf("crashAt=%d: %v", crashAt, err)
+		}
 
 		img := h.Device().CrashImage(nvm.CrashRandomEviction, int64(crashAt))
 		re, err := Load(nvm.FromImage(img, nvm.Config{Mode: nvm.Tracked}), klass.NewRegistry())
@@ -189,17 +186,13 @@ func TestReloadTruncatesAtPersistedRegionTop(t *testing.T) {
 	// Crash on the next flush after the header flush of the second
 	// allocation: the header is durable, the region top still points at
 	// the end of the first object.
-	stop := h.Device().Stats().Flushes + 1
-	h.Device().SetFlushHook(func(n uint64) {
-		if n == stop {
-			panic("crash")
-		}
-	})
-	func() {
-		defer func() { recover() }()
+	faultdev.CrashIn(h.Device(), 1)
+	if _, err := faultdev.Run(h.Device(), func() error {
 		_, _ = a.Alloc(p, 0)
-	}()
-	h.Device().SetFlushHook(nil)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
 
 	img := h.Device().CrashImage(nvm.CrashFlushedOnly, 0)
 	re, err := Load(nvm.FromImage(img, nvm.Config{}), klass.NewRegistry())
@@ -467,17 +460,13 @@ func TestCrashDuringLoadPlug(t *testing.T) {
 	img := h.Device().CrashImage(nvm.CrashFlushedOnly, 0)
 	for crashAt := uint64(1); crashAt <= 2; crashAt++ {
 		dev := nvm.FromImage(append([]byte(nil), img...), nvm.Config{Mode: nvm.Tracked})
-		base := dev.Stats().Flushes
-		dev.SetFlushHook(func(n uint64) {
-			if n == base+crashAt {
-				panic("crash")
-			}
-		})
-		func() {
-			defer func() { recover() }()
+		faultdev.CrashIn(dev, crashAt)
+		if _, err := faultdev.Run(dev, func() error {
 			_, _ = Load(dev, klass.NewRegistry())
-		}()
-		dev.SetFlushHook(nil)
+			return nil
+		}); err != nil {
+			t.Fatalf("crashAt=%d: %v", crashAt, err)
+		}
 		img2 := dev.CrashImage(nvm.CrashRandomEviction, int64(crashAt))
 		re, err := Load(nvm.FromImage(img2, nvm.Config{}), klass.NewRegistry())
 		if err != nil {

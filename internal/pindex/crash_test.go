@@ -7,6 +7,7 @@ import (
 	"espresso/internal/klass"
 	"espresso/internal/layout"
 	"espresso/internal/nvm"
+	"espresso/internal/nvm/faultdev"
 	"espresso/internal/pgc"
 	"espresso/internal/pheap"
 )
@@ -187,21 +188,10 @@ func TestCrashAtEveryFlushBoundary(t *testing.T) {
 		for key, v := range baseModel {
 			model[key] = v
 		}
-		base := dev.Stats().Flushes
-		dev.SetFlushHook(func(n uint64) {
-			if n == base+k {
-				panic("injected crash")
-			}
-		})
-		crashed := false
+		faultdev.CrashIn(dev, k)
 		var inflight *kvOp
 		var beforeVal int64
-		func() {
-			defer func() {
-				if recover() != nil {
-					crashed = true
-				}
-			}()
+		crashed, err := faultdev.Run(dev, func() error {
 			for i := range script {
 				op := script[i]
 				inflight = &op
@@ -212,16 +202,15 @@ func TestCrashAtEveryFlushBoundary(t *testing.T) {
 				if op.del {
 					c.Delete(op.key)
 				} else if err := putBoxed(t, h, c, bk, op.key, op.val); err != nil {
-					t.Errorf("%s: put %d: %v", tag, op.key, err)
-					return
+					return fmt.Errorf("put %d: %v", op.key, err)
 				}
 				apply(model, op)
 				inflight = nil
 			}
-		}()
-		dev.SetFlushHook(nil)
-		if t.Failed() {
-			return
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", tag, err)
 		}
 		if !crashed {
 			// The whole script fit below boundary k: coverage is complete.
@@ -309,29 +298,13 @@ func TestCrashDuringConcurrentGCWithIndexTraffic(t *testing.T) {
 			}
 		}}}
 
-		base := dev.Stats().Flushes
-		dev.SetFlushHook(func(n uint64) {
-			if n == base+k {
-				panic("injected crash")
-			}
+		faultdev.CrashIn(dev, k)
+		crashed, err := faultdev.Run(dev, func() error {
+			_, err := pgc.CollectConcurrent(h, pgc.NoRoots{}, world)
+			return err
 		})
-		crashed := false
-		func() {
-			defer func() {
-				if r := recover(); r != nil {
-					if r != "injected crash" {
-						t.Fatalf("%s: unexpected panic: %v", tag, r)
-					}
-					crashed = true
-				}
-			}()
-			if _, err := pgc.CollectConcurrent(h, pgc.NoRoots{}, world); err != nil {
-				t.Fatalf("%s: collect: %v", tag, err)
-			}
-		}()
-		dev.SetFlushHook(nil)
-		if t.Failed() {
-			return
+		if err != nil {
+			t.Fatalf("%s: collect: %v", tag, err)
 		}
 		if !crashed {
 			t.Logf("covered flush boundaries up to %d (cycle complete)", k)

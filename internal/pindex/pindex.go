@@ -94,6 +94,15 @@ type Options struct {
 	// routes one pindex per independent heap by hash range — rather
 	// than raise it far.
 	MaxBuckets int
+	// Salvage switches Open's recovery pass from detect-and-fail to
+	// detect-and-amputate: a walk that hits corruption (an out-of-heap
+	// link, a link or value into a heap region quarantined by
+	// pheap.LoadSalvage, a split-order violation, a media error)
+	// truncates the list at the last good node and resets bucket
+	// shortcuts that no longer lead into the surviving chain. Entries
+	// are lost, never fabricated: nothing the walk cannot positively
+	// verify stays reachable.
+	Salvage bool
 }
 
 func (o *Options) fillDefaults() error {

@@ -17,6 +17,16 @@ type RecoverStats struct {
 	Sentinels    int // bucket sentinels encountered
 	Pruned       int // committed-deleted nodes physically unlinked
 	DirtyCleared int // leftover dirty marks retired
+
+	// Salvage-mode amputations (always zero on a strict pass):
+	Truncated    bool // the chain was cut at the last verifiable node
+	LostValues   int  // entries dropped because their value storage was quarantined
+	BucketsReset int  // bucket shortcuts cleared (no longer on the surviving chain)
+}
+
+// Salvaged reports whether the pass amputated anything.
+func (st RecoverStats) Salvaged() bool {
+	return st.Truncated || st.LostValues > 0 || st.BucketsReset > 0
 }
 
 // Recover repairs the index registered under name after a reload: it
@@ -60,8 +70,21 @@ func cleanSlot(h *pheap.Heap, st *RecoverStats, obj layout.Ref, boff int) uint64
 }
 
 // recoverLocked is the shared walk behind Recover and Open-attach; ix
-// supplies resolved klasses and field offsets. The caller guarantees
-// quiescence (load time, or Open's pin).
+// supplies resolved klasses and field offsets (and, via its options,
+// whether the walk salvages). The caller guarantees quiescence (load
+// time, or Open's pin).
+//
+// The salvage variant enforces never-fabricate in two moves. First, any
+// link the walk cannot positively verify — it leaves the heap, enters a
+// quarantined region, breaks split order, or the node behind it cannot
+// be read — cuts the chain right there: the persisted truncation makes
+// everything past the damage unreachable, losing entries but inventing
+// none. Second, the bucket table is swept afterwards: shortcuts are
+// direct sentinel references, so a sentinel that sits beyond a cut
+// would resurrect its whole segment through the shortcut even though
+// the chain no longer reaches it. Every bucket slot whose sentinel was
+// not visited on the surviving chain is reset to null (the lazy
+// split-ordered initialization re-splices it on demand).
 func recoverLocked(h *pheap.Heap, name string, ix *Index) (RecoverStats, error) {
 	if tel := h.Telemetry(); tel != nil {
 		start := time.Now()
@@ -72,52 +95,122 @@ func recoverLocked(h *pheap.Heap, name string, ix *Index) (RecoverStats, error) 
 		}()
 	}
 	var st RecoverStats
+	salvage := ix.opts.Salvage
 	hdr, ok := h.GetRoot(name)
 	if !ok {
 		return st, fmt.Errorf("pindex: no index %q in this heap", name)
 	}
+	// The header, bucket table, and head sentinel are the structure's
+	// spine: without them there is nothing to salvage *onto*, so they
+	// stay fatal in both modes (the sharding layer quarantines the whole
+	// shard instead).
 	bw := cleanSlot(h, &st, hdr, ix.fBuckets)
 	arr := layout.Ref(layout.UntagRef(layout.Ref(bw)))
-	if arr == layout.NullRef || !h.Contains(arr) {
+	if arr == layout.NullRef || !h.Contains(arr) || h.RefQuarantined(arr) {
 		return st, fmt.Errorf("pindex: %q: header has no bucket table", name)
 	}
-	prev := layout.Ref(layout.UntagRef(layout.Ref(h.GetWord(arr, layout.ElemOff(layout.FTRef, 0)))))
-	if prev == layout.NullRef {
+	head := layout.Ref(layout.UntagRef(layout.Ref(h.GetWord(arr, layout.ElemOff(layout.FTRef, 0)))))
+	if head == layout.NullRef || (salvage && (!h.Contains(head) || h.RefQuarantined(head))) {
 		return st, fmt.Errorf("pindex: %q: head sentinel missing", name)
 	}
 	st.Sentinels++
-	lastSort, lastKey := h.GetWord(prev, ix.fSort), h.GetWord(prev, ix.fKey)
-	for {
-		w := cleanSlot(h, &st, prev, ix.fNext)
-		curr := layout.Ref(layout.UntagRef(layout.Ref(w)))
-		if curr == layout.NullRef {
-			break
-		}
-		if !h.Contains(curr) {
-			return st, fmt.Errorf("pindex: %q: link to %#x outside the heap", name, uint64(curr))
-		}
-		cw := cleanSlot(h, &st, curr, ix.fNext)
-		if cw&tagDel != 0 {
-			// The delete mark persisted: the delete committed before the
-			// crash. Finish its unlink so the key cannot resurrect.
-			h.SetWord(prev, ix.fNext, uint64(layout.UntagRef(layout.Ref(cw))))
-			h.FlushRange(prev, ix.fNext, 8)
-			st.Pruned++
-			continue
-		}
-		cs, ck := h.GetWord(curr, ix.fSort), h.GetWord(curr, ix.fKey)
-		if !soLess(lastSort, lastKey, cs, ck) {
-			return st, fmt.Errorf("pindex: %q: split order violated at %#x", name, uint64(curr))
-		}
-		if cs&1 == 1 {
-			cleanSlot(h, &st, curr, ix.fVal)
-			st.Entries++
-		} else {
-			st.Sentinels++
-		}
-		lastSort, lastKey = cs, ck
-		prev = curr
+
+	var surviving map[layout.Ref]bool
+	if salvage {
+		surviving = map[layout.Ref]bool{head: true}
 	}
+	truncate := func(prev layout.Ref) {
+		h.SetWord(prev, ix.fNext, uint64(layout.NullRef))
+		h.FlushRange(prev, ix.fNext, 8)
+		st.Truncated = true
+	}
+
+	prev := head
+	walk := func() error {
+		lastSort, lastKey := h.GetWord(prev, ix.fSort), h.GetWord(prev, ix.fKey)
+		for {
+			w := cleanSlot(h, &st, prev, ix.fNext)
+			curr := layout.Ref(layout.UntagRef(layout.Ref(w)))
+			if curr == layout.NullRef {
+				return nil
+			}
+			if !h.Contains(curr) || h.RefQuarantined(curr) {
+				if salvage {
+					truncate(prev)
+					return nil
+				}
+				return fmt.Errorf("pindex: %q: link to %#x outside the heap", name, uint64(curr))
+			}
+			cw := cleanSlot(h, &st, curr, ix.fNext)
+			if cw&tagDel != 0 {
+				// The delete mark persisted: the delete committed before the
+				// crash. Finish its unlink so the key cannot resurrect.
+				h.SetWord(prev, ix.fNext, uint64(layout.UntagRef(layout.Ref(cw))))
+				h.FlushRange(prev, ix.fNext, 8)
+				st.Pruned++
+				continue
+			}
+			cs, ck := h.GetWord(curr, ix.fSort), h.GetWord(curr, ix.fKey)
+			if !soLess(lastSort, lastKey, cs, ck) {
+				if salvage {
+					truncate(prev)
+					return nil
+				}
+				return fmt.Errorf("pindex: %q: split order violated at %#x", name, uint64(curr))
+			}
+			if cs&1 == 1 {
+				vw := cleanSlot(h, &st, curr, ix.fVal)
+				val := layout.Ref(layout.UntagRef(layout.Ref(vw)))
+				if salvage && val != layout.NullRef && h.RefQuarantined(val) {
+					// The entry survived but its value storage is gone.
+					// Drop the entry like a committed delete — reporting a
+					// key with fabricated contents is the one forbidden
+					// outcome.
+					h.SetWord(prev, ix.fNext, uint64(layout.UntagRef(layout.Ref(cw))))
+					h.FlushRange(prev, ix.fNext, 8)
+					st.LostValues++
+					continue
+				}
+				st.Entries++
+			} else {
+				st.Sentinels++
+				if surviving != nil {
+					surviving[curr] = true
+				}
+			}
+			lastSort, lastKey = cs, ck
+			prev = curr
+		}
+	}
+	var err error
+	if salvage {
+		err = nvm.CatchMedia(walk)
+		if _, media := err.(*nvm.MediaError); media {
+			// The node behind prev.next could not be read; cut there.
+			truncate(prev)
+			err = nil
+		}
+	} else {
+		err = walk()
+	}
+	if err != nil {
+		return st, err
+	}
+
+	if salvage {
+		n := h.ArrayLen(arr)
+		for i := 1; i < n; i++ {
+			boff := layout.ElemOff(layout.FTRef, i)
+			ref := layout.Ref(layout.UntagRef(layout.Ref(h.GetWord(arr, boff))))
+			if ref == layout.NullRef || surviving[ref] {
+				continue
+			}
+			h.SetWord(arr, boff, uint64(layout.NullRef))
+			h.FlushRange(arr, boff, 8)
+			st.BucketsReset++
+		}
+	}
+
 	// Journal the walk's verdict. Every repair above ended in its own
 	// flush; the append needs no fence of its own.
 	h.FlightRecorder().Append(blackbox.EvRecoveryIndex,

@@ -1,11 +1,11 @@
 package pshard
 
 import (
-	"strings"
 	"testing"
 
 	"espresso/internal/klass"
 	"espresso/internal/nvm"
+	"espresso/internal/nvm/faultdev"
 	"espresso/internal/pheap"
 )
 
@@ -49,29 +49,14 @@ func buildCrashedScenario(t *testing.T) (map[string][]byte, map[int64]int64, int
 	// power. The crash image is then guaranteed to need pgc recovery.
 	sh := set.Shard(crashShard)
 	dev := sh.Heap().Device()
-	sawActive := false
-	tail := 0
-	dev.SetFlushHook(func(uint64) {
-		if !sawActive {
-			sawActive = sh.Heap().GCActive()
-			return
-		}
-		if tail++; tail == 8 {
-			panic("injected crash")
-		}
+	faultdev.CrashWhen(dev, 8, sh.Heap().GCActive)
+	crashed, err := faultdev.Run(dev, func() error {
+		_, err := set.GCShard(crashShard)
+		return err
 	})
-	crashed := false
-	func() {
-		defer func() {
-			if r := recover(); r != nil {
-				crashed = true
-			}
-		}()
-		if _, err := set.GCShard(crashShard); err != nil {
-			t.Fatalf("GCShard: %v", err)
-		}
-	}()
-	dev.SetFlushHook(nil)
+	if err != nil {
+		t.Fatalf("GCShard: %v", err)
+	}
 	if !crashed {
 		t.Fatal("collection completed without reaching the injected crash point")
 	}
@@ -99,33 +84,29 @@ func buildCrashedScenario(t *testing.T) (map[string][]byte, map[int64]int64, int
 func TestCrashDuringParallelRecovery(t *testing.T) {
 	imgs, model, crashShard := buildCrashedScenario(t)
 	sawCrash := false
-	for k := uint64(1); ; k *= 2 {
+	sweepErr := faultdev.SweepDoubling(func(k uint64) (bool, error) {
 		store := storeFrom(t, imgs)
 		dev, err := store.Open(ShardHeapName("kv", crashShard))
 		if err != nil {
 			t.Fatal(err)
 		}
-		base := dev.Stats().Flushes
-		dev.SetFlushHook(func(n uint64) {
-			if n == base+k {
-				panic("injected crash")
-			}
+		faultdev.CrashIn(dev, k)
+		// The injected panic fires inside a recovery worker; pshard's
+		// containment converts it to a per-shard error that OpenSet
+		// returns, and Run recognizes it (IsCrashError) as the crash.
+		crashed, err := faultdev.Run(dev, func() error {
+			_, err := OpenSet(store, "kv", Options{Mode: nvm.Tracked, RecoveryWorkers: 2})
+			return err
 		})
-		_, err = OpenSet(store, "kv", Options{Mode: nvm.Tracked, RecoveryWorkers: 2})
-		dev.SetFlushHook(nil)
-		if err == nil {
-			// Recovery finished under k flushes: the sweep has covered
-			// every boundary.
-			if !sawCrash {
-				t.Fatal("no injected crash ever fired; recovery issued no flushes")
-			}
-			t.Logf("covered crash boundaries up to flush %d", k/2)
-			return
-		}
-		sawCrash = true
-		if !strings.Contains(err.Error(), "injected crash") {
+		if err != nil {
 			t.Fatalf("k=%d: unexpected OpenSet error: %v", k, err)
 		}
+		if !crashed {
+			// Recovery finished under k flushes: the sweep has covered
+			// every boundary.
+			return false, nil
+		}
+		sawCrash = true
 
 		// All-old: the failed open must not have bumped the generation.
 		mdev, err := store.Open(ManifestName("kv"))
@@ -152,5 +133,12 @@ func TestCrashDuringParallelRecovery(t *testing.T) {
 			t.Fatalf("k=%d: generation %d after successful open, want 2 (all-new)", k, g)
 		}
 		verifySet(t, "second open", set, model)
+		return true, nil
+	})
+	if sweepErr != nil {
+		t.Fatal(sweepErr)
+	}
+	if !sawCrash {
+		t.Fatal("no injected crash ever fired; recovery issued no flushes")
 	}
 }

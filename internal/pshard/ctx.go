@@ -18,10 +18,18 @@ import (
 // compactor can never move the box between those steps. Operations must
 // not nest (no Ctx or Set calls from inside a Scan callback): the
 // second pin can deadlock behind a waiting collector pause.
+//
+// On a degraded set, operations routed to a quarantined shard fail
+// with an error matching ErrShardQuarantined (Put, PutRef, Lookup,
+// Remove) or report absence (Get, GetRef, Delete — their signatures
+// cannot carry the distinction; use the erroring variants when it
+// matters). A shard that reopens behind a ctx is picked up
+// transparently: the ctx notices the new instance and re-attaches.
 type Ctx struct {
 	set      *Set
 	subs     []*pindex.Ctx
-	boxLines []int // value-box cache lines flushed, per shard
+	subShard []*Shard // the Shard instance each sub was created against
+	boxLines []int    // value-box cache lines flushed, per shard
 }
 
 // NewCtx attaches a per-goroutine operation handle.
@@ -29,16 +37,30 @@ func (s *Set) NewCtx() *Ctx {
 	return &Ctx{
 		set:      s,
 		subs:     make([]*pindex.Ctx, len(s.shards)),
+		subShard: make([]*Shard, len(s.shards)),
 		boxLines: make([]int, len(s.shards)),
 	}
 }
 
-// sub returns (creating on first use) the ctx's handle for shard i.
-func (c *Ctx) sub(i int) *pindex.Ctx {
-	if c.subs[i] == nil {
-		c.subs[i] = c.set.shards[i].ix.NewCtx()
+// acquire pins shard i (read-locking its world) and returns it with the
+// ctx's handle for it, re-attaching if the shard was reopened since the
+// handle was created. Fails without pinning anything when the shard is
+// quarantined; on success the caller must sh.world.RUnlock().
+func (c *Ctx) acquire(i int) (*Shard, *pindex.Ctx, error) {
+	sh := c.set.shard(i)
+	if sh == nil {
+		return nil, nil, &QuarantinedError{Shard: i, Cause: c.set.QuarantineCause(i)}
 	}
-	return c.subs[i]
+	sh.world.RLock()
+	if c.subShard[i] != sh {
+		// First touch, or the shard was rebuilt (quarantine + reopen)
+		// since this ctx last saw it. The old sub's heap is gone — drop
+		// the handle without Release (releasing would write PLAB metadata
+		// through the dead instance onto the live device).
+		c.subs[i] = sh.ix.NewCtx()
+		c.subShard[i] = sh
+	}
+	return sh, c.subs[i], nil
 }
 
 // Put durably maps key → val: the value is boxed on the owning shard's
@@ -46,10 +68,11 @@ func (c *Ctx) sub(i int) *pindex.Ctx {
 // index — durable-linearizable like pindex.Put, per shard.
 func (c *Ctx) Put(key, val int64) error {
 	i := c.set.mani.ShardOf(key)
-	sh := c.set.shards[i]
-	sh.world.RLock()
+	sh, sub, err := c.acquire(i)
+	if err != nil {
+		return err
+	}
 	defer sh.world.RUnlock()
-	sub := c.sub(i)
 	box, err := sub.Allocator().Alloc(sh.boxK, 0)
 	if err != nil {
 		return err
@@ -64,27 +87,47 @@ func (c *Ctx) Put(key, val int64) error {
 }
 
 // Get looks key up on its owning shard; the answer is durable before it
-// is returned.
+// is returned. A quarantined shard reads as absent — use Lookup to tell
+// "not present" from "shard unavailable".
 func (c *Ctx) Get(key int64) (int64, bool) {
+	v, ok, _ := c.Lookup(key)
+	return v, ok
+}
+
+// Lookup is Get with the quarantine made visible: the error matches
+// ErrShardQuarantined when the owning shard is fenced off.
+func (c *Ctx) Lookup(key int64) (int64, bool, error) {
 	i := c.set.mani.ShardOf(key)
-	sh := c.set.shards[i]
-	sh.world.RLock()
-	defer sh.world.RUnlock()
-	box, ok := c.sub(i).Get(key)
-	if !ok || box == layout.NullRef {
-		return 0, false
+	sh, sub, err := c.acquire(i)
+	if err != nil {
+		return 0, false, err
 	}
-	return int64(sh.heap.GetWord(box, layout.FieldOff(0))), true
+	defer sh.world.RUnlock()
+	box, ok := sub.Get(key)
+	if !ok || box == layout.NullRef {
+		return 0, false, nil
+	}
+	return int64(sh.heap.GetWord(box, layout.FieldOff(0))), true, nil
 }
 
 // Delete durably removes key from its owning shard, reporting whether it
-// was present.
+// was present. A quarantined shard reports false — use Remove to tell
+// the cases apart.
 func (c *Ctx) Delete(key int64) bool {
+	ok, _ := c.Remove(key)
+	return ok
+}
+
+// Remove is Delete with the quarantine made visible: the error matches
+// ErrShardQuarantined when the owning shard is fenced off.
+func (c *Ctx) Remove(key int64) (bool, error) {
 	i := c.set.mani.ShardOf(key)
-	sh := c.set.shards[i]
-	sh.world.RLock()
+	sh, sub, err := c.acquire(i)
+	if err != nil {
+		return false, err
+	}
 	defer sh.world.RUnlock()
-	return c.sub(i).Delete(key)
+	return sub.Delete(key), nil
 }
 
 // PutRef durably maps key → an object reference. The referent must live
@@ -94,40 +137,55 @@ func (c *Ctx) Delete(key int64) bool {
 // right shard, inside a Do interval.
 func (c *Ctx) PutRef(key int64, val layout.Ref) error {
 	i := c.set.mani.ShardOf(key)
-	sh := c.set.shards[i]
-	sh.world.RLock()
+	sh, sub, err := c.acquire(i)
+	if err != nil {
+		return err
+	}
 	defer sh.world.RUnlock()
-	return c.sub(i).Put(key, val)
+	return sub.Put(key, val)
 }
 
-// GetRef looks up the raw reference mapped to key.
+// GetRef looks up the raw reference mapped to key. A quarantined shard
+// reads as absent.
 func (c *Ctx) GetRef(key int64) (layout.Ref, bool) {
 	i := c.set.mani.ShardOf(key)
-	sh := c.set.shards[i]
-	sh.world.RLock()
+	sh, sub, err := c.acquire(i)
+	if err != nil {
+		return layout.NullRef, false
+	}
 	defer sh.world.RUnlock()
-	return c.sub(i).Get(key)
+	return sub.Get(key)
 }
 
 // Do runs fn pinned on key's owning shard (no collection of that shard
 // can start), passing the shard index. References fn obtains are stable
 // for fn's duration only. fn must not call other Ctx or Set operations.
-func (c *Ctx) Do(key int64, fn func(shard int)) {
+// Returns without running fn when the owning shard is quarantined; the
+// error matches ErrShardQuarantined.
+func (c *Ctx) Do(key int64, fn func(shard int)) error {
 	i := c.set.mani.ShardOf(key)
-	sh := c.set.shards[i]
+	sh := c.set.shard(i)
+	if sh == nil {
+		return &QuarantinedError{Shard: i, Cause: c.set.QuarantineCause(i)}
+	}
 	sh.world.RLock()
 	defer sh.world.RUnlock()
 	fn(i)
+	return nil
 }
 
 // Scan walks every entry of every shard until fn returns false (weakly
 // consistent per shard, shards in range order). It pins one shard at a
-// time, so long scans block at most one shard's collector.
+// time, so long scans block at most one shard's collector. Quarantined
+// shards are skipped — their entries are unreachable, not invented.
 func (c *Ctx) Scan(fn func(key, val int64) bool) {
-	for i, sh := range c.set.shards {
+	for i := range c.set.shards {
+		sh, sub, err := c.acquire(i)
+		if err != nil {
+			continue
+		}
 		more := true
-		sh.world.RLock()
-		c.sub(i).Scan(func(key int64, box layout.Ref) bool {
+		sub.Scan(func(key int64, box layout.Ref) bool {
 			v := int64(0)
 			if box != layout.NullRef {
 				v = int64(sh.heap.GetWord(box, layout.FieldOff(0)))
@@ -157,16 +215,22 @@ func (c *Ctx) ShardFlushedLines(i int) int {
 
 // Release retires every shard handle the ctx created: PLAB headroom
 // returns to each shard's dispenser and pending barrier records hand off
-// to the shard's shared buffer.
+// to the shard's shared buffer. A handle whose shard instance was
+// replaced (quarantine + reopen) is dropped instead — its PLAB and
+// buffers belong to the dead instance.
 func (c *Ctx) Release() {
 	for i, sub := range c.subs {
 		if sub == nil {
 			continue
 		}
-		sh := c.set.shards[i]
+		sh := c.set.shard(i)
+		if sh == nil || sh != c.subShard[i] {
+			c.subs[i], c.subShard[i] = nil, nil
+			continue
+		}
 		sh.world.RLock()
 		sub.Release()
 		sh.world.RUnlock()
-		c.subs[i] = nil
+		c.subs[i], c.subShard[i] = nil, nil
 	}
 }

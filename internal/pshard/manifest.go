@@ -42,8 +42,12 @@ import (
 // ManifestMagic identifies a shard-manifest device ("ESPRSHRD").
 const ManifestMagic = 0x4553_5052_5348_5244
 
-// ManifestVersion is the current manifest format.
-const ManifestVersion = 1
+// ManifestVersion is the current manifest format. v2 added the metadata
+// checksum word; v1 images are upgraded in place on reopen.
+const ManifestVersion = 2
+
+// manifestVersionChecksum is the first format carrying the checksum.
+const manifestVersionChecksum = 2
 
 // ManifestDeviceSize is the manifest device's fixed size. 4 KB holds the
 // header plus a boundary word for every shard up to MaxShards.
@@ -63,6 +67,18 @@ const (
 	manGeneration = 32
 	manShardSize  = 40
 	manBounds     = 48 // shardCount boundary words follow
+	// manSum sits past the largest possible boundary table so the
+	// checksum's offset never depends on the shard count.
+	manSum = manBounds + 8*MaxShards
+)
+
+// Exported manifest field offsets for fault-injection tests and the
+// faults experiment: the state word, the boundary table, and the
+// checksum word are the checksummed structures corruption sweeps target.
+const (
+	ManifestStateOff  = manState
+	ManifestBoundsOff = manBounds
+	ManifestSumOff    = manSum
 )
 
 // Manifest state word values.
@@ -73,6 +89,31 @@ const (
 	// transitional states without a format bump.
 	manifestComplete = 1
 )
+
+// manifestSum checksums the manifest's immutable metadata: state, shard
+// count, shard size, and the whole boundary table. The generation word
+// is deliberately excluded — it is the manifest's one post-creation
+// mutation, a single-word bump that must stay all-old-or-all-new with
+// no companion write. The version word is excluded too, so the v1→v2
+// upgrade can stamp the sum and bump the version in separate ordered
+// steps (a crash between them leaves a valid v1 image). Same mixer as
+// the flight recorder and pheap metadata checksums.
+func manifestSum(dev *nvm.Device, n int) uint64 {
+	const mult = 0x9E3779B97F4A7C15
+	mix := func(s, w uint64) uint64 {
+		s ^= w
+		s *= mult
+		s ^= s >> 29
+		return s
+	}
+	s := mix(ManifestMagic, dev.ReadU64(manState))
+	s = mix(s, dev.ReadU64(manShards))
+	s = mix(s, dev.ReadU64(manShardSize))
+	for i := 0; i < n; i++ {
+		s = mix(s, dev.ReadU64(manBounds+8*i))
+	}
+	return s
+}
 
 // Manifest is the decoded shard-set description.
 type Manifest struct {
@@ -131,7 +172,7 @@ func WriteManifest(dev *nvm.Device, m *Manifest) error {
 			return fmt.Errorf("pshard: boundary table not strictly increasing at %d", i)
 		}
 	}
-	if dev.Size() < manBounds+8*m.Shards {
+	if dev.Size() < manSum+8 {
 		return fmt.Errorf("pshard: manifest device too small for %d shards", m.Shards)
 	}
 	dev.WriteU64(manMagic, ManifestMagic)
@@ -143,7 +184,9 @@ func WriteManifest(dev *nvm.Device, m *Manifest) error {
 	for i, b := range m.Bounds {
 		dev.WriteU64(manBounds+8*i, b)
 	}
+	dev.WriteU64(manSum, manifestSum(dev, m.Shards))
 	dev.Flush(0, manBounds+8*m.Shards)
+	dev.Flush(manSum, 8)
 	dev.Fence()
 	return nil
 }
@@ -153,8 +196,9 @@ func ReadManifest(dev *nvm.Device) (*Manifest, error) {
 	if !IsManifest(dev) {
 		return nil, fmt.Errorf("pshard: not a shard manifest (magic %#x)", dev.ReadU64(manMagic))
 	}
-	if v := dev.ReadU64(manVersion); v != ManifestVersion {
-		return nil, fmt.Errorf("pshard: manifest version %d, want %d", v, ManifestVersion)
+	v := dev.ReadU64(manVersion)
+	if v < 1 || v > ManifestVersion {
+		return nil, fmt.Errorf("pshard: manifest version %d, want <= %d", v, ManifestVersion)
 	}
 	if st := dev.ReadU64(manState); st != manifestComplete {
 		return nil, fmt.Errorf("pshard: manifest state %d is not complete", st)
@@ -162,6 +206,9 @@ func ReadManifest(dev *nvm.Device) (*Manifest, error) {
 	n := int(dev.ReadU64(manShards))
 	if n < 1 || n > MaxShards || dev.Size() < manBounds+8*n {
 		return nil, fmt.Errorf("pshard: manifest shard count %d invalid", n)
+	}
+	if v >= manifestVersionChecksum && dev.ReadU64(manSum) != manifestSum(dev, n) {
+		return nil, fmt.Errorf("pshard: manifest checksum mismatch")
 	}
 	m := &Manifest{
 		Shards:        n,
@@ -181,6 +228,22 @@ func ReadManifest(dev *nvm.Device) (*Manifest, error) {
 		}
 	}
 	return m, nil
+}
+
+// upgradeManifest stamps the v2 checksum onto a v1 manifest in place.
+// Order matters: the sum persists (flush + fence) before the version
+// word flips, so a crash between the two leaves a valid v1 image that
+// the next open simply upgrades again.
+func upgradeManifest(dev *nvm.Device, m *Manifest) {
+	if dev.ReadU64(manVersion) >= manifestVersionChecksum {
+		return
+	}
+	dev.WriteU64(manSum, manifestSum(dev, m.Shards))
+	dev.Flush(manSum, 8)
+	dev.Fence()
+	dev.WriteU64(manVersion, ManifestVersion)
+	dev.Flush(manVersion, 8)
+	dev.Fence()
 }
 
 // bumpGeneration records a completed open: one atomic word, one flushed

@@ -3,6 +3,7 @@ package pshard
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"espresso/internal/klass"
@@ -61,6 +62,26 @@ type Options struct {
 	// decodes them post-mortem. Off by default; the disabled state is a
 	// nil recorder, which appends nothing.
 	FlightRecorder bool
+	// Degraded switches OpenSet from fail-fast to fence-and-serve: a
+	// shard whose image cannot be loaded or recovered is quarantined
+	// instead of failing the whole open. Healthy shards serve
+	// immediately, operations routed to a quarantined shard return
+	// ErrShardQuarantined, and a background loop retries the shard with
+	// capped exponential backoff until it reopens. Degraded recovery
+	// runs in salvage mode (pheap.LoadSalvage, pindex salvage walks):
+	// corrupt regions and unverifiable index entries are amputated and
+	// reported — lost, never fabricated. The manifest itself stays
+	// load-bearing in every mode: a set whose manifest is unreadable or
+	// corrupt cannot route and fails OpenSet outright.
+	Degraded bool
+	// RetryBase and RetryCap bound the quarantine retry backoff: the
+	// k-th consecutive failure schedules the next attempt after
+	// min(RetryBase<<(k-1), RetryCap). Defaults 10ms and 1s.
+	RetryBase time.Duration
+	RetryCap  time.Duration
+	// DisableRetryLoop suppresses the background reopen goroutine;
+	// deterministic tests drive recovery with RetryQuarantined instead.
+	DisableRetryLoop bool
 }
 
 func (o *Options) fillDefaults() error {
@@ -72,6 +93,12 @@ func (o *Options) fillDefaults() error {
 	}
 	if o.ShardDataSize == 0 {
 		o.ShardDataSize = 16 << 20
+	}
+	if o.RetryBase <= 0 {
+		o.RetryBase = 10 * time.Millisecond
+	}
+	if o.RetryCap <= 0 {
+		o.RetryCap = time.Second
 	}
 	return nil
 }
@@ -116,12 +143,26 @@ type Set struct {
 	opts    Options
 	mani    *Manifest
 	maniDev *nvm.Device
-	shards  []*Shard
+	// shards holds one atomically swappable slot per shard. A nil slot is
+	// a quarantined shard (degraded mode only); a successful reopen
+	// publishes the rebuilt Shard with a single pointer store, so readers
+	// never observe a half-attached shard.
+	shards []atomic.Pointer[Shard]
+	// quar tracks per-shard quarantine state (cause, attempts, backoff).
+	quar []quarShard
 	// tel is the set-level registry (whole-set spans like shard.open and
 	// the facade's ctx-pool gauges); each shard's heap carries its own.
 	// Nil when Options.Telemetry is off.
 	tel *telemetry.Registry
+
+	retryStop chan struct{}
+	retryKick chan struct{}
+	retryDone chan struct{}
+	closeOnce sync.Once
 }
+
+// shard returns shard i's current instance, or nil while quarantined.
+func (s *Set) shard(i int) *Shard { return s.shards[i].Load() }
 
 // Telemetry exposes the set-level registry (nil when telemetry is off).
 func (s *Set) Telemetry() *telemetry.Registry { return s.tel }
@@ -150,6 +191,12 @@ func OpenSet(store Store, base string, opts Options) (*Set, error) {
 	if opts.Telemetry {
 		s.tel = telemetry.New()
 	}
+	if opts.Degraded {
+		// The kick channel exists before any shard work so quarantines
+		// during the open fan-out are not lost; the loop itself starts
+		// only once the set is routable.
+		s.retryKick = make(chan struct{}, 1)
+	}
 	openStart := time.Now()
 	var err error
 	if store.Exists(ManifestName(base)) {
@@ -157,12 +204,18 @@ func OpenSet(store Store, base string, opts Options) (*Set, error) {
 	} else {
 		err = s.create()
 	}
-	if err == nil {
-		// The whole open — all shards loaded, recovered, and attached,
-		// joined across the recovery fan-out.
-		s.tel.RecordSpan(telemetry.SpanShardOpen, -1, -1, openStart, time.Since(openStart))
+	if err != nil {
+		return s, err
 	}
-	return s, err
+	// The whole open — all shards loaded, recovered, and attached,
+	// joined across the recovery fan-out.
+	s.tel.RecordSpan(telemetry.SpanShardOpen, -1, -1, openStart, time.Since(openStart))
+	if opts.Degraded && !opts.DisableRetryLoop {
+		s.retryStop = make(chan struct{})
+		s.retryDone = make(chan struct{})
+		go s.retryLoop()
+	}
+	return s, nil
 }
 
 // create builds a fresh set: manifest first (the crash rule), then the
@@ -185,7 +238,8 @@ func (s *Set) create() error {
 		return err
 	}
 	s.mani, s.maniDev = mani, dev
-	s.shards = make([]*Shard, mani.Shards)
+	s.shards = make([]atomic.Pointer[Shard], mani.Shards)
+	s.quar = make([]quarShard, mani.Shards)
 	if err := fanOut(mani.Shards, s.opts.RecoveryWorkers, s.createShard); err != nil {
 		return err
 	}
@@ -224,7 +278,7 @@ func (s *Set) createShard(i int) error {
 	}
 	sh.rec.Created = true
 	h.FlightRecorder().Append(blackbox.EvShardOpen, uint64(i), 0, 0)
-	s.shards[i] = sh
+	s.shards[i].Store(sh)
 	return nil
 }
 
@@ -238,14 +292,27 @@ func (s *Set) reopen() error {
 	if err != nil {
 		return err
 	}
+	upgradeManifest(dev, mani)
 	s.mani, s.maniDev = mani, dev
-	s.shards = make([]*Shard, mani.Shards)
-	if err := fanOut(mani.Shards, s.opts.RecoveryWorkers, s.recoverShard); err != nil {
+	s.shards = make([]atomic.Pointer[Shard], mani.Shards)
+	s.quar = make([]quarShard, mani.Shards)
+	if err := fanOut(mani.Shards, s.opts.RecoveryWorkers, s.openShard); err != nil {
 		return err
 	}
 	bumpGeneration(s.maniDev, s.mani.Generation+1)
 	s.mani.Generation++
 	return nil
+}
+
+// openShard is the reopen fan-out body: recoverShard, with failures
+// converted into quarantines when the set opened degraded.
+func (s *Set) openShard(i int) error {
+	err := protect(s.recoverShard, i)
+	if err != nil && s.opts.Degraded {
+		s.quarantine(i, err)
+		return nil
+	}
+	return err
 }
 
 // recoverShard loads and repairs shard i, or recreates it if its image
@@ -261,7 +328,13 @@ func (s *Set) recoverShard(i int) error {
 	}
 	t0 := time.Now()
 	s0 := dev.Stats()
-	h, err := pheap.Load(dev, klass.NewRegistry())
+	var h *pheap.Heap
+	var salv *pheap.SalvageReport
+	if s.opts.Degraded {
+		h, salv, err = pheap.LoadSalvage(dev, klass.NewRegistry())
+	} else {
+		h, err = pheap.Load(dev, klass.NewRegistry())
+	}
 	if err != nil {
 		return fmt.Errorf("pshard: loading shard %d: %w", i, err)
 	}
@@ -282,7 +355,9 @@ func (s *Set) recoverShard(i int) error {
 	if err != nil {
 		return fmt.Errorf("pshard: recovering shard %d: %w", i, err)
 	}
-	sh, err := attachShard(h, s.opts.Index)
+	iopts := s.opts.Index
+	iopts.Salvage = s.opts.Degraded
+	sh, err := attachShard(h, iopts)
 	if err != nil {
 		return fmt.Errorf("pshard: shard %d: %w", i, err)
 	}
@@ -291,6 +366,7 @@ func (s *Set) recoverShard(i int) error {
 		WallNS:      time.Since(t0).Nanoseconds(),
 		Dev:         dev.Stats().Sub(s0),
 		Index:       sh.ix.LastRecovery(),
+		Salvage:     salv,
 	}
 	recovered := uint64(0)
 	if gcRecovered {
@@ -298,8 +374,19 @@ func (s *Set) recoverShard(i int) error {
 	}
 	h.FlightRecorder().Append(blackbox.EvShardOpen,
 		uint64(i), recovered, uint64(sh.rec.Index.Entries))
+	if (salv != nil && salv.Dirty()) || sh.rec.Index.Salvaged() {
+		// The shard came back through amputation, not clean replay;
+		// journal what it cost so a post-mortem sees the data loss.
+		lost := 0
+		if salv != nil {
+			lost = len(salv.RegionsLost)
+		}
+		h.FlightRecorder().Append(blackbox.EvShardSalvaged,
+			uint64(i), uint64(lost), uint64(sh.rec.Index.LostValues))
+		h.Telemetry().Shared().AtomicAdd(telemetry.CtrSalvageRegionsLost, uint64(lost))
+	}
 	h.Telemetry().RecordSpan(telemetry.SpanShardRecover, i, -1, t0, time.Since(t0))
-	s.shards[i] = sh
+	s.shards[i].Store(sh)
 	return nil
 }
 
@@ -327,8 +414,9 @@ func (s *Set) Base() string { return s.base }
 // NumShards reports the shard count.
 func (s *Set) NumShards() int { return len(s.shards) }
 
-// Shard exposes shard i.
-func (s *Set) Shard(i int) *Shard { return s.shards[i] }
+// Shard exposes shard i. Nil while shard i is quarantined (degraded
+// sets only; a fail-fast open never returns with a nil shard).
+func (s *Set) Shard(i int) *Shard { return s.shard(i) }
 
 // Manifest returns a copy of the decoded manifest.
 func (s *Set) Manifest() Manifest {
@@ -340,19 +428,28 @@ func (s *Set) Manifest() Manifest {
 // ShardOf routes a key to its owning shard.
 func (s *Set) ShardOf(key int64) int { return s.mani.ShardOf(key) }
 
-// Len sums the shard entry counts (exact when quiescent).
+// Len sums the shard entry counts (exact when quiescent). Quarantined
+// shards contribute nothing — their entries are unreachable until the
+// shard reopens.
 func (s *Set) Len() int {
 	n := 0
-	for _, sh := range s.shards {
-		n += sh.ix.Len()
+	for i := range s.shards {
+		if sh := s.shard(i); sh != nil {
+			n += sh.ix.Len()
+		}
 	}
 	return n
 }
 
 // ShardMetrics snapshots shard i's telemetry registry. The snapshot is
-// empty (all maps present, no data) when telemetry is off.
+// empty (all maps present, no data) when telemetry is off or the shard
+// is quarantined.
 func (s *Set) ShardMetrics(i int) telemetry.Snapshot {
-	return s.shards[i].Telemetry().Snapshot()
+	sh := s.shard(i)
+	if sh == nil {
+		return (*telemetry.Registry)(nil).Snapshot()
+	}
+	return sh.Telemetry().Snapshot()
 }
 
 // Metrics folds the set-level registry and every shard's registry into
@@ -362,7 +459,11 @@ func (s *Set) ShardMetrics(i int) telemetry.Snapshot {
 // merged timeline still says which shard paused.
 func (s *Set) Metrics() telemetry.Snapshot {
 	agg := s.tel.Snapshot()
-	for i, sh := range s.shards {
+	for i := range s.shards {
+		sh := s.shard(i)
+		if sh == nil {
+			continue
+		}
 		snap := sh.Telemetry().Snapshot()
 		for j := range snap.Spans {
 			if snap.Spans[j].Shard < 0 {
@@ -383,7 +484,11 @@ func (s *Set) Metrics() telemetry.Snapshot {
 // this run; an all-zero ring simply decodes to an empty timeline.
 func (s *Set) FlightTimelines() ([]blackbox.Timeline, error) {
 	out := make([]blackbox.Timeline, len(s.shards))
-	for i, sh := range s.shards {
+	for i := range s.shards {
+		sh := s.shard(i)
+		if sh == nil {
+			continue // quarantined: its ring is unreachable until reopen
+		}
 		geo := sh.heap.Geo()
 		if geo.BlackboxSize == 0 {
 			continue // pre-flight-recorder image upgraded in place
@@ -405,7 +510,10 @@ func (s *Set) FlightTimelines() ([]blackbox.Timeline, error) {
 // while every other shard keeps serving. Collecting shards one at a time
 // is how a sharded deployment staggers its pauses.
 func (s *Set) GCShard(i int) (pgc.Result, error) {
-	sh := s.shards[i]
+	sh := s.shard(i)
+	if sh == nil {
+		return pgc.Result{}, &QuarantinedError{Shard: i, Cause: s.QuarantineCause(i)}
+	}
 	sh.world.Lock()
 	defer sh.world.Unlock()
 	// Journaled before the cycle so a crash mid-collection still shows
@@ -416,10 +524,14 @@ func (s *Set) GCShard(i int) (pgc.Result, error) {
 }
 
 // GCAll collects every shard, one at a time (staggered pauses: at any
-// moment at most one shard is stopped).
+// moment at most one shard is stopped). Quarantined shards are skipped
+// — their zero-value Result slot records that nothing ran.
 func (s *Set) GCAll() ([]pgc.Result, error) {
 	res := make([]pgc.Result, len(s.shards))
 	for i := range s.shards {
+		if s.shard(i) == nil {
+			continue
+		}
 		r, err := s.GCShard(i)
 		if err != nil {
 			return res, fmt.Errorf("pshard: collecting shard %d: %w", i, err)
@@ -436,7 +548,11 @@ func (s *Set) Sync() error {
 		return err
 	}
 	for i := range s.shards {
-		if err := s.store.Sync(ShardHeapName(s.base, i)); err != nil {
+		name := ShardHeapName(s.base, i)
+		if s.shard(i) == nil && !s.store.Exists(name) {
+			continue // quarantined before its image ever registered
+		}
+		if err := s.store.Sync(name); err != nil {
 			return err
 		}
 	}

@@ -9,6 +9,7 @@ import (
 	"sync"
 
 	"espresso/internal/nvm"
+	"espresso/internal/pheap"
 	"espresso/internal/pindex"
 )
 
@@ -33,6 +34,9 @@ type RecoveryStats struct {
 	Dev nvm.Stats
 	// Index is the pindex recovery pass's repair report.
 	Index pindex.RecoverStats
+	// Salvage is the heap-level salvage report (nil outside degraded
+	// mode; empty when a degraded open found nothing to amputate).
+	Salvage *pheap.SalvageReport
 }
 
 // fanOut runs fn(i) for each of n shards with at most workers running

@@ -115,6 +115,14 @@ const (
 	// EvPLABHandoff: allocator dispensed a region chunk to a mutator PLAB.
 	// p0=region, p1=chunk base, p2=chunk bytes.
 	EvPLABHandoff
+	// EvShardQuarantined: a degraded-mode set fenced a failing shard off
+	// instead of serving it. p0=shard, p1=retry attempts so far. Journaled
+	// in the sibling that observed it when the failing shard's own ring is
+	// unreachable.
+	EvShardQuarantined
+	// EvShardSalvaged: a shard reopened through salvage recovery.
+	// p0=shard, p1=regions quarantined, p2=index entries lost.
+	EvShardSalvaged
 
 	numKinds
 )
@@ -139,6 +147,8 @@ var kindNames = [...]string{
 	"shard.open",
 	"shard.gc",
 	"plab.handoff",
+	"shard.quarantined",
+	"shard.salvaged",
 }
 
 // KindName returns the stable string name for an event kind.

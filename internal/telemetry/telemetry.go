@@ -63,6 +63,10 @@ const (
 	CtrGCCycles     // persistent collections completed
 	CtrGCRecoveries // crash recoveries replayed
 
+	// Robustness counters (degraded-mode sharding and salvage recovery).
+	CtrShardQuarantined   // shards fenced off by a degraded-mode open or retry
+	CtrSalvageRegionsLost // heap regions quarantined by salvage recovery
+
 	ctrDevBase // start of the per-subsystem device counters
 )
 
@@ -89,6 +93,7 @@ var opNames = [...]string{
 	"index.gets", "index.puts", "index.deletes", "index.scans",
 	"index.help_flushes", "index.grows",
 	"gc.cycles", "gc.recoveries",
+	"shard.quarantined", "salvage.regions_lost",
 }
 
 var devMetricNames = [devMetrics]string{"reads", "writes", "flushed_lines", "fences"}

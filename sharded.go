@@ -32,7 +32,19 @@ type ShardedPMapOptions struct {
 	// re-tagged by shard. Independent of Options.Telemetry on the
 	// runtime — a sharded set is its own safepoint/telemetry domain.
 	Telemetry bool
+	// Degraded opens the set fence-and-serve instead of fail-fast: a
+	// shard whose image cannot be loaded or recovered is quarantined
+	// (operations routed to it fail with ErrShardQuarantined; Get and
+	// Delete read as absent) while healthy shards serve, salvage
+	// recovery amputates — never fabricates — damaged state, and a
+	// background loop retries the shard with capped exponential backoff.
+	// See docs/robustness.md.
+	Degraded bool
 }
+
+// ErrShardQuarantined matches (errors.Is) every operation error caused
+// by routing to a quarantined shard of a degraded set.
+var ErrShardQuarantined = pshard.ErrShardQuarantined
 
 // ShardedPMap is a range-partitioned persistent map over N independent
 // persistent heaps (internal/pshard): keys route by hash range to a
@@ -85,6 +97,7 @@ func (rt *Runtime) OpenSharded(base string, opts ShardedPMapOptions) (*ShardedPM
 		Mode:         mgr.Mode(),
 		WriteLatency: opts.NVMWriteLatency,
 		Telemetry:    opts.Telemetry,
+		Degraded:     opts.Degraded,
 	})
 	if err != nil {
 		return nil, err
@@ -150,18 +163,39 @@ func (m *ShardedPMap) Put(key, val int64) error {
 	return c.Put(key, val)
 }
 
-// Get looks key up; the answer is durable before it is returned.
+// Get looks key up; the answer is durable before it is returned. On a
+// degraded set a quarantined shard reads as absent — use Lookup when
+// "not present" and "shard unavailable" must stay distinguishable.
 func (m *ShardedPMap) Get(key int64) (int64, bool) {
 	c := m.borrow()
 	defer m.putCtx(c)
 	return c.Get(key)
 }
 
-// Delete durably removes key, reporting whether it was present.
+// Lookup is Get with degraded-mode quarantines made visible: the error
+// matches ErrShardQuarantined when key's owning shard is fenced off.
+func (m *ShardedPMap) Lookup(key int64) (int64, bool, error) {
+	c := m.borrow()
+	defer m.putCtx(c)
+	return c.Lookup(key)
+}
+
+// Delete durably removes key, reporting whether it was present. On a
+// degraded set a quarantined shard reports false — use Remove when the
+// cases must stay distinguishable.
 func (m *ShardedPMap) Delete(key int64) bool {
 	c := m.borrow()
 	defer m.putCtx(c)
 	return c.Delete(key)
+}
+
+// Remove is Delete with degraded-mode quarantines made visible: the
+// error matches ErrShardQuarantined when key's owning shard is fenced
+// off.
+func (m *ShardedPMap) Remove(key int64) (bool, error) {
+	c := m.borrow()
+	defer m.putCtx(c)
+	return c.Remove(key)
 }
 
 // Scan walks every entry of every shard until fn returns false (weakly
@@ -192,3 +226,16 @@ func (m *ShardedPMap) GC() ([]pgc.Result, error) { return m.set.GCAll() }
 // Sync persists the manifest and every shard image to the heap store's
 // backing tier (a no-op for memory-only runtimes).
 func (m *ShardedPMap) Sync() error { return m.set.Sync() }
+
+// Quarantined lists the currently fenced-off shards (always empty
+// unless the set was opened Degraded).
+func (m *ShardedPMap) Quarantined() []int { return m.set.Quarantined() }
+
+// RetryQuarantined synchronously attempts to reopen every quarantined
+// shard now, ignoring backoff timers, and returns the shards that came
+// back healthy.
+func (m *ShardedPMap) RetryQuarantined() []int { return m.set.RetryQuarantined() }
+
+// Close stops the set's background quarantine-retry loop, if any.
+// Idempotent; the map's data stays durable and reopenable.
+func (m *ShardedPMap) Close() { m.set.Close() }
